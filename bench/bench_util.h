@@ -1,0 +1,44 @@
+// Shared formatting helpers for the benchmark harnesses.  Every bench
+// prints (a) a paper-style summary table and (b) CSV blocks that re-plot
+// the corresponding figure with any plotting tool.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace bench_util {
+
+/// Prints a banner naming the paper artifact being reproduced.
+inline void banner(const std::string& artifact, const std::string& desc) {
+  std::printf("\n=====================================================\n");
+  std::printf("%s\n%s\n", artifact.c_str(), desc.c_str());
+  std::printf("=====================================================\n");
+}
+
+/// Fixed-width row of labelled columns.
+inline void row(const std::vector<std::string>& cells, int width = 12) {
+  for (const auto& c : cells) std::printf("%-*s", width, c.c_str());
+  std::printf("\n");
+}
+
+inline std::string fmt(double v, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+inline std::string pct(double v, int prec = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", prec, 100.0 * v);
+  return buf;
+}
+
+/// Begin/end a named CSV block (greppable: lines between "-- csv:<name>"
+/// and "-- end").
+inline void csv_begin(const std::string& name, const std::string& header) {
+  std::printf("-- csv:%s\n%s\n", name.c_str(), header.c_str());
+}
+inline void csv_end() { std::printf("-- end\n"); }
+
+}  // namespace bench_util

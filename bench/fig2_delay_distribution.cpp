@@ -1,0 +1,97 @@
+// Reproduces Figure 2: delay distribution of a 12-stage inverter-chain
+// pipeline (stage logic depth = 10) under
+//   (a) only random intra-die variation,
+//   (b) only inter-die variation,
+//   (c) inter- and intra-die variation with random + systematic parts,
+// comparing full gate-level Monte-Carlo against the paper's analytical
+// model (per-stage MC characterization -> Clark reduction, section 2.2).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/characterized_pipeline.h"
+#include "mc/pipeline_mc.h"
+#include "netlist/generators.h"
+#include "stats/histogram.h"
+#include "stats/ks.h"
+
+namespace sp = statpipe;
+
+namespace {
+
+struct Variant {
+  std::string label;
+  sp::process::VariationSpec spec;
+};
+
+void run_variant(const Variant& v, std::size_t n_stages, std::size_t depth,
+                 std::size_t mc_samples) {
+  const sp::device::AlphaPowerModel model{sp::process::Technology{}};
+  const sp::device::LatchModel latch{{}, model};
+
+  std::vector<sp::netlist::Netlist> stages;
+  for (std::size_t i = 0; i < n_stages; ++i) {
+    stages.push_back(sp::netlist::inverter_chain(depth));
+    stages.back().set_name("stage" + std::to_string(i));
+  }
+  std::vector<const sp::netlist::Netlist*> views;
+  for (const auto& s : stages) views.push_back(&s);
+
+  // --- reference: full gate-level Monte-Carlo ("SPICE").
+  sp::mc::GateLevelMonteCarlo mc(views, model, v.spec, latch);
+  sp::stats::Rng rng(2005);
+  const auto ref = mc.run(mc_samples, rng);
+  const auto est = ref.tp_estimate();
+
+  // --- analytical: per-stage MC characterization feeds the Clark model,
+  //     exactly the paper's section-2.4 verification flow.
+  sp::stats::Rng rng2(1961);
+  const auto pipe =
+      sp::core::build_pipeline_mc(views, model, v.spec, latch, rng2);
+  const auto analytic = pipe.delay_distribution();
+
+  const double ks = sp::stats::ks_distance(ref.tp_samples, analytic);
+
+  std::printf("\n[%s]\n", v.label.c_str());
+  bench_util::row({"", "mu_T (ps)", "sigma_T (ps)"});
+  bench_util::row({"Monte-Carlo", bench_util::fmt(est.mean),
+                   bench_util::fmt(est.sigma)});
+  bench_util::row({"Analytical", bench_util::fmt(analytic.mean),
+                   bench_util::fmt(analytic.sigma)});
+  std::printf("mean err %.2f%%   sigma err %.2f%%   KS distance %.4f\n",
+              100.0 * (analytic.mean - est.mean) / est.mean,
+              100.0 * (analytic.sigma - est.sigma) / est.sigma, ks);
+
+  // --- the plotted series: MC histogram + analytical pdf.
+  const auto hist = sp::stats::Histogram::from_samples(ref.tp_samples, 40);
+  bench_util::csv_begin("fig2_" + v.label,
+                        "delay_ps,mc_density,analytic_pdf");
+  for (std::size_t b = 0; b < hist.bins(); ++b) {
+    const double x = hist.bin_center(b);
+    std::printf("%.3f,%.6g,%.6g\n", x, hist.density(b), analytic.pdf(x));
+  }
+  bench_util::csv_end();
+}
+
+}  // namespace
+
+int main() {
+  bench_util::banner(
+      "Figure 2 (DATE'05 Datta et al.)",
+      "Delay distribution of a 12-stage pipeline (logic depth 10):\n"
+      "gate-level Monte-Carlo vs analytical Clark-reduction model");
+
+  const std::vector<Variant> variants = {
+      {"a_intra_only", sp::process::VariationSpec::intra_only()},
+      {"b_inter_only", sp::process::VariationSpec::inter_only(0.040)},
+      {"c_inter_intra",
+       sp::process::VariationSpec::inter_intra(0.020, 0.010, 0.5)},
+  };
+  for (const auto& v : variants) run_variant(v, 12, 10, 4000);
+
+  std::printf(
+      "\nExpected shape (paper): analytical pdf overlays the MC histogram in\n"
+      "all three regimes; inter-only (b) is much wider than intra-only (a).\n");
+  return 0;
+}

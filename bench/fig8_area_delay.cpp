@@ -1,0 +1,82 @@
+// Reproduces Figure 8: area-vs-delay curves of the three logic stages of
+// the 3-stage ALU-Decoder pipeline, with the -dA1/+dA2/-dA3 rebalancing
+// annotations expressed as elasticities (eq. 14).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "netlist/generators.h"
+#include "opt/sweep.h"
+
+namespace sp = statpipe;
+
+int main() {
+  bench_util::banner(
+      "Figure 8 (DATE'05 Datta et al.)",
+      "Area-delay curves of the ALU-Decoder pipeline stages");
+
+  const sp::device::AlphaPowerModel model{sp::process::Technology{}};
+  const auto spec = sp::process::VariationSpec::inter_intra(0.020, 0.010, 0.5);
+
+  struct StageDef {
+    const char* label;
+    sp::netlist::CircuitStats stats;
+    std::uint64_t seed;
+  };
+  const std::vector<StageDef> defs = {
+      {"stage1_alu1", {"alu_part1", 120, 16, 8, 4}, 11},
+      {"stage2_decoder", {"decoder", 48, 8, 16, 4}, 12},
+      {"stage3_alu2", {"alu_part2", 120, 16, 8, 4}, 13},
+  };
+
+  sp::opt::SweepOptions sw;
+  sw.points = 14;
+  sw.slow_factor = 2.5;
+
+  std::vector<sp::core::StageFamily> fams;
+  for (const auto& d : defs) {
+    auto nl = sp::netlist::synthesize_like(d.stats, d.seed);
+    fams.push_back(sp::opt::stage_family_from_sweep(nl, model, spec, sw));
+  }
+
+  // Normalized delay axis: all curves against the common balanced point.
+  double d0 = 0.0;
+  for (const auto& f : fams) d0 = std::max(d0, f.curve.min_delay());
+  d0 *= 1.25;
+
+  bench_util::csv_begin("fig8",
+                        "normalized_delay,area_stage1,area_stage2,area_stage3");
+  for (double nd = 0.85; nd <= 1.10001; nd += 0.0125) {
+    std::printf("%.4f", nd);
+    for (const auto& f : fams) {
+      const double delay = nd * d0;
+      std::printf(",%.2f", f.curve.area_at(delay));
+    }
+    std::printf("\n");
+  }
+  bench_util::csv_end();
+
+  std::printf("\nAt the balanced point (delay %.1f ps):\n", d0);
+  bench_util::row({"stage", "area", "dA/dD", "R_i", "role"}, 16);
+  for (std::size_t i = 0; i < fams.size(); ++i) {
+    const auto& f = fams[i];
+    const double e = f.curve.elasticity_at(d0);
+    const char* role =
+        sp::core::classify_stage(e) == sp::core::RebalanceRole::kDonor
+            ? "donor (-dA)"
+            : (sp::core::classify_stage(e) ==
+                       sp::core::RebalanceRole::kReceiver
+                   ? "receiver (+dA)"
+                   : "neutral");
+    bench_util::row({defs[i].label, bench_util::fmt(f.curve.area_at(d0), 1),
+                     bench_util::fmt(f.curve.slope_at(d0), 2),
+                     bench_util::fmt(e, 2), role},
+                    16);
+  }
+
+  std::printf(
+      "\nExpected shape (paper): convex decreasing curves; the stages sit\n"
+      "at different slopes at the balanced line L1, so area can be taken\n"
+      "from the steep (donor) stages and spent on the flat (receiver) one.\n");
+  return 0;
+}

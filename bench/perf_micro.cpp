@@ -1,0 +1,128 @@
+// Micro-benchmarks (google-benchmark) of the library's hot paths: the
+// Clark operator, the N-way reduction, gate-level SSTA, deterministic STA,
+// the Monte-Carlo engines and the statistical sizer.  Not a paper artifact
+// — quantifies the O(m n^2) vs O(m^2 n^2) claim of section 4 and the cost
+// model behind the divide-and-conquer design.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+
+#include "core/pipeline_model.h"
+#include "mc/pipeline_mc.h"
+#include "netlist/generators.h"
+#include "opt/sizer.h"
+#include "sta/ssta.h"
+#include "sta/sta.h"
+#include "stats/clark.h"
+
+namespace sp = statpipe;
+
+namespace {
+
+const sp::device::AlphaPowerModel& model() {
+  static const sp::device::AlphaPowerModel m{sp::process::Technology{}};
+  return m;
+}
+
+const sp::process::VariationSpec& spec() {
+  static const auto s =
+      sp::process::VariationSpec::inter_intra(0.020, 0.010, 0.5);
+  return s;
+}
+
+const sp::netlist::Netlist& circuit(const std::string& name) {
+  static std::map<std::string, sp::netlist::Netlist> cache;
+  auto it = cache.find(name);
+  if (it == cache.end())
+    it = cache.emplace(name, sp::netlist::iscas_like(name)).first;
+  return it->second;
+}
+
+}  // namespace
+
+static void BM_NormalIcdf(benchmark::State& state) {
+  double p = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sp::stats::normal_icdf(p));
+    p = p < 0.9 ? p + 1e-7 : 0.1;
+  }
+}
+BENCHMARK(BM_NormalIcdf);
+
+static void BM_ClarkPairwise(benchmark::State& state) {
+  const sp::stats::Gaussian a{100.0, 5.0}, b{102.0, 4.0};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sp::stats::clark_max(a, b, 0.3));
+}
+BENCHMARK(BM_ClarkPairwise);
+
+static void BM_ClarkReduction(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  std::vector<sp::stats::Gaussian> v;
+  for (std::size_t i = 0; i < n; ++i)
+    v.push_back({100.0 + 0.5 * static_cast<double>(i), 5.0});
+  const auto corr = sp::stats::uniform_correlation(n, 0.3);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sp::stats::clark_max_n(v, corr));
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ClarkReduction)->RangeMultiplier(2)->Range(4, 64)->Complexity();
+
+static void BM_StaNominal(benchmark::State& state) {
+  const auto& nl = circuit(state.range(0) == 0 ? "c432" : "c3540");
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sp::sta::analyze(nl, model()).critical_delay);
+}
+BENCHMARK(BM_StaNominal)->Arg(0)->Arg(1);
+
+static void BM_Ssta(benchmark::State& state) {
+  const auto& nl = circuit(state.range(0) == 0 ? "c432" : "c3540");
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        sp::sta::analyze_ssta(nl, model(), spec()).sigma());
+}
+BENCHMARK(BM_Ssta)->Arg(0)->Arg(1);
+
+static void BM_GateLevelMcSample(benchmark::State& state) {
+  static const auto stages = [] {
+    std::vector<sp::netlist::Netlist> s;
+    for (int i = 0; i < 5; ++i) s.push_back(sp::netlist::inverter_chain(8));
+    return s;
+  }();
+  std::vector<const sp::netlist::Netlist*> views;
+  for (const auto& s : stages) views.push_back(&s);
+  const sp::device::LatchModel latch{{}, model()};
+  sp::mc::GateLevelMonteCarlo mc(views, model(), spec(), latch);
+  sp::stats::Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(mc.run(16, rng).tp_samples);
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_GateLevelMcSample);
+
+static void BM_StageLevelMcSample(benchmark::State& state) {
+  std::vector<sp::core::StageModel> s;
+  for (int i = 0; i < 8; ++i)
+    s.emplace_back("s", sp::stats::Gaussian{100.0, 5.0}, 2.0, 0.0);
+  const sp::core::PipelineModel p(std::move(s), {});
+  sp::mc::StageLevelMonteCarlo mc(p);
+  sp::stats::Rng rng(2);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(mc.run(1024, rng).tp_samples);
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_StageLevelMcSample);
+
+static void BM_SizerC432(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto nl = sp::netlist::iscas_like("c432");
+    sp::opt::SizerOptions so;
+    so.t_target = sp::opt::stat_delay(nl, model(), spec(), 0.95) * 0.85;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(sp::opt::size_stage(nl, model(), spec(), so));
+  }
+}
+BENCHMARK(BM_SizerC432)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Reproduces Table II: ensuring an 80% pipeline yield target with small
+// area penalty on the 4-stage ISCAS85 pipeline.
+//
+// Baseline ("Individually Optimized"): each stage sized independently for
+// the per-stage yield Y^(1/N) at a provisional delay budget.  The shipping
+// target is then set at the 82% quantile of the largest stage's (c3540)
+// achieved delay distribution — i.e. c3540 misses its per-stage goal at
+// the real target (the paper's baseline shows it stuck at 86.3%), and the
+// pipeline lands well below 80% (paper: 73.9%).
+// Proposed: the Fig.-9 global flow in kEnsureYield mode, spending area on
+// low-R_i (receiver) stages until the pipeline yield recovers.
+#include <cstdio>
+
+#include "iscas_pipeline.h"
+#include "stats/gaussian.h"
+
+int main() {
+  namespace sp = statpipe;
+  bench_util::banner(
+      "Table II (DATE'05 Datta et al.)",
+      "Ensuring Y_TARGET (80%) with small area penalty\n"
+      "4-stage pipeline: c3540 / c2670 / c1908 / c432 (synthesized "
+      "equivalents)");
+
+  iscas_pipeline::Fixture f;
+  sp::opt::GlobalPipelineOptimizer go(f.ptrs(), f.model, f.spec, f.latch);
+
+  // Provisional budget: 5% above the slowest stage's probed speed limit.
+  const double y_stage = std::pow(0.80, 0.25);
+  const double comb0 = f.fastest_stage_stat_delay(y_stage) * 1.05;
+  const double t0 = comb0 + f.latch.timing().nominal_overhead();
+  auto baseline = go.optimize_individually(t0, 0.80);
+
+  // Identify the slowest achieved stage; give every OTHER stage a 5%
+  // margin re-size (designers margin non-critical stages), so exactly one
+  // stage is marginal at the shipping target — the paper's baseline shape
+  // (c3540 fails at 86.3% while the rest sit at ~95%).
+  std::size_t slowest = 0;
+  for (std::size_t i = 1; i < baseline.stage_count(); ++i)
+    if (baseline.stage_delay(i).mean > baseline.stage_delay(slowest).mean)
+      slowest = i;
+  for (std::size_t i = 0; i < f.stages.size(); ++i) {
+    if (i == slowest) continue;
+    sp::opt::SizerOptions so;
+    so.yield_target = y_stage;
+    so.t_target = comb0 * 0.95;
+    (void)sp::opt::size_stage(f.stages[i], f.model, f.spec, so);
+  }
+  baseline = go.current_model();
+  const double area_norm = baseline.total_area();
+  const double t_target = baseline.stage_delay(slowest).quantile(0.84);
+  std::printf(
+      "provisional budget %.1f ps, shipping target %.1f ps (%s at 84%% "
+      "there)\n",
+      t0, t_target, baseline.stage(slowest).name.c_str());
+
+  sp::opt::GlobalOptimizerOptions opt;
+  opt.t_target = t_target;
+  opt.yield_target = 0.80;
+  opt.mode = sp::opt::OptimizationMode::kEnsureYield;
+  opt.sweep.points = 8;
+  const auto r = go.optimize(opt);
+
+  std::printf("\n");
+  iscas_pipeline::print_table(r, area_norm);
+  std::printf(
+      "\nyield %.1f%% -> %.1f%% at %.1f%% area (paper: 73.9%% -> 80.5%% at "
+      "102%%)\n",
+      100.0 * r.pipeline_yield_before, 100.0 * r.pipeline_yield_after,
+      100.0 * r.total_area_after / area_norm);
+  std::printf(
+      "\nExpected shape (paper): baseline pipeline misses 80%% because one\n"
+      "stage under-delivers; the global flow restores >= 80%% yield for a\n"
+      "small (~2%%) area increase concentrated in receiver stages.\n");
+  return 0;
+}

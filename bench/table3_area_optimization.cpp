@@ -1,0 +1,61 @@
+// Reproduces Table III: area reduction at a fixed 80% pipeline yield on
+// the 4-stage ISCAS85 pipeline.
+//
+// Baseline: stages individually optimized with conservative per-stage
+// yields (the paper's baseline rows sit at 94-95% each, pipeline 80.3%).
+// Proposed: the Fig.-9 global flow in kMinimizeArea mode, shaving area
+// from high-R_i (donor) stages while full-pipeline statistical timing
+// keeps the 80% yield constraint satisfied.
+#include <cstdio>
+
+#include "iscas_pipeline.h"
+
+int main() {
+  namespace sp = statpipe;
+  bench_util::banner(
+      "Table III (DATE'05 Datta et al.)",
+      "Area reduction for a target yield (80%)\n"
+      "4-stage pipeline: c3540 / c2670 / c1908 / c432 (synthesized "
+      "equivalents)");
+
+  iscas_pipeline::Fixture f;
+  sp::opt::GlobalPipelineOptimizer go(f.ptrs(), f.model, f.spec, f.latch);
+
+  // Aggressive target (4% above the probed speed limit): the baseline
+  // sizes every stage near the steep wall of its area-delay curve — the
+  // paper's regime, where trading a few yield points recovers real area.
+  const double comb = f.fastest_stage_stat_delay(0.95) * 1.04;
+  const double t_target = comb + f.latch.timing().nominal_overhead();
+  std::printf("pipeline delay target %.1f ps (comb budget %.1f ps)\n",
+              t_target, comb);
+
+  // Conservative baseline: per-stage yield 95% (paper's baseline rows).
+  sp::opt::SizerOptions base;
+  base.yield_target = 0.95;
+  for (auto* nl : f.ptrs()) {
+    sp::opt::SizerOptions so = base;
+    so.t_target = comb;
+    (void)sp::opt::size_stage(*nl, f.model, f.spec, so);
+  }
+  const double area_norm = go.current_model().total_area();
+
+  sp::opt::GlobalOptimizerOptions opt;
+  opt.t_target = t_target;
+  opt.yield_target = 0.80;
+  opt.mode = sp::opt::OptimizationMode::kMinimizeArea;
+  opt.sweep.points = 8;
+  opt.max_outer_rounds = 4;
+  const auto r = go.optimize(opt);
+
+  std::printf("\n");
+  iscas_pipeline::print_table(r, area_norm);
+  std::printf(
+      "\narea 100%% -> %.1f%% at yield %.1f%% (paper: 100%% -> 91.6%% at "
+      "80.5%%)\n",
+      100.0 * r.total_area_after / area_norm,
+      100.0 * r.pipeline_yield_after);
+  std::printf(
+      "\nExpected shape (paper): ~8-9%% total area recovered, mostly from\n"
+      "donor stages, while pipeline yield stays at/above 80%%.\n");
+  return 0;
+}

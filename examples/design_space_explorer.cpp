@@ -1,0 +1,73 @@
+// Design-space exploration (paper section 2.5 / Fig. 4): given a clock
+// target and a yield goal, which (mu, sigma) budgets may each stage have,
+// and which logic depths realize them?
+//
+// Build & run:  ./build/examples/design_space_explorer [target_ps] [yield]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/design_space.h"
+#include "device/delay_model.h"
+#include "process/variation.h"
+
+namespace sp = statpipe;
+
+int main(int argc, char** argv) {
+  const double t_target = argc > 1 ? std::atof(argv[1]) : 120.0;
+  const double yield = argc > 2 ? std::atof(argv[2]) : 0.90;
+  if (t_target <= 0.0 || yield <= 0.0 || yield >= 1.0) {
+    std::fprintf(stderr, "usage: %s [target_ps>0] [yield in (0,1)]\n",
+                 argv[0]);
+    return 1;
+  }
+
+  const sp::core::DesignSpace ds(t_target, yield);
+  const sp::device::AlphaPowerModel model{sp::process::Technology{}};
+  const auto spec = sp::process::VariationSpec::inter_intra(0.020, 0.010, 0.5);
+
+  // FO4-loaded inverter as the unit cell of the eq.-13 realizable relation.
+  const double mu0 = model.nominal_delay(sp::device::GateKind::kNot, 1.0, 4.0);
+  const auto s0 = model.delay_sigmas(sp::device::GateKind::kNot, 1.0, 4.0,
+                                     spec);
+  const sp::stats::Gaussian unit{mu0, s0.total()};
+  std::printf("target %.0f ps at %.0f%% yield; unit cell N(%.2f, %.3f) ps\n\n",
+              t_target, 100.0 * yield, unit.mean, unit.sigma);
+
+  std::printf("stage-count tradeoff (eq. 12 + realizable eq. 13):\n");
+  std::printf("N_S  per-stage-yield  max mu@realizable-sigma  max logic depth\n");
+  for (std::size_t ns : {2, 3, 4, 6, 8, 12}) {
+    // Find the largest mu whose realizable sigma still meets the equality
+    // bound: mu + z * sigma(mu) <= T with sigma(mu) = s0*sqrt(mu/mu0).
+    const double z = sp::stats::normal_icdf(ds.per_stage_yield(ns));
+    double lo = 0.0, hi = t_target;
+    for (int it = 0; it < 60; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      const double s = sp::core::DesignSpace::realizable_sigma(mid, unit);
+      (mid + z * s <= t_target ? lo : hi) = mid;
+    }
+    const auto depth = static_cast<std::size_t>(lo / unit.mean);
+    std::printf("%3zu  %14.4f  %22.1f  %15zu\n", ns, ds.per_stage_yield(ns),
+                lo, depth);
+  }
+
+  std::printf(
+      "\nReading: more stages demand higher per-stage yield, shrinking each\n"
+      "stage's permissible mean — but each stage also needs less logic.\n"
+      "The usable designs are the depths above times the stage count that\n"
+      "covers your total logic depth.\n");
+
+  // Spot-check three candidate stage budgets against all bounds.
+  std::printf("\nspot checks (mu, sigma) against the bounds:\n");
+  const struct {
+    double mu, sigma;
+  } cands[] = {{0.6 * t_target, 3.0}, {0.8 * t_target, 3.0},
+               {0.95 * t_target, 1.0}};
+  for (const auto& c : cands) {
+    std::printf("  mu=%.1f sigma=%.1f: relaxed(eq11)=%s equality(4 stages, "
+                "eq12)=%s\n",
+                c.mu, c.sigma,
+                ds.admissible_relaxed(c.mu, c.sigma) ? "ok" : "VIOLATED",
+                ds.admissible_equality(c.mu, c.sigma, 4) ? "ok" : "VIOLATED");
+  }
+  return 0;
+}

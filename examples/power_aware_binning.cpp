@@ -1,0 +1,72 @@
+// Power-aware frequency binning: the two-sided yield picture behind the
+// paper's motivation [1] (Bowman's FMAX work).  Fast dies (low Vth) clock
+// higher but leak exponentially more, so a die is sellable only inside a
+// frequency x power window.  This example Monte-Carlos a pipeline stage's
+// (delay, leakage) joint distribution and bins dies under a leakage cap.
+//
+// Build & run:  ./build/examples/power_aware_binning
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "netlist/generators.h"
+#include "sta/power_analysis.h"
+#include "stats/descriptive.h"
+
+namespace sp = statpipe;
+
+int main() {
+  const sp::device::AlphaPowerModel delay_model{sp::process::Technology{}};
+  const sp::device::PowerModel power{sp::device::PowerParams{},
+                                     delay_model.technology()};
+  const auto spec = sp::process::VariationSpec::inter_intra(0.030, 0.010, 0.5);
+
+  const auto nl = sp::netlist::iscas_like("c880");
+  sp::stats::Rng rng(99);
+  const auto samples =
+      sp::sta::delay_leakage_mc(nl, delay_model, power, spec, 4000, rng);
+
+  // Summaries.
+  std::vector<double> delays, leaks;
+  for (const auto& s : samples) {
+    delays.push_back(s.delay_ps);
+    leaks.push_back(s.leakage_uw);
+  }
+  const double d_med = sp::stats::quantile(delays, 0.5);
+  const double l_med = sp::stats::quantile(leaks, 0.5);
+  std::printf("circuit %s: median delay %.1f ps, median leakage %.1f uW\n",
+              nl.name().c_str(), d_med, l_med);
+  std::printf("delay-leakage correlation: %.2f (fast dies leak more)\n",
+              sp::stats::pearson(delays, leaks));
+
+  // Two-sided binning: sellable iff delay <= grade period AND leakage <=
+  // cap.  Sweep the cap to show the fast-bin loss.
+  const double t_fast = sp::stats::quantile(delays, 0.25);  // premium grade
+  const double t_std = sp::stats::quantile(delays, 0.75);   // standard grade
+  std::printf("\nleak cap    premium(<=%.0fps)  standard  leaky-scrap  slow-scrap\n",
+              t_fast);
+  for (double cap_mult : {4.0, 2.0, 1.5, 1.2}) {
+    const double cap = l_med * cap_mult;
+    std::size_t premium = 0, standard = 0, leaky = 0, slow = 0;
+    for (const auto& s : samples) {
+      if (s.leakage_uw > cap)
+        ++leaky;
+      else if (s.delay_ps <= t_fast)
+        ++premium;
+      else if (s.delay_ps <= t_std)
+        ++standard;
+      else
+        ++slow;
+    }
+    const double n = static_cast<double>(samples.size());
+    std::printf("%5.1fx     %8.1f%%      %8.1f%%  %9.1f%%  %9.1f%%\n",
+                cap_mult, 100.0 * premium / n, 100.0 * standard / n,
+                100.0 * leaky / n, 100.0 * slow / n);
+  }
+
+  std::printf(
+      "\nReading: tightening the leakage cap eats the PREMIUM bin first —\n"
+      "the fastest dies are precisely the leakiest.  Delay-only yield\n"
+      "(the paper's P_D) is the cap -> infinity row.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Quickstart: the 10-minute tour of statpipe's analytical pipeline model.
+//
+//   1. Describe each pipe stage as a delay distribution (mu, sigma, and
+//      how much of sigma is shared die-to-die).
+//   2. Ask for the pipeline's overall delay distribution (Clark reduction).
+//   3. Ask for yield at a clock target, or the clock for a yield target.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/pipeline_model.h"
+
+using statpipe::core::LatchOverhead;
+using statpipe::core::PipelineModel;
+using statpipe::core::StageModel;
+using statpipe::stats::Gaussian;
+
+int main() {
+  // A 4-stage pipeline.  Each StageModel is the combinational delay of one
+  // stage: N(mean, sigma) in picoseconds, with `sigma_inter` of that sigma
+  // caused by die-to-die (shared) variation, and the stage's area.
+  std::vector<StageModel> stages;
+  stages.emplace_back("fetch", Gaussian{140.0, 7.0}, /*sigma_inter=*/3.0,
+                      /*area=*/220.0);
+  stages.emplace_back("decode", Gaussian{120.0, 6.0}, 2.5, 150.0);
+  stages.emplace_back("execute", Gaussian{150.0, 8.0}, 3.5, 400.0);
+  stages.emplace_back("writeback", Gaussian{110.0, 5.0}, 2.0, 90.0);
+
+  // Flip-flop overhead Tc-q + Tsetup, with its own variation split.
+  const LatchOverhead latch{36.0, 1.2, 0.7};
+
+  PipelineModel pipe(std::move(stages), latch);
+
+  // The pipeline delay T_P = max_i SD_i is approximately Gaussian:
+  const Gaussian tp = pipe.delay_distribution();
+  std::printf("pipeline delay: mean %.1f ps, sigma %.2f ps\n", tp.mean,
+              tp.sigma);
+  std::printf("slowest stage mean (Jensen lower bound): %.1f ps\n",
+              pipe.mean_lower_bound());
+
+  // Yield at a 200 ps clock target (eq. 9 of the paper):
+  std::printf("yield at 200 ps: %.1f%%\n", 100.0 * pipe.yield(200.0));
+
+  // And the inverse: the clock you can ship at 95%% parametric yield:
+  const double t95 = pipe.target_delay_for_yield(0.95);
+  std::printf("clock period for 95%% yield: %.1f ps (%.2f GHz)\n", t95,
+              1000.0 / t95);
+
+  // What-if: how much does stage correlation matter?  Force independence:
+  pipe.set_uniform_correlation(0.0);
+  std::printf("yield at 200 ps if stages were independent: %.1f%%\n",
+              100.0 * pipe.yield(200.0));
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "core/area_delay.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace statpipe::core {
+
+AreaDelayCurve::AreaDelayCurve(std::vector<Point> points)
+    : pts_(std::move(points)) {
+  if (pts_.size() < 2)
+    throw std::invalid_argument("AreaDelayCurve: need >= 2 points");
+  std::sort(pts_.begin(), pts_.end(),
+            [](const Point& a, const Point& b) { return a.delay < b.delay; });
+  for (std::size_t i = 1; i < pts_.size(); ++i) {
+    if (pts_[i].delay <= pts_[i - 1].delay)
+      throw std::invalid_argument("AreaDelayCurve: duplicate delay point");
+    if (pts_[i].area > pts_[i - 1].area + 1e-9)
+      throw std::invalid_argument(
+          "AreaDelayCurve: area must decrease as delay increases");
+  }
+  for (const auto& p : pts_)
+    if (p.delay <= 0.0 || p.area <= 0.0)
+      throw std::invalid_argument("AreaDelayCurve: nonpositive point");
+}
+
+double AreaDelayCurve::area_at(double delay) const {
+  if (delay <= pts_.front().delay) return pts_.front().area;
+  if (delay >= pts_.back().delay) return pts_.back().area;
+  const auto it = std::lower_bound(
+      pts_.begin(), pts_.end(), delay,
+      [](const Point& p, double d) { return p.delay < d; });
+  const Point& hi = *it;
+  const Point& lo = *(it - 1);
+  const double t = (delay - lo.delay) / (hi.delay - lo.delay);
+  return lo.area + t * (hi.area - lo.area);
+}
+
+double AreaDelayCurve::delay_at_area(double area) const {
+  // Area decreases with delay, so search from the fast (big-area) end.
+  if (area >= pts_.front().area) return pts_.front().delay;
+  if (area <= pts_.back().area) return pts_.back().delay;
+  for (std::size_t i = 1; i < pts_.size(); ++i) {
+    if (pts_[i].area <= area) {
+      const Point& lo = pts_[i - 1];  // larger area, smaller delay
+      const Point& hi = pts_[i];
+      const double t = (lo.area - area) / (lo.area - hi.area);
+      return lo.delay + t * (hi.delay - lo.delay);
+    }
+  }
+  return pts_.back().delay;  // unreachable by the guards above
+}
+
+double AreaDelayCurve::slope_at(double delay) const {
+  const double d = std::clamp(delay, pts_.front().delay, pts_.back().delay);
+  const double h =
+      std::max((pts_.back().delay - pts_.front().delay) * 1e-3, 1e-9);
+  const double lo = std::max(d - h, pts_.front().delay);
+  const double hi = std::min(d + h, pts_.back().delay);
+  return (area_at(hi) - area_at(lo)) / (hi - lo);
+}
+
+double AreaDelayCurve::elasticity_at(double delay) const {
+  const double d = std::clamp(delay, pts_.front().delay, pts_.back().delay);
+  const double a = area_at(d);
+  return -slope_at(d) * d / a;
+}
+
+RebalanceRole classify_stage(double elasticity, double tolerance) {
+  if (elasticity > 1.0 + tolerance) return RebalanceRole::kDonor;
+  if (elasticity < 1.0 - tolerance) return RebalanceRole::kReceiver;
+  return RebalanceRole::kNeutral;
+}
+
+}  // namespace statpipe::core

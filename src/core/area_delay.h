@@ -1,0 +1,61 @@
+// Area-vs-delay trade-off curve of one pipe stage — the object behind
+// Fig. 8 and the R_i ordering heuristic of eq. (14).
+//
+// A stage sized for speed sits on the steep part of its curve (large
+// |dA/dD|: giving back a lot of area costs little delay); a stage sized
+// for area sits on the flat part.  The paper compares the *elasticity*
+//
+//   R_i = -(dA/dD) * (D/A)        (normalized slope at the operating point)
+//
+// against 1 to pick donors (R_i > 1) and receivers (R_i < 1) of area.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace statpipe::core {
+
+class AreaDelayCurve {
+ public:
+  struct Point {
+    double delay;  ///< stage delay at this sizing [ps]
+    double area;   ///< stage area at this sizing [min-inv areas]
+  };
+
+  /// Points in any order; sorted internally by delay.  Requires >= 2
+  /// points and a strictly monotone decreasing area-vs-delay relation
+  /// (non-monotone sweeps indicate a broken sizing run — rejected).
+  explicit AreaDelayCurve(std::vector<Point> points);
+
+  const std::vector<Point>& points() const noexcept { return pts_; }
+  double min_delay() const noexcept { return pts_.front().delay; }
+  double max_delay() const noexcept { return pts_.back().delay; }
+
+  /// Linear interpolation of area at `delay` (clamped to the curve ends).
+  double area_at(double delay) const;
+
+  /// Inverse: delay at which the stage costs `area` (clamped).
+  double delay_at_area(double area) const;
+
+  /// Local slope dA/dD at `delay` (central difference on the polyline;
+  /// always <= 0 by monotonicity).
+  double slope_at(double delay) const;
+
+  /// Elasticity R = -(dA/dD)*(D/A) at `delay` — the paper's R_i (eq. 14).
+  double elasticity_at(double delay) const;
+
+ private:
+  std::vector<Point> pts_;
+};
+
+/// Classification used by the global optimizer's stage ordering.
+enum class RebalanceRole {
+  kDonor,     ///< R_i > 1: cut area here (small delay penalty)
+  kReceiver,  ///< R_i < 1: spend area here (big delay improvement)
+  kNeutral,   ///< R_i ~ 1
+};
+
+RebalanceRole classify_stage(double elasticity, double tolerance = 0.05);
+
+}  // namespace statpipe::core

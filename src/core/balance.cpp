@@ -1,0 +1,158 @@
+#include "core/balance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace statpipe::core {
+
+BalanceAnalyzer::BalanceAnalyzer(std::vector<StageFamily> stages,
+                                 LatchOverhead latch, double t_target)
+    : stages_(std::move(stages)), latch_(latch), t_target_(t_target) {
+  if (stages_.empty())
+    throw std::invalid_argument("BalanceAnalyzer: no stages");
+  if (t_target_ <= 0.0)
+    throw std::invalid_argument("BalanceAnalyzer: t_target <= 0");
+  for (const auto& s : stages_)
+    if (!s.sigma_of_mu)
+      throw std::invalid_argument("BalanceAnalyzer: stage '" + s.name +
+                                  "' missing sigma model");
+}
+
+PipelineModel BalanceAnalyzer::pipeline_at(
+    const std::vector<double>& stage_delays) const {
+  if (stage_delays.size() != stages_.size())
+    throw std::invalid_argument("pipeline_at: delay count mismatch");
+  std::vector<StageModel> models;
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    const double mu = stage_delays[i];
+    const auto& fam = stages_[i];
+    if (mu < fam.curve.min_delay() - 1e-9 ||
+        mu > fam.curve.max_delay() + 1e-9)
+      throw std::invalid_argument("pipeline_at: delay for stage '" +
+                                  fam.name + "' outside its curve range");
+    const double sigma = fam.sigma_of_mu(mu);
+    if (sigma <= 0.0)
+      throw std::domain_error("pipeline_at: sigma model returned <= 0");
+    models.emplace_back(fam.name, stats::Gaussian{mu, sigma},
+                        std::clamp(fam.inter_fraction, 0.0, 1.0) * sigma,
+                        fam.curve.area_at(mu));
+  }
+  return PipelineModel(std::move(models), latch_);
+}
+
+BalanceResult BalanceAnalyzer::evaluate(
+    const std::vector<double>& stage_delays) const {
+  PipelineModel pipe = pipeline_at(stage_delays);
+  BalanceResult r;
+  r.stage_delays = stage_delays;
+  for (const auto& s : pipe.stages()) {
+    r.stage_areas.push_back(s.area);
+    r.total_area += s.area;
+  }
+  r.pipeline_delay = pipe.delay_distribution();
+  r.yield = pipe.yield(t_target_);
+  for (std::size_t i = 0; i < pipe.stage_count(); ++i)
+    r.stage_yields.push_back(pipe.stage_delay(i).cdf(t_target_));
+  return r;
+}
+
+BalanceResult BalanceAnalyzer::balanced(double d0) const {
+  return evaluate(std::vector<double>(stages_.size(), d0));
+}
+
+std::vector<double> BalanceAnalyzer::elasticities(
+    const std::vector<double>& delays) const {
+  if (delays.size() != stages_.size())
+    throw std::invalid_argument("elasticities: delay count mismatch");
+  std::vector<double> out;
+  out.reserve(stages_.size());
+  for (std::size_t i = 0; i < stages_.size(); ++i)
+    out.push_back(stages_[i].curve.elasticity_at(delays[i]));
+  return out;
+}
+
+BalanceResult BalanceAnalyzer::move_area(const BalanceResult& from,
+                                         std::size_t donor,
+                                         std::size_t receiver,
+                                         double d_area) const {
+  std::vector<double> delays = from.stage_delays;
+  const auto& dc = stages_[donor].curve;
+  const auto& rc = stages_[receiver].curve;
+  // Donor gives up d_area (moves to larger delay), receiver gains it.
+  const double donor_area = from.stage_areas[donor] - d_area;
+  const double recv_area = from.stage_areas[receiver] + d_area;
+  delays[donor] = dc.delay_at_area(donor_area);
+  delays[receiver] = rc.delay_at_area(recv_area);
+  return evaluate(delays);
+}
+
+namespace {
+
+/// Shared hill-climbing loop; `better(a, b)` = "a strictly improves on b".
+template <typename Cmp>
+BalanceResult climb(const BalanceAnalyzer& an, BalanceResult cur,
+                    std::size_t n_stages, double area_step,
+                    std::size_t max_moves, Cmp better,
+                    const std::function<BalanceResult(
+                        const BalanceResult&, std::size_t, std::size_t,
+                        double)>& mover) {
+  const double quantum = cur.total_area * area_step;
+  for (std::size_t move = 0; move < max_moves; ++move) {
+    bool improved = false;
+    BalanceResult best = cur;
+    for (std::size_t d = 0; d < n_stages; ++d) {
+      for (std::size_t r = 0; r < n_stages; ++r) {
+        if (d == r) continue;
+        BalanceResult cand;
+        try {
+          cand = mover(cur, d, r, quantum);
+        } catch (const std::exception&) {
+          continue;  // move ran off a curve end — infeasible, skip
+        }
+        // Keep total area equal (curve clamping can leak a little).
+        if (std::abs(cand.total_area - cur.total_area) >
+            1e-6 * cur.total_area)
+          continue;
+        if (better(cand, best)) {
+          best = cand;
+          improved = true;
+        }
+      }
+    }
+    if (!improved) break;
+    cur = best;
+  }
+  (void)an;
+  return cur;
+}
+
+}  // namespace
+
+BalanceResult BalanceAnalyzer::rebalance_for_yield(
+    const std::vector<double>& start, double area_step,
+    std::size_t max_moves) const {
+  auto mover = [this](const BalanceResult& f, std::size_t d, std::size_t r,
+                      double a) { return move_area(f, d, r, a); };
+  return climb(
+      *this, evaluate(start), stages_.size(), area_step, max_moves,
+      [](const BalanceResult& a, const BalanceResult& b) {
+        return a.yield > b.yield + 1e-12;
+      },
+      mover);
+}
+
+BalanceResult BalanceAnalyzer::unbalance_worst(const std::vector<double>& start,
+                                               double area_step,
+                                               std::size_t max_moves) const {
+  auto mover = [this](const BalanceResult& f, std::size_t d, std::size_t r,
+                      double a) { return move_area(f, d, r, a); };
+  return climb(
+      *this, evaluate(start), stages_.size(), area_step, max_moves,
+      [](const BalanceResult& a, const BalanceResult& b) {
+        return a.yield < b.yield - 1e-12;
+      },
+      mover);
+}
+
+}  // namespace statpipe::core

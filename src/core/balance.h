@@ -1,0 +1,86 @@
+// Balanced vs unbalanced pipeline analysis — section 3.2 / Figs. 6-8.
+//
+// A balanced pipeline (all stage delays equal) maximizes throughput in the
+// deterministic model, but under variation it has N equally-critical
+// stages; deliberately skewing delays (resize stage 1/3 down, spend the
+// recovered area speeding stage 2, Fig. 6/8) can raise the yield product
+// Y1*Y2*Y3 above Y0^3 at identical total area.  BalanceAnalyzer evaluates
+// and searches such equal-area delay assignments.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/area_delay.h"
+#include "core/pipeline_model.h"
+#include "stats/gaussian.h"
+
+namespace statpipe::core {
+
+/// A stage as the rebalancer sees it: its area-delay curve plus a model of
+/// how its delay sigma tracks its mean delay as it is resized.
+struct StageFamily {
+  std::string name;
+  AreaDelayCurve curve;
+  /// sigma(mu): e.g. the eq.-13 relation sigma0*sqrt(mu/mu0), or an SSTA
+  /// fit.  Must be positive over the curve's delay range.
+  std::function<double(double)> sigma_of_mu;
+  /// Fraction of sigma that is die-shared (drives stage correlation).
+  double inter_fraction = 0.0;
+};
+
+struct BalanceResult {
+  std::vector<double> stage_delays;   ///< mean comb delay per stage [ps]
+  std::vector<double> stage_areas;    ///< area per stage
+  std::vector<double> stage_yields;   ///< per-stage Pr{SD_i <= T}
+  double total_area = 0.0;
+  stats::Gaussian pipeline_delay;     ///< Clark (mu_T, sigma_T)
+  double yield = 0.0;                 ///< eq. (9) at the target
+};
+
+class BalanceAnalyzer {
+ public:
+  BalanceAnalyzer(std::vector<StageFamily> stages, LatchOverhead latch,
+                  double t_target);
+
+  std::size_t stage_count() const noexcept { return stages_.size(); }
+  double t_target() const noexcept { return t_target_; }
+
+  /// Evaluates one delay assignment (areas read off the curves).
+  BalanceResult evaluate(const std::vector<double>& stage_delays) const;
+
+  /// The PipelineModel at one delay assignment — for Monte-Carlo sampling
+  /// of the resulting delay distribution (Fig. 7a histograms).
+  PipelineModel pipeline_at(const std::vector<double>& stage_delays) const;
+
+  /// The balanced starting point: every stage at the same delay d0.
+  BalanceResult balanced(double d0) const;
+
+  /// Elasticity R_i (eq. 14) of each stage at the given delays.
+  std::vector<double> elasticities(const std::vector<double>& delays) const;
+
+  /// Greedy equal-area hill-climb from `start`: repeatedly shifts a small
+  /// area quantum from the best donor to the best receiver while pipeline
+  /// yield improves.  `area_step` is the quantum as a fraction of total
+  /// area.  Returns the best assignment found.
+  BalanceResult rebalance_for_yield(const std::vector<double>& start,
+                                    double area_step = 0.01,
+                                    std::size_t max_moves = 200) const;
+
+  /// Equal-area hill-*descent*: the paper's "worst case unbalancing"
+  /// reference series in Fig. 7(b).
+  BalanceResult unbalance_worst(const std::vector<double>& start,
+                                double area_step = 0.01,
+                                std::size_t max_moves = 200) const;
+
+ private:
+  BalanceResult move_area(const BalanceResult& from, std::size_t donor,
+                          std::size_t receiver, double d_area) const;
+
+  std::vector<StageFamily> stages_;
+  LatchOverhead latch_;
+  double t_target_;
+};
+
+}  // namespace statpipe::core

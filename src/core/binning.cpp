@@ -1,0 +1,48 @@
+#include "core/binning.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace statpipe::core {
+
+std::vector<FrequencyBin> bin_dies(const stats::Gaussian& tp_ps,
+                                   std::vector<double> speed_grades_ghz) {
+  if (speed_grades_ghz.empty())
+    throw std::invalid_argument("bin_dies: no speed grades");
+  for (double f : speed_grades_ghz)
+    if (f <= 0.0) throw std::invalid_argument("bin_dies: grade <= 0");
+  std::sort(speed_grades_ghz.begin(), speed_grades_ghz.end(),
+            std::greater<>());
+
+  std::vector<FrequencyBin> bins;
+  double prev_cum = 0.0;  // Pr{f >= previous (faster) grade}
+  for (double f : speed_grades_ghz) {
+    const double cum = tp_ps.cdf(1000.0 / f);  // Pr{T_P <= period(f)}
+    bins.push_back({f, cum - prev_cum});
+    prev_cum = cum;
+  }
+  bins.push_back({0.0, 1.0 - prev_cum});  // scrap
+  return bins;
+}
+
+double expected_revenue(const std::vector<FrequencyBin>& bins,
+                        const std::vector<double>& prices) {
+  if (bins.empty() || prices.size() + 1 != bins.size())
+    throw std::invalid_argument(
+        "expected_revenue: need one price per sellable bin");
+  double r = 0.0;
+  for (std::size_t i = 0; i < prices.size(); ++i)
+    r += bins[i].fraction * prices[i];
+  return r;
+}
+
+double marketable_frequency_ghz(const stats::Gaussian& tp_ps, double yield) {
+  if (!(yield > 0.0 && yield < 1.0))
+    throw std::invalid_argument("marketable_frequency_ghz: yield in (0,1)");
+  const double t = tp_ps.quantile(yield);
+  if (t <= 0.0)
+    throw std::domain_error("marketable_frequency_ghz: nonpositive period");
+  return 1000.0 / t;
+}
+
+}  // namespace statpipe::core

@@ -1,0 +1,37 @@
+// Frequency binning: the commercial face of parametric yield.
+//
+// The pipeline delay distribution T_P ~ N(mu_T, sigma_T) (section 2.2)
+// determines the fraction of dies that can be sold at each clock bin —
+// the FMAX distribution picture of Bowman et al. [1] that motivates the
+// paper.  A die with delay t runs at f = 1000/t GHz (t in ps), so the
+// fraction binned at >= f is Pr{T_P <= 1000/f} — the yield of eq. (2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stats/gaussian.h"
+
+namespace statpipe::core {
+
+struct FrequencyBin {
+  double f_min_ghz;   ///< bin speed grade (lower edge); 0 = scrap bin
+  double fraction;    ///< fraction of dies landing in this bin
+};
+
+/// Bins dies by maximum frequency.  `speed_grades_ghz` are the sellable
+/// grades in any order; dies slower than the slowest grade land in the
+/// scrap bin (f_min_ghz = 0).  Fractions sum to 1.
+std::vector<FrequencyBin> bin_dies(const stats::Gaussian& tp_ps,
+                                   std::vector<double> speed_grades_ghz);
+
+/// Expected per-die revenue given a price for each sellable grade (same
+/// order as the sorted descending grades used by bin_dies; scrap earns 0).
+double expected_revenue(const std::vector<FrequencyBin>& bins,
+                        const std::vector<double>& prices);
+
+/// Convenience: the speed grade at which `yield` of dies bin at or above
+/// (i.e. the marketable frequency at a yield target).
+double marketable_frequency_ghz(const stats::Gaussian& tp_ps, double yield);
+
+}  // namespace statpipe::core

@@ -1,0 +1,60 @@
+#include "core/characterized_pipeline.h"
+
+#include <stdexcept>
+
+namespace statpipe::core {
+
+LatchOverhead latch_overhead_from(const device::LatchModel& latch,
+                                  const process::VariationSpec& spec) {
+  LatchOverhead o;
+  o.mean = latch.timing().nominal_overhead();
+  const auto& tech = latch.timing();
+  // Same decomposition as LatchModel::overhead_distribution.
+  const auto dist = latch.overhead_distribution(spec);
+  o.sigma_random = o.mean * tech.random_sigma_rel;
+  const double v_inter = dist.variance() - o.sigma_random * o.sigma_random;
+  o.sigma_inter = v_inter > 0.0 ? std::sqrt(v_inter) : 0.0;
+  return o;
+}
+
+namespace {
+
+template <typename CharFn>
+PipelineModel build(const std::vector<const netlist::Netlist*>& stages,
+                    const device::LatchModel& latch,
+                    const process::VariationSpec& spec, CharFn&& characterize) {
+  if (stages.empty())
+    throw std::invalid_argument("build_pipeline: no stages");
+  std::vector<StageModel> models;
+  models.reserve(stages.size());
+  for (const netlist::Netlist* nl : stages) {
+    if (nl == nullptr)
+      throw std::invalid_argument("build_pipeline: null stage netlist");
+    const sta::StageCharacterization c = characterize(*nl);
+    models.emplace_back(nl->name(), c.delay, c.sigma_inter, c.area);
+  }
+  return PipelineModel(std::move(models), latch_overhead_from(latch, spec));
+}
+
+}  // namespace
+
+PipelineModel build_pipeline_ssta(
+    const std::vector<const netlist::Netlist*>& stages,
+    const device::AlphaPowerModel& model, const process::VariationSpec& spec,
+    const device::LatchModel& latch, const sta::CharacterizeOptions& opt) {
+  return build(stages, latch, spec, [&](const netlist::Netlist& nl) {
+    return sta::characterize_ssta(nl, model, spec, opt);
+  });
+}
+
+PipelineModel build_pipeline_mc(
+    const std::vector<const netlist::Netlist*>& stages,
+    const device::AlphaPowerModel& model, const process::VariationSpec& spec,
+    const device::LatchModel& latch, stats::Rng& rng,
+    const sta::CharacterizeOptions& opt) {
+  return build(stages, latch, spec, [&](const netlist::Netlist& nl) {
+    return sta::characterize_mc(nl, model, spec, rng, opt);
+  });
+}
+
+}  // namespace statpipe::core

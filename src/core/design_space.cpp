@@ -1,0 +1,89 @@
+#include "core/design_space.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace statpipe::core {
+
+DesignSpace::DesignSpace(double t_target, double yield)
+    : t_target_(t_target), yield_(yield) {
+  if (t_target <= 0.0)
+    throw std::invalid_argument("DesignSpace: t_target must be > 0");
+  if (!(yield > 0.0 && yield < 1.0))
+    throw std::invalid_argument("DesignSpace: yield must lie in (0,1)");
+}
+
+double DesignSpace::mean_upper_bound(double sigma_t) const {
+  if (sigma_t < 0.0)
+    throw std::invalid_argument("mean_upper_bound: negative sigma_t");
+  return t_target_ - sigma_t * stats::normal_icdf(yield_);
+}
+
+double DesignSpace::relaxed_sigma_bound(double mu) const {
+  const double z = stats::normal_icdf(yield_);
+  if (z <= 0.0) return std::numeric_limits<double>::infinity();
+  const double s = (t_target_ - mu) / z;
+  return s > 0.0 ? s : 0.0;
+}
+
+double DesignSpace::per_stage_yield(std::size_t n_stages) const {
+  if (n_stages == 0) throw std::invalid_argument("per_stage_yield: 0 stages");
+  return std::pow(yield_, 1.0 / static_cast<double>(n_stages));
+}
+
+double DesignSpace::equality_sigma_bound(double mu,
+                                         std::size_t n_stages) const {
+  const double z = stats::normal_icdf(per_stage_yield(n_stages));
+  if (z <= 0.0) return std::numeric_limits<double>::infinity();
+  const double s = (t_target_ - mu) / z;
+  return s > 0.0 ? s : 0.0;
+}
+
+double DesignSpace::realizable_sigma(double mu, const stats::Gaussian& unit) {
+  if (unit.mean <= 0.0 || unit.sigma < 0.0)
+    throw std::invalid_argument("realizable_sigma: bad unit cell");
+  if (mu < 0.0) throw std::invalid_argument("realizable_sigma: negative mu");
+  // sigma = sigma_0 * sqrt(N_L),  N_L = mu / mu_0   (eq. 13)
+  return unit.sigma * std::sqrt(mu / unit.mean);
+}
+
+bool DesignSpace::admissible_relaxed(double mu, double sigma) const {
+  if (sigma < 0.0) return false;
+  return mu + sigma * stats::normal_icdf(yield_) <= t_target_ + 1e-12;
+}
+
+bool DesignSpace::admissible_equality(double mu, double sigma,
+                                      std::size_t n_stages) const {
+  if (sigma < 0.0) return false;
+  return mu + sigma * stats::normal_icdf(per_stage_yield(n_stages)) <=
+         t_target_ + 1e-12;
+}
+
+std::vector<DesignSpace::RegionPoint> DesignSpace::sweep(
+    double mu_lo, double mu_hi, std::size_t steps, std::size_t n1,
+    std::size_t n2, const stats::Gaussian& unit_min,
+    const stats::Gaussian& unit_max) const {
+  if (steps < 2) throw std::invalid_argument("sweep: need >= 2 steps");
+  if (!(mu_hi > mu_lo)) throw std::invalid_argument("sweep: mu_hi <= mu_lo");
+  std::vector<RegionPoint> out;
+  out.reserve(steps);
+  for (std::size_t k = 0; k < steps; ++k) {
+    const double mu =
+        mu_lo + (mu_hi - mu_lo) * static_cast<double>(k) /
+                    static_cast<double>(steps - 1);
+    RegionPoint p{};
+    p.mu = mu;
+    p.relaxed_sigma = relaxed_sigma_bound(mu);
+    p.equality_sigma_n1 = equality_sigma_bound(mu, n1);
+    p.equality_sigma_n2 = equality_sigma_bound(mu, n2);
+    // Larger unit cells have smaller relative variability: the max-size
+    // curve is the *lower* realizable edge, min-size the upper.
+    p.realizable_lo_sigma = realizable_sigma(mu, unit_max);
+    p.realizable_hi_sigma = realizable_sigma(mu, unit_min);
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace statpipe::core

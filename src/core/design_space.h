@@ -1,0 +1,79 @@
+// Design-space characterization for per-stage (mu_i, sigma_i) under a
+// target delay and yield — section 2.5 / Fig. 4 of the paper.
+//
+// Bounds implemented:
+//   eq. (10)  mean upper bound from the pipeline-level Gaussian:
+//             mu_i <= T_target - sigma_T * Phi^-1(P_D)
+//   eq. (11)  relaxed per-stage bound (all other stages assumed perfect):
+//             mu_i + sigma_i * Phi^-1(P_D) <= T_target
+//   eq. (12)  equality bound for N_S equal-delay uncorrelated stages:
+//             mu_i + sigma_i * Phi^-1(P_D^(1/N_S)) <= T_target
+//   eq. (13)  realizable curve from the inverter-chain relation:
+//             mu = N_L mu_0,  sigma = sqrt(N_L) sigma_0
+//             => sigma(mu) = sigma_0 * sqrt(mu / mu_0)
+#pragma once
+
+#include <vector>
+
+#include "stats/gaussian.h"
+
+namespace statpipe::core {
+
+class DesignSpace {
+ public:
+  /// @param t_target  pipeline delay target [ps]
+  /// @param yield     target yield P_D in (0,1)
+  DesignSpace(double t_target, double yield);
+
+  double t_target() const noexcept { return t_target_; }
+  double yield() const noexcept { return yield_; }
+
+  /// eq. (10): upper bound on any stage mean given pipeline sigma_T.
+  double mean_upper_bound(double sigma_t) const;
+
+  /// eq. (11): max sigma_i permitted at mean mu_i under the relaxed bound.
+  /// Returns +inf when yield <= 0.5 (Phi^-1 <= 0 puts no upper limit).
+  double relaxed_sigma_bound(double mu) const;
+
+  /// eq. (12): max sigma_i at mean mu_i when all N_S stages are equal and
+  /// uncorrelated, each needing per-stage yield P_D^(1/N_S).
+  double equality_sigma_bound(double mu, std::size_t n_stages) const;
+
+  /// Per-stage yield requirement P_D^(1/N_S) (used directly in section 3.2:
+  /// (0.80)^(1/3) = 0.9283 for the 3-stage example).
+  double per_stage_yield(std::size_t n_stages) const;
+
+  /// eq. (13): sigma realizable by a chain of identical gates whose unit
+  /// cell is `unit`, at stage mean mu (i.e. logic depth mu/unit.mean).
+  static double realizable_sigma(double mu, const stats::Gaussian& unit);
+
+  /// True iff (mu, sigma) satisfies the relaxed bound (eq. 11).
+  bool admissible_relaxed(double mu, double sigma) const;
+
+  /// True iff (mu, sigma) satisfies the equality bound for n_stages.
+  bool admissible_equality(double mu, double sigma, std::size_t n_stages) const;
+
+  /// One row of the Fig.-4 plot: all bound curves evaluated at mean mu.
+  struct RegionPoint {
+    double mu;
+    double relaxed_sigma;             ///< eq. (11) curve
+    double equality_sigma_n1;         ///< eq. (12), first stage count
+    double equality_sigma_n2;         ///< eq. (12), second stage count
+    double realizable_lo_sigma;       ///< eq. (13) with max-size unit cell
+    double realizable_hi_sigma;       ///< eq. (13) with min-size unit cell
+  };
+
+  /// Sweeps mu over [mu_lo, mu_hi] and tabulates every bound curve —
+  /// exactly the data Fig. 4 plots.  `unit_min`/`unit_max` are the min- and
+  /// max-sized inverter delay Gaussians; n1 < n2 are the two stage counts.
+  std::vector<RegionPoint> sweep(double mu_lo, double mu_hi, std::size_t steps,
+                                 std::size_t n1, std::size_t n2,
+                                 const stats::Gaussian& unit_min,
+                                 const stats::Gaussian& unit_max) const;
+
+ private:
+  double t_target_;
+  double yield_;
+};
+
+}  // namespace statpipe::core

@@ -1,0 +1,114 @@
+#include "core/pipeline_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace statpipe::core {
+
+StageModel::StageModel(std::string n, stats::Gaussian c, double s_inter,
+                       double a)
+    : name(std::move(n)), comb(c), sigma_inter(s_inter), area(a) {
+  if (comb.sigma < 0.0)
+    throw std::invalid_argument("StageModel: negative sigma");
+  if (sigma_inter < 0.0 || sigma_inter > comb.sigma + 1e-12)
+    throw std::invalid_argument(
+        "StageModel: sigma_inter must lie in [0, sigma]");
+}
+
+double StageModel::sigma_private() const {
+  const double v = comb.variance() - sigma_inter * sigma_inter;
+  return v > 0.0 ? std::sqrt(v) : 0.0;
+}
+
+PipelineModel::PipelineModel(std::vector<StageModel> stages,
+                             LatchOverhead latch)
+    : stages_(std::move(stages)), latch_(latch) {
+  if (stages_.empty())
+    throw std::invalid_argument("PipelineModel: no stages");
+  if (latch_.mean < 0.0 || latch_.sigma_inter < 0.0 || latch_.sigma_random < 0.0)
+    throw std::invalid_argument("PipelineModel: negative latch parameter");
+}
+
+void PipelineModel::set_uniform_correlation(double rho) {
+  if (rho < 0.0 || rho > 1.0)
+    throw std::invalid_argument("set_uniform_correlation: rho outside [0,1]");
+  rho_override_ = rho;
+}
+
+void PipelineModel::clear_correlation_override() { rho_override_.reset(); }
+
+stats::Gaussian PipelineModel::stage_delay(std::size_t i) const {
+  const StageModel& s = stages_.at(i);
+  const double mu = latch_.mean + s.comb.mean;
+  // Shared components add linearly (same Z_inter); private in quadrature.
+  const double s_inter = latch_.sigma_inter + s.sigma_inter;
+  const double sp = s.sigma_private();
+  const double s_priv2 =
+      sp * sp + latch_.sigma_random * latch_.sigma_random;
+  return {mu, std::sqrt(s_inter * s_inter + s_priv2)};
+}
+
+std::vector<stats::Gaussian> PipelineModel::stage_delays() const {
+  std::vector<stats::Gaussian> v;
+  v.reserve(stages_.size());
+  for (std::size_t i = 0; i < stages_.size(); ++i) v.push_back(stage_delay(i));
+  return v;
+}
+
+stats::Matrix PipelineModel::correlation() const {
+  const std::size_t n = stages_.size();
+  if (rho_override_) return stats::uniform_correlation(n, *rho_override_);
+  stats::Matrix m = stats::Matrix::identity(n);
+  const auto sds = stage_delays();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double si_inter = latch_.sigma_inter + stages_[i].sigma_inter;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double sj_inter = latch_.sigma_inter + stages_[j].sigma_inter;
+      const double denom = sds[i].sigma * sds[j].sigma;
+      const double rho =
+          denom > 0.0 ? std::clamp(si_inter * sj_inter / denom, 0.0, 1.0) : 0.0;
+      m(i, j) = m(j, i) = rho;
+    }
+  }
+  return m;
+}
+
+stats::Gaussian PipelineModel::delay_distribution(
+    stats::ClarkOrdering ordering) const {
+  return stats::clark_max_n(stage_delays(), correlation(), ordering);
+}
+
+double PipelineModel::yield(double t_target) const {
+  const auto tp = delay_distribution();
+  if (tp.sigma <= 0.0) return t_target >= tp.mean ? 1.0 : 0.0;
+  return stats::normal_cdf((t_target - tp.mean) / tp.sigma);
+}
+
+double PipelineModel::yield_independent(double t_target) const {
+  double y = 1.0;
+  for (const auto& sd : stage_delays()) y *= sd.cdf(t_target);
+  return y;
+}
+
+double PipelineModel::target_delay_for_yield(double y) const {
+  if (!(y > 0.0 && y < 1.0))
+    throw std::invalid_argument("target_delay_for_yield: y outside (0,1)");
+  const auto tp = delay_distribution();
+  return tp.mean + tp.sigma * stats::normal_icdf(y);
+}
+
+double PipelineModel::total_area() const {
+  double a = 0.0;
+  for (const auto& s : stages_) a += s.area;
+  return a;
+}
+
+double PipelineModel::mean_lower_bound() const {
+  double m = 0.0;
+  for (std::size_t i = 0; i < stages_.size(); ++i)
+    m = std::max(m, stage_delay(i).mean);
+  return m;
+}
+
+}  // namespace statpipe::core

@@ -1,0 +1,97 @@
+// The paper's central object: a pipelined design whose per-stage delays are
+// Gaussian random variables, analyzed statistically.
+//
+//   SD_i = Tc-q + T_comb,i + T_setup        (section 2.1)
+//   T_P  = max_i SD_i                       (eq. 1)
+//   Yield(T) = Pr{T_P <= T}                 (eq. 2)
+//
+// Each stage delay carries a variance decomposition into a die-shared
+// (inter-die) component and a stage-private component; the implied stage
+// correlation  rho_ij = s_inter,i * s_inter,j / (sigma_i * sigma_j)  feeds
+// Clark's reduction (eqs. 4-6).  A uniform correlation override supports
+// the paper's rho-sweep studies (Fig. 3b, 5b).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stats/clark.h"
+#include "stats/gaussian.h"
+#include "stats/matrix.h"
+
+namespace statpipe::core {
+
+/// One pipe stage at the abstraction the analytical model consumes.
+struct StageModel {
+  std::string name;
+  stats::Gaussian comb;       ///< T_comb distribution [ps]
+  double sigma_inter = 0.0;   ///< die-shared part of comb.sigma [ps]
+  double area = 0.0;          ///< stage area [min-inv areas]
+
+  /// Stage-private sigma: sqrt(sigma^2 - sigma_inter^2).
+  double sigma_private() const;
+
+  StageModel() = default;
+  StageModel(std::string n, stats::Gaussian c, double s_inter = 0.0,
+             double a = 0.0);
+};
+
+/// Latch (flip-flop) timing overhead added to every stage delay.
+struct LatchOverhead {
+  double mean = 0.0;          ///< Tc-q + Tsetup [ps]
+  double sigma_inter = 0.0;   ///< die-shared sigma [ps]
+  double sigma_random = 0.0;  ///< latch-private sigma [ps]
+};
+
+class PipelineModel {
+ public:
+  explicit PipelineModel(std::vector<StageModel> stages,
+                         LatchOverhead latch = {});
+
+  std::size_t stage_count() const noexcept { return stages_.size(); }
+  const std::vector<StageModel>& stages() const noexcept { return stages_; }
+  StageModel& stage(std::size_t i) { return stages_.at(i); }
+  const StageModel& stage(std::size_t i) const { return stages_.at(i); }
+  const LatchOverhead& latch() const noexcept { return latch_; }
+
+  /// Forces rho_ij = rho for all i != j instead of the variance-derived
+  /// correlation (the paper's correlation sweeps).
+  void set_uniform_correlation(double rho);
+  void clear_correlation_override();
+
+  /// Total stage delay SD_i = latch + comb_i [Gaussian].
+  stats::Gaussian stage_delay(std::size_t i) const;
+  std::vector<stats::Gaussian> stage_delays() const;
+
+  /// Stage-delay correlation matrix (variance-derived or override).
+  stats::Matrix correlation() const;
+
+  /// (mu_T, sigma_T) of T_P = max_i SD_i via Clark's reduction (eqs. 4-6).
+  stats::Gaussian delay_distribution(
+      stats::ClarkOrdering ordering =
+          stats::ClarkOrdering::kIncreasingMean) const;
+
+  /// Yield at T_TARGET from the Gaussian approximation of T_P (eq. 9).
+  double yield(double t_target) const;
+
+  /// Exact yield for *independent* stages: prod_i Phi((T-mu_i)/sigma_i)
+  /// (eq. 8).  Ignores correlations by construction.
+  double yield_independent(double t_target) const;
+
+  /// Smallest T with yield(T) >= y (eq. 9 inverted).
+  double target_delay_for_yield(double y) const;
+
+  /// Sum of stage areas.
+  double total_area() const;
+
+  /// Jensen lower bound on mu_T: max_i E[SD_i] (eq. 3).
+  double mean_lower_bound() const;
+
+ private:
+  std::vector<StageModel> stages_;
+  LatchOverhead latch_;
+  std::optional<double> rho_override_;
+};
+
+}  // namespace statpipe::core

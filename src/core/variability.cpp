@@ -1,0 +1,97 @@
+#include "core/variability.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/pipeline_model.h"
+#include "stats/clark.h"
+#include "stats/matrix.h"
+
+namespace statpipe::core {
+
+double GateDelayComponents::sigma() const {
+  return std::sqrt(sigma_inter * sigma_inter + sigma_sys * sigma_sys +
+                   sigma_rand * sigma_rand);
+}
+
+stats::Gaussian GateDelayComponents::as_gaussian() const {
+  return {mu, sigma()};
+}
+
+GateDelayComponents stage_from_chain(const GateDelayComponents& gate,
+                                     std::size_t logic_depth,
+                                     double sys_correlation_within) {
+  if (logic_depth == 0)
+    throw std::invalid_argument("stage_from_chain: zero depth");
+  if (sys_correlation_within < 0.0 || sys_correlation_within > 1.0)
+    throw std::invalid_argument("stage_from_chain: correlation outside [0,1]");
+  const double n = static_cast<double>(logic_depth);
+  GateDelayComponents s;
+  s.mu = n * gate.mu;
+  s.sigma_inter = n * gate.sigma_inter;
+  // Sum of n equicorrelated (rho = c) variables:
+  // var = n*s^2 + n(n-1)*c*s^2  =>  sigma = s * sqrt(n + n(n-1)c).
+  const double c = sys_correlation_within;
+  s.sigma_sys = gate.sigma_sys * std::sqrt(n + n * (n - 1.0) * c);
+  s.sigma_rand = std::sqrt(n) * gate.sigma_rand;
+  return s;
+}
+
+std::vector<double> stage_variability_sweep(
+    const GateDelayComponents& gate, const std::vector<std::size_t>& depths,
+    double sys_correlation_within) {
+  std::vector<double> out;
+  out.reserve(depths.size());
+  for (std::size_t d : depths) {
+    const auto s = stage_from_chain(gate, d, sys_correlation_within);
+    out.push_back(s.sigma() / s.mu);
+  }
+  return out;
+}
+
+double pipeline_variability(const stats::Gaussian& stage_delay,
+                            std::size_t n_stages, double rho) {
+  if (n_stages == 0)
+    throw std::invalid_argument("pipeline_variability: zero stages");
+  const std::vector<stats::Gaussian> v(n_stages, stage_delay);
+  const auto tp =
+      stats::clark_max_n(v, stats::uniform_correlation(n_stages, rho));
+  if (tp.mean <= 0.0)
+    throw std::domain_error("pipeline_variability: nonpositive mean");
+  return tp.sigma / tp.mean;
+}
+
+std::vector<DepthStagePoint> fixed_total_depth_sweep(
+    const GateDelayComponents& gate, std::size_t total_depth,
+    const std::vector<std::size_t>& stage_counts, double latch_overhead_mean) {
+  std::vector<DepthStagePoint> out;
+  for (std::size_t ns : stage_counts) {
+    if (ns == 0 || total_depth % ns != 0)
+      throw std::invalid_argument(
+          "fixed_total_depth_sweep: stage count must divide total depth");
+    const std::size_t nl = total_depth / ns;
+    const auto stage = stage_from_chain(gate, nl);
+
+    // Shared-across-stages variance: inter-die only (systematic variation
+    // is correlated within a stage but its stage-to-stage correlation
+    // decays with distance; treated as stage-private here and quantified
+    // against MC in the benches).
+    const double shared = stage.sigma_inter;
+    const double total_sigma = stage.sigma();
+    const double rho = total_sigma > 0.0
+                           ? (shared * shared) / (total_sigma * total_sigma)
+                           : 0.0;
+
+    const stats::Gaussian sd{stage.mu + latch_overhead_mean, total_sigma};
+    DepthStagePoint p{};
+    p.n_stages = ns;
+    p.logic_depth = nl;
+    p.stage_variability = stage.sigma() / stage.mu;
+    p.pipeline_variability = pipeline_variability(sd, ns, rho);
+    p.stage_correlation = rho;
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace statpipe::core

@@ -1,0 +1,69 @@
+// Section 3.1: the logic-depth vs number-of-stages trade-off.
+//
+// Stage-delay composition for a chain of N_L identical gates whose unit
+// delay has components (mu_g; s_inter, s_sys, s_rand):
+//
+//   mu_stage      = N_L * mu_g
+//   s_inter,stage = N_L * s_inter        (perfectly correlated: adds linearly)
+//   s_sys,stage   ~ N_L * s_sys * f      (spatially correlated within stage;
+//                                         f in [1/sqrt(N_L), 1] by corr length)
+//   s_rand,stage  = sqrt(N_L) * s_rand   (independent: adds in quadrature)
+//
+// so variability sigma/mu *falls* with logic depth when the random part
+// dominates (cancellation) and is flat when correlated parts dominate —
+// Fig. 5(a).  Composing stages through the max() reduces pipeline
+// variability with stage count, but less so as stages correlate —
+// Fig. 5(b,c).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/gaussian.h"
+
+namespace statpipe::core {
+
+/// Variation components of one gate's delay [ps].
+struct GateDelayComponents {
+  double mu = 0.0;
+  double sigma_inter = 0.0;   ///< die-shared
+  double sigma_sys = 0.0;     ///< spatially correlated across the die
+  double sigma_rand = 0.0;    ///< independent per gate (RDF)
+
+  double sigma() const;
+  stats::Gaussian as_gaussian() const;
+};
+
+/// Composition of a stage as a chain of `logic_depth` identical gates.
+/// `sys_correlation_within` in [0,1]: 1 = fully correlated within the stage
+/// (adds linearly), 0 = uncorrelated (adds in quadrature).
+GateDelayComponents stage_from_chain(const GateDelayComponents& gate,
+                                     std::size_t logic_depth,
+                                     double sys_correlation_within = 1.0);
+
+/// sigma/mu of a stage vs logic depth — the Fig. 5(a) series.
+std::vector<double> stage_variability_sweep(
+    const GateDelayComponents& gate, const std::vector<std::size_t>& depths,
+    double sys_correlation_within = 1.0);
+
+/// sigma/mu of a pipeline of `n_stages` iid stages with uniform stage
+/// correlation `rho`, via Clark's reduction — the Fig. 5(b) series.
+double pipeline_variability(const stats::Gaussian& stage_delay,
+                            std::size_t n_stages, double rho);
+
+/// Fig. 5(c): total logic depth fixed (N_S * N_L = total_depth); returns
+/// sigma/mu of the pipeline delay for each stage count.  Stage correlation
+/// follows from the gate components (shared inter variance over total).
+struct DepthStagePoint {
+  std::size_t n_stages;
+  std::size_t logic_depth;
+  double stage_variability;
+  double pipeline_variability;
+  double stage_correlation;
+};
+std::vector<DepthStagePoint> fixed_total_depth_sweep(
+    const GateDelayComponents& gate, std::size_t total_depth,
+    const std::vector<std::size_t>& stage_counts,
+    double latch_overhead_mean = 0.0);
+
+}  // namespace statpipe::core

@@ -1,0 +1,66 @@
+// Alpha-power-law gate-delay model — the SPICE stand-in.
+//
+// The drain saturation current of a velocity-saturated MOSFET follows
+// I_dsat ~ (W/L) (Vdd - Vth)^alpha (Sakurai-Newton), so gate delay scales as
+//
+//   d = d_nominal * (L/L0)^2-ish * [(Vdd - Vth0)/(Vdd - Vth0 - dVth)]^alpha
+//
+// (the L exponent ~2 folds the mobility/short-channel dependence into one
+// knob; only relative sensitivities matter for reproducing the paper).
+// Composed with the logical-effort decomposition this gives, for a cell of
+// kind k, size x, driving load C (inverter-cap units), at parameter shift
+// (dVth, dL/L):
+//
+//   d = tau * (p_k + C/x) * varfactor(dVth, dL/L)      [ps]
+//
+// which is exactly the quantity the paper's SPICE Monte-Carlo measures per
+// stage before feeding (mu_i, sigma_i) into the analytical model.
+#pragma once
+
+#include "device/gate_library.h"
+#include "process/variation.h"
+
+namespace statpipe::device {
+
+class AlphaPowerModel {
+ public:
+  explicit AlphaPowerModel(process::Technology tech) : tech_(tech) {}
+
+  const process::Technology& technology() const noexcept { return tech_; }
+
+  /// Multiplicative delay factor for threshold shift dvth [V] and relative
+  /// channel-length shift dl_rel.  factor(0,0) == 1.
+  /// Throws std::domain_error if dvth drives the gate out of saturation
+  /// (Vdd - Vth <= 0) — a die that badly broken is a functional failure,
+  /// not a timing sample.
+  double variation_factor(double dvth, double dl_rel = 0.0) const;
+
+  /// Nominal (variation-free) delay of a cell instance [ps].
+  /// `load_cap` in min-inverter-cap units; `size` >= minimum size.
+  double nominal_delay(GateKind kind, double size, double load_cap) const;
+
+  /// Delay under parameter shift [ps].
+  double delay(GateKind kind, double size, double load_cap, double dvth,
+               double dl_rel = 0.0) const;
+
+  /// First-order sensitivity d(delay)/d(Vth) [ps/V] at the nominal point —
+  /// used to map sigma_Vth into per-gate delay sigma analytically:
+  ///   sigma_d ~ |d(delay)/dVth| * sigma_Vth.
+  double dvth_sensitivity(GateKind kind, double size, double load_cap) const;
+
+  /// Analytic per-gate delay sigma decomposition for a cell instance:
+  /// {sigma from inter-die Vth, sigma from systematic Vth, sigma from RDF}.
+  struct DelaySigmas {
+    double inter = 0.0;
+    double systematic = 0.0;
+    double random = 0.0;
+    double total() const;
+  };
+  DelaySigmas delay_sigmas(GateKind kind, double size, double load_cap,
+                           const process::VariationSpec& spec) const;
+
+ private:
+  process::Technology tech_;
+};
+
+}  // namespace statpipe::device

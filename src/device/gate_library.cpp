@@ -1,0 +1,90 @@
+#include "device/gate_library.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <stdexcept>
+
+namespace statpipe::device {
+
+namespace {
+
+constexpr int kKindCount = 16;
+
+constexpr std::array<GateTraits, kKindCount> kTraits = {{
+    // g,     p,    area, fanin, pseudo
+    {0.0, 0.0, 0.0, 0, true},      // kInput
+    {0.0, 0.0, 0.0, 1, true},      // kOutput
+    {1.0, 2.0, 2.0, 1, false},     // kBuf (two inverters lumped)
+    {1.0, 1.0, 1.0, 1, false},     // kNot
+    {4.0 / 3.0, 2.0, 1.6, 2, false},   // kNand2
+    {5.0 / 3.0, 3.0, 2.2, 3, false},   // kNand3
+    {6.0 / 3.0, 4.0, 2.8, 4, false},   // kNand4
+    {5.0 / 3.0, 2.0, 1.9, 2, false},   // kNor2
+    {7.0 / 3.0, 3.0, 2.7, 3, false},   // kNor3
+    {9.0 / 3.0, 4.0, 3.5, 4, false},   // kNor4
+    {4.0 / 3.0, 3.0, 2.6, 2, false},   // kAnd2 (nand+inv lumped)
+    {5.0 / 3.0, 4.0, 3.2, 3, false},   // kAnd3
+    {5.0 / 3.0, 3.0, 2.9, 2, false},   // kOr2 (nor+inv lumped)
+    {7.0 / 3.0, 4.0, 3.7, 3, false},   // kOr3
+    {4.0, 4.0, 4.5, 2, false},         // kXor2
+    {4.0, 4.0, 4.5, 2, false},         // kXnor2
+}};
+
+constexpr std::array<std::string_view, kKindCount> kNames = {
+    "INPUT", "OUTPUT", "BUFF", "NOT",  "NAND",  "NAND3", "NAND4", "NOR",
+    "NOR3",  "NOR4",   "AND",  "AND3", "OR",    "OR3",   "XOR",   "XNOR"};
+
+}  // namespace
+
+const GateTraits& traits(GateKind kind) {
+  const auto i = static_cast<std::size_t>(kind);
+  if (i >= kTraits.size()) throw std::out_of_range("traits: bad GateKind");
+  return kTraits[i];
+}
+
+std::string_view to_string(GateKind kind) {
+  const auto i = static_cast<std::size_t>(kind);
+  if (i >= kNames.size()) throw std::out_of_range("to_string: bad GateKind");
+  return kNames[i];
+}
+
+GateKind gate_kind_from_string(std::string_view name) {
+  std::string up(name);
+  std::transform(up.begin(), up.end(), up.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  // .bench uses arity-free names; map NAND/NOR/AND/OR to the 2-input cell
+  // (the parser widens to NAND3/NAND4 etc. based on actual fanin).
+  if (up == "INPUT") return GateKind::kInput;
+  if (up == "OUTPUT") return GateKind::kOutput;
+  if (up == "BUFF" || up == "BUF") return GateKind::kBuf;
+  if (up == "NOT" || up == "INV") return GateKind::kNot;
+  if (up == "NAND") return GateKind::kNand2;
+  if (up == "NAND3") return GateKind::kNand3;
+  if (up == "NAND4") return GateKind::kNand4;
+  if (up == "NOR") return GateKind::kNor2;
+  if (up == "NOR3") return GateKind::kNor3;
+  if (up == "NOR4") return GateKind::kNor4;
+  if (up == "AND") return GateKind::kAnd2;
+  if (up == "AND3") return GateKind::kAnd3;
+  if (up == "OR") return GateKind::kOr2;
+  if (up == "OR3") return GateKind::kOr3;
+  if (up == "XOR") return GateKind::kXor2;
+  if (up == "XNOR") return GateKind::kXnor2;
+  throw std::invalid_argument("gate_kind_from_string: unknown gate '" +
+                              std::string(name) + "'");
+}
+
+double input_cap(GateKind kind, double size) {
+  const auto& t = traits(kind);
+  if (t.is_pseudo) return 0.0;
+  return size * t.logical_effort;
+}
+
+double cell_area(GateKind kind, double size) {
+  const auto& t = traits(kind);
+  if (t.is_pseudo) return 0.0;
+  return size * t.area;
+}
+
+}  // namespace statpipe::device

@@ -1,0 +1,63 @@
+// Standard-cell gate library in the logical-effort parameterization.
+//
+// Every combinational cell is characterized by:
+//   g    logical effort      (input cap per unit drive, inverter = 1)
+//   p    parasitic delay     (in units of tau, the technology constant)
+//   area area per unit size  (in minimum-inverter areas)
+//
+// A cell instance carries a continuous size factor x >= x_min; its input
+// capacitance is x*g (inverter-cap units), its drive grows with x, and its
+// area is x*area.  This is the currency of the sizing optimizer: the paper's
+// gate-level sizing ([3]) manipulates exactly these x's.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace statpipe::device {
+
+enum class GateKind : std::uint8_t {
+  kInput,   ///< primary-input pseudo-gate (zero delay, zero area)
+  kOutput,  ///< primary-output pseudo-gate (zero delay, zero area)
+  kBuf,
+  kNot,
+  kNand2,
+  kNand3,
+  kNand4,
+  kNor2,
+  kNor3,
+  kNor4,
+  kAnd2,
+  kAnd3,
+  kOr2,
+  kOr3,
+  kXor2,
+  kXnor2,
+};
+
+/// Logical-effort characterization of one cell type.
+struct GateTraits {
+  double logical_effort;   ///< g
+  double parasitic;        ///< p  [tau units]
+  double area;             ///< area per unit size [min-inv areas]
+  int max_fanin;           ///< arity (0 for pseudo-gates)
+  bool is_pseudo;          ///< true for kInput/kOutput
+};
+
+/// Traits table lookup.  The values follow Sutherland/Sproull/Harris
+/// "Logical Effort" for static CMOS (XORs modeled as the usual 2-stage
+/// transmission-gate implementation lumped into one cell).
+const GateTraits& traits(GateKind kind);
+
+/// Parser/printer for the ISCAS .bench netlist dialect ("NAND", "NOT", ...).
+std::string_view to_string(GateKind kind);
+GateKind gate_kind_from_string(std::string_view name);
+
+/// Input capacitance of an instance, in min-inverter-cap units.
+double input_cap(GateKind kind, double size);
+
+/// Cell area of an instance, in min-inverter areas.
+double cell_area(GateKind kind, double size);
+
+}  // namespace statpipe::device

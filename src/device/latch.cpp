@@ -1,0 +1,29 @@
+#include "device/latch.h"
+
+#include <cmath>
+
+namespace statpipe::device {
+
+double LatchModel::overhead_at(double dvth) const {
+  return timing_.nominal_overhead() * model_->variation_factor(dvth);
+}
+
+double LatchModel::sample_overhead(double dvth, stats::Rng& rng) const {
+  const double nominal = overhead_at(dvth);
+  const double sigma = timing_.nominal_overhead() * timing_.random_sigma_rel;
+  return nominal + rng.normal(0.0, sigma);
+}
+
+stats::Gaussian LatchModel::overhead_distribution(
+    const process::VariationSpec& spec) const {
+  const double mean = timing_.nominal_overhead();
+  // First-order: sigma from inter-die Vth via the alpha-power sensitivity.
+  const double drive0 =
+      model_->technology().vdd - model_->technology().vth0;
+  const double sens = mean * model_->technology().alpha / drive0;
+  const double s_inter = sens * spec.sigma_vth_inter;
+  const double s_rand = mean * timing_.random_sigma_rel;
+  return {mean, std::sqrt(s_inter * s_inter + s_rand * s_rand)};
+}
+
+}  // namespace statpipe::device

@@ -1,0 +1,48 @@
+// Pipeline latch (master-slave flip-flop) timing model.
+//
+// The paper's stage delay is SD = T_C-Q + T_comb + T_setup (section 2.1),
+// with the flip-flops implemented as transmission-gate master-slave FFs in
+// the SPICE testbench.  Here the latch contributes a nominal clock-to-Q and
+// setup time that share the die's variation factor (a slow die slows the
+// latch too), plus a small independent random component of its own.
+#pragma once
+
+#include "device/delay_model.h"
+#include "stats/gaussian.h"
+#include "stats/rng.h"
+
+namespace statpipe::device {
+
+struct LatchTiming {
+  double tcq_ps = 22.0;     ///< nominal clock-to-Q [ps]
+  double tsetup_ps = 14.0;  ///< nominal setup time [ps]
+  double random_sigma_rel = 0.02;  ///< independent random sigma, relative
+
+  double nominal_overhead() const noexcept { return tcq_ps + tsetup_ps; }
+};
+
+class LatchModel {
+ public:
+  LatchModel(LatchTiming timing, const AlphaPowerModel& model)
+      : timing_(timing), model_(&model) {}
+
+  const LatchTiming& timing() const noexcept { return timing_; }
+
+  /// Latch overhead [ps] on a die with threshold shift `dvth` (inter +
+  /// local systematic at the latch site), plus an independent random draw.
+  double sample_overhead(double dvth, stats::Rng& rng) const;
+
+  /// Analytic overhead distribution given the variation spec: mean and the
+  /// (inter-die-correlated, random) sigma split.
+  stats::Gaussian overhead_distribution(
+      const process::VariationSpec& spec) const;
+
+  /// Deterministic overhead at a given Vth shift (no random component).
+  double overhead_at(double dvth) const;
+
+ private:
+  LatchTiming timing_;
+  const AlphaPowerModel* model_;
+};
+
+}  // namespace statpipe::device

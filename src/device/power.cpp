@@ -1,0 +1,35 @@
+#include "device/power.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace statpipe::device {
+
+double PowerModel::dynamic_uw(GateKind kind, double size, double f_ghz) const {
+  if (f_ghz < 0.0) throw std::invalid_argument("dynamic_uw: negative f");
+  const double cap_ff = params_.cap_per_area_ff * cell_area(kind, size);
+  // P [uW] = a * C[fF] * Vdd^2 [V^2] * f [GHz]   (fF * GHz * V^2 == uW)
+  return params_.activity * cap_ff * tech_.vdd * tech_.vdd * f_ghz;
+}
+
+double PowerModel::leakage_factor(double dvth) const {
+  return std::exp(-dvth / params_.subthreshold_slope_v);
+}
+
+double PowerModel::leakage_uw(GateKind kind, double size, double dvth) const {
+  if (traits(kind).is_pseudo) return 0.0;
+  if (size <= 0.0) throw std::invalid_argument("leakage_uw: size <= 0");
+  // Leaking width scales with size; use area as the width proxy, in units
+  // of the minimum inverter.  nW -> uW.
+  return 1e-3 * params_.leak_per_size_nw * cell_area(kind, size) *
+         leakage_factor(dvth);
+}
+
+double PowerModel::mean_leakage_factor(double sigma_vth) const {
+  if (sigma_vth < 0.0)
+    throw std::invalid_argument("mean_leakage_factor: negative sigma");
+  const double s = sigma_vth / params_.subthreshold_slope_v;
+  return std::exp(0.5 * s * s);
+}
+
+}  // namespace statpipe::device

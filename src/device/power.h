@@ -1,0 +1,56 @@
+// Cell power models: dynamic (switching) and subthreshold leakage power.
+//
+// The paper's optimization objective is "area (hence, power)": cell area is
+// the proxy for both the switched capacitance (dynamic power) and the
+// leaking transistor width.  This module makes the proxy explicit so the
+// optimizer's area savings can be reported in watts, and adds the part the
+// area proxy misses: leakage depends *exponentially* on the same threshold
+// voltage whose variation drives the delay distributions,
+//
+//   I_leak ~ W * exp(-Vth / (n * vT))
+//
+// so a fast (low-Vth) die both leaks more and runs faster — the classic
+// frequency/leakage anti-correlation of Bowman's FMAX work [1].
+#pragma once
+
+#include "device/gate_library.h"
+#include "process/variation.h"
+
+namespace statpipe::device {
+
+struct PowerParams {
+  double activity = 0.1;        ///< average switching activity per cycle
+  double cap_per_area_ff = 1.8; ///< switched capacitance per unit area [fF]
+  double leak_per_size_nw = 5.0;///< leakage of a min inverter at nominal Vth [nW]
+  double subthreshold_slope_v = 0.039;  ///< n * vT at 300K [V]
+};
+
+class PowerModel {
+ public:
+  PowerModel(PowerParams params, process::Technology tech)
+      : params_(params), tech_(tech) {}
+
+  const PowerParams& params() const noexcept { return params_; }
+
+  /// Dynamic power of one cell instance at clock frequency `f_ghz` [uW]:
+  /// P = alpha * C * Vdd^2 * f.
+  double dynamic_uw(GateKind kind, double size, double f_ghz) const;
+
+  /// Leakage power of one cell at threshold shift dvth [uW].
+  /// Leakage *rises* when dvth < 0 (fast die) — exponentially.
+  double leakage_uw(GateKind kind, double size, double dvth = 0.0) const;
+
+  /// Multiplicative leakage factor for a Vth shift; factor(0) == 1.
+  double leakage_factor(double dvth) const;
+
+  /// Expected leakage factor over N(0, sigma_vth^2) — the lognormal mean
+  /// exp(sigma^2 / (2 s^2)), always > 1: variation increases *mean*
+  /// leakage even though the mean Vth shift is zero.
+  double mean_leakage_factor(double sigma_vth) const;
+
+ private:
+  PowerParams params_;
+  process::Technology tech_;
+};
+
+}  // namespace statpipe::device

@@ -1,0 +1,147 @@
+#include "mc/pipeline_mc.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace statpipe::mc {
+
+stats::Gaussian McResult::tp_estimate() const {
+  if (tp_samples.size() < 2)
+    throw std::logic_error("McResult: too few samples");
+  return {stats::mean(tp_samples), stats::stddev(tp_samples)};
+}
+
+double McResult::yield_at(double t_target) const {
+  return stats::empirical_cdf_at(tp_samples, t_target);
+}
+
+double McResult::yield_ci95(double t_target) const {
+  const double p = yield_at(t_target);
+  return 1.96 * stats::proportion_stderr(p, tp_samples.size());
+}
+
+// ------------------------------------------------------------ stage level
+
+namespace {
+
+stats::CorrelatedNormalSampler make_stage_sampler(
+    const core::PipelineModel& model) {
+  std::vector<double> mu, sg;
+  for (const auto& sd : model.stage_delays()) {
+    mu.push_back(sd.mean);
+    sg.push_back(sd.sigma);
+  }
+  return {std::move(mu), std::move(sg), model.correlation()};
+}
+
+}  // namespace
+
+StageLevelMonteCarlo::StageLevelMonteCarlo(const core::PipelineModel& model)
+    : sampler_(make_stage_sampler(model)) {
+  for (const auto& sd : model.stage_delays()) {
+    means_.push_back(sd.mean);
+    sigmas_.push_back(sd.sigma);
+  }
+}
+
+McResult StageLevelMonteCarlo::run(std::size_t n_samples,
+                                   stats::Rng& rng) const {
+  if (n_samples == 0)
+    throw std::invalid_argument("StageLevelMonteCarlo: zero samples");
+  McResult r;
+  r.tp_samples.reserve(n_samples);
+  r.stage_stats.resize(means_.size());
+  for (std::size_t k = 0; k < n_samples; ++k) {
+    const auto sd = sampler_.sample(rng);
+    double mx = sd[0];
+    for (std::size_t i = 0; i < sd.size(); ++i) {
+      r.stage_stats[i].add(sd[i]);
+      mx = std::max(mx, sd[i]);
+    }
+    r.tp_samples.push_back(mx);
+  }
+  return r;
+}
+
+// ------------------------------------------------------------- gate level
+
+namespace {
+
+struct Layout {
+  std::vector<double> positions;
+  std::vector<std::vector<std::size_t>> site_maps;
+  std::vector<std::size_t> latch_sites;
+};
+
+Layout layout_stages(const std::vector<const netlist::Netlist*>& stages) {
+  if (stages.empty())
+    throw std::invalid_argument("GateLevelMonteCarlo: no stages");
+  Layout l;
+  const double n = static_cast<double>(stages.size());
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    const netlist::Netlist* nl = stages[s];
+    if (nl == nullptr)
+      throw std::invalid_argument("GateLevelMonteCarlo: null stage");
+    std::vector<std::size_t> map(nl->size());
+    for (std::size_t g = 0; g < nl->size(); ++g) {
+      map[g] = l.positions.size();
+      l.positions.push_back((static_cast<double>(s) + nl->gate(g).position) /
+                            n);
+    }
+    l.site_maps.push_back(std::move(map));
+    // The stage's capture latch sits at the stage's right edge.
+    l.latch_sites.push_back(l.positions.size());
+    l.positions.push_back((static_cast<double>(s) + 1.0) / n);
+  }
+  return l;
+}
+
+}  // namespace
+
+GateLevelMonteCarlo::GateLevelMonteCarlo(
+    std::vector<const netlist::Netlist*> stages,
+    const device::AlphaPowerModel& model, const process::VariationSpec& spec,
+    const device::LatchModel& latch, const sta::StaOptions& sta_opt)
+    : stages_(std::move(stages)),
+      model_(&model),
+      spec_(spec),
+      latch_(latch),
+      sta_opt_(sta_opt),
+      sampler_([&] {
+        return process::VariationSampler(model.technology(), spec,
+                                         layout_stages(stages_).positions);
+      }()) {
+  Layout l = layout_stages(stages_);
+  site_maps_ = std::move(l.site_maps);
+  latch_sites_ = std::move(l.latch_sites);
+}
+
+McResult GateLevelMonteCarlo::run(std::size_t n_samples,
+                                  stats::Rng& rng) const {
+  if (n_samples == 0)
+    throw std::invalid_argument("GateLevelMonteCarlo: zero samples");
+  McResult r;
+  r.tp_samples.reserve(n_samples);
+  r.stage_stats.resize(stages_.size());
+  for (std::size_t k = 0; k < n_samples; ++k) {
+    const auto die = sampler_.sample(rng);
+    double tp = 0.0;
+    for (std::size_t s = 0; s < stages_.size(); ++s) {
+      const double comb =
+          sta::analyze_sample(*stages_[s], *model_, die, site_maps_[s],
+                              sta_opt_)
+              .critical_delay;
+      // Latch sees the shared shifts only; its internal RDF is already in
+      // LatchTiming::random_sigma_rel (keeps MC consistent with
+      // LatchModel::overhead_distribution on the analytical side).
+      const double dvth_latch = die.dvth_shared_at(latch_sites_[s]);
+      const double sd = comb + latch_.sample_overhead(dvth_latch, rng);
+      r.stage_stats[s].add(sd);
+      tp = std::max(tp, sd);
+    }
+    r.tp_samples.push_back(tp);
+  }
+  return r;
+}
+
+}  // namespace statpipe::mc

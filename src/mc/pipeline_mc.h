@@ -1,0 +1,80 @@
+// Monte-Carlo simulation of pipeline delay — the verification reference the
+// analytical model is judged against (paper section 2.4), replacing the
+// authors' SPICE testbench.
+//
+// Two granularities:
+//  * StageLevelMonteCarlo — samples the per-stage Gaussian delays (with
+//    their correlation matrix) and takes the max.  Verifies the Clark
+//    reduction itself, exactly as eq. (2) defines yield.
+//  * GateLevelMonteCarlo — samples process parameters per die (one shared
+//    inter-die draw, one spatially-correlated systematic field spanning all
+//    stages laid out along the die, independent RDF per gate), runs sample
+//    STA on every stage netlist, adds latch overhead, and takes the max.
+//    This is the full "silicon" reference: it knows nothing about
+//    Gaussians, Clark, or stage decompositions.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/pipeline_model.h"
+#include "device/latch.h"
+#include "netlist/netlist.h"
+#include "process/variation.h"
+#include "sta/sta.h"
+#include "stats/descriptive.h"
+#include "stats/gaussian.h"
+#include "stats/rng.h"
+
+namespace statpipe::mc {
+
+/// Result of a pipeline MC run.
+struct McResult {
+  std::vector<double> tp_samples;                ///< pipeline delay draws [ps]
+  std::vector<stats::RunningStats> stage_stats;  ///< per-stage delay stats
+
+  stats::Gaussian tp_estimate() const;           ///< sample (mu, sigma)
+  double yield_at(double t_target) const;        ///< fraction <= target
+  /// 95% CI half-width of the yield estimate at t_target.
+  double yield_ci95(double t_target) const;
+};
+
+/// Samples the analytical stage model: SD ~ correlated Gaussians, T_P = max.
+class StageLevelMonteCarlo {
+ public:
+  explicit StageLevelMonteCarlo(const core::PipelineModel& model);
+  McResult run(std::size_t n_samples, stats::Rng& rng) const;
+
+ private:
+  std::vector<double> means_, sigmas_;
+  stats::CorrelatedNormalSampler sampler_;
+};
+
+/// Full gate-level reference simulation.
+class GateLevelMonteCarlo {
+ public:
+  /// Stage netlists are laid out left-to-right along the die; stage i's
+  /// gates occupy die segment [i/N, (i+1)/N] so the systematic field
+  /// correlates neighbouring stages more than distant ones.
+  GateLevelMonteCarlo(std::vector<const netlist::Netlist*> stages,
+                      const device::AlphaPowerModel& model,
+                      const process::VariationSpec& spec,
+                      const device::LatchModel& latch,
+                      const sta::StaOptions& sta_opt = {});
+
+  McResult run(std::size_t n_samples, stats::Rng& rng) const;
+
+  std::size_t stage_count() const noexcept { return stages_.size(); }
+
+ private:
+  std::vector<const netlist::Netlist*> stages_;
+  const device::AlphaPowerModel* model_;
+  process::VariationSpec spec_;
+  device::LatchModel latch_;
+  sta::StaOptions sta_opt_;
+  process::VariationSampler sampler_;          // all sites, all stages
+  std::vector<std::vector<std::size_t>> site_maps_;  // per stage: gate -> site
+  std::vector<std::size_t> latch_sites_;       // site of each stage's latch
+};
+
+}  // namespace statpipe::mc

@@ -1,0 +1,232 @@
+#include "netlist/bench_parser.h"
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace statpipe::netlist {
+
+namespace {
+
+std::string strip(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+[[noreturn]] void fail(std::size_t line, const std::string& msg) {
+  throw std::runtime_error("bench parse error at line " +
+                           std::to_string(line) + ": " + msg);
+}
+
+// Widen a generic NAND/NOR/AND/OR to the cell matching the actual fanin
+// count (the .bench dialect is arity-free).
+device::GateKind widen(device::GateKind k, std::size_t fanin,
+                       std::size_t line) {
+  using device::GateKind;
+  auto pick = [&](GateKind k2, GateKind k3, GateKind k4) {
+    switch (fanin) {
+      case 1: return GateKind::kBuf;  // degenerate single-input AND/OR
+      case 2: return k2;
+      case 3: return k3;
+      case 4: return k4;
+      default:
+        fail(line, "fanin " + std::to_string(fanin) +
+                       " exceeds library arity (max 4)");
+    }
+  };
+  switch (k) {
+    case GateKind::kNand2: return pick(GateKind::kNand2, GateKind::kNand3,
+                                       GateKind::kNand4);
+    case GateKind::kNor2:
+      return pick(GateKind::kNor2, GateKind::kNor3, GateKind::kNor4);
+    case GateKind::kAnd2:
+      if (fanin > 3) fail(line, "AND fanin > 3 unsupported");
+      return fanin == 3 ? GateKind::kAnd3 : GateKind::kAnd2;
+    case GateKind::kOr2:
+      if (fanin > 3) fail(line, "OR fanin > 3 unsupported");
+      return fanin == 3 ? GateKind::kOr3 : GateKind::kOr2;
+    case GateKind::kNot:
+    case GateKind::kBuf:
+      if (fanin != 1) fail(line, "NOT/BUFF must have exactly one fanin");
+      return k;
+    case GateKind::kXor2:
+    case GateKind::kXnor2:
+      if (fanin != 2) fail(line, "XOR/XNOR must have exactly two fanins");
+      return k;
+    // Arity-explicit names (NAND3, NOR4, ...) pass through after a check.
+    case GateKind::kNand3:
+    case GateKind::kNor3:
+    case GateKind::kAnd3:
+    case GateKind::kOr3:
+      if (fanin != 3) fail(line, "3-input cell with fanin != 3");
+      return k;
+    case GateKind::kNand4:
+    case GateKind::kNor4:
+      if (fanin != 4) fail(line, "4-input cell with fanin != 4");
+      return k;
+    default:
+      fail(line, "unsupported cell in .bench");
+  }
+}
+
+struct PendingGate {
+  std::string name;
+  device::GateKind kind;
+  std::vector<std::string> fanins;
+  std::size_t line;
+};
+
+}  // namespace
+
+Netlist parse_bench(std::istream& in, const std::string& name) {
+  Netlist nl(name);
+  std::map<std::string, GateId> defined;
+  std::vector<std::string> output_names;
+  std::vector<PendingGate> pending;
+
+  std::string raw;
+  std::size_t lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    std::string line = strip(raw);
+    if (auto pos = line.find('#'); pos != std::string::npos)
+      line = strip(line.substr(0, pos));
+    if (line.empty()) continue;
+
+    // INPUT(x) / OUTPUT(x)
+    auto paren = line.find('(');
+    auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      if (paren == std::string::npos || line.back() != ')')
+        fail(lineno, "expected INPUT(...), OUTPUT(...) or assignment");
+      const std::string head = strip(line.substr(0, paren));
+      const std::string arg =
+          strip(line.substr(paren + 1, line.size() - paren - 2));
+      if (arg.empty()) fail(lineno, "empty signal name");
+      if (head == "INPUT") {
+        if (defined.count(arg)) fail(lineno, "duplicate definition of " + arg);
+        defined[arg] = nl.add_input(arg);
+      } else if (head == "OUTPUT") {
+        output_names.push_back(arg);
+      } else {
+        fail(lineno, "unknown directive '" + head + "'");
+      }
+      continue;
+    }
+
+    // name = KIND(a, b, ...)
+    const std::string lhs = strip(line.substr(0, eq));
+    std::string rhs = strip(line.substr(eq + 1));
+    paren = rhs.find('(');
+    if (lhs.empty() || paren == std::string::npos || rhs.back() != ')')
+      fail(lineno, "malformed assignment");
+    const std::string kind_name = strip(rhs.substr(0, paren));
+    if (kind_name == "DFF" || kind_name == "dff")
+      fail(lineno,
+           "DFF not supported: stage netlists are combinational; model "
+           "latches with device::LatchModel");
+    device::GateKind kind;
+    try {
+      kind = device::gate_kind_from_string(kind_name);
+    } catch (const std::invalid_argument& e) {
+      fail(lineno, e.what());
+    }
+    std::vector<std::string> fanins;
+    std::string args = rhs.substr(paren + 1, rhs.size() - paren - 2);
+    std::istringstream as(args);
+    std::string tok;
+    while (std::getline(as, tok, ',')) {
+      tok = strip(tok);
+      if (tok.empty()) fail(lineno, "empty fanin name");
+      fanins.push_back(tok);
+    }
+    if (fanins.empty()) fail(lineno, "gate with no fanins");
+    pending.push_back({lhs, kind, std::move(fanins), lineno});
+  }
+
+  // Resolve gates in dependency order (bench files may reference forward).
+  std::size_t remaining = pending.size();
+  std::vector<bool> done(pending.size(), false);
+  while (remaining > 0) {
+    bool progress = false;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      if (done[i]) continue;
+      const auto& pg = pending[i];
+      std::vector<GateId> ids;
+      ids.reserve(pg.fanins.size());
+      bool ok = true;
+      for (const auto& f : pg.fanins) {
+        auto it = defined.find(f);
+        if (it == defined.end()) {
+          ok = false;
+          break;
+        }
+        ids.push_back(it->second);
+      }
+      if (!ok) continue;
+      if (defined.count(pg.name))
+        fail(pg.line, "duplicate definition of " + pg.name);
+      const auto kind = widen(pg.kind, ids.size(), pg.line);
+      defined[pg.name] = nl.add_gate(pg.name, kind, ids);
+      done[i] = true;
+      --remaining;
+      progress = true;
+    }
+    if (!progress) {
+      // Either an undefined signal or a combinational cycle.
+      for (std::size_t i = 0; i < pending.size(); ++i)
+        if (!done[i])
+          fail(pending[i].line, "undefined signal or cycle involving '" +
+                                    pending[i].name + "'");
+    }
+  }
+
+  for (const auto& on : output_names) {
+    auto it = defined.find(on);
+    if (it == defined.end())
+      throw std::runtime_error("bench parse error: OUTPUT(" + on +
+                               ") never defined");
+    nl.mark_output(it->second);
+  }
+  nl.assign_linear_positions();
+  nl.validate();
+  return nl;
+}
+
+Netlist parse_bench_string(const std::string& text, const std::string& name) {
+  std::istringstream is(text);
+  return parse_bench(is, name);
+}
+
+Netlist parse_bench_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open bench file: " + path);
+  auto slash = path.find_last_of('/');
+  return parse_bench(f, slash == std::string::npos ? path
+                                                   : path.substr(slash + 1));
+}
+
+std::string write_bench(const Netlist& nl) {
+  std::ostringstream os;
+  os << "# " << nl.name() << " (" << nl.gate_count() << " gates)\n";
+  for (GateId id : nl.inputs()) os << "INPUT(" << nl.gate(id).name << ")\n";
+  for (GateId id : nl.outputs()) os << "OUTPUT(" << nl.gate(id).name << ")\n";
+  for (GateId id : nl.topological_order()) {
+    const auto& g = nl.gate(id);
+    if (g.is_pseudo()) continue;
+    os << g.name << " = " << device::to_string(g.kind) << "(";
+    for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+      if (i) os << ", ";
+      os << nl.gate(g.fanins[i]).name;
+    }
+    os << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace statpipe::netlist

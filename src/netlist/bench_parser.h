@@ -1,0 +1,33 @@
+// Parser and writer for the ISCAS85/89 ".bench" netlist dialect:
+//
+//   # comment
+//   INPUT(G1)
+//   OUTPUT(G17)
+//   G10 = NAND(G1, G3)
+//   G11 = NOT(G10)
+//
+// Real ISCAS85 benchmark files (c432, c1908, c2670, c3540, ...) drop in
+// unmodified; the repository also ships synthetic generators matched to the
+// published ISCAS85 statistics (see generators.h) for when the original
+// files are unavailable.  DFF cells are rejected — this library models
+// combinational pipe-stage logic; latches live in the device module.
+#pragma once
+
+#include <istream>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace statpipe::netlist {
+
+/// Parses .bench text.  Throws std::runtime_error with a line number on
+/// malformed input, unknown cells, undefined signals or duplicate defs.
+Netlist parse_bench(std::istream& in, const std::string& name = "bench");
+Netlist parse_bench_string(const std::string& text,
+                           const std::string& name = "bench");
+Netlist parse_bench_file(const std::string& path);
+
+/// Serializes a netlist back to .bench (round-trips with parse_bench).
+std::string write_bench(const Netlist& nl);
+
+}  // namespace statpipe::netlist

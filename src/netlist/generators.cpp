@@ -1,0 +1,181 @@
+#include "netlist/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace statpipe::netlist {
+
+Netlist inverter_chain(std::size_t depth, double size) {
+  if (depth == 0) throw std::invalid_argument("inverter_chain: depth == 0");
+  Netlist nl("inv_chain_" + std::to_string(depth));
+  GateId prev = nl.add_input("in");
+  for (std::size_t i = 0; i < depth; ++i)
+    prev = nl.add_gate("inv" + std::to_string(i), device::GateKind::kNot,
+                       {prev}, size);
+  nl.mark_output(prev);
+  nl.assign_linear_positions();
+  return nl;
+}
+
+Netlist inverter_grid(std::size_t width, std::size_t depth, double size) {
+  if (width == 0 || depth == 0)
+    throw std::invalid_argument("inverter_grid: zero dimension");
+  Netlist nl("inv_grid_" + std::to_string(width) + "x" + std::to_string(depth));
+  const GateId in = nl.add_input("in");
+  for (std::size_t w = 0; w < width; ++w) {
+    GateId prev = in;
+    for (std::size_t d = 0; d < depth; ++d)
+      prev = nl.add_gate("inv_" + std::to_string(w) + "_" + std::to_string(d),
+                         device::GateKind::kNot, {prev}, size);
+    nl.mark_output(prev);
+  }
+  nl.assign_linear_positions();
+  return nl;
+}
+
+CircuitStats iscas_stats(const std::string& name) {
+  // Published ISCAS85 figures: (gates, PIs, POs, levels).
+  if (name == "c432") return {"c432", 160, 36, 7, 17};
+  if (name == "c499") return {"c499", 202, 41, 32, 11};
+  if (name == "c880") return {"c880", 383, 60, 26, 24};
+  if (name == "c1355") return {"c1355", 546, 41, 32, 24};
+  if (name == "c1908" || name == "c1980") return {"c1908", 880, 33, 25, 40};
+  if (name == "c2670") return {"c2670", 1193, 233, 140, 32};
+  if (name == "c3540") return {"c3540", 1669, 50, 22, 47};
+  if (name == "c5315") return {"c5315", 2307, 178, 123, 49};
+  if (name == "c6288") return {"c6288", 2416, 32, 32, 124};
+  if (name == "c7552") return {"c7552", 3512, 207, 108, 43};
+  throw std::invalid_argument("iscas_stats: unknown circuit '" + name + "'");
+}
+
+Netlist synthesize_like(const CircuitStats& stats, std::uint64_t seed) {
+  if (stats.gates == 0 || stats.depth == 0 || stats.inputs == 0)
+    throw std::invalid_argument("synthesize_like: degenerate stats");
+  std::mt19937_64 rng(seed ^ 0x9e3779b97f4a7c15ULL);
+
+  Netlist nl(stats.name + "_like");
+
+  std::vector<GateId> level_pool;  // candidate drivers for the next level
+  for (std::size_t i = 0; i < stats.inputs; ++i)
+    level_pool.push_back(nl.add_input("pi" + std::to_string(i)));
+
+  // Distribute gates over levels with a mild bulge in the middle, at least
+  // one gate per level so the target depth is met exactly.
+  std::vector<std::size_t> per_level(stats.depth, 1);
+  std::size_t assigned = stats.depth;
+  if (assigned > stats.gates)
+    throw std::invalid_argument("synthesize_like: depth exceeds gate count");
+  std::vector<double> weight(stats.depth);
+  for (std::size_t l = 0; l < stats.depth; ++l) {
+    const double x =
+        (static_cast<double>(l) + 0.5) / static_cast<double>(stats.depth);
+    weight[l] = 0.25 + std::sin(x * 3.14159265358979323846);  // mid bulge
+  }
+  std::discrete_distribution<std::size_t> level_dist(weight.begin(),
+                                                     weight.end());
+  while (assigned < stats.gates) {
+    ++per_level[level_dist(rng)];
+    ++assigned;
+  }
+
+  // Cell mix typical of mapped ISCAS85 netlists.
+  using device::GateKind;
+  const std::vector<std::pair<GateKind, double>> mix = {
+      {GateKind::kNot, 0.26},   {GateKind::kNand2, 0.28},
+      {GateKind::kNand3, 0.08}, {GateKind::kNand4, 0.04},
+      {GateKind::kNor2, 0.12},  {GateKind::kNor3, 0.04},
+      {GateKind::kAnd2, 0.08},  {GateKind::kOr2, 0.05},
+      {GateKind::kBuf, 0.03},   {GateKind::kXor2, 0.02}};
+  std::vector<double> mix_w;
+  for (const auto& [k, w] : mix) mix_w.push_back(w);
+  std::discrete_distribution<std::size_t> kind_dist(mix_w.begin(),
+                                                    mix_w.end());
+
+  std::vector<GateId> prev_levels = level_pool;  // all gates so far
+  std::vector<GateId> last_level = level_pool;
+  std::size_t gid = 0;
+  for (std::size_t l = 0; l < stats.depth; ++l) {
+    std::vector<GateId> this_level;
+    for (std::size_t g = 0; g < per_level[l]; ++g) {
+      const GateKind kind = mix[kind_dist(rng)].first;
+      const auto fanin_n =
+          static_cast<std::size_t>(device::traits(kind).max_fanin);
+      std::vector<GateId> fins;
+      // First fanin from the immediately preceding level (guarantees the
+      // level structure == logic depth); the rest from any earlier gate,
+      // biased toward recent levels.
+      fins.push_back(
+          last_level[std::uniform_int_distribution<std::size_t>(
+              0, last_level.size() - 1)(rng)]);
+      int attempts = 0;
+      while (fins.size() < fanin_n) {
+        const std::size_t span = prev_levels.size();
+        // Geometric-ish bias to recent drivers.
+        const double u = std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+        const auto back =
+            static_cast<std::size_t>(std::pow(u, 3.0) * static_cast<double>(span));
+        const GateId cand = prev_levels[span - 1 - std::min(back, span - 1)];
+        // Allow a duplicate fanin after repeated collisions (tiny pools);
+        // structurally legal and electrically just a doubled input.
+        if (std::find(fins.begin(), fins.end(), cand) == fins.end() ||
+            ++attempts > 64)
+          fins.push_back(cand);
+      }
+      this_level.push_back(
+          nl.add_gate("g" + std::to_string(gid++), kind, fins));
+    }
+    for (GateId id : this_level) prev_levels.push_back(id);
+    last_level = std::move(this_level);
+  }
+
+  // Mark outputs: the final level plus random earlier gates up to the
+  // published PO count.
+  std::size_t marked = 0;
+  for (GateId id : last_level) {
+    if (marked == stats.outputs) break;
+    nl.mark_output(id);
+    ++marked;
+  }
+  while (marked < stats.outputs) {
+    const GateId cand =
+        prev_levels[std::uniform_int_distribution<std::size_t>(
+            stats.inputs, prev_levels.size() - 1)(rng)];
+    const auto& outs = nl.outputs();
+    if (std::find(outs.begin(), outs.end(), cand) == outs.end()) {
+      nl.mark_output(cand);
+      ++marked;
+    }
+  }
+
+  nl.assign_linear_positions();
+  nl.validate();
+  return nl;
+}
+
+Netlist iscas_like(const std::string& name, std::uint64_t seed) {
+  return synthesize_like(iscas_stats(name), seed);
+}
+
+Netlist iscas_c17() {
+  Netlist nl("c17");
+  const GateId g1 = nl.add_input("1");
+  const GateId g2 = nl.add_input("2");
+  const GateId g3 = nl.add_input("3");
+  const GateId g6 = nl.add_input("6");
+  const GateId g7 = nl.add_input("7");
+  const GateId g10 = nl.add_gate("10", device::GateKind::kNand2, {g1, g3});
+  const GateId g11 = nl.add_gate("11", device::GateKind::kNand2, {g3, g6});
+  const GateId g16 = nl.add_gate("16", device::GateKind::kNand2, {g2, g11});
+  const GateId g19 = nl.add_gate("19", device::GateKind::kNand2, {g11, g7});
+  const GateId g22 = nl.add_gate("22", device::GateKind::kNand2, {g10, g16});
+  const GateId g23 = nl.add_gate("23", device::GateKind::kNand2, {g16, g19});
+  nl.mark_output(g22);
+  nl.mark_output(g23);
+  nl.assign_linear_positions();
+  nl.validate();
+  return nl;
+}
+
+}  // namespace statpipe::netlist

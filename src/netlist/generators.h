@@ -1,0 +1,59 @@
+// Deterministic netlist generators.
+//
+// Two families:
+//  * inverter chains / trees — the paper's model-verification workloads
+//    (Fig. 2, 3, 5 all use inverter-chain pipelines);
+//  * ISCAS85-like synthetic circuits — random layered DAGs matched to the
+//    published gate count, depth and I/O statistics of the four ISCAS85
+//    benchmarks the paper pipelines in Tables II/III.  These stand in for
+//    the original netlists (see DESIGN.md, substitutions); real .bench
+//    files can replace them via parse_bench_file without code changes.
+//
+// All generators are pure functions of their arguments (fixed internal
+// seeds), so experiments are bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace statpipe::netlist {
+
+/// A chain of `depth` inverters: INPUT -> NOT -> ... -> NOT -> OUTPUT.
+Netlist inverter_chain(std::size_t depth, double size = 1.0);
+
+/// `width` parallel inverter chains of length `depth` sharing one input,
+/// all chain tails marked as outputs.  Gives the max-of-paths structure a
+/// wider combinational stage exhibits.
+Netlist inverter_grid(std::size_t width, std::size_t depth, double size = 1.0);
+
+/// Published statistics of an ISCAS85 circuit used to shape a synthetic
+/// equivalent.
+struct CircuitStats {
+  std::string name;
+  std::size_t gates;
+  std::size_t inputs;
+  std::size_t outputs;
+  std::size_t depth;
+};
+
+/// Statistics for the benchmarks used in the paper's Tables II/III.
+/// "c1908" is the standard benchmark; the paper's "c1980" is a typo for it.
+CircuitStats iscas_stats(const std::string& name);  // c432,c499,c880,c1355,c1908,c2670,c3540,c5315,c6288,c7552
+
+/// Random layered DAG matching `stats`: `stats.gates` cells drawn from
+/// {NOT, NAND2..4, NOR2..3, AND2, OR2, XOR2} arranged into `stats.depth`
+/// levels, every gate's fanins drawn from nearby earlier levels.
+/// Deterministic for a given (stats, seed).
+Netlist synthesize_like(const CircuitStats& stats, std::uint64_t seed = 1);
+
+/// Convenience: synthesize_like(iscas_stats(name)).
+Netlist iscas_like(const std::string& name, std::uint64_t seed = 1);
+
+/// The real ISCAS85 c17 benchmark (6 NAND2 gates, 5 inputs, 2 outputs) —
+/// small enough to embed verbatim; serves as the parser's reference
+/// vector and a ground-truth netlist for tests.
+Netlist iscas_c17();
+
+}  // namespace statpipe::netlist

@@ -1,0 +1,98 @@
+// Gate-level combinational netlist: a DAG of cell instances.
+//
+// This is the substrate on which per-stage statistical timing and the
+// paper's gate-sizing optimization run.  Nodes are gates (including
+// primary-input/output pseudo-gates); edges are driver -> fanout.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "device/gate_library.h"
+
+namespace statpipe::netlist {
+
+using GateId = std::size_t;
+inline constexpr GateId kInvalidGate = std::numeric_limits<GateId>::max();
+
+struct Gate {
+  std::string name;
+  device::GateKind kind = device::GateKind::kNot;
+  std::vector<GateId> fanins;
+  std::vector<GateId> fanouts;
+  double size = 1.0;       ///< continuous sizing factor (optimizer variable)
+  double position = 0.5;   ///< normalized die coordinate (spatial correlation)
+
+  bool is_pseudo() const { return device::traits(kind).is_pseudo; }
+};
+
+class Netlist {
+ public:
+  explicit Netlist(std::string name = "netlist") : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  /// Adds a primary input; returns its id.
+  GateId add_input(const std::string& name);
+  /// Adds a gate driven by `fanins`; returns its id.
+  GateId add_gate(const std::string& name, device::GateKind kind,
+                  const std::vector<GateId>& fanins, double size = 1.0);
+  /// Marks an existing gate as driving a primary output.
+  void mark_output(GateId id);
+
+  std::size_t size() const noexcept { return gates_.size(); }
+  const Gate& gate(GateId id) const { return gates_.at(id); }
+  Gate& gate(GateId id) { return gates_.at(id); }
+  const std::vector<Gate>& gates() const noexcept { return gates_; }
+
+  const std::vector<GateId>& inputs() const noexcept { return inputs_; }
+  const std::vector<GateId>& outputs() const noexcept { return outputs_; }
+
+  /// Gate ids in topological order (inputs first).  Cached; invalidated by
+  /// structural edits.  Throws std::logic_error on a combinational cycle.
+  const std::vector<GateId>& topological_order() const;
+
+  /// Logic level of each gate: inputs at 0, gate = 1 + max(fanin levels).
+  std::vector<std::size_t> levels() const;
+
+  /// Maximum logic level over all gates (the netlist's logic depth).
+  std::size_t depth() const;
+
+  /// Number of real (non-pseudo) gates.
+  std::size_t gate_count() const;
+
+  /// Total cell area given current sizes [min-inverter areas].
+  double total_area() const;
+
+  /// Capacitive load seen by gate `id`: sum of fanout input caps plus
+  /// `output_load` for primary-output drivers [inverter-cap units].
+  double load_of(GateId id, double output_load = 2.0) const;
+
+  /// Assigns evenly spaced positions along [0,1] in topological order —
+  /// a simple placement so spatial correlation has geometry to act on.
+  void assign_linear_positions();
+
+  /// Multiplies every gate size by `s` (area-delay curve sweeps).
+  void scale_sizes(double s);
+
+  /// Structural sanity check: fanin/fanout symmetry, arity within cell
+  /// limits, pseudo-gates wired legally.  Throws std::logic_error on
+  /// violation; returns gate count on success.
+  std::size_t validate() const;
+
+  /// Lookup by name (linear scan; netlists here are small).
+  GateId find(const std::string& name) const;
+
+ private:
+  std::string name_;
+  std::vector<Gate> gates_;
+  std::vector<GateId> inputs_;
+  std::vector<GateId> outputs_;
+  mutable std::vector<GateId> topo_cache_;
+  mutable bool topo_valid_ = false;
+};
+
+}  // namespace statpipe::netlist

@@ -1,0 +1,310 @@
+#include "opt/global_optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/characterized_pipeline.h"
+
+namespace statpipe::opt {
+
+GlobalPipelineOptimizer::GlobalPipelineOptimizer(
+    std::vector<netlist::Netlist*> stages,
+    const device::AlphaPowerModel& model, const process::VariationSpec& spec,
+    const device::LatchModel& latch)
+    : stages_(std::move(stages)), model_(&model), spec_(spec), latch_(latch) {
+  if (stages_.empty())
+    throw std::invalid_argument("GlobalPipelineOptimizer: no stages");
+  for (auto* s : stages_)
+    if (s == nullptr)
+      throw std::invalid_argument("GlobalPipelineOptimizer: null stage");
+}
+
+core::PipelineModel GlobalPipelineOptimizer::current_model() const {
+  std::vector<const netlist::Netlist*> views(stages_.begin(), stages_.end());
+  return core::build_pipeline_ssta(views, *model_, spec_, latch_);
+}
+
+double GlobalPipelineOptimizer::pipeline_yield(double t_target) const {
+  return current_model().yield(t_target);
+}
+
+core::PipelineModel GlobalPipelineOptimizer::optimize_individually(
+    double t_target, double pipeline_yield_target, const SizerOptions& sizer) {
+  // Per-stage yield requirement from eq. (12): y_i = Y^(1/N).
+  const double y_stage = std::pow(
+      pipeline_yield_target, 1.0 / static_cast<double>(stages_.size()));
+  const double latch_overhead = latch_.timing().nominal_overhead();
+  for (netlist::Netlist* nl : stages_) {
+    SizerOptions so = sizer;
+    so.yield_target = y_stage;
+    // The stage's combinational budget excludes the latch overhead.
+    so.t_target = t_target - latch_overhead;
+    if (so.t_target <= 0.0)
+      throw std::invalid_argument(
+          "optimize_individually: latch overhead exceeds target");
+    const auto r = size_stage(*nl, *model_, spec_, so);
+    if (!r.feasible) {
+      // The stage cannot meet its per-stage yield at this target: push it
+      // to its fastest sizing (deterministic best effort, the same point a
+      // designer's max-effort run lands on) rather than leaving it at a
+      // trajectory-dependent intermediate.
+      SizerOptions fastest = so;
+      fastest.t_target = 1e-3;
+      (void)size_stage(*nl, *model_, spec_, fastest);
+    }
+  }
+  return current_model();
+}
+
+GlobalOptimizerResult GlobalPipelineOptimizer::optimize(
+    const GlobalOptimizerOptions& opt) {
+  const double latch_overhead = latch_.timing().nominal_overhead();
+  const double comb_target = opt.t_target - latch_overhead;
+  if (comb_target <= 0.0)
+    throw std::invalid_argument("optimize: latch overhead exceeds target");
+
+  // --- step 1: area-delay curves + elasticities at current operating point.
+  const std::size_t n = stages_.size();
+  std::vector<double> elasticity(n, 1.0);
+  {
+    for (std::size_t i = 0; i < n; ++i) {
+      // Save sizes; the sweep perturbs them.
+      std::vector<double> saved(stages_[i]->size());
+      for (std::size_t g = 0; g < saved.size(); ++g)
+        saved[g] = stages_[i]->gate(g).size;
+      const double d_now = stat_delay(*stages_[i], *model_, spec_,
+                                      opt.sizer.yield_target,
+                                      opt.sizer.output_load);
+      SweepOptions sw = opt.sweep;
+      sw.yield_target = opt.sizer.yield_target;
+      try {
+        const auto sweep = area_delay_sweep(*stages_[i], *model_, spec_, sw);
+        elasticity[i] = sweep.curve.elasticity_at(d_now);
+      } catch (const std::runtime_error&) {
+        elasticity[i] = 1.0;  // flat/degenerate curve: treat as neutral
+      }
+      for (std::size_t g = 0; g < saved.size(); ++g)
+        stages_[i]->gate(g).size = saved[g];
+    }
+  }
+
+  // --- snapshot "before" state.
+  GlobalOptimizerResult result{.stages = {},
+                               .pipeline_yield_before = 0.0,
+                               .pipeline_yield_after = 0.0,
+                               .total_area_before = 0.0,
+                               .total_area_after = 0.0,
+                               .final_model = current_model()};
+  {
+    const auto before = current_model();
+    result.pipeline_yield_before = before.yield(opt.t_target);
+    result.total_area_before = before.total_area();
+    for (std::size_t i = 0; i < n; ++i) {
+      StageReport r;
+      r.name = stages_[i]->name();
+      r.area_before = stages_[i]->total_area();
+      r.yield_before = before.stage_delay(i).cdf(opt.t_target);
+      r.elasticity = elasticity[i];
+      result.stages.push_back(std::move(r));
+    }
+  }
+
+  // --- step 2: order stages by their area-delay-curve position (eq. 14).
+  // Yield mode: increasing R_i — cheap yield (receivers) is bought first.
+  // Area mode: decreasing R_i — donors shed area first, while the yield
+  // headroom bought in the pre-phase still exists.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](auto a, auto b) {
+    return opt.mode == OptimizationMode::kEnsureYield
+               ? elasticity[a] < elasticity[b]
+               : elasticity[a] > elasticity[b];
+  });
+
+  // --- snapshot for the final revert-if-worse guard.
+  std::vector<std::vector<double>> snapshot;
+  for (auto* s : stages_) {
+    std::vector<double> sz(s->size());
+    for (std::size_t g = 0; g < s->size(); ++g) sz[g] = s->gate(g).size;
+    snapshot.push_back(std::move(sz));
+  }
+
+  // --- area-mode pre-phase: buy yield headroom on cheap (receiver)
+  // stages so the expensive donors can shed more area afterwards.  The
+  // paper's Table III shows exactly this pattern: receiver stages raised
+  // to ~99% while donors are cut.
+  if (opt.mode == OptimizationMode::kMinimizeArea) {
+    const double y_headroom = std::sqrt(opt.yield_target);  // e.g. .80->.894
+    for (std::size_t i = 0; i < n; ++i) {
+      if (elasticity[i] >= 1.0) continue;  // receivers only
+      netlist::Netlist& nl = *stages_[i];
+      std::vector<double> saved(nl.size());
+      for (std::size_t g = 0; g < nl.size(); ++g) saved[g] = nl.gate(g).size;
+      const double area0 = nl.total_area();
+      const double y0 = pipeline_yield(opt.t_target);
+      if (y0 >= y_headroom) continue;
+
+      const double d_now = stat_delay(nl, *model_, spec_,
+                                      opt.sizer.yield_target,
+                                      opt.sizer.output_load);
+      double best_area = std::numeric_limits<double>::infinity();
+      std::vector<double> best_sizes = saved;
+      bool found = false;
+      for (double f : {0.97, 0.93, 0.88, 0.82}) {
+        for (std::size_t g = 0; g < nl.size(); ++g)
+          nl.gate(g).size = saved[g];
+        SizerOptions so = opt.sizer;
+        so.t_target = d_now * f;
+        (void)size_stage(nl, *model_, spec_, so);
+        if (pipeline_yield(opt.t_target) >= y_headroom &&
+            nl.total_area() < best_area) {
+          best_area = nl.total_area();
+          for (std::size_t g = 0; g < nl.size(); ++g)
+            best_sizes[g] = nl.gate(g).size;
+          found = true;
+        }
+      }
+      for (std::size_t g = 0; g < nl.size(); ++g) nl.gate(g).size = best_sizes[g];
+      // Cap the headroom bill: a receiver may spend at most 5% of the
+      // pipeline's area here (the savings must come from donors).
+      if (!found || nl.total_area() - area0 >
+                        0.05 * result.total_area_before) {
+        for (std::size_t g = 0; g < nl.size(); ++g) nl.gate(g).size = saved[g];
+      } else if (nl.total_area() != area0) {
+        result.stages[i].chosen_for_speedup = true;
+      }
+    }
+  }
+
+  // --- steps 3-9: size one stage at a time against the global yield.
+  //
+  // For the chosen stage we bisect its combinational stat-delay target:
+  //  * kEnsureYield: find the largest stage target that still lifts the
+  //    pipeline to the yield goal (no over-spending); if even the fastest
+  //    sizing cannot reach the goal, take the fastest and let later stages
+  //    compensate.
+  //  * kMinimizeArea: find the largest stage target (most area recovered)
+  //    that keeps pipeline yield >= the goal.
+  for (std::size_t round = 0; round < opt.max_outer_rounds; ++round) {
+    bool changed = false;
+    for (std::size_t oi = 0; oi < n; ++oi) {
+      const std::size_t i = order[oi];
+      netlist::Netlist& nl = *stages_[i];
+
+      const double y_now = pipeline_yield(opt.t_target);
+      const bool need_speed = y_now < opt.yield_target;
+      // EnsureYield mode never disturbs a pipeline that already meets the
+      // goal — recovering area at the cost of yield is kMinimizeArea's job.
+      if (opt.mode == OptimizationMode::kEnsureYield && !need_speed) continue;
+
+      std::vector<double> saved(nl.size());
+      for (std::size_t g = 0; g < nl.size(); ++g) saved[g] = nl.gate(g).size;
+      const double area_before_stage = nl.total_area();
+
+      double lo = comb_target * 0.3;  // aggressive end
+      double hi = comb_target * 1.5;  // relaxed end
+      std::vector<double> best_sizes = saved;
+      double best_area = area_before_stage;
+      bool best_meets = y_now >= opt.yield_target;
+      bool found_meeting = best_meets;
+
+      for (std::size_t probe = 0; probe < opt.budget_probes; ++probe) {
+        const double t_stage = 0.5 * (lo + hi);
+        // Restore and size fresh for this probe.
+        for (std::size_t g = 0; g < nl.size(); ++g)
+          nl.gate(g).size = saved[g];
+        SizerOptions so = opt.sizer;
+        so.t_target = t_stage;
+        (void)size_stage(nl, *model_, spec_, so);
+        const double y = pipeline_yield(opt.t_target);
+        const double area = nl.total_area();
+
+        if (y >= opt.yield_target) {
+          // Meets the goal: try relaxing further (recover more area)...
+          if (!found_meeting || area < best_area) {
+            best_area = area;
+            best_meets = true;
+            found_meeting = true;
+            for (std::size_t g = 0; g < nl.size(); ++g)
+              best_sizes[g] = nl.gate(g).size;
+          }
+          lo = t_stage;
+        } else {
+          // Misses: tighten.
+          hi = t_stage;
+          if (!found_meeting) {
+            // Track the best-yield point as a fallback.
+            const double y_best_fallback = best_meets ? 1.0 : y;
+            (void)y_best_fallback;
+            if (y > y_now || probe == 0) {
+              best_area = area;
+              for (std::size_t g = 0; g < nl.size(); ++g)
+                best_sizes[g] = nl.gate(g).size;
+            }
+          }
+        }
+      }
+
+      // Adopt the probe result only if it helps the current objective.
+      for (std::size_t g = 0; g < nl.size(); ++g) nl.gate(g).size = best_sizes[g];
+      const double y_after = pipeline_yield(opt.t_target);
+      const double area_after_stage = nl.total_area();
+
+      // Economy guard: when the pipeline goal was not reached, a fallback
+      // speedup must buy a meaningful yield gain, not a fraction of a
+      // point for a large area bill.
+      const bool reaches_goal = y_after >= opt.yield_target;
+      const bool worthwhile_fallback = y_after > y_now + 0.005;
+      const bool helps =
+          opt.mode == OptimizationMode::kEnsureYield
+              ? (reaches_goal
+                     ? area_after_stage <= area_before_stage + 1e-9 ||
+                           y_now < opt.yield_target
+                     : worthwhile_fallback)
+              : (reaches_goal && area_after_stage < area_before_stage - 1e-9);
+      if (!helps) {
+        for (std::size_t g = 0; g < nl.size(); ++g) nl.gate(g).size = saved[g];
+      } else {
+        changed = true;
+        result.stages[i].chosen_for_speedup =
+            area_after_stage > area_before_stage;
+      }
+    }
+    if (!changed) break;
+  }
+
+  // --- revert-if-worse guard: the optimized design must not be strictly
+  // worse than the input on the mode's own objective.
+  {
+    const auto m = current_model();
+    const double y_after = m.yield(opt.t_target);
+    const double a_after = m.total_area();
+    const bool worse =
+        opt.mode == OptimizationMode::kMinimizeArea
+            ? (a_after >= result.total_area_before &&
+               y_after <= result.pipeline_yield_before) ||
+                  y_after < opt.yield_target - 1e-9
+            : y_after < result.pipeline_yield_before - 1e-9;
+    if (worse && (opt.mode != OptimizationMode::kMinimizeArea ||
+                  result.pipeline_yield_before >= opt.yield_target)) {
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t g = 0; g < stages_[i]->size(); ++g)
+          stages_[i]->gate(g).size = snapshot[i][g];
+    }
+  }
+
+  // --- final snapshot.
+  result.final_model = current_model();
+  result.pipeline_yield_after = result.final_model.yield(opt.t_target);
+  result.total_area_after = result.final_model.total_area();
+  for (std::size_t i = 0; i < n; ++i) {
+    result.stages[i].area_after = stages_[i]->total_area();
+    result.stages[i].yield_after =
+        result.final_model.stage_delay(i).cdf(opt.t_target);
+  }
+  return result;
+}
+
+}  // namespace statpipe::opt

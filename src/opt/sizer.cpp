@@ -1,0 +1,175 @@
+#include "opt/sizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "sta/ssta.h"
+#include "sta/sta.h"
+
+namespace statpipe::opt {
+
+namespace {
+
+using netlist::GateId;
+using netlist::Netlist;
+
+/// Flow-conserving criticality multipliers: seed every primary output with
+/// weight softmax(arrival), then push each gate's weight back onto its
+/// fanins proportional to exp(arrival/theta) — the LR projection step.
+std::vector<double> criticality_weights(const Netlist& nl,
+                                        const std::vector<double>& arrival,
+                                        double theta) {
+  std::vector<double> w(nl.size(), 0.0);
+
+  // Output seeding.
+  double amax = 0.0;
+  for (GateId o : nl.outputs()) amax = std::max(amax, arrival[o]);
+  double norm = 0.0;
+  for (GateId o : nl.outputs()) norm += std::exp((arrival[o] - amax) / theta);
+  for (GateId o : nl.outputs())
+    w[o] += std::exp((arrival[o] - amax) / theta) / norm;
+
+  // Reverse-topological back-propagation.
+  const auto& topo = nl.topological_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const GateId id = *it;
+    const auto& g = nl.gate(id);
+    if (w[id] <= 0.0 || g.fanins.empty()) continue;
+    double fmax = 0.0;
+    for (GateId f : g.fanins) fmax = std::max(fmax, arrival[f]);
+    double fsum = 0.0;
+    for (GateId f : g.fanins) fsum += std::exp((arrival[f] - fmax) / theta);
+    for (GateId f : g.fanins)
+      w[f] += w[id] * std::exp((arrival[f] - fmax) / theta) / fsum;
+  }
+  return w;
+}
+
+}  // namespace
+
+double stat_delay(const Netlist& nl, const device::AlphaPowerModel& model,
+                  const process::VariationSpec& spec, double yield_target,
+                  double output_load) {
+  sta::SstaOptions so;
+  so.output_load = output_load;
+  const auto d = sta::analyze_ssta(nl, model, spec, so);
+  const double z = stats::normal_icdf(yield_target);
+  return d.mu + z * d.sigma();
+}
+
+SizerResult size_stage(Netlist& nl, const device::AlphaPowerModel& model,
+                       const process::VariationSpec& spec,
+                       const SizerOptions& opt) {
+  if (!(opt.yield_target > 0.0 && opt.yield_target < 1.0))
+    throw std::invalid_argument("size_stage: yield_target outside (0,1)");
+  if (opt.min_size <= 0.0 || opt.max_size < opt.min_size)
+    throw std::invalid_argument("size_stage: bad size bounds");
+  if (opt.damping <= 0.0 || opt.damping > 1.0)
+    throw std::invalid_argument("size_stage: damping outside (0,1]");
+
+  const double z = stats::normal_icdf(opt.yield_target);
+  const double tau = model.technology().tau_ps;
+  sta::StaOptions sta_opt;
+  sta_opt.output_load = opt.output_load;
+  sta::SstaOptions ssta_opt;
+  ssta_opt.output_load = opt.output_load;
+
+  // Lagrange multiplier on the delay constraint: scales the criticality
+  // weights against area in the size update; grown/shrunk by subgradient
+  // steps on the constraint violation.
+  double lambda_scale = 1.0;
+  double best_stat = std::numeric_limits<double>::infinity();
+  std::vector<double> best_sizes(nl.size());
+  for (std::size_t i = 0; i < nl.size(); ++i) best_sizes[i] = nl.gate(i).size;
+  SizerResult result;
+
+  auto record_if_best = [&](double ds) {
+    // Track the closest-to-target feasible point, or the fastest seen.
+    const bool feas = ds <= opt.t_target + opt.tolerance_ps;
+    const bool best_feas = best_stat <= opt.t_target + opt.tolerance_ps;
+    const double area = nl.total_area();
+    bool take = false;
+    if (feas && best_feas)
+      take = area < result.area;   // both meet target: prefer smaller area
+    else if (feas != best_feas)
+      take = feas;                 // feasibility first
+    else
+      take = ds < best_stat;       // both infeasible: prefer faster
+    if (take || result.iterations == 1) {  // first evaluation always recorded
+      best_stat = ds;
+      result.area = area;
+      for (std::size_t i = 0; i < nl.size(); ++i)
+        best_sizes[i] = nl.gate(i).size;
+    }
+  };
+
+  for (std::size_t iter = 0; iter < opt.max_iterations; ++iter) {
+    // --- timing at current sizes: deterministic arrivals padded per gate
+    //     with its z*sigma contribution (statistical effect of [3]).
+    std::vector<double> arrival(nl.size(), 0.0);
+    for (GateId id : nl.topological_order()) {
+      const auto& g = nl.gate(id);
+      if (g.is_pseudo()) continue;
+      double in_arr = 0.0;
+      for (GateId f : g.fanins) in_arr = std::max(in_arr, arrival[f]);
+      const double load = nl.load_of(id, opt.output_load);
+      const auto sig = model.delay_sigmas(g.kind, g.size, load, spec);
+      arrival[id] = in_arr + model.nominal_delay(g.kind, g.size, load) +
+                    z * sig.total() /
+                        std::sqrt(static_cast<double>(std::max<std::size_t>(
+                            nl.depth(), 1)));
+    }
+
+    const double ds = stat_delay(nl, model, spec, opt.yield_target,
+                                 opt.output_load);
+    ++result.iterations;
+    record_if_best(ds);
+    if (std::abs(ds - opt.t_target) <= opt.tolerance_ps) break;
+
+    // --- subgradient step on the constraint multiplier.
+    const double violation = (ds - opt.t_target) / std::max(opt.t_target, 1.0);
+    lambda_scale *= std::exp(std::clamp(2.0 * violation, -0.7, 0.7));
+    lambda_scale = std::clamp(lambda_scale, 1e-4, 1e6);
+
+    // --- LR projection: flow-conserving criticality weights.
+    const auto w = criticality_weights(nl, arrival, opt.softmax_theta_ps);
+
+    // --- closed-form coordinate update of every size.
+    for (GateId id : nl.topological_order()) {
+      auto& g = nl.gate(id);
+      if (g.is_pseudo()) continue;
+      const auto& t = device::traits(g.kind);
+      const double load = nl.load_of(id, opt.output_load);
+      const double lam_g = lambda_scale * w[id];
+
+      // Pressure from this gate's own delay: lam_g * tau * load / x^2.
+      // Pressure from loading predecessors: sum over fanins p of
+      //   lam_p * tau * g_le / x_p  (per unit of our size).
+      double pred_cost = 0.0;
+      for (GateId f : g.fanins) {
+        const auto& pg = nl.gate(f);
+        if (pg.is_pseudo()) continue;
+        pred_cost += lambda_scale * w[f] * tau * t.logical_effort / pg.size;
+      }
+      const double denom = t.area + pred_cost;
+      const double x_star = std::sqrt(
+          std::max(lam_g * tau * std::max(load, 1e-6) / denom, 1e-12));
+      const double x_new = std::clamp(x_star, opt.min_size, opt.max_size);
+      g.size = g.size * (1.0 - opt.damping) + x_new * opt.damping;
+    }
+  }
+
+  // Restore the best sizes seen.
+  for (std::size_t i = 0; i < nl.size(); ++i) nl.gate(i).size = best_sizes[i];
+  const auto final_d = sta::analyze_ssta(nl, model, spec, ssta_opt);
+  result.delay = final_d.as_gaussian();
+  result.stat_delay = final_d.mu + z * final_d.sigma();
+  result.area = nl.total_area();
+  result.feasible = result.stat_delay <= opt.t_target + opt.tolerance_ps;
+  return result;
+}
+
+}  // namespace statpipe::opt

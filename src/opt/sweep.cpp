@@ -1,0 +1,112 @@
+#include "opt/sweep.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sta/characterize.h"
+
+namespace statpipe::opt {
+
+SweepResult area_delay_sweep(netlist::Netlist& nl,
+                             const device::AlphaPowerModel& model,
+                             const process::VariationSpec& spec,
+                             const SweepOptions& opt) {
+  if (opt.points < 2)
+    throw std::invalid_argument("area_delay_sweep: need >= 2 points");
+  if (opt.slow_factor <= 1.0)
+    throw std::invalid_argument("area_delay_sweep: slow_factor must be > 1");
+
+  // Find the fastest achievable statistical delay: size everything at an
+  // aggressive (tiny) target; the sizer saturates at its speed limit.
+  SizerOptions fast = opt.sizer;
+  fast.yield_target = opt.yield_target;
+  fast.t_target = 1e-3;
+  (void)size_stage(nl, model, spec, fast);
+  const double d_min =
+      stat_delay(nl, model, spec, opt.yield_target, opt.sizer.output_load);
+
+  std::vector<core::AreaDelayCurve::Point> pts;
+  std::vector<std::vector<double>> all_sizes;
+  const double d_max = d_min * opt.slow_factor;
+  for (std::size_t k = 0; k < opt.points; ++k) {
+    const double t = d_min * 1.02 +
+                     (d_max - d_min * 1.02) * static_cast<double>(k) /
+                         static_cast<double>(opt.points - 1);
+    SizerOptions so = opt.sizer;
+    so.yield_target = opt.yield_target;
+    so.t_target = t;
+    const auto r = size_stage(nl, model, spec, so);
+    if (!r.feasible) continue;
+    // Monotone filter: only accept points that reduce area as delay grows.
+    if (!pts.empty() && r.area >= pts.back().area) continue;
+    if (!pts.empty() && r.stat_delay <= pts.back().delay) continue;
+    pts.push_back({r.stat_delay, r.area});
+    std::vector<double> sizes(nl.size());
+    for (std::size_t i = 0; i < nl.size(); ++i) sizes[i] = nl.gate(i).size;
+    all_sizes.push_back(std::move(sizes));
+  }
+  if (pts.size() < 2)
+    throw std::runtime_error(
+        "area_delay_sweep: fewer than two feasible sweep points for '" +
+        nl.name() + "'");
+
+  // Leave the netlist at the fastest point.
+  for (std::size_t i = 0; i < nl.size(); ++i)
+    nl.gate(i).size = all_sizes.front()[i];
+
+  SweepResult out{core::AreaDelayCurve(pts), d_min, std::move(all_sizes)};
+  return out;
+}
+
+core::StageFamily stage_family_from_sweep(netlist::Netlist& nl,
+                                          const device::AlphaPowerModel& model,
+                                          const process::VariationSpec& spec,
+                                          const SweepOptions& opt) {
+  std::vector<double> saved(nl.size());
+  for (std::size_t i = 0; i < nl.size(); ++i) saved[i] = nl.gate(i).size;
+
+  const auto sweep = area_delay_sweep(nl, model, spec, opt);
+
+  // Re-characterize every sweep point in terms of (mu, sigma, inter frac).
+  std::vector<double> mus, sigmas;
+  std::vector<core::AreaDelayCurve::Point> mu_curve;
+  double inter_frac_sum = 0.0;
+  sta::CharacterizeOptions co;
+  co.output_load = opt.sizer.output_load;
+  for (std::size_t k = 0; k < sweep.sizes.size(); ++k) {
+    for (std::size_t i = 0; i < nl.size(); ++i)
+      nl.gate(i).size = sweep.sizes[k][i];
+    const auto c = sta::characterize_ssta(nl, model, spec, co);
+    // Guard monotonicity in mu (stat-delay monotone does not strictly
+    // imply mu monotone when sigma shrinks with upsizing).
+    if (!mu_curve.empty() && (c.delay.mean <= mu_curve.back().delay ||
+                              c.area >= mu_curve.back().area))
+      continue;
+    mu_curve.push_back({c.delay.mean, c.area});
+    mus.push_back(c.delay.mean);
+    sigmas.push_back(c.delay.sigma);
+    inter_frac_sum += c.delay.sigma > 0.0 ? c.sigma_inter / c.delay.sigma : 0.0;
+  }
+  for (std::size_t i = 0; i < nl.size(); ++i) nl.gate(i).size = saved[i];
+  if (mu_curve.size() < 2)
+    throw std::runtime_error("stage_family_from_sweep: degenerate curve for '" +
+                             nl.name() + "'");
+
+  auto sigma_of_mu = [mus, sigmas](double mu) {
+    if (mu <= mus.front()) return sigmas.front();
+    if (mu >= mus.back()) return sigmas.back();
+    const auto it = std::lower_bound(mus.begin(), mus.end(), mu);
+    const std::size_t hi = static_cast<std::size_t>(it - mus.begin());
+    const std::size_t lo = hi - 1;
+    const double t = (mu - mus[lo]) / (mus[hi] - mus[lo]);
+    return sigmas[lo] + t * (sigmas[hi] - sigmas[lo]);
+  };
+
+  return core::StageFamily{
+      nl.name(), core::AreaDelayCurve(std::move(mu_curve)),
+      std::move(sigma_of_mu),
+      inter_frac_sum / static_cast<double>(mus.size())};
+}
+
+}  // namespace statpipe::opt

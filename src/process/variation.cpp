@@ -1,0 +1,136 @@
+#include "process/variation.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace statpipe::process {
+
+double Technology::sigma_vth_rdf(double width_mult) const {
+  if (width_mult <= 0.0)
+    throw std::invalid_argument("sigma_vth_rdf: width_mult must be > 0");
+  return avt / std::sqrt(width_mult * wmin * leff);
+}
+
+VariationSpec VariationSpec::intra_only() {
+  VariationSpec s;
+  s.sigma_vth_inter = 0.0;
+  s.sigma_vth_systematic = 0.0;
+  s.enable_rdf = true;
+  return s;
+}
+
+VariationSpec VariationSpec::inter_only(double sigma_v) {
+  VariationSpec s;
+  s.sigma_vth_inter = sigma_v;
+  s.sigma_vth_systematic = 0.0;
+  s.enable_rdf = false;
+  return s;
+}
+
+VariationSpec VariationSpec::inter_intra(double sigma_v_inter,
+                                         double sigma_v_systematic,
+                                         double corr_length) {
+  VariationSpec s;
+  s.sigma_vth_inter = sigma_v_inter;
+  s.sigma_vth_systematic = sigma_v_systematic;
+  s.correlation_length = corr_length;
+  s.enable_rdf = true;
+  return s;
+}
+
+double DieSample::dvth_at(std::size_t i, double width_mult) const {
+  double d = dvth_inter;
+  if (i < dvth_systematic.size()) d += dvth_systematic[i];
+  if (i < dvth_random.size()) d += dvth_random[i] / std::sqrt(width_mult);
+  return d;
+}
+
+double DieSample::dvth_shared_at(std::size_t i) const {
+  double d = dvth_inter;
+  if (i < dvth_systematic.size()) d += dvth_systematic[i];
+  return d;
+}
+
+double DieSample::dl_rel_at(std::size_t i) const {
+  double d = dl_inter_rel;
+  if (i < dl_systematic_rel.size()) d += dl_systematic_rel[i];
+  return d;
+}
+
+VariationSampler::VariationSampler(Technology tech, VariationSpec spec,
+                                   std::vector<double> site_positions)
+    : tech_(tech), spec_(spec), positions_(std::move(site_positions)) {
+  if (positions_.empty())
+    throw std::invalid_argument("VariationSampler: no device sites");
+  if (spec_.sigma_vth_inter < 0.0 || spec_.sigma_vth_systematic < 0.0)
+    throw std::invalid_argument("VariationSampler: negative sigma");
+  has_systematic_ = spec_.sigma_vth_systematic > 0.0 ||
+                    spec_.sigma_l_systematic_rel > 0.0;
+  if (has_systematic_) {
+    systematic_chol_ = stats::cholesky_psd(
+        stats::spatial_correlation(positions_, spec_.correlation_length));
+  }
+}
+
+DieSample VariationSampler::sample(stats::Rng& rng) const {
+  const std::size_t n = positions_.size();
+  DieSample d;
+  d.dvth_inter = spec_.sigma_vth_inter > 0.0
+                     ? rng.normal(0.0, spec_.sigma_vth_inter)
+                     : 0.0;
+  d.dl_inter_rel = spec_.sigma_l_inter_rel > 0.0
+                       ? rng.normal(0.0, spec_.sigma_l_inter_rel)
+                       : 0.0;
+
+  if (has_systematic_) {
+    // One correlated standard-normal field drives both Vth and L systematic
+    // components (they share the same lithographic origin).
+    std::vector<double> z = rng.normal_vector(n);
+    std::vector<double> field(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      double s = 0.0;
+      for (std::size_t j = 0; j <= i; ++j) s += systematic_chol_(i, j) * z[j];
+      field[i] = s;
+    }
+    if (spec_.sigma_vth_systematic > 0.0) {
+      d.dvth_systematic.resize(n);
+      for (std::size_t i = 0; i < n; ++i)
+        d.dvth_systematic[i] = spec_.sigma_vth_systematic * field[i];
+    }
+    if (spec_.sigma_l_systematic_rel > 0.0) {
+      d.dl_systematic_rel.resize(n);
+      for (std::size_t i = 0; i < n; ++i)
+        d.dl_systematic_rel[i] = spec_.sigma_l_systematic_rel * field[i];
+    }
+  }
+
+  if (spec_.enable_rdf) {
+    const double s_rdf = tech_.sigma_vth_rdf(1.0);  // unit-width sigma
+    d.dvth_random.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+      d.dvth_random[i] = rng.normal(0.0, s_rdf);
+  }
+  return d;
+}
+
+double VariationSampler::implied_correlation(double sigma_shared,
+                                             double sigma_private) {
+  const double vs = sigma_shared * sigma_shared;
+  const double vp = sigma_private * sigma_private;
+  if (vs + vp == 0.0) return 0.0;
+  return vs / (vs + vp);
+}
+
+std::vector<double> linear_sites(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("linear_sites: n == 0");
+  std::vector<double> p(n);
+  if (n == 1) {
+    p[0] = 0.5;
+    return p;
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    p[i] = static_cast<double>(i) / static_cast<double>(n - 1);
+  return p;
+}
+
+}  // namespace statpipe::process

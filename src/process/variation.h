@@ -1,0 +1,116 @@
+// Process-variation model for sub-100nm CMOS, mirroring the decomposition
+// used in the paper (section 2.1):
+//
+//   dVth(total) = dVth(inter-die)                 -- one draw per die,
+//                                                    shared by every device
+//             + dVth(intra, systematic/spatial)   -- correlated across the
+//                                                    die with a decay length
+//             + dVth(intra, random / RDF)         -- independent per device,
+//                                                    sigma ~ Avt/sqrt(W L)
+//
+// Channel-length variation uses the same inter/systematic split (RDF does
+// not apply to L).  These parameter shifts feed the device module's
+// alpha-power delay model, which converts them into gate-delay shifts —
+// the stand-in for the paper's 70nm-BPTM SPICE Monte-Carlo.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/matrix.h"
+#include "stats/rng.h"
+
+namespace statpipe::process {
+
+/// Nominal technology parameters, loosely matched to the 70nm Berkeley
+/// Predictive Technology Model node the paper simulates.
+struct Technology {
+  double vdd = 1.0;          ///< supply voltage [V]
+  double vth0 = 0.20;        ///< nominal NMOS threshold [V]
+  double leff = 70e-9;       ///< nominal effective channel length [m]
+  double wmin = 140e-9;      ///< minimum device width [m]
+  double alpha = 1.3;        ///< alpha-power-law velocity-saturation index
+  double tau_ps = 4.0;       ///< delay of a min inverter driving one copy [ps]
+
+  /// Avt mismatch coefficient: sigma_Vth(RDF) = avt / sqrt(W*L) [V*m].
+  /// Chosen so a minimum device (W=wmin, L=leff) sees ~30 mV RDF sigma,
+  /// consistent with sub-100nm random-dopant-fluctuation data [6].
+  double avt = 30e-3 * 9.899494936611665e-8;  // 30mV * sqrt(140e-9 * 70e-9)
+
+  /// sigma_Vth(RDF) for a device of `width_mult` minimum widths.
+  double sigma_vth_rdf(double width_mult) const;
+};
+
+/// Strengths of each variation component.
+struct VariationSpec {
+  double sigma_vth_inter = 0.020;      ///< inter-die Vth sigma [V]
+  double sigma_vth_systematic = 0.0;   ///< intra-die spatially-correlated [V]
+  double correlation_length = 0.5;     ///< decay length for systematic field,
+                                       ///< in normalized die units
+  bool enable_rdf = true;              ///< random (RDF) component on/off
+  double sigma_l_inter_rel = 0.0;      ///< inter-die dL/L (relative)
+  double sigma_l_systematic_rel = 0.0; ///< systematic dL/L (relative)
+
+  /// Named presets used across benches (match the paper's figure legends).
+  static VariationSpec intra_only();                  ///< RDF only
+  static VariationSpec inter_only(double sigma_v = 0.040);
+  static VariationSpec inter_intra(double sigma_v_inter,
+                                   double sigma_v_systematic = 0.010,
+                                   double corr_length = 0.5);
+};
+
+/// One sampled die: parameter shifts for every device site.
+struct DieSample {
+  double dvth_inter = 0.0;              ///< shared Vth shift [V]
+  double dl_inter_rel = 0.0;            ///< shared relative L shift
+  std::vector<double> dvth_systematic;  ///< per-site systematic Vth [V]
+  std::vector<double> dl_systematic_rel;///< per-site systematic dL/L
+  std::vector<double> dvth_random;      ///< per-site RDF Vth [V] (unit width;
+                                        ///< scale by 1/sqrt(w) at the device)
+
+  /// Total Vth shift at site i for a device of `width_mult` min-widths.
+  double dvth_at(std::size_t i, double width_mult) const;
+  /// Shared (inter + systematic) Vth shift at site i, excluding RDF — the
+  /// shift seen by multi-transistor cells like latches whose internal RDF
+  /// is modeled separately (device::LatchTiming::random_sigma_rel).
+  double dvth_shared_at(std::size_t i) const;
+  /// Total relative channel-length shift at site i.
+  double dl_rel_at(std::size_t i) const;
+};
+
+/// Generates correlated DieSamples for a fixed set of device sites.
+///
+/// Sites are positions in normalized die coordinates [0,1]; the systematic
+/// field over sites has correlation exp(-d/correlation_length).  The
+/// Cholesky factor of that field is computed once at construction.
+class VariationSampler {
+ public:
+  VariationSampler(Technology tech, VariationSpec spec,
+                   std::vector<double> site_positions);
+
+  const Technology& technology() const noexcept { return tech_; }
+  const VariationSpec& spec() const noexcept { return spec_; }
+  std::size_t site_count() const noexcept { return positions_.size(); }
+
+  /// Draw one die.
+  DieSample sample(stats::Rng& rng) const;
+
+  /// Effective stage-to-stage delay correlation implied by the spec when a
+  /// stage's delay sigma decomposes into inter + systematic + random parts:
+  /// rho = shared_variance / total_variance.  Used by the analytical side
+  /// to build stage correlation matrices consistent with MC.
+  static double implied_correlation(double sigma_shared, double sigma_private);
+
+ private:
+  Technology tech_;
+  VariationSpec spec_;
+  std::vector<double> positions_;
+  stats::Matrix systematic_chol_;  // empty when sigma_vth_systematic == 0
+  bool has_systematic_ = false;
+};
+
+/// Evenly spaced site positions in [0,1] — the default placement for a
+/// pipeline's stages or a chain's gates along the die.
+std::vector<double> linear_sites(std::size_t n);
+
+}  // namespace statpipe::process

@@ -1,0 +1,100 @@
+#include "sta/ssta.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace statpipe::sta {
+
+double CanonicalDelay::sigma() const noexcept { return std::sqrt(variance()); }
+
+stats::Gaussian CanonicalDelay::as_gaussian() const { return {mu, sigma()}; }
+
+double CanonicalDelay::correlation(const CanonicalDelay& other) const noexcept {
+  const double s1 = sigma(), s2 = other.sigma();
+  if (s1 <= 0.0 || s2 <= 0.0) return 0.0;
+  return std::clamp(
+      (b_inter * other.b_inter + b_sys * other.b_sys) / (s1 * s2), -1.0, 1.0);
+}
+
+CanonicalDelay operator+(const CanonicalDelay& a,
+                         const CanonicalDelay& b) noexcept {
+  return {a.mu + b.mu, a.b_inter + b.b_inter,
+          std::sqrt(a.sigma_ind * a.sigma_ind + b.sigma_ind * b.sigma_ind),
+          a.b_sys + b.b_sys};
+}
+
+CanonicalDelay canonical_max(const CanonicalDelay& a, const CanonicalDelay& b) {
+  const double rho = a.correlation(b);
+  const auto cm = stats::clark_max(a.as_gaussian(), b.as_gaussian(), rho);
+
+  // Re-project onto the canonical form: each shared coefficient matches
+  // Cov(max, Z) = b_a*Phi(alpha) + b_b*Phi(-alpha)   (Clark eq. 6)
+  const double w = cm.phi_a;
+  double bi = a.b_inter * w + b.b_inter * (1.0 - w);
+  double bs = a.b_sys * w + b.b_sys * (1.0 - w);
+  const double var = cm.max.variance();
+  const double resid = var - bi * bi - bs * bs;
+  CanonicalDelay r;
+  r.mu = cm.max.mean;
+  if (resid >= 0.0) {
+    r.b_inter = bi;
+    r.b_sys = bs;
+    r.sigma_ind = std::sqrt(resid);
+  } else if (var > 0.0) {
+    // Moment matching overshot the shared part: rescale the b's so the
+    // total variance is preserved exactly.
+    const double scale = std::sqrt(var / (bi * bi + bs * bs));
+    r.b_inter = bi * scale;
+    r.b_sys = bs * scale;
+    r.sigma_ind = 0.0;
+  }
+  return r;
+}
+
+CanonicalDelay gate_canonical_delay(const netlist::Netlist& nl,
+                                    netlist::GateId id,
+                                    const device::AlphaPowerModel& model,
+                                    const process::VariationSpec& spec,
+                                    const SstaOptions& opt) {
+  const auto& g = nl.gate(id);
+  if (g.is_pseudo()) return {};
+  const double load = nl.load_of(id, opt.output_load);
+  const auto sig = model.delay_sigmas(g.kind, g.size, load, spec);
+  CanonicalDelay d;
+  d.mu = model.nominal_delay(g.kind, g.size, load);
+  d.b_inter = sig.inter;
+  d.b_sys = sig.systematic;  // stage-wide shared (correlation length >> stage)
+  d.sigma_ind = sig.random;
+  return d;
+}
+
+CanonicalDelay analyze_ssta(const netlist::Netlist& nl,
+                            const device::AlphaPowerModel& model,
+                            const process::VariationSpec& spec,
+                            const SstaOptions& opt) {
+  if (nl.outputs().empty())
+    throw std::logic_error("ssta: netlist has no primary outputs");
+  std::vector<CanonicalDelay> arrival(nl.size());
+  for (netlist::GateId id : nl.topological_order()) {
+    const auto& g = nl.gate(id);
+    if (g.is_pseudo()) continue;
+    CanonicalDelay in{};
+    bool first = true;
+    for (netlist::GateId f : g.fanins) {
+      in = first ? arrival[f] : canonical_max(in, arrival[f]);
+      first = false;
+    }
+    arrival[id] = in + gate_canonical_delay(nl, id, model, spec, opt);
+  }
+  CanonicalDelay out{};
+  bool first = true;
+  for (netlist::GateId o : nl.outputs()) {
+    out = first ? arrival[o] : canonical_max(out, arrival[o]);
+    first = false;
+  }
+  return out;
+}
+
+}  // namespace statpipe::sta

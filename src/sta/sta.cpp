@@ -1,0 +1,92 @@
+#include "sta/sta.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace statpipe::sta {
+
+namespace {
+
+template <typename DelayFn>
+StaResult propagate(const netlist::Netlist& nl, DelayFn&& gate_delay) {
+  StaResult r;
+  r.arrival.assign(nl.size(), 0.0);
+  for (netlist::GateId id : nl.topological_order()) {
+    const auto& g = nl.gate(id);
+    if (g.is_pseudo()) continue;
+    double in_arr = 0.0;
+    for (netlist::GateId f : g.fanins)
+      in_arr = std::max(in_arr, r.arrival[f]);
+    r.arrival[id] = in_arr + gate_delay(id);
+  }
+  if (nl.outputs().empty())
+    throw std::logic_error("sta: netlist has no primary outputs");
+  for (netlist::GateId o : nl.outputs()) {
+    if (r.arrival[o] >= r.critical_delay) {
+      r.critical_delay = r.arrival[o];
+      r.critical_output = o;
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+StaResult analyze(const netlist::Netlist& nl,
+                  const device::AlphaPowerModel& model,
+                  const StaOptions& opt) {
+  return propagate(nl, [&](netlist::GateId id) {
+    const auto& g = nl.gate(id);
+    return model.nominal_delay(g.kind, g.size, nl.load_of(id, opt.output_load));
+  });
+}
+
+StaResult analyze_sample(const netlist::Netlist& nl,
+                         const device::AlphaPowerModel& model,
+                         const process::DieSample& die,
+                         const std::vector<std::size_t>& site_of_gate,
+                         const StaOptions& opt) {
+  if (site_of_gate.size() != nl.size())
+    throw std::invalid_argument("analyze_sample: site map size mismatch");
+  return propagate(nl, [&](netlist::GateId id) {
+    const auto& g = nl.gate(id);
+    const std::size_t site = site_of_gate[id];
+    const double dvth = die.dvth_at(site, g.size);
+    const double dl = die.dl_rel_at(site);
+    return model.delay(g.kind, g.size, nl.load_of(id, opt.output_load), dvth,
+                       dl);
+  });
+}
+
+StaResult analyze_sample(const netlist::Netlist& nl,
+                         const device::AlphaPowerModel& model,
+                         const process::DieSample& die,
+                         const StaOptions& opt) {
+  std::vector<std::size_t> identity(nl.size());
+  for (std::size_t i = 0; i < identity.size(); ++i) identity[i] = i;
+  return analyze_sample(nl, model, die, identity, opt);
+}
+
+std::vector<netlist::GateId> StaResult::critical_path(
+    const netlist::Netlist& nl, const device::AlphaPowerModel& model,
+    const StaOptions& opt) const {
+  std::vector<netlist::GateId> path;
+  if (critical_output == netlist::kInvalidGate) return path;
+  netlist::GateId cur = critical_output;
+  for (;;) {
+    path.push_back(cur);
+    const auto& g = nl.gate(cur);
+    if (g.fanins.empty()) break;
+    // Predecessor with the largest arrival determined this gate's arrival.
+    netlist::GateId best = g.fanins.front();
+    for (netlist::GateId f : g.fanins)
+      if (arrival[f] > arrival[best]) best = f;
+    cur = best;
+  }
+  (void)model;
+  (void)opt;
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace statpipe::sta

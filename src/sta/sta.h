@@ -1,0 +1,51 @@
+// Deterministic static timing analysis over a gate-level netlist.
+//
+// Arrival times propagate in topological order; the critical (maximum)
+// arrival over primary outputs is the combinational delay T_comb that the
+// paper's stage-delay decomposition SD = Tc-q + T_comb + T_setup consumes.
+#pragma once
+
+#include <vector>
+
+#include "device/delay_model.h"
+#include "netlist/netlist.h"
+#include "process/variation.h"
+
+namespace statpipe::sta {
+
+struct StaOptions {
+  double output_load = 2.0;  ///< cap on primary outputs [inv-cap units]
+};
+
+struct StaResult {
+  double critical_delay = 0.0;          ///< max arrival over outputs [ps]
+  std::vector<double> arrival;          ///< per-gate arrival [ps]
+  netlist::GateId critical_output = netlist::kInvalidGate;
+
+  /// Gates on the critical path, input-side first.
+  std::vector<netlist::GateId> critical_path(const netlist::Netlist& nl,
+                                             const device::AlphaPowerModel& model,
+                                             const StaOptions& opt = {}) const;
+};
+
+/// Nominal (variation-free) STA.
+StaResult analyze(const netlist::Netlist& nl,
+                  const device::AlphaPowerModel& model,
+                  const StaOptions& opt = {});
+
+/// STA under a sampled die: per-gate delays scaled by the alpha-power
+/// variation factor at each gate's site.  `site_of_gate[i]` maps gate id to
+/// the DieSample site index (identity when the netlist was sampled alone).
+StaResult analyze_sample(const netlist::Netlist& nl,
+                         const device::AlphaPowerModel& model,
+                         const process::DieSample& die,
+                         const std::vector<std::size_t>& site_of_gate,
+                         const StaOptions& opt = {});
+
+/// Convenience: identity site map (site i == gate i).
+StaResult analyze_sample(const netlist::Netlist& nl,
+                         const device::AlphaPowerModel& model,
+                         const process::DieSample& die,
+                         const StaOptions& opt = {});
+
+}  // namespace statpipe::sta

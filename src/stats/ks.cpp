@@ -1,0 +1,44 @@
+#include "stats/ks.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace statpipe::stats {
+
+double ks_distance(std::span<const double> sample, const Gaussian& g) {
+  if (sample.empty()) throw std::invalid_argument("ks_distance: empty sample");
+  std::vector<double> v(sample.begin(), sample.end());
+  std::sort(v.begin(), v.end());
+  const double n = static_cast<double>(v.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const double f = g.cdf(v[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max({d, std::abs(f - lo), std::abs(f - hi)});
+  }
+  return d;
+}
+
+double ks_distance(std::span<const double> a, std::span<const double> b) {
+  if (a.empty() || b.empty()) throw std::invalid_argument("ks_distance: empty");
+  std::vector<double> va(a.begin(), a.end()), vb(b.begin(), b.end());
+  std::sort(va.begin(), va.end());
+  std::sort(vb.begin(), vb.end());
+  const double na = static_cast<double>(va.size());
+  const double nb = static_cast<double>(vb.size());
+  double d = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < va.size() && j < vb.size()) {
+    const double x = std::min(va[i], vb[j]);
+    while (i < va.size() && va[i] <= x) ++i;
+    while (j < vb.size() && vb[j] <= x) ++j;
+    d = std::max(d, std::abs(static_cast<double>(i) / na -
+                             static_cast<double>(j) / nb));
+  }
+  return d;
+}
+
+}  // namespace statpipe::stats

@@ -1,0 +1,18 @@
+// Kolmogorov-Smirnov distances — used by tests and benches to quantify how
+// well the analytical Gaussian approximation of the pipeline delay matches
+// Monte-Carlo samples (the paper's Fig. 2 eyeball check, made numeric).
+#pragma once
+
+#include <span>
+
+#include "stats/gaussian.h"
+
+namespace statpipe::stats {
+
+/// sup_x |F_n(x) - Phi((x-mu)/sigma)| for a sample against a Gaussian.
+double ks_distance(std::span<const double> sample, const Gaussian& g);
+
+/// Two-sample KS distance.
+double ks_distance(std::span<const double> a, std::span<const double> b);
+
+}  // namespace statpipe::stats

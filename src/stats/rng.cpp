@@ -1,0 +1,38 @@
+#include "stats/rng.h"
+
+#include <stdexcept>
+
+namespace statpipe::stats {
+
+std::vector<double> Rng::normal_vector(std::size_t n) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = normal();
+  return v;
+}
+
+CorrelatedNormalSampler::CorrelatedNormalSampler(std::vector<double> means,
+                                                 std::vector<double> sigmas,
+                                                 const Matrix& correlation)
+    : means_(std::move(means)), sigmas_(std::move(sigmas)) {
+  if (means_.size() != sigmas_.size() || means_.size() != correlation.size())
+    throw std::invalid_argument(
+        "CorrelatedNormalSampler: means/sigmas/correlation size mismatch");
+  for (double s : sigmas_)
+    if (s < 0.0)
+      throw std::invalid_argument("CorrelatedNormalSampler: negative sigma");
+  chol_ = cholesky_psd(correlation);
+}
+
+std::vector<double> CorrelatedNormalSampler::sample(Rng& rng) const {
+  const std::size_t n = means_.size();
+  std::vector<double> z = rng.normal_vector(n);
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j <= i; ++j) s += chol_(i, j) * z[j];
+    x[i] = means_[i] + sigmas_[i] * s;
+  }
+  return x;
+}
+
+}  // namespace statpipe::stats

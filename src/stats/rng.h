@@ -1,0 +1,68 @@
+// Seeded random number generation for Monte-Carlo experiments.
+//
+// Every sampler in the repository takes an explicit Rng so all experiments
+// are deterministic and reproducible from a printed seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "stats/matrix.h"
+
+namespace statpipe::stats {
+
+/// Thin wrapper over mt19937_64 with convenience draws.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) : gen_(seed) {}
+
+  /// Standard normal draw.
+  double normal() { return normal_(gen_); }
+
+  /// N(mean, sigma^2) draw.
+  double normal(double mean, double sigma) { return mean + sigma * normal_(gen_); }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(gen_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(gen_);
+  }
+
+  /// Vector of n iid standard normals.
+  std::vector<double> normal_vector(std::size_t n);
+
+  /// Derive an independent child stream (for per-stage / per-run seeding).
+  Rng fork() { return Rng(gen_()); }
+
+  std::mt19937_64& engine() noexcept { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+  std::normal_distribution<double> normal_;
+};
+
+/// Draws from a multivariate normal with given means, sigmas and correlation
+/// matrix.  The Cholesky factor of the correlation matrix is computed once
+/// at construction (PSD-tolerant, so rho = 1 "inter-die only" cases work).
+class CorrelatedNormalSampler {
+ public:
+  CorrelatedNormalSampler(std::vector<double> means, std::vector<double> sigmas,
+                          const Matrix& correlation);
+
+  /// One joint draw: x_i = mu_i + sigma_i * (L z)_i with z iid N(0,1).
+  std::vector<double> sample(Rng& rng) const;
+
+  std::size_t dimension() const noexcept { return means_.size(); }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> sigmas_;
+  Matrix chol_;  // lower factor of the correlation matrix
+};
+
+}  // namespace statpipe::stats

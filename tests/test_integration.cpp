@@ -1,0 +1,229 @@
+// Integration tests: end-to-end flows across modules, mirroring the way
+// the benches and a downstream user exercise the library.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/characterized_pipeline.h"
+#include "core/design_space.h"
+#include "mc/pipeline_mc.h"
+#include "netlist/bench_parser.h"
+#include "netlist/generators.h"
+#include "opt/global_optimizer.h"
+#include "opt/sweep.h"
+#include "stats/ks.h"
+
+namespace sp = statpipe;
+
+namespace {
+
+struct Env {
+  sp::device::AlphaPowerModel model{sp::process::Technology{}};
+  sp::device::LatchModel latch{{}, model};
+};
+
+}  // namespace
+
+// Full paper-verification flow (section 2.4): netlists -> per-stage MC
+// characterization -> Clark model -> compare against gate-level MC truth,
+// for all three variation regimes of Fig. 2.
+class Section24Flow : public ::testing::TestWithParam<int> {};
+
+TEST_P(Section24Flow, ModelTracksGateLevelTruth) {
+  Env e;
+  sp::process::VariationSpec spec;
+  switch (GetParam()) {
+    case 0: spec = sp::process::VariationSpec::intra_only(); break;
+    case 1: spec = sp::process::VariationSpec::inter_only(0.040); break;
+    default:
+      spec = sp::process::VariationSpec::inter_intra(0.020, 0.010, 0.5);
+  }
+
+  std::vector<sp::netlist::Netlist> stages;
+  for (int i = 0; i < 5; ++i)
+    stages.push_back(sp::netlist::inverter_chain(8));
+  std::vector<const sp::netlist::Netlist*> views;
+  for (const auto& s : stages) views.push_back(&s);
+
+  sp::mc::GateLevelMonteCarlo mc(views, e.model, spec, e.latch);
+  sp::stats::Rng rng(1000 + GetParam());
+  const auto truth = mc.run(3000, rng);
+  const auto est = truth.tp_estimate();
+
+  sp::stats::Rng rng2(2000 + GetParam());
+  const auto pipe =
+      sp::core::build_pipeline_mc(views, e.model, spec, e.latch, rng2);
+  const auto analytic = pipe.delay_distribution();
+
+  EXPECT_NEAR(analytic.mean, est.mean, 0.01 * est.mean);
+  EXPECT_NEAR(analytic.sigma, est.sigma, 0.25 * est.sigma + 0.05);
+  // Yield agreement at several targets.
+  for (double q : {0.25, 0.5, 0.8, 0.95}) {
+    const double t = sp::stats::quantile(truth.tp_samples, q);
+    EXPECT_NEAR(pipe.yield(t), q, 0.07) << "regime " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig2Regimes, Section24Flow,
+                         ::testing::Values(0, 1, 2));
+
+// SSTA-characterized and MC-characterized pipeline models agree.
+TEST(Integration, SstaAndMcCharacterizationAgree) {
+  Env e;
+  const auto spec = sp::process::VariationSpec::inter_intra(0.020, 0.010, 0.5);
+  std::vector<sp::netlist::Netlist> stages;
+  stages.push_back(sp::netlist::iscas_like("c432", 5));
+  stages.push_back(sp::netlist::inverter_grid(4, 10));
+  std::vector<const sp::netlist::Netlist*> views;
+  for (const auto& s : stages) views.push_back(&s);
+
+  const auto a = sp::core::build_pipeline_ssta(views, e.model, spec, e.latch);
+  sp::stats::Rng rng(3);
+  const auto b = sp::core::build_pipeline_mc(views, e.model, spec, e.latch,
+                                             rng);
+  const auto da = a.delay_distribution();
+  const auto db = b.delay_distribution();
+  EXPECT_NEAR(da.mean, db.mean, 0.03 * db.mean);
+  EXPECT_NEAR(da.sigma, db.sigma, 0.35 * db.sigma);
+}
+
+// A netlist writton out in .bench and re-parsed produces the same timing.
+TEST(Integration, BenchRoundTripPreservesTiming) {
+  Env e;
+  const auto original = sp::netlist::iscas_like("c880", 9);
+  const auto reparsed =
+      sp::netlist::parse_bench_string(sp::netlist::write_bench(original));
+  EXPECT_NEAR(sp::sta::analyze(original, e.model).critical_delay,
+              sp::sta::analyze(reparsed, e.model).critical_delay, 1e-9);
+}
+
+// Design-space bounds are consistent with the actual yield machinery: a
+// pipeline built exactly on the equality bound meets the yield target.
+TEST(Integration, EqualityBoundPipelineMeetsYield) {
+  const double t = 150.0, y = 0.85;
+  const sp::core::DesignSpace ds(t, y);
+  for (std::size_t ns : {2, 4, 8}) {
+    const double mu = 120.0;
+    const double sigma = ds.equality_sigma_bound(mu, ns);
+    ASSERT_GT(sigma, 0.0);
+    std::vector<sp::core::StageModel> s;
+    for (std::size_t i = 0; i < ns; ++i)
+      s.emplace_back("s" + std::to_string(i),
+                     sp::stats::Gaussian{mu, sigma}, 0.0, 0.0);
+    sp::core::PipelineModel pipe(std::move(s), {});
+    // Exact independent-stage yield equals the target by construction.
+    EXPECT_NEAR(pipe.yield_independent(t), y, 1e-9) << ns;
+    // The Clark/Gaussian approximation is close to it.
+    EXPECT_NEAR(pipe.yield(t), y, 0.04) << ns;
+  }
+}
+
+// The full Fig.-9 optimization flow improves its objective on a fresh
+// pipeline, end to end, in both modes.
+TEST(Integration, GlobalFlowImprovesObjective) {
+  Env e;
+  const auto spec = sp::process::VariationSpec::inter_intra(0.005, 0.020, 0.3);
+  std::vector<sp::netlist::Netlist> stages;
+  stages.push_back(sp::netlist::iscas_like("c880", 41));
+  stages.push_back(sp::netlist::iscas_like("c499", 42));
+  std::vector<sp::netlist::Netlist*> ptrs;
+  for (auto& s : stages) ptrs.push_back(&s);
+  sp::opt::GlobalPipelineOptimizer go(ptrs, e.model, spec, e.latch);
+
+  double worst = 0.0;
+  for (auto& s : stages) {
+    auto copy = s;
+    sp::opt::SizerOptions so;
+    so.t_target = 1e-3;
+    (void)sp::opt::size_stage(copy, e.model, spec, so);
+    worst = std::max(worst, sp::opt::stat_delay(copy, e.model, spec, 0.95));
+  }
+  const double t_target =
+      worst * 1.08 + e.latch.timing().nominal_overhead();
+
+  const auto base = go.optimize_individually(t_target, 0.80);
+  const double y0 = base.yield(t_target);
+  const double a0 = base.total_area();
+
+  sp::opt::GlobalOptimizerOptions opt;
+  opt.t_target = t_target;
+  opt.yield_target = 0.80;
+  opt.sweep.points = 5;
+  opt.mode = y0 < 0.80 ? sp::opt::OptimizationMode::kEnsureYield
+                       : sp::opt::OptimizationMode::kMinimizeArea;
+  const auto r = go.optimize(opt);
+
+  if (opt.mode == sp::opt::OptimizationMode::kEnsureYield) {
+    EXPECT_GE(r.pipeline_yield_after, y0 - 1e-9);
+  } else {
+    EXPECT_GE(r.pipeline_yield_after, 0.80 - 0.02);
+    EXPECT_LE(r.total_area_after, a0 + 1e-9);
+  }
+}
+
+// Stage families extracted from sweeps plug into the BalanceAnalyzer and
+// reproduce the section-3.2 workflow without manual glue.
+TEST(Integration, SweepToBalanceWorkflow) {
+  Env e;
+  const auto spec = sp::process::VariationSpec::inter_intra(0.010, 0.020, 0.3);
+  auto a = sp::netlist::synthesize_like({"sa", 100, 16, 8, 4}, 51);
+  auto b = sp::netlist::synthesize_like({"sb", 60, 12, 10, 4}, 52);
+  auto c = sp::netlist::synthesize_like({"sc", 100, 16, 8, 4}, 53);
+
+  sp::opt::SweepOptions sw;
+  sw.points = 8;
+  std::vector<sp::core::StageFamily> fams;
+  fams.push_back(sp::opt::stage_family_from_sweep(a, e.model, spec, sw));
+  fams.push_back(sp::opt::stage_family_from_sweep(b, e.model, spec, sw));
+  fams.push_back(sp::opt::stage_family_from_sweep(c, e.model, spec, sw));
+
+  double d0 = 0.0;
+  for (const auto& f : fams) d0 = std::max(d0, f.curve.min_delay());
+  d0 *= 1.3;
+
+  sp::core::BalanceAnalyzer an(std::move(fams),
+                               sp::core::LatchOverhead{36.0, 1.0, 0.7},
+                               1.0 /*placeholder*/);
+  // Use the balanced design's 80% point as target via pipeline_at.
+  const double t =
+      an.pipeline_at({d0, d0, d0}).target_delay_for_yield(0.80);
+  sp::core::BalanceAnalyzer an2(
+      [&] {
+        Env e2;
+        auto a2 = sp::netlist::synthesize_like({"sa", 100, 16, 8, 4}, 51);
+        auto b2 = sp::netlist::synthesize_like({"sb", 60, 12, 10, 4}, 52);
+        auto c2 = sp::netlist::synthesize_like({"sc", 100, 16, 8, 4}, 53);
+        std::vector<sp::core::StageFamily> f2;
+        f2.push_back(sp::opt::stage_family_from_sweep(a2, e2.model, spec, sw));
+        f2.push_back(sp::opt::stage_family_from_sweep(b2, e2.model, spec, sw));
+        f2.push_back(sp::opt::stage_family_from_sweep(c2, e2.model, spec, sw));
+        return f2;
+      }(),
+      sp::core::LatchOverhead{36.0, 1.0, 0.7}, t);
+
+  const auto bal = an2.balanced(d0);
+  EXPECT_NEAR(bal.yield, 0.80, 0.01);
+  const auto reb = an2.rebalance_for_yield(bal.stage_delays, 0.003, 200);
+  EXPECT_GE(reb.yield, bal.yield - 1e-12);
+  EXPECT_NEAR(reb.total_area, bal.total_area, 1e-6 * bal.total_area);
+}
+
+// Determinism: the whole stack is reproducible from seeds.
+TEST(Integration, EndToEndDeterminism) {
+  Env e;
+  const auto spec = sp::process::VariationSpec::inter_intra(0.020, 0.010, 0.5);
+  auto run_once = [&] {
+    std::vector<sp::netlist::Netlist> stages;
+    for (int i = 0; i < 3; ++i)
+      stages.push_back(sp::netlist::inverter_chain(6));
+    std::vector<const sp::netlist::Netlist*> views;
+    for (const auto& s : stages) views.push_back(&s);
+    sp::mc::GateLevelMonteCarlo mc(views, e.model, spec, e.latch);
+    sp::stats::Rng rng(77);
+    return mc.run(500, rng).tp_estimate();
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+  EXPECT_DOUBLE_EQ(a.sigma, b.sigma);
+}

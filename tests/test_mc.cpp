@@ -1,0 +1,221 @@
+// Tests for the Monte-Carlo engines — and the paper's section-2.4 model
+// verification: analytical (mu_T, sigma_T, yield) vs MC at both stage and
+// gate granularity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/characterized_pipeline.h"
+#include "core/pipeline_model.h"
+#include "mc/pipeline_mc.h"
+#include "netlist/generators.h"
+#include "stats/ks.h"
+
+namespace sp = statpipe;
+using sp::core::LatchOverhead;
+using sp::core::PipelineModel;
+using sp::core::StageModel;
+using sp::stats::Gaussian;
+
+namespace {
+
+PipelineModel small_pipeline(double sigma_inter_frac) {
+  std::vector<StageModel> s;
+  for (int i = 0; i < 5; ++i) {
+    const double mu = 150.0 + 5.0 * i;
+    const double sg = 6.0;
+    s.emplace_back("s" + std::to_string(i), Gaussian{mu, sg},
+                   sigma_inter_frac * sg, 50.0);
+  }
+  return PipelineModel(std::move(s), LatchOverhead{40.0, 0.0, 0.5});
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- stage level
+
+TEST(StageMc, EstimateMatchesAnalyticalIndependent) {
+  const auto p = small_pipeline(0.0);
+  sp::mc::StageLevelMonteCarlo mc(p);
+  sp::stats::Rng rng(101);
+  const auto r = mc.run(100000, rng);
+  const auto analytic = p.delay_distribution();
+  const auto est = r.tp_estimate();
+  EXPECT_NEAR(analytic.mean, est.mean, 0.003 * est.mean);
+  EXPECT_NEAR(analytic.sigma, est.sigma, 0.06 * est.sigma);
+}
+
+TEST(StageMc, EstimateMatchesAnalyticalCorrelated) {
+  const auto p = small_pipeline(0.8);
+  sp::mc::StageLevelMonteCarlo mc(p);
+  sp::stats::Rng rng(102);
+  const auto r = mc.run(100000, rng);
+  const auto analytic = p.delay_distribution();
+  const auto est = r.tp_estimate();
+  EXPECT_NEAR(analytic.mean, est.mean, 0.003 * est.mean);
+  EXPECT_NEAR(analytic.sigma, est.sigma, 0.08 * est.sigma);
+}
+
+TEST(StageMc, YieldMatchesEq9) {
+  const auto p = small_pipeline(0.5);
+  sp::mc::StageLevelMonteCarlo mc(p);
+  sp::stats::Rng rng(103);
+  const auto r = mc.run(100000, rng);
+  for (double t : {195.0, 200.0, 205.0, 210.0}) {
+    EXPECT_NEAR(p.yield(t), r.yield_at(t), 0.02) << "t=" << t;
+  }
+}
+
+TEST(StageMc, PerStageStatsMatchInputs) {
+  const auto p = small_pipeline(0.3);
+  sp::mc::StageLevelMonteCarlo mc(p);
+  sp::stats::Rng rng(104);
+  const auto r = mc.run(50000, rng);
+  ASSERT_EQ(r.stage_stats.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    const auto sd = p.stage_delay(i);
+    EXPECT_NEAR(r.stage_stats[i].mean(), sd.mean, 0.005 * sd.mean);
+    EXPECT_NEAR(r.stage_stats[i].stddev(), sd.sigma, 0.05 * sd.sigma);
+  }
+}
+
+TEST(StageMc, CiShrinksWithSamples) {
+  const auto p = small_pipeline(0.0);
+  sp::mc::StageLevelMonteCarlo mc(p);
+  sp::stats::Rng rng(105);
+  const auto small = mc.run(1000, rng);
+  const auto large = mc.run(16000, rng);
+  const double t = 205.0;
+  EXPECT_NEAR(small.yield_ci95(t) / large.yield_ci95(t), 4.0, 1.5);
+}
+
+TEST(StageMc, DistributionIsApproximatelyGaussian) {
+  // The basis of eq. (9): T_P is well-approximated by a Gaussian.
+  const auto p = small_pipeline(0.5);
+  sp::mc::StageLevelMonteCarlo mc(p);
+  sp::stats::Rng rng(106);
+  const auto r = mc.run(50000, rng);
+  const double ks = sp::stats::ks_distance(r.tp_samples, r.tp_estimate());
+  EXPECT_LT(ks, 0.03);
+}
+
+// -------------------------------------------------------------- gate level
+
+namespace {
+
+struct GateLevelFixture {
+  std::vector<sp::netlist::Netlist> stages;
+  sp::device::AlphaPowerModel model{sp::process::Technology{}};
+  sp::device::LatchModel latch{{}, model};
+
+  explicit GateLevelFixture(std::size_t n_stages, std::size_t depth) {
+    for (std::size_t i = 0; i < n_stages; ++i) {
+      stages.push_back(sp::netlist::inverter_chain(depth));
+      stages.back().set_name("stage" + std::to_string(i));
+    }
+  }
+  std::vector<const sp::netlist::Netlist*> views() const {
+    std::vector<const sp::netlist::Netlist*> v;
+    for (const auto& s : stages) v.push_back(&s);
+    return v;
+  }
+};
+
+}  // namespace
+
+TEST(GateMc, AnalyticalModelTracksGateLevelTruth_IntraOnly) {
+  // Fig. 2(a): random intra-die only.
+  GateLevelFixture f(5, 8);
+  const auto spec = sp::process::VariationSpec::intra_only();
+  sp::mc::GateLevelMonteCarlo mc(f.views(), f.model, spec, f.latch);
+  sp::stats::Rng rng(111);
+  const auto r = mc.run(3000, rng);
+
+  sp::stats::Rng rng2(112);
+  const auto pipe = sp::core::build_pipeline_mc(f.views(), f.model, spec,
+                                                f.latch, rng2);
+  const auto analytic = pipe.delay_distribution();
+  const auto est = r.tp_estimate();
+  EXPECT_NEAR(analytic.mean, est.mean, 0.01 * est.mean);
+  EXPECT_NEAR(analytic.sigma, est.sigma, 0.25 * est.sigma);
+}
+
+TEST(GateMc, AnalyticalModelTracksGateLevelTruth_InterOnly) {
+  // Fig. 2(b): inter-die only — stage delays fully correlated.
+  GateLevelFixture f(5, 8);
+  const auto spec = sp::process::VariationSpec::inter_only(0.040);
+  sp::mc::GateLevelMonteCarlo mc(f.views(), f.model, spec, f.latch);
+  sp::stats::Rng rng(113);
+  const auto r = mc.run(3000, rng);
+
+  sp::stats::Rng rng2(114);
+  const auto pipe = sp::core::build_pipeline_mc(f.views(), f.model, spec,
+                                                f.latch, rng2);
+  const auto analytic = pipe.delay_distribution();
+  const auto est = r.tp_estimate();
+  EXPECT_NEAR(analytic.mean, est.mean, 0.01 * est.mean);
+  // Inter-only sigma is large (Table I: ~29ps); model should track it.
+  EXPECT_NEAR(analytic.sigma, est.sigma, 0.15 * est.sigma);
+}
+
+TEST(GateMc, InterOnlyStagesPerfectlyCorrelated) {
+  GateLevelFixture f(3, 6);
+  const auto spec = sp::process::VariationSpec::inter_only(0.040);
+  sp::mc::GateLevelMonteCarlo mc(f.views(), f.model, spec, f.latch);
+  sp::stats::Rng rng(115);
+  const auto r = mc.run(2000, rng);
+  // All stage means equal, and T_P sigma ~ stage sigma (no averaging).
+  const auto est = r.tp_estimate();
+  EXPECT_NEAR(est.sigma, r.stage_stats[0].stddev(),
+              0.12 * r.stage_stats[0].stddev());
+}
+
+TEST(GateMc, YieldCurveMonotone) {
+  GateLevelFixture f(4, 6);
+  const auto spec = sp::process::VariationSpec::inter_intra(0.020, 0.010, 0.5);
+  sp::mc::GateLevelMonteCarlo mc(f.views(), f.model, spec, f.latch);
+  sp::stats::Rng rng(116);
+  const auto r = mc.run(2000, rng);
+  const auto est = r.tp_estimate();
+  double prev = -1.0;
+  for (double z = -2.0; z <= 2.01; z += 0.5) {
+    const double y = r.yield_at(est.mean + z * est.sigma);
+    EXPECT_GE(y, prev);
+    prev = y;
+  }
+}
+
+TEST(GateMc, RejectsDegenerateInputs) {
+  GateLevelFixture f(2, 4);
+  const auto spec = sp::process::VariationSpec::intra_only();
+  sp::mc::GateLevelMonteCarlo mc(f.views(), f.model, spec, f.latch);
+  sp::stats::Rng rng(117);
+  EXPECT_THROW(mc.run(0, rng), std::invalid_argument);
+  EXPECT_THROW(sp::mc::GateLevelMonteCarlo({}, f.model, spec, f.latch),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------- ordering ablation
+
+TEST(ModelVsMc, IncreasingMeanOrderingIsBest) {
+  // The paper orders Clark reduction by increasing mean to minimize error
+  // (sec. 2.4).  Verify it is at least as good as document order on a
+  // heterogeneous pipeline.
+  std::vector<StageModel> s;
+  s.emplace_back("a", Gaussian{180.0, 8.0}, 0.0, 0.0);
+  s.emplace_back("b", Gaussian{150.0, 5.0}, 0.0, 0.0);
+  s.emplace_back("c", Gaussian{175.0, 7.0}, 0.0, 0.0);
+  s.emplace_back("d", Gaussian{160.0, 9.0}, 0.0, 0.0);
+  PipelineModel p(std::move(s), {});
+
+  sp::mc::StageLevelMonteCarlo mc(p);
+  sp::stats::Rng rng(120);
+  const auto truth = mc.run(200000, rng).tp_estimate();
+
+  const auto inc =
+      p.delay_distribution(sp::stats::ClarkOrdering::kIncreasingMean);
+  const auto doc = p.delay_distribution(sp::stats::ClarkOrdering::kAsGiven);
+  const double err_inc = std::abs(inc.sigma - truth.sigma);
+  const double err_doc = std::abs(doc.sigma - truth.sigma);
+  EXPECT_LE(err_inc, err_doc + 0.05);
+}

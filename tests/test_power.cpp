@@ -1,0 +1,131 @@
+// Tests for the power substrate: cell power laws, netlist power analysis
+// and the joint delay/leakage Monte-Carlo.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/power.h"
+#include "netlist/generators.h"
+#include "sta/power_analysis.h"
+#include "stats/descriptive.h"
+
+namespace sp = statpipe;
+using sp::device::GateKind;
+using sp::device::PowerModel;
+using sp::device::PowerParams;
+using sp::process::Technology;
+
+namespace {
+
+PowerModel model() { return PowerModel{PowerParams{}, Technology{}}; }
+
+}  // namespace
+
+TEST(Power, DynamicScalesWithSizeAndFrequency) {
+  const auto m = model();
+  const double p1 = m.dynamic_uw(GateKind::kNot, 1.0, 1.0);
+  EXPECT_GT(p1, 0.0);
+  EXPECT_NEAR(m.dynamic_uw(GateKind::kNot, 2.0, 1.0), 2.0 * p1, 1e-12);
+  EXPECT_NEAR(m.dynamic_uw(GateKind::kNot, 1.0, 3.0), 3.0 * p1, 1e-12);
+  EXPECT_DOUBLE_EQ(m.dynamic_uw(GateKind::kInput, 1.0, 1.0), 0.0);
+  EXPECT_THROW(m.dynamic_uw(GateKind::kNot, 1.0, -1.0), std::invalid_argument);
+}
+
+TEST(Power, LeakageExponentialInVth) {
+  const auto m = model();
+  EXPECT_DOUBLE_EQ(m.leakage_factor(0.0), 1.0);
+  // One subthreshold slope down in Vth = e times the leakage.
+  EXPECT_NEAR(m.leakage_factor(-0.039), std::exp(1.0), 1e-9);
+  EXPECT_NEAR(m.leakage_factor(+0.039), std::exp(-1.0), 1e-9);
+  // Fast die (lower Vth) leaks more.
+  EXPECT_GT(m.leakage_uw(GateKind::kNot, 1.0, -0.030),
+            m.leakage_uw(GateKind::kNot, 1.0, +0.030));
+}
+
+TEST(Power, MeanLeakageFactorIsLognormalMean) {
+  const auto m = model();
+  EXPECT_DOUBLE_EQ(m.mean_leakage_factor(0.0), 1.0);
+  const double s = 0.030 / 0.039;
+  EXPECT_NEAR(m.mean_leakage_factor(0.030), std::exp(0.5 * s * s), 1e-12);
+  EXPECT_GT(m.mean_leakage_factor(0.030), 1.0);  // variation raises the mean
+}
+
+TEST(Power, MeanLeakageFactorMatchesMonteCarlo) {
+  const auto m = model();
+  sp::stats::Rng rng(1);
+  sp::stats::RunningStats rs;
+  for (int i = 0; i < 200000; ++i)
+    rs.add(m.leakage_factor(rng.normal(0.0, 0.030)));
+  EXPECT_NEAR(rs.mean(), m.mean_leakage_factor(0.030), 0.01 * rs.mean());
+}
+
+TEST(Power, NetlistTotalsSumCells) {
+  const auto m = model();
+  const auto nl = sp::netlist::inverter_chain(10);
+  const auto r = sp::sta::analyze_power(nl, m, 2.0);
+  EXPECT_NEAR(r.dynamic_uw, 10.0 * m.dynamic_uw(GateKind::kNot, 1.0, 2.0),
+              1e-12);
+  EXPECT_NEAR(r.leakage_uw, 10.0 * m.leakage_uw(GateKind::kNot, 1.0), 1e-12);
+  EXPECT_NEAR(r.total_uw(), r.dynamic_uw + r.leakage_uw, 1e-15);
+}
+
+TEST(Power, SampledLeakageSkewsHigh) {
+  // Lognormal behaviour: the sample mean exceeds the nominal leakage.
+  const auto m = model();
+  const auto delay_model =
+      sp::device::AlphaPowerModel{sp::process::Technology{}};
+  const auto nl = sp::netlist::iscas_like("c432");
+  const auto spec = sp::process::VariationSpec::intra_only();
+
+  sp::stats::Rng rng(7);
+  const auto samples =
+      sp::sta::delay_leakage_mc(nl, delay_model, m, spec, 2000, rng);
+  ASSERT_EQ(samples.size(), 2000u);
+
+  const double nominal = sp::sta::analyze_power(nl, m, 1.0).leakage_uw;
+  std::vector<double> leak;
+  for (const auto& s : samples) leak.push_back(s.leakage_uw);
+  EXPECT_GT(sp::stats::mean(leak), nominal * 1.05);
+  // Right-skew: mean > median.
+  EXPECT_GT(sp::stats::mean(leak), sp::stats::quantile(leak, 0.5));
+}
+
+TEST(Power, FastDiesLeakMore) {
+  // The Bowman anti-correlation: delay and leakage negatively correlated
+  // under inter-die Vth variation.
+  const auto m = model();
+  const auto delay_model =
+      sp::device::AlphaPowerModel{sp::process::Technology{}};
+  const auto nl = sp::netlist::inverter_chain(12);
+  const auto spec = sp::process::VariationSpec::inter_only(0.040);
+
+  sp::stats::Rng rng(8);
+  const auto samples =
+      sp::sta::delay_leakage_mc(nl, delay_model, m, spec, 3000, rng);
+  std::vector<double> d, l;
+  for (const auto& s : samples) {
+    d.push_back(s.delay_ps);
+    l.push_back(s.leakage_uw);
+  }
+  EXPECT_LT(sp::stats::pearson(d, l), -0.7);
+}
+
+TEST(Power, RdfAveragingShrinksLeakageSpread) {
+  // Per-gate RDF leakage variation averages across a larger circuit:
+  // relative leakage sigma falls with gate count.
+  const auto m = model();
+  const auto delay_model =
+      sp::device::AlphaPowerModel{sp::process::Technology{}};
+  const auto spec = sp::process::VariationSpec::intra_only();
+
+  auto rel_sigma = [&](const sp::netlist::Netlist& nl, std::uint64_t seed) {
+    sp::stats::Rng rng(seed);
+    const auto samples =
+        sp::sta::delay_leakage_mc(nl, delay_model, m, spec, 1500, rng);
+    std::vector<double> l;
+    for (const auto& s : samples) l.push_back(s.leakage_uw);
+    return sp::stats::stddev(l) / sp::stats::mean(l);
+  };
+  EXPECT_GT(rel_sigma(sp::netlist::inverter_chain(4), 10),
+            rel_sigma(sp::netlist::iscas_like("c880"), 11));
+}

@@ -1,0 +1,261 @@
+// Unit tests for the process-variation model and the alpha-power device
+// delay model (the SPICE stand-in).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/delay_model.h"
+#include "device/gate_library.h"
+#include "device/latch.h"
+#include "process/variation.h"
+#include "stats/descriptive.h"
+#include "stats/rng.h"
+
+namespace sp = statpipe;
+using sp::device::AlphaPowerModel;
+using sp::device::GateKind;
+using sp::process::Technology;
+using sp::process::VariationSpec;
+
+// ----------------------------------------------------------------- process
+
+TEST(Technology, RdfSigmaScalesInverseSqrtWidth) {
+  Technology t;
+  const double s1 = t.sigma_vth_rdf(1.0);
+  const double s4 = t.sigma_vth_rdf(4.0);
+  EXPECT_NEAR(s1 / s4, 2.0, 1e-12);
+  EXPECT_NEAR(s1, 0.030, 1e-4);  // calibrated to ~30mV at min size
+  EXPECT_THROW(t.sigma_vth_rdf(0.0), std::invalid_argument);
+}
+
+TEST(VariationSpec, Presets) {
+  const auto intra = VariationSpec::intra_only();
+  EXPECT_EQ(intra.sigma_vth_inter, 0.0);
+  EXPECT_TRUE(intra.enable_rdf);
+
+  const auto inter = VariationSpec::inter_only(0.040);
+  EXPECT_DOUBLE_EQ(inter.sigma_vth_inter, 0.040);
+  EXPECT_FALSE(inter.enable_rdf);
+
+  const auto both = VariationSpec::inter_intra(0.020, 0.010, 0.5);
+  EXPECT_DOUBLE_EQ(both.sigma_vth_inter, 0.020);
+  EXPECT_DOUBLE_EQ(both.sigma_vth_systematic, 0.010);
+  EXPECT_TRUE(both.enable_rdf);
+}
+
+TEST(VariationSampler, InterDieShiftSharedAcrossSites) {
+  Technology tech;
+  sp::process::VariationSampler s(tech, VariationSpec::inter_only(0.040),
+                                  sp::process::linear_sites(8));
+  sp::stats::Rng rng(1);
+  const auto die = s.sample(rng);
+  // Inter-only: every site sees exactly the same shift.
+  for (std::size_t i = 0; i < 8; ++i)
+    EXPECT_DOUBLE_EQ(die.dvth_at(i, 1.0), die.dvth_inter);
+}
+
+TEST(VariationSampler, InterDieSigmaMatchesSpec) {
+  Technology tech;
+  sp::process::VariationSampler s(tech, VariationSpec::inter_only(0.040),
+                                  sp::process::linear_sites(2));
+  sp::stats::Rng rng(2);
+  sp::stats::RunningStats rs;
+  for (int i = 0; i < 20000; ++i) rs.add(s.sample(rng).dvth_inter);
+  EXPECT_NEAR(rs.mean(), 0.0, 1e-3);
+  EXPECT_NEAR(rs.stddev(), 0.040, 1e-3);
+}
+
+TEST(VariationSampler, RdfIndependentAcrossSites) {
+  Technology tech;
+  sp::process::VariationSampler s(tech, VariationSpec::intra_only(),
+                                  sp::process::linear_sites(2));
+  sp::stats::Rng rng(3);
+  std::vector<double> a, b;
+  for (int i = 0; i < 20000; ++i) {
+    const auto die = s.sample(rng);
+    a.push_back(die.dvth_random[0]);
+    b.push_back(die.dvth_random[1]);
+  }
+  EXPECT_NEAR(sp::stats::pearson(a, b), 0.0, 0.02);
+  EXPECT_NEAR(sp::stats::stddev(a), tech.sigma_vth_rdf(1.0), 0.001);
+}
+
+TEST(VariationSampler, SystematicFieldSpatiallyCorrelated) {
+  Technology tech;
+  auto spec = VariationSpec::inter_intra(0.0, 0.020, 0.5);
+  spec.enable_rdf = false;
+  sp::process::VariationSampler s(tech, spec, sp::process::linear_sites(10));
+  sp::stats::Rng rng(4);
+  std::vector<double> first, second, last;
+  for (int i = 0; i < 20000; ++i) {
+    const auto die = s.sample(rng);
+    first.push_back(die.dvth_systematic[0]);
+    second.push_back(die.dvth_systematic[1]);
+    last.push_back(die.dvth_systematic[9]);
+  }
+  const double rho_near = sp::stats::pearson(first, second);
+  const double rho_far = sp::stats::pearson(first, last);
+  EXPECT_GT(rho_near, 0.7);           // neighbours strongly correlated
+  EXPECT_LT(rho_far, rho_near - 0.2); // correlation decays with distance
+  EXPECT_NEAR(rho_far, std::exp(-2.0), 0.1);  // exp(-d/L), d=1, L=0.5
+}
+
+TEST(VariationSampler, RdfScalesWithDeviceWidth) {
+  Technology tech;
+  sp::process::VariationSampler s(tech, VariationSpec::intra_only(),
+                                  sp::process::linear_sites(1));
+  sp::stats::Rng rng(5);
+  const auto die = s.sample(rng);
+  EXPECT_NEAR(die.dvth_at(0, 4.0), die.dvth_random[0] / 2.0, 1e-15);
+}
+
+TEST(LinearSites, EvenSpacing) {
+  const auto p = sp::process::linear_sites(5);
+  EXPECT_DOUBLE_EQ(p.front(), 0.0);
+  EXPECT_DOUBLE_EQ(p.back(), 1.0);
+  EXPECT_DOUBLE_EQ(p[2], 0.5);
+  EXPECT_THROW(sp::process::linear_sites(0), std::invalid_argument);
+}
+
+TEST(ImpliedCorrelation, VarianceRatio) {
+  using sp::process::VariationSampler;
+  EXPECT_DOUBLE_EQ(VariationSampler::implied_correlation(1.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(VariationSampler::implied_correlation(0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(VariationSampler::implied_correlation(1.0, 1.0), 0.5);
+}
+
+// ------------------------------------------------------------------ device
+
+TEST(GateLibrary, TraitsSane) {
+  const auto& inv = sp::device::traits(GateKind::kNot);
+  EXPECT_DOUBLE_EQ(inv.logical_effort, 1.0);
+  EXPECT_DOUBLE_EQ(inv.area, 1.0);
+  // NAND2 has higher effort than inverter, NOR2 higher still.
+  EXPECT_GT(sp::device::traits(GateKind::kNand2).logical_effort, 1.0);
+  EXPECT_GT(sp::device::traits(GateKind::kNor2).logical_effort,
+            sp::device::traits(GateKind::kNand2).logical_effort);
+}
+
+TEST(GateLibrary, NameRoundTrip) {
+  for (auto k : {GateKind::kNot, GateKind::kNand2, GateKind::kNand3,
+                 GateKind::kNor2, GateKind::kXor2, GateKind::kBuf}) {
+    EXPECT_EQ(sp::device::gate_kind_from_string(
+                  std::string(sp::device::to_string(k))),
+              k);
+  }
+  EXPECT_THROW(sp::device::gate_kind_from_string("FROB"),
+               std::invalid_argument);
+}
+
+TEST(GateLibrary, CapAndAreaScaleWithSize) {
+  EXPECT_DOUBLE_EQ(sp::device::input_cap(GateKind::kNot, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(sp::device::cell_area(GateKind::kNot, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(sp::device::input_cap(GateKind::kInput, 5.0), 0.0);
+}
+
+TEST(AlphaPower, NominalFactorIsOne) {
+  AlphaPowerModel m{Technology{}};
+  EXPECT_DOUBLE_EQ(m.variation_factor(0.0, 0.0), 1.0);
+}
+
+TEST(AlphaPower, SlowsWithHigherVthFasterWithLower) {
+  AlphaPowerModel m{Technology{}};
+  EXPECT_GT(m.variation_factor(+0.040), 1.0);
+  EXPECT_LT(m.variation_factor(-0.040), 1.0);
+  EXPECT_GT(m.variation_factor(+0.040), 1.0 / m.variation_factor(-0.040) - 0.05);
+}
+
+TEST(AlphaPower, LengthIncreasesDelayQuadratically) {
+  AlphaPowerModel m{Technology{}};
+  EXPECT_NEAR(m.variation_factor(0.0, 0.10), 1.21, 1e-12);
+}
+
+TEST(AlphaPower, ThrowsOutOfSaturation) {
+  AlphaPowerModel m{Technology{}};
+  EXPECT_THROW(m.variation_factor(0.9), std::domain_error);
+  EXPECT_THROW(m.variation_factor(0.0, -1.0), std::domain_error);
+}
+
+TEST(AlphaPower, DelayDecreasesWithSizeIncreasesWithLoad) {
+  AlphaPowerModel m{Technology{}};
+  const double d1 = m.nominal_delay(GateKind::kNot, 1.0, 4.0);
+  const double d2 = m.nominal_delay(GateKind::kNot, 2.0, 4.0);
+  const double d3 = m.nominal_delay(GateKind::kNot, 1.0, 8.0);
+  EXPECT_LT(d2, d1);
+  EXPECT_GT(d3, d1);
+  EXPECT_THROW(m.nominal_delay(GateKind::kNot, 0.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(AlphaPower, SensitivityMatchesFiniteDifference) {
+  AlphaPowerModel m{Technology{}};
+  const double d0 = m.nominal_delay(GateKind::kNand2, 2.0, 6.0);
+  const double eps = 1e-5;
+  const double fd =
+      (m.delay(GateKind::kNand2, 2.0, 6.0, eps) - d0) / eps;
+  EXPECT_NEAR(m.dvth_sensitivity(GateKind::kNand2, 2.0, 6.0), fd,
+              std::abs(fd) * 1e-3);
+}
+
+TEST(AlphaPower, SigmaDecompositionRespectsSpec) {
+  AlphaPowerModel m{Technology{}};
+  const auto s_intra =
+      m.delay_sigmas(GateKind::kNot, 1.0, 4.0, VariationSpec::intra_only());
+  EXPECT_EQ(s_intra.inter, 0.0);
+  EXPECT_GT(s_intra.random, 0.0);
+
+  const auto s_inter = m.delay_sigmas(GateKind::kNot, 1.0, 4.0,
+                                      VariationSpec::inter_only(0.040));
+  EXPECT_GT(s_inter.inter, 0.0);
+  EXPECT_EQ(s_inter.random, 0.0);
+  EXPECT_NEAR(s_inter.total(), s_inter.inter, 1e-15);
+}
+
+TEST(AlphaPower, UpsizingShrinksRandomSigma) {
+  AlphaPowerModel m{Technology{}};
+  const auto spec = VariationSpec::intra_only();
+  // Compare relative (per-ps) random sigma: RDF falls as 1/sqrt(size).
+  const auto s1 = m.delay_sigmas(GateKind::kNot, 1.0, 4.0, spec);
+  const auto s4 = m.delay_sigmas(GateKind::kNot, 4.0, 4.0, spec);
+  const double rel1 = s1.random / m.nominal_delay(GateKind::kNot, 1.0, 4.0);
+  const double rel4 = s4.random / m.nominal_delay(GateKind::kNot, 4.0, 4.0);
+  EXPECT_NEAR(rel1 / rel4, 2.0, 1e-9);
+}
+
+// ------------------------------------------------------------------- latch
+
+TEST(Latch, OverheadScalesWithVth) {
+  AlphaPowerModel m{Technology{}};
+  sp::device::LatchModel latch({}, m);
+  const double nominal = latch.timing().nominal_overhead();
+  EXPECT_DOUBLE_EQ(latch.overhead_at(0.0), nominal);
+  EXPECT_GT(latch.overhead_at(0.040), nominal);
+}
+
+TEST(Latch, DistributionDecomposition) {
+  AlphaPowerModel m{Technology{}};
+  sp::device::LatchModel latch({}, m);
+  const auto d = latch.overhead_distribution(VariationSpec::inter_only(0.040));
+  EXPECT_DOUBLE_EQ(d.mean, latch.timing().nominal_overhead());
+  EXPECT_GT(d.sigma, 0.0);
+  // With no inter-die variation only the private component remains.
+  const auto d0 = latch.overhead_distribution(VariationSpec::intra_only());
+  EXPECT_NEAR(d0.sigma,
+              latch.timing().nominal_overhead() *
+                  latch.timing().random_sigma_rel,
+              1e-12);
+  EXPECT_LT(d0.sigma, d.sigma);
+}
+
+TEST(Latch, SampledOverheadMatchesDistribution) {
+  AlphaPowerModel m{Technology{}};
+  sp::device::LatchModel latch({}, m);
+  sp::stats::Rng rng(77);
+  sp::stats::RunningStats rs;
+  for (int i = 0; i < 20000; ++i) rs.add(latch.sample_overhead(0.0, rng));
+  EXPECT_NEAR(rs.mean(), latch.timing().nominal_overhead(), 0.05);
+  EXPECT_NEAR(rs.stddev(),
+              latch.timing().nominal_overhead() *
+                  latch.timing().random_sigma_rel,
+              0.02);
+}

@@ -1,0 +1,245 @@
+// Unit tests for deterministic STA, canonical-form SSTA and stage
+// characterization, cross-validated against gate-level Monte-Carlo.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/delay_model.h"
+#include "netlist/generators.h"
+#include "process/variation.h"
+#include "sta/characterize.h"
+#include "sta/ssta.h"
+#include "sta/sta.h"
+#include "stats/descriptive.h"
+
+namespace sp = statpipe;
+using sp::device::AlphaPowerModel;
+using sp::device::GateKind;
+using sp::process::Technology;
+using sp::process::VariationSpec;
+
+namespace {
+
+AlphaPowerModel model() { return AlphaPowerModel{Technology{}}; }
+
+}  // namespace
+
+// --------------------------------------------------------------------- STA
+
+TEST(Sta, InverterChainDelayIsSumOfStages) {
+  const auto nl = sp::netlist::inverter_chain(5);
+  const auto m = model();
+  const auto r = sp::sta::analyze(nl, m);
+  // Interior inverters drive one inverter (load 1); the last drives the
+  // output load 2.  d = tau*(p + load/size), p=1, tau from tech.
+  const double tau = m.technology().tau_ps;
+  const double expect = 4 * tau * (1.0 + 1.0) + tau * (1.0 + 2.0);
+  EXPECT_NEAR(r.critical_delay, expect, 1e-9);
+}
+
+TEST(Sta, ArrivalMonotoneAlongChain) {
+  const auto nl = sp::netlist::inverter_chain(8);
+  const auto r = sp::sta::analyze(nl, model());
+  double prev = -1.0;
+  for (auto id : nl.topological_order()) {
+    EXPECT_GE(r.arrival[id], prev - 1e-12);
+    prev = r.arrival[id];
+  }
+}
+
+TEST(Sta, CriticalPathEndsAtCriticalOutput) {
+  const auto nl = sp::netlist::iscas_like("c432");
+  const auto m = model();
+  const auto r = sp::sta::analyze(nl, m);
+  const auto path = r.critical_path(nl, m);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.back(), r.critical_output);
+  // Path arrival is non-decreasing.
+  for (std::size_t i = 1; i < path.size(); ++i)
+    EXPECT_GE(r.arrival[path[i]], r.arrival[path[i - 1]]);
+}
+
+TEST(Sta, UpsizedCircuitIsFaster) {
+  auto nl = sp::netlist::iscas_like("c432");
+  const auto m = model();
+  const double d1 = sp::sta::analyze(nl, m).critical_delay;
+  // Uniform upsizing speeds up the output stage (fixed external load).
+  nl.scale_sizes(2.0);
+  const double d2 = sp::sta::analyze(nl, m).critical_delay;
+  EXPECT_LT(d2, d1);
+}
+
+TEST(Sta, SampleWithZeroShiftEqualsNominal) {
+  const auto nl = sp::netlist::inverter_chain(6);
+  const auto m = model();
+  sp::process::DieSample die;  // all-zero shifts
+  const auto r0 = sp::sta::analyze(nl, m);
+  const auto r1 = sp::sta::analyze_sample(nl, m, die);
+  EXPECT_NEAR(r0.critical_delay, r1.critical_delay, 1e-12);
+}
+
+TEST(Sta, SlowDieIsSlower) {
+  const auto nl = sp::netlist::inverter_chain(6);
+  const auto m = model();
+  sp::process::DieSample die;
+  die.dvth_inter = 0.040;
+  EXPECT_GT(sp::sta::analyze_sample(nl, m, die).critical_delay,
+            sp::sta::analyze(nl, m).critical_delay);
+}
+
+TEST(Sta, ThrowsWithoutOutputs) {
+  sp::netlist::Netlist empty("empty");
+  empty.add_input("a");
+  EXPECT_THROW(sp::sta::analyze(empty, model()), std::logic_error);
+}
+
+// -------------------------------------------------------------------- SSTA
+
+TEST(Ssta, CanonicalArithmetic) {
+  const sp::sta::CanonicalDelay a{10.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.sigma(), 5.0);
+  const sp::sta::CanonicalDelay b{5.0, 1.0, 0.0};
+  const auto s = a + b;
+  EXPECT_DOUBLE_EQ(s.mu, 15.0);
+  EXPECT_DOUBLE_EQ(s.b_inter, 4.0);
+  EXPECT_DOUBLE_EQ(s.sigma_ind, 4.0);
+}
+
+TEST(Ssta, CorrelationFromSharedComponent) {
+  const sp::sta::CanonicalDelay a{0.0, 3.0, 4.0};  // sigma 5
+  const sp::sta::CanonicalDelay b{0.0, 4.0, 3.0};  // sigma 5
+  EXPECT_NEAR(a.correlation(b), 12.0 / 25.0, 1e-12);
+}
+
+TEST(Ssta, MaxPreservesTotalVariance) {
+  const sp::sta::CanonicalDelay a{10.0, 2.0, 1.0};
+  const sp::sta::CanonicalDelay b{11.0, 1.5, 2.0};
+  const auto m = sp::sta::canonical_max(a, b);
+  // Total sigma of the canonical result equals the Clark sigma.
+  const auto cm = sp::stats::clark_max(a.as_gaussian(), b.as_gaussian(),
+                                       a.correlation(b));
+  EXPECT_NEAR(m.mu, cm.max.mean, 1e-12);
+  EXPECT_NEAR(m.sigma(), cm.max.sigma, 1e-9);
+}
+
+TEST(Ssta, ChainMeanMatchesDeterministicSta) {
+  const auto nl = sp::netlist::inverter_chain(10);
+  const auto m = model();
+  const auto spec = VariationSpec::intra_only();
+  const auto d = sp::sta::analyze_ssta(nl, m, spec);
+  // First-order SSTA mean of a single chain equals the nominal delay
+  // (no max operations on a chain).
+  EXPECT_NEAR(d.mu, sp::sta::analyze(nl, m).critical_delay, 1e-9);
+}
+
+TEST(Ssta, InterOnlyChainSigmaMatchesAnalytic) {
+  const auto nl = sp::netlist::inverter_chain(10);
+  const auto m = model();
+  const auto spec = VariationSpec::inter_only(0.040);
+  const auto d = sp::sta::analyze_ssta(nl, m, spec);
+  // Inter-only: every gate shifts together; sigma = sens_total * sigma_vth.
+  EXPECT_EQ(d.sigma_ind, 0.0);
+  EXPECT_NEAR(d.b_inter,
+              d.mu * m.technology().alpha /
+                  (m.technology().vdd - m.technology().vth0) * 0.040,
+              1e-9);
+}
+
+TEST(Ssta, AgreesWithMonteCarloOnChain) {
+  const auto nl = sp::netlist::inverter_chain(12);
+  const auto m = model();
+  const auto spec = VariationSpec::inter_intra(0.020, 0.010, 0.5);
+  const auto d = sp::sta::analyze_ssta(nl, m, spec);
+
+  sp::stats::Rng rng(21);
+  sp::sta::CharacterizeOptions co;
+  co.mc_samples = 8000;
+  const auto mc = sp::sta::characterize_mc(nl, m, spec, rng, co);
+
+  EXPECT_NEAR(d.mu, mc.delay.mean, 0.02 * mc.delay.mean);
+  EXPECT_NEAR(d.sigma(), mc.delay.sigma, 0.15 * mc.delay.sigma);
+}
+
+TEST(Ssta, AgreesWithMonteCarloOnDag) {
+  const auto nl = sp::netlist::iscas_like("c432");
+  const auto m = model();
+  const auto spec = VariationSpec::inter_intra(0.020, 0.0, 0.5);
+  const auto d = sp::sta::analyze_ssta(nl, m, spec);
+
+  sp::stats::Rng rng(22);
+  sp::sta::CharacterizeOptions co;
+  co.mc_samples = 4000;
+  const auto mc = sp::sta::characterize_mc(nl, m, spec, rng, co);
+
+  // Reconvergent fanout makes first-order SSTA approximate; require the
+  // mean within 3% and sigma within 25%.
+  EXPECT_NEAR(d.mu, mc.delay.mean, 0.03 * mc.delay.mean);
+  EXPECT_NEAR(d.sigma(), mc.delay.sigma, 0.25 * mc.delay.sigma);
+}
+
+// --------------------------------------------------------- characterization
+
+TEST(Characterize, InterOnlySplitsAllSigmaToShared) {
+  const auto nl = sp::netlist::inverter_chain(8);
+  const auto m = model();
+  sp::stats::Rng rng(31);
+  sp::sta::CharacterizeOptions co;
+  co.mc_samples = 4000;
+  const auto c = sp::sta::characterize_mc(
+      nl, m, VariationSpec::inter_only(0.040), rng, co);
+  EXPECT_GT(c.sigma_inter, 0.0);
+  EXPECT_NEAR(c.sigma_private / c.delay.sigma, 0.0, 0.1);
+}
+
+TEST(Characterize, IntraOnlySplitsAllSigmaToPrivate) {
+  const auto nl = sp::netlist::inverter_chain(8);
+  const auto m = model();
+  sp::stats::Rng rng(32);
+  sp::sta::CharacterizeOptions co;
+  co.mc_samples = 4000;
+  const auto c =
+      sp::sta::characterize_mc(nl, m, VariationSpec::intra_only(), rng, co);
+  EXPECT_EQ(c.sigma_inter, 0.0);
+  EXPECT_NEAR(c.sigma_private, c.delay.sigma, 1e-12);
+}
+
+TEST(Characterize, SstaAndMcAgree) {
+  const auto nl = sp::netlist::inverter_chain(10);
+  const auto m = model();
+  const auto spec = VariationSpec::inter_intra(0.020, 0.010, 0.5);
+  sp::stats::Rng rng(33);
+  sp::sta::CharacterizeOptions co;
+  co.mc_samples = 6000;
+  const auto a = sp::sta::characterize_ssta(nl, m, spec, co);
+  const auto b = sp::sta::characterize_mc(nl, m, spec, rng, co);
+  EXPECT_NEAR(a.delay.mean, b.delay.mean, 0.02 * b.delay.mean);
+  EXPECT_NEAR(a.delay.sigma, b.delay.sigma, 0.2 * b.delay.sigma);
+  EXPECT_DOUBLE_EQ(a.area, b.area);
+}
+
+TEST(Characterize, LogicDepthReducesVariability) {
+  // The paper's Fig. 5(a): with random intra-die variation only, deeper
+  // logic averages out gate-level randomness.
+  const auto m = model();
+  const auto spec = VariationSpec::intra_only();
+  sp::sta::CharacterizeOptions co;
+  const auto shallow = sp::sta::characterize_ssta(
+      sp::netlist::inverter_chain(5), m, spec, co);
+  const auto deep = sp::sta::characterize_ssta(
+      sp::netlist::inverter_chain(40), m, spec, co);
+  EXPECT_GT(shallow.delay.sigma / shallow.delay.mean,
+            deep.delay.sigma / deep.delay.mean);
+}
+
+TEST(Characterize, InterDieVariabilityFlatWithDepth) {
+  // Fig. 5(a), inter-only series: variability independent of logic depth.
+  const auto m = model();
+  const auto spec = VariationSpec::inter_only(0.040);
+  sp::sta::CharacterizeOptions co;
+  const auto shallow = sp::sta::characterize_ssta(
+      sp::netlist::inverter_chain(5), m, spec, co);
+  const auto deep = sp::sta::characterize_ssta(
+      sp::netlist::inverter_chain(40), m, spec, co);
+  EXPECT_NEAR(shallow.delay.sigma / shallow.delay.mean,
+              deep.delay.sigma / deep.delay.mean, 1e-6);
+}

@@ -1,0 +1,450 @@
+// Unit tests for the stats substrate: Gaussian primitives, Clark's
+// operator, matrices, samplers, histograms, KS distance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/clark.h"
+#include "stats/descriptive.h"
+#include "stats/gaussian.h"
+#include "stats/histogram.h"
+#include "stats/ks.h"
+#include "stats/matrix.h"
+#include "stats/rng.h"
+
+namespace sp = statpipe::stats;
+
+// ---------------------------------------------------------------- Gaussian
+
+TEST(Gaussian, PdfMatchesKnownValues) {
+  EXPECT_NEAR(sp::normal_pdf(0.0), 0.3989422804014327, 1e-15);
+  EXPECT_NEAR(sp::normal_pdf(1.0), 0.24197072451914337, 1e-15);
+  EXPECT_NEAR(sp::normal_pdf(-1.0), sp::normal_pdf(1.0), 1e-18);
+}
+
+TEST(Gaussian, CdfMatchesKnownValues) {
+  EXPECT_NEAR(sp::normal_cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(sp::normal_cdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(sp::normal_cdf(-1.96), 0.024997895148220435, 1e-12);
+  EXPECT_NEAR(sp::normal_cdf(6.0), 1.0 - 9.865876e-10, 1e-12);
+}
+
+TEST(Gaussian, SfIsComplementAndTailAccurate) {
+  EXPECT_NEAR(sp::normal_sf(1.0), 1.0 - sp::normal_cdf(1.0), 1e-15);
+  // Deep tail: Phi(-10) ~ 7.62e-24; naive 1-Phi(10) would round to 0.
+  EXPECT_NEAR(sp::normal_sf(10.0) / 7.619853024160527e-24, 1.0, 1e-9);
+}
+
+TEST(Gaussian, IcdfRoundTrips) {
+  for (double p : {1e-9, 1e-4, 0.01, 0.2, 0.5, 0.8, 0.9283, 0.99, 1.0 - 1e-9}) {
+    const double x = sp::normal_icdf(p);
+    EXPECT_NEAR(sp::normal_cdf(x), p, 1e-12) << "p=" << p;
+  }
+}
+
+TEST(Gaussian, IcdfKnownQuantiles) {
+  EXPECT_NEAR(sp::normal_icdf(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(sp::normal_icdf(0.8413447460685429), 1.0, 1e-9);
+  EXPECT_NEAR(sp::normal_icdf(0.975), 1.959963984540054, 1e-9);
+}
+
+TEST(Gaussian, IcdfRejectsOutOfDomain) {
+  EXPECT_THROW(sp::normal_icdf(0.0), std::domain_error);
+  EXPECT_THROW(sp::normal_icdf(1.0), std::domain_error);
+  EXPECT_THROW(sp::normal_icdf(-0.3), std::domain_error);
+  EXPECT_THROW(sp::normal_icdf(1.7), std::domain_error);
+}
+
+TEST(Gaussian, StructOperations) {
+  const sp::Gaussian a{10.0, 3.0}, b{20.0, 4.0};
+  const auto s = a + b;
+  EXPECT_DOUBLE_EQ(s.mean, 30.0);
+  EXPECT_DOUBLE_EQ(s.sigma, 5.0);
+  const auto sc = 2.0 * a;
+  EXPECT_DOUBLE_EQ(sc.mean, 20.0);
+  EXPECT_DOUBLE_EQ(sc.sigma, 6.0);
+  const auto sh = a + 5.0;
+  EXPECT_DOUBLE_EQ(sh.mean, 15.0);
+  EXPECT_DOUBLE_EQ(sh.sigma, 3.0);
+  EXPECT_NEAR(a.cdf(10.0), 0.5, 1e-15);
+  EXPECT_NEAR(a.quantile(0.5), 10.0, 1e-12);
+  EXPECT_NEAR(a.variability(), 0.3, 1e-15);
+}
+
+TEST(Gaussian, IidSumMatchesInverterChainRelation) {
+  // eq. (13): mu = NL*mu_min, sigma = sqrt(NL)*sigma_min.
+  const sp::Gaussian unit{4.0, 0.5};
+  const auto chain = sp::iid_sum(unit, 16.0);
+  EXPECT_DOUBLE_EQ(chain.mean, 64.0);
+  EXPECT_DOUBLE_EQ(chain.sigma, 2.0);
+}
+
+TEST(Gaussian, DegenerateSigmaCdf) {
+  const sp::Gaussian d{5.0, 0.0};
+  EXPECT_DOUBLE_EQ(d.cdf(4.999), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(5.0), 1.0);
+}
+
+// ---------------------------------------------------------------- Clark op
+
+TEST(Clark, EqualIndependentVariables) {
+  // max of two iid N(0,1): mean = 1/sqrt(pi), var = 1 - 1/pi (exact).
+  const auto cm = sp::clark_max({0.0, 1.0}, {0.0, 1.0}, 0.0);
+  EXPECT_NEAR(cm.max.mean, 1.0 / std::sqrt(M_PI), 1e-12);
+  EXPECT_NEAR(cm.max.sigma * cm.max.sigma, 1.0 - 1.0 / M_PI, 1e-12);
+}
+
+TEST(Clark, DominantVariableWins) {
+  // When X1 >> X2 the max is X1.
+  const auto cm = sp::clark_max({100.0, 1.0}, {0.0, 1.0}, 0.0);
+  EXPECT_NEAR(cm.max.mean, 100.0, 1e-9);
+  EXPECT_NEAR(cm.max.sigma, 1.0, 1e-9);
+}
+
+TEST(Clark, PerfectlyCorrelatedEqualSigmaIsExact) {
+  // rho=1, equal sigma: X1-X2 deterministic, max = larger-mean input.
+  const auto cm = sp::clark_max({10.0, 2.0}, {12.0, 2.0}, 1.0);
+  EXPECT_DOUBLE_EQ(cm.max.mean, 12.0);
+  EXPECT_DOUBLE_EQ(cm.max.sigma, 2.0);
+}
+
+TEST(Clark, SymmetricInArguments) {
+  const auto ab = sp::clark_max({5.0, 1.0}, {6.0, 2.0}, 0.3);
+  const auto ba = sp::clark_max({6.0, 2.0}, {5.0, 1.0}, 0.3);
+  EXPECT_NEAR(ab.max.mean, ba.max.mean, 1e-12);
+  EXPECT_NEAR(ab.max.sigma, ba.max.sigma, 1e-12);
+}
+
+TEST(Clark, MeanAboveJensenLowerBound) {
+  // E[max] >= max(E[X1], E[X2]) (eq. 3).
+  const auto cm = sp::clark_max({10.0, 2.0}, {10.5, 3.0}, 0.2);
+  EXPECT_GE(cm.max.mean, 10.5);
+}
+
+TEST(Clark, CorrelationIncreasesReducesMaxMean) {
+  // More correlation -> less independent "spread" -> smaller E[max].
+  double prev = 1e9;
+  for (double rho : {0.0, 0.3, 0.6, 0.9}) {
+    const auto cm = sp::clark_max({10.0, 2.0}, {10.0, 2.0}, rho);
+    EXPECT_LT(cm.max.mean, prev);
+    prev = cm.max.mean;
+  }
+}
+
+TEST(Clark, RejectsBadInputs) {
+  EXPECT_THROW(sp::clark_max({0.0, -1.0}, {0.0, 1.0}, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(sp::clark_max({0.0, 1.0}, {0.0, 1.0}, 1.5),
+               std::invalid_argument);
+}
+
+TEST(Clark, NWayMatchesPairwiseForTwo) {
+  const std::vector<sp::Gaussian> v{{10.0, 2.0}, {11.0, 1.5}};
+  const auto m2 = sp::clark_max_n(v);
+  const auto cm = sp::clark_max(v[0], v[1], 0.0);
+  EXPECT_NEAR(m2.mean, cm.max.mean, 1e-12);
+  EXPECT_NEAR(m2.sigma, cm.max.sigma, 1e-12);
+}
+
+TEST(Clark, NWaySingleVariableIsIdentity) {
+  const std::vector<sp::Gaussian> v{{7.0, 0.5}};
+  const auto m = sp::clark_max_n(v);
+  EXPECT_DOUBLE_EQ(m.mean, 7.0);
+  EXPECT_DOUBLE_EQ(m.sigma, 0.5);
+}
+
+TEST(Clark, NWayPerfectCorrelationEqualStages) {
+  // N identical, perfectly correlated stages: max == any one stage.
+  const std::vector<sp::Gaussian> v(5, sp::Gaussian{40.0, 6.0});
+  const auto m = sp::clark_max_n(v, sp::uniform_correlation(5, 1.0));
+  EXPECT_NEAR(m.mean, 40.0, 1e-9);
+  EXPECT_NEAR(m.sigma, 6.0, 1e-9);
+}
+
+TEST(Clark, NWayAgainstMonteCarlo_Independent) {
+  const std::vector<sp::Gaussian> v{
+      {40.0, 3.0}, {42.0, 2.0}, {39.0, 4.0}, {41.0, 2.5}, {40.5, 3.5}};
+  const auto analytic = sp::clark_max_n(v);
+
+  sp::Rng rng(42);
+  sp::RunningStats rs;
+  for (int i = 0; i < 200000; ++i) {
+    double mx = -1e300;
+    for (const auto& g : v) mx = std::max(mx, rng.normal(g.mean, g.sigma));
+    rs.add(mx);
+  }
+  EXPECT_NEAR(analytic.mean, rs.mean(), 0.05);
+  // Heterogeneous sigmas (2..4 ps) stress the Gaussian-max assumption; the
+  // sigma error is larger than the paper's homogeneous configs (Fig. 3).
+  EXPECT_NEAR(analytic.sigma, rs.stddev(), 0.08 * rs.stddev());
+}
+
+TEST(Clark, NWayAgainstMonteCarlo_HomogeneousSigma) {
+  // The paper's configurations: equal stage sigmas.  Error < ~3% (Fig 3a).
+  std::vector<sp::Gaussian> v;
+  for (int i = 0; i < 8; ++i) v.push_back({40.0 + 0.5 * i, 3.0});
+  const auto analytic = sp::clark_max_n(v);
+
+  sp::Rng rng(99);
+  sp::RunningStats rs;
+  for (int i = 0; i < 300000; ++i) {
+    double mx = -1e300;
+    for (const auto& g : v) mx = std::max(mx, rng.normal(g.mean, g.sigma));
+    rs.add(mx);
+  }
+  EXPECT_NEAR(analytic.mean, rs.mean(), 0.002 * rs.mean());
+  // Clark underestimates sigma when many near-equal variables overlap; the
+  // paper's own Table I shows the same bias (model 2.72 vs MC 3.27 for the
+  // 5x8 config, -17%).  Bound the error rather than expect a perfect match.
+  EXPECT_NEAR(analytic.sigma, rs.stddev(), 0.06 * rs.stddev());
+}
+
+TEST(Clark, NWayAgainstMonteCarlo_Correlated) {
+  const std::vector<sp::Gaussian> v{
+      {40.0, 3.0}, {42.0, 2.0}, {39.0, 4.0}, {41.0, 2.5}};
+  const auto corr = sp::uniform_correlation(4, 0.5);
+  const auto analytic = sp::clark_max_n(v, corr);
+
+  std::vector<double> means, sigmas;
+  for (const auto& g : v) {
+    means.push_back(g.mean);
+    sigmas.push_back(g.sigma);
+  }
+  sp::CorrelatedNormalSampler sampler(means, sigmas, corr);
+  sp::Rng rng(7);
+  sp::RunningStats rs;
+  for (int i = 0; i < 200000; ++i) {
+    const auto x = sampler.sample(rng);
+    rs.add(*std::max_element(x.begin(), x.end()));
+  }
+  EXPECT_NEAR(analytic.mean, rs.mean(), 0.05);
+  // sigma error grows with correlation (paper Fig. 3b); allow 3%.
+  EXPECT_NEAR(analytic.sigma, rs.stddev(), 0.03 * rs.stddev() + 0.02);
+}
+
+TEST(Clark, OrderingPolicyChangesResultOnlySlightly) {
+  std::vector<sp::Gaussian> v;
+  for (int i = 0; i < 12; ++i)
+    v.push_back({40.0 + i * 0.7, 2.0 + 0.1 * (i % 4)});
+  const auto inc = sp::clark_max_n(v, sp::ClarkOrdering::kIncreasingMean);
+  const auto dec = sp::clark_max_n(v, sp::ClarkOrdering::kDecreasingMean);
+  const auto doc = sp::clark_max_n(v, sp::ClarkOrdering::kAsGiven);
+  EXPECT_NEAR(inc.mean, dec.mean, 0.1);
+  EXPECT_NEAR(inc.mean, doc.mean, 0.1);
+  EXPECT_NEAR(inc.sigma, doc.sigma, 0.1);
+}
+
+TEST(Clark, EmptyInputThrows) {
+  EXPECT_THROW(sp::clark_max_n({}), std::invalid_argument);
+}
+
+// Property sweep: Clark mean must always dominate the Jensen bound and be
+// below the sum-based upper bound, for a grid of (spread, rho).
+class ClarkProperty : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(ClarkProperty, JensenAndUpperBoundsHold) {
+  const auto [spread, rho] = GetParam();
+  std::vector<sp::Gaussian> v;
+  for (int i = 0; i < 6; ++i) v.push_back({50.0 + spread * i, 3.0});
+  const auto corr = sp::uniform_correlation(6, rho);
+  const auto m = sp::clark_max_n(v, corr);
+  double mu_max = 0.0, mu_sum = 0.0;
+  for (const auto& g : v) {
+    mu_max = std::max(mu_max, g.mean);
+    mu_sum += g.mean + g.sigma;  // crude but valid upper bound on E[max]
+  }
+  EXPECT_GE(m.mean, mu_max - 1e-9);
+  EXPECT_LE(m.mean, mu_sum);
+  EXPECT_GE(m.sigma, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SpreadRhoGrid, ClarkProperty,
+    ::testing::Combine(::testing::Values(0.0, 0.5, 2.0, 10.0),
+                       ::testing::Values(0.0, 0.2, 0.5, 0.8, 0.99)));
+
+// ---------------------------------------------------------------- matrices
+
+TEST(Matrix, CholeskyOfIdentity) {
+  const auto l = sp::cholesky(sp::Matrix::identity(4));
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      EXPECT_NEAR(l(i, j), i == j ? 1.0 : 0.0, 1e-15);
+}
+
+TEST(Matrix, CholeskyReconstructs) {
+  auto a = sp::uniform_correlation(5, 0.4);
+  const auto l = sp::cholesky(a);
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 5; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < 5; ++k) s += l(i, k) * l(j, k);
+      EXPECT_NEAR(s, a(i, j), 1e-12);
+    }
+}
+
+TEST(Matrix, CholeskyRejectsIndefinite) {
+  sp::Matrix m(2);
+  m(0, 0) = 1.0;
+  m(1, 1) = 1.0;
+  m(0, 1) = m(1, 0) = 1.5;  // |rho| > 1: indefinite
+  EXPECT_THROW(sp::cholesky(m), std::domain_error);
+}
+
+TEST(Matrix, CholeskyPsdHandlesPerfectCorrelation) {
+  const auto m = sp::uniform_correlation(4, 1.0);
+  EXPECT_NO_THROW(sp::cholesky_psd(m));
+}
+
+TEST(Matrix, UniformCorrelationBounds) {
+  EXPECT_THROW(sp::uniform_correlation(3, 1.2), std::invalid_argument);
+  EXPECT_THROW(sp::uniform_correlation(3, -0.9), std::invalid_argument);
+  EXPECT_NO_THROW(sp::uniform_correlation(3, -0.4));
+}
+
+TEST(Matrix, SpatialCorrelationDecays) {
+  const auto m = sp::spatial_correlation({0.0, 0.5, 1.0}, 0.5);
+  EXPECT_NEAR(m(0, 1), std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(m(0, 2), std::exp(-2.0), 1e-12);
+  EXPECT_GT(m(0, 1), m(0, 2));
+  EXPECT_TRUE(sp::is_valid_correlation(m));
+}
+
+TEST(Matrix, ValidityChecks) {
+  EXPECT_TRUE(sp::is_valid_correlation(sp::uniform_correlation(6, 0.3)));
+  sp::Matrix bad(2);
+  bad(0, 0) = 1.0;
+  bad(1, 1) = 2.0;  // diagonal != 1
+  bad(0, 1) = bad(1, 0) = 0.1;
+  EXPECT_FALSE(sp::is_valid_correlation(bad));
+}
+
+// ---------------------------------------------------------------- sampler
+
+TEST(Sampler, CorrelatedDrawsMatchTargetCorrelation) {
+  const auto corr = sp::uniform_correlation(3, 0.6);
+  sp::CorrelatedNormalSampler s({10.0, 20.0, 30.0}, {1.0, 2.0, 3.0}, corr);
+  sp::Rng rng(123);
+  std::vector<double> a, b, c;
+  for (int i = 0; i < 50000; ++i) {
+    const auto x = s.sample(rng);
+    a.push_back(x[0]);
+    b.push_back(x[1]);
+    c.push_back(x[2]);
+  }
+  EXPECT_NEAR(sp::mean(a), 10.0, 0.05);
+  EXPECT_NEAR(sp::stddev(b), 2.0, 0.05);
+  EXPECT_NEAR(sp::pearson(a, b), 0.6, 0.02);
+  EXPECT_NEAR(sp::pearson(a, c), 0.6, 0.02);
+}
+
+TEST(Sampler, SizeMismatchThrows) {
+  EXPECT_THROW(sp::CorrelatedNormalSampler({1.0}, {1.0, 2.0},
+                                           sp::Matrix::identity(2)),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------- descriptive
+
+TEST(Descriptive, RunningStatsMatchesBatch) {
+  sp::Rng rng(5);
+  std::vector<double> xs;
+  sp::RunningStats rs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    xs.push_back(x);
+    rs.add(x);
+  }
+  EXPECT_NEAR(rs.mean(), sp::mean(xs), 1e-12);
+  EXPECT_NEAR(rs.variance(), sp::variance(xs), 1e-9);
+}
+
+TEST(Descriptive, RunningStatsMerge) {
+  sp::Rng rng(6);
+  sp::RunningStats all, a, b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal();
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Descriptive, QuantileInterpolates) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(sp::quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(sp::quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(sp::quantile(xs, 0.5), 2.5);
+}
+
+TEST(Descriptive, EmpiricalCdfCountsInclusive) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(sp::empirical_cdf_at(xs, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(sp::empirical_cdf_at(xs, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(sp::empirical_cdf_at(xs, 9.0), 1.0);
+}
+
+TEST(Descriptive, ProportionStderr) {
+  EXPECT_NEAR(sp::proportion_stderr(0.5, 10000), 0.005, 1e-12);
+  EXPECT_THROW(sp::proportion_stderr(0.5, 0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- histogram
+
+TEST(Histogram, BinsAndDensity) {
+  sp::Histogram h(0.0, 10.0, 10);
+  for (double x : {0.5, 1.5, 1.7, 9.5, 100.0 /*clamped*/}) h.add(x);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(9), 2u);  // 9.5 and the clamped 100.0
+  double integral = 0.0;
+  for (std::size_t i = 0; i < h.bins(); ++i)
+    integral += h.density(i) * h.bin_width();
+  EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(Histogram, FromSamplesCoversRange) {
+  sp::Rng rng(9);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.normal(50.0, 5.0));
+  const auto h = sp::Histogram::from_samples(xs, 32);
+  EXPECT_EQ(h.total(), xs.size());
+  EXPECT_LT(h.lo(), *std::min_element(xs.begin(), xs.end()));
+  EXPECT_GT(h.hi(), *std::max_element(xs.begin(), xs.end()));
+}
+
+TEST(Histogram, CsvHasHeaderAndRows) {
+  sp::Histogram h(0.0, 1.0, 4);
+  h.add(0.1);
+  const auto csv = h.to_csv("unit");
+  EXPECT_NE(csv.find("center,count,density"), std::string::npos);
+  EXPECT_NE(csv.find("# histogram unit"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- KS
+
+TEST(Ks, GaussianSampleHasSmallDistance) {
+  sp::Rng rng(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.normal(100.0, 7.0));
+  EXPECT_LT(sp::ks_distance(xs, sp::Gaussian{100.0, 7.0}), 0.015);
+  // Against the wrong Gaussian the distance is large.
+  EXPECT_GT(sp::ks_distance(xs, sp::Gaussian{110.0, 7.0}), 0.3);
+}
+
+TEST(Ks, TwoSampleSelfDistanceSmall) {
+  sp::Rng rng(13);
+  std::vector<double> a, b;
+  for (int i = 0; i < 10000; ++i) {
+    a.push_back(rng.normal());
+    b.push_back(rng.normal());
+  }
+  EXPECT_LT(sp::ks_distance(a, b), 0.03);
+}
