@@ -12,6 +12,8 @@
 #include "mc/pipeline_mc.h"
 #include "netlist/generators.h"
 #include "opt/sizer.h"
+#include "sim/engine.h"
+#include "sim/thread_pool.h"
 #include "sta/ssta.h"
 #include "sta/sta.h"
 #include "stats/clark.h"
@@ -112,6 +114,55 @@ static void BM_StageLevelMcSample(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1024);
 }
 BENCHMARK(BM_StageLevelMcSample);
+
+// Sharded Monte-Carlo at 1 / 2 / N worker threads: the samples/sec scaling
+// figure of the parallel engine.  Same seed at every width — the runs are
+// bitwise-identical by construction; only wall-clock changes.  items/sec is
+// the metric to compare across the /threads:N variants.
+static void BM_GateLevelMcSharded(benchmark::State& state) {
+  static const auto stages = [] {
+    std::vector<sp::netlist::Netlist> s;
+    for (int i = 0; i < 5; ++i) s.push_back(sp::netlist::inverter_chain(24));
+    return s;
+  }();
+  std::vector<const sp::netlist::Netlist*> views;
+  for (const auto& s : stages) views.push_back(&s);
+  const sp::device::LatchModel latch{{}, model()};
+  sp::mc::GateLevelMonteCarlo mc(views, model(), spec(), latch);
+  sp::sim::ExecutionOptions exec;
+  exec.threads = static_cast<std::size_t>(state.range(0));
+  exec.samples_per_shard = 128;
+  constexpr std::size_t kSamples = 4096;
+  sp::stats::Rng rng(1);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(mc.run(kSamples, rng, exec).tp_samples);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kSamples));
+  state.counters["pool_threads"] = static_cast<double>(
+      sp::sim::resolve_threads(exec.threads));
+}
+BENCHMARK(BM_GateLevelMcSharded)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+static void BM_StageLevelMcSharded(benchmark::State& state) {
+  std::vector<sp::core::StageModel> s;
+  for (int i = 0; i < 8; ++i)
+    s.emplace_back("s", sp::stats::Gaussian{100.0, 5.0}, 2.0, 0.0);
+  const sp::core::PipelineModel p(std::move(s), {});
+  sp::mc::StageLevelMonteCarlo mc(p);
+  sp::sim::ExecutionOptions exec;
+  exec.threads = static_cast<std::size_t>(state.range(0));
+  exec.samples_per_shard = 4096;
+  constexpr std::size_t kSamples = 1 << 16;
+  sp::stats::Rng rng(2);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(mc.run(kSamples, rng, exec).tp_samples);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kSamples));
+}
+BENCHMARK(BM_StageLevelMcSharded)->Arg(1)->Arg(2)->Arg(8)->UseRealTime();
 
 static void BM_SizerC432(benchmark::State& state) {
   for (auto _ : state) {

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "sim/engine.h"
+
 namespace statpipe::core {
 
 LatchOverhead latch_overhead_from(const device::LatchModel& latch,
@@ -25,14 +27,22 @@ PipelineModel build(const std::vector<const netlist::Netlist*>& stages,
                     const process::VariationSpec& spec, CharFn&& characterize) {
   if (stages.empty())
     throw std::invalid_argument("build_pipeline: no stages");
-  std::vector<StageModel> models;
-  models.reserve(stages.size());
+  // Validate and warm the lazy topological caches serially; the fan-out
+  // below then only reads shared netlists.
   for (const netlist::Netlist* nl : stages) {
     if (nl == nullptr)
       throw std::invalid_argument("build_pipeline: null stage netlist");
-    const sta::StageCharacterization c = characterize(*nl);
-    models.emplace_back(nl->name(), c.delay, c.sigma_inter, c.area);
+    (void)nl->topological_order();
   }
+  std::vector<sta::StageCharacterization> cs(stages.size());
+  sim::parallel_for(stages.size(), [&](std::size_t i) {
+    cs[i] = characterize(*stages[i], i);
+  });
+  std::vector<StageModel> models;
+  models.reserve(stages.size());
+  for (std::size_t i = 0; i < stages.size(); ++i)
+    models.emplace_back(stages[i]->name(), cs[i].delay, cs[i].sigma_inter,
+                        cs[i].area);
   return PipelineModel(std::move(models), latch_overhead_from(latch, spec));
 }
 
@@ -42,9 +52,10 @@ PipelineModel build_pipeline_ssta(
     const std::vector<const netlist::Netlist*>& stages,
     const device::AlphaPowerModel& model, const process::VariationSpec& spec,
     const device::LatchModel& latch, const sta::CharacterizeOptions& opt) {
-  return build(stages, latch, spec, [&](const netlist::Netlist& nl) {
-    return sta::characterize_ssta(nl, model, spec, opt);
-  });
+  return build(stages, latch, spec,
+               [&](const netlist::Netlist& nl, std::size_t) {
+                 return sta::characterize_ssta(nl, model, spec, opt);
+               });
 }
 
 PipelineModel build_pipeline_mc(
@@ -52,9 +63,14 @@ PipelineModel build_pipeline_mc(
     const device::AlphaPowerModel& model, const process::VariationSpec& spec,
     const device::LatchModel& latch, stats::Rng& rng,
     const sta::CharacterizeOptions& opt) {
-  return build(stages, latch, spec, [&](const netlist::Netlist& nl) {
-    return sta::characterize_mc(nl, model, spec, rng, opt);
-  });
+  // Counter-split the caller's Rng so each stage characterizes on its own
+  // stream regardless of execution order across pool workers.
+  const stats::Rng root = rng.fork();
+  return build(stages, latch, spec,
+               [&](const netlist::Netlist& nl, std::size_t i) {
+                 stats::Rng stage_rng = root.fork(i);
+                 return sta::characterize_mc(nl, model, spec, stage_rng, opt);
+               });
 }
 
 }  // namespace statpipe::core

@@ -2,20 +2,49 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace statpipe::mc {
 
+namespace {
+
+std::string run_name(const McResult& r) {
+  return r.label.empty() ? std::string("<unnamed>") : r.label;
+}
+
+}  // namespace
+
+void McResult::merge(McResult&& other) {
+  if (stage_stats.size() != other.stage_stats.size())
+    throw std::invalid_argument("McResult::merge: stage count mismatch (" +
+                                std::to_string(stage_stats.size()) + " vs " +
+                                std::to_string(other.stage_stats.size()) + ")");
+  if (label.empty()) label = std::move(other.label);
+  tp_samples.insert(tp_samples.end(), other.tp_samples.begin(),
+                    other.tp_samples.end());
+  for (std::size_t i = 0; i < stage_stats.size(); ++i)
+    stage_stats[i].merge(other.stage_stats[i]);
+}
+
 stats::Gaussian McResult::tp_estimate() const {
   if (tp_samples.size() < 2)
-    throw std::logic_error("McResult: too few samples");
+    throw std::logic_error("McResult::tp_estimate: run '" + run_name(*this) +
+                           "' has " + std::to_string(tp_samples.size()) +
+                           " sample(s); need >= 2");
   return {stats::mean(tp_samples), stats::stddev(tp_samples)};
 }
 
 double McResult::yield_at(double t_target) const {
+  if (tp_samples.empty())
+    throw std::logic_error("McResult::yield_at: run '" + run_name(*this) +
+                           "' is empty");
   return stats::empirical_cdf_at(tp_samples, t_target);
 }
 
 double McResult::yield_ci95(double t_target) const {
+  if (tp_samples.empty())
+    throw std::logic_error("McResult::yield_ci95: run '" + run_name(*this) +
+                           "' is empty");
   const double p = yield_at(t_target);
   return 1.96 * stats::proportion_stderr(p, tp_samples.size());
 }
@@ -44,15 +73,15 @@ StageLevelMonteCarlo::StageLevelMonteCarlo(const core::PipelineModel& model)
   }
 }
 
-McResult StageLevelMonteCarlo::run(std::size_t n_samples,
-                                   stats::Rng& rng) const {
-  if (n_samples == 0)
-    throw std::invalid_argument("StageLevelMonteCarlo: zero samples");
+McResult StageLevelMonteCarlo::run_shard(const sim::Shard& shard,
+                                         const stats::Rng& root) const {
+  stats::Rng rng = root.fork(shard.index);
   McResult r;
-  r.tp_samples.reserve(n_samples);
+  r.tp_samples.reserve(shard.count);
   r.stage_stats.resize(means_.size());
-  for (std::size_t k = 0; k < n_samples; ++k) {
-    const auto sd = sampler_.sample(rng);
+  std::vector<double> z, sd;  // per-shard batch buffers
+  for (std::size_t k = 0; k < shard.count; ++k) {
+    sampler_.sample_into(rng, z, sd);
     double mx = sd[0];
     for (std::size_t i = 0; i < sd.size(); ++i) {
       r.stage_stats[i].add(sd[i]);
@@ -60,6 +89,21 @@ McResult StageLevelMonteCarlo::run(std::size_t n_samples,
     }
     r.tp_samples.push_back(mx);
   }
+  return r;
+}
+
+McResult StageLevelMonteCarlo::run(std::size_t n_samples, stats::Rng& rng,
+                                   const sim::ExecutionOptions& exec) const {
+  if (n_samples == 0)
+    throw std::invalid_argument("StageLevelMonteCarlo: zero samples");
+  // One engine draw keys the whole run: repeated runs differ, shard streams
+  // stay independent of thread scheduling.
+  const stats::Rng root = rng.fork();
+  McResult r = sim::run_sharded<McResult>(
+      n_samples, exec,
+      [&](const sim::Shard& s) { return run_shard(s, root); },
+      [](McResult& acc, McResult&& part) { acc.merge(std::move(part)); });
+  r.label = "stage-level MC";
   return r;
 }
 
@@ -114,23 +158,29 @@ GateLevelMonteCarlo::GateLevelMonteCarlo(
   Layout l = layout_stages(stages_);
   site_maps_ = std::move(l.site_maps);
   latch_sites_ = std::move(l.latch_sites);
+  // Materialize every stage's topological order now so the shards' sample
+  // STA is read-only on shared netlists (the lazy cache is the one mutable
+  // member of Netlist).
+  for (const netlist::Netlist* s : stages_) (void)s->topological_order();
 }
 
-McResult GateLevelMonteCarlo::run(std::size_t n_samples,
-                                  stats::Rng& rng) const {
-  if (n_samples == 0)
-    throw std::invalid_argument("GateLevelMonteCarlo: zero samples");
+McResult GateLevelMonteCarlo::run_shard(const sim::Shard& shard,
+                                        const stats::Rng& root) const {
+  stats::Rng rng = root.fork(shard.index);
   McResult r;
-  r.tp_samples.reserve(n_samples);
+  r.tp_samples.reserve(shard.count);
   r.stage_stats.resize(stages_.size());
-  for (std::size_t k = 0; k < n_samples; ++k) {
-    const auto die = sampler_.sample(rng);
+  // Per-shard arenas: the sample loop below is allocation-free in steady
+  // state (die buffers, systematic-field batch, arrival arena all reused).
+  process::DieSample die;
+  process::DieWorkspace die_ws;
+  sta::StaWorkspace sta_ws;
+  for (std::size_t k = 0; k < shard.count; ++k) {
+    sampler_.sample_into(rng, die, die_ws);
     double tp = 0.0;
     for (std::size_t s = 0; s < stages_.size(); ++s) {
-      const double comb =
-          sta::analyze_sample(*stages_[s], *model_, die, site_maps_[s],
-                              sta_opt_)
-              .critical_delay;
+      const double comb = sta::critical_delay_sample(
+          *stages_[s], *model_, die, site_maps_[s], sta_opt_, sta_ws);
       // Latch sees the shared shifts only; its internal RDF is already in
       // LatchTiming::random_sigma_rel (keeps MC consistent with
       // LatchModel::overhead_distribution on the analytical side).
@@ -141,6 +191,19 @@ McResult GateLevelMonteCarlo::run(std::size_t n_samples,
     }
     r.tp_samples.push_back(tp);
   }
+  return r;
+}
+
+McResult GateLevelMonteCarlo::run(std::size_t n_samples, stats::Rng& rng,
+                                  const sim::ExecutionOptions& exec) const {
+  if (n_samples == 0)
+    throw std::invalid_argument("GateLevelMonteCarlo: zero samples");
+  const stats::Rng root = rng.fork();
+  McResult r = sim::run_sharded<McResult>(
+      n_samples, exec,
+      [&](const sim::Shard& s) { return run_shard(s, root); },
+      [](McResult& acc, McResult&& part) { acc.merge(std::move(part)); });
+  r.label = "gate-level MC";
   return r;
 }
 

@@ -12,15 +12,23 @@
 //    STA on every stage netlist, adds latch overhead, and takes the max.
 //    This is the full "silicon" reference: it knows nothing about
 //    Gaussians, Clark, or stage decompositions.
+//
+// Both engines execute on the sharded sim layer: n_samples is partitioned
+// into fixed-size shards, each shard draws from its own counter-derived RNG
+// stream and reuses a per-shard workspace (die sample, STA arena, batch
+// normal buffers), and shard results merge in ascending shard order.  For a
+// given seed the result is bitwise-identical at any thread count.
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "core/pipeline_model.h"
 #include "device/latch.h"
 #include "netlist/netlist.h"
 #include "process/variation.h"
+#include "sim/engine.h"
 #include "sta/sta.h"
 #include "stats/descriptive.h"
 #include "stats/gaussian.h"
@@ -28,10 +36,15 @@
 
 namespace statpipe::mc {
 
-/// Result of a pipeline MC run.
+/// Result of a pipeline MC run.  Shard results combine exactly via merge().
 struct McResult {
+  std::string label;                             ///< run name (error messages)
   std::vector<double> tp_samples;                ///< pipeline delay draws [ps]
   std::vector<stats::RunningStats> stage_stats;  ///< per-stage delay stats
+
+  /// Appends another run's samples and folds its per-stage accumulators.
+  /// Throws std::invalid_argument on stage-count mismatch.
+  void merge(McResult&& other);
 
   stats::Gaussian tp_estimate() const;           ///< sample (mu, sigma)
   double yield_at(double t_target) const;        ///< fraction <= target
@@ -43,9 +56,17 @@ struct McResult {
 class StageLevelMonteCarlo {
  public:
   explicit StageLevelMonteCarlo(const core::PipelineModel& model);
-  McResult run(std::size_t n_samples, stats::Rng& rng) const;
+
+  /// Draws n_samples dies.  `rng` advances by exactly one engine draw (the
+  /// run key); all sample draws come from per-shard child streams, so the
+  /// result depends on (seed, n_samples, exec.samples_per_shard) but never
+  /// on exec.threads.
+  McResult run(std::size_t n_samples, stats::Rng& rng,
+               const sim::ExecutionOptions& exec = {}) const;
 
  private:
+  McResult run_shard(const sim::Shard& shard, const stats::Rng& root) const;
+
   std::vector<double> means_, sigmas_;
   stats::CorrelatedNormalSampler sampler_;
 };
@@ -62,11 +83,15 @@ class GateLevelMonteCarlo {
                       const device::LatchModel& latch,
                       const sta::StaOptions& sta_opt = {});
 
-  McResult run(std::size_t n_samples, stats::Rng& rng) const;
+  /// Same determinism contract as StageLevelMonteCarlo::run.
+  McResult run(std::size_t n_samples, stats::Rng& rng,
+               const sim::ExecutionOptions& exec = {}) const;
 
   std::size_t stage_count() const noexcept { return stages_.size(); }
 
  private:
+  McResult run_shard(const sim::Shard& shard, const stats::Rng& root) const;
+
   std::vector<const netlist::Netlist*> stages_;
   const device::AlphaPowerModel* model_;
   process::VariationSpec spec_;

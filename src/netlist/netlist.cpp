@@ -122,6 +122,18 @@ void Netlist::scale_sizes(double s) {
     if (!g.is_pseudo()) g.size *= s;
 }
 
+std::vector<double> Netlist::sizes() const {
+  std::vector<double> sizes(gates_.size());
+  for (std::size_t i = 0; i < gates_.size(); ++i) sizes[i] = gates_[i].size;
+  return sizes;
+}
+
+void Netlist::set_sizes(const std::vector<double>& sizes) {
+  if (sizes.size() != gates_.size())
+    throw std::invalid_argument("set_sizes: size-vector length mismatch");
+  for (std::size_t i = 0; i < gates_.size(); ++i) gates_[i].size = sizes[i];
+}
+
 std::size_t Netlist::validate() const {
   for (std::size_t i = 0; i < gates_.size(); ++i) {
     const Gate& g = gates_[i];

@@ -78,6 +78,13 @@ class Netlist {
   /// Multiplies every gate size by `s` (area-delay curve sweeps).
   void scale_sizes(double s);
 
+  /// Snapshot of every gate's size — the optimizers' checkpoint format.
+  std::vector<double> sizes() const;
+
+  /// Restores a snapshot taken by sizes().  Throws std::invalid_argument
+  /// on length mismatch.
+  void set_sizes(const std::vector<double>& sizes);
+
   /// Structural sanity check: fanin/fanout symmetry, arity within cell
   /// limits, pseudo-gates wired legally.  Throws std::logic_error on
   /// violation; returns gate count on success.

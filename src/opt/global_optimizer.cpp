@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 
 #include "core/characterized_pipeline.h"
+#include "sim/engine.h"
 
 namespace statpipe::opt {
+
 
 GlobalPipelineOptimizer::GlobalPipelineOptimizer(
     std::vector<netlist::Netlist*> stages,
@@ -30,20 +33,31 @@ double GlobalPipelineOptimizer::pipeline_yield(double t_target) const {
   return current_model().yield(t_target);
 }
 
+double GlobalPipelineOptimizer::pipeline_yield_with(
+    std::size_t i, const netlist::Netlist& candidate, double t_target) const {
+  std::vector<const netlist::Netlist*> views(stages_.begin(), stages_.end());
+  views[i] = &candidate;
+  return core::build_pipeline_ssta(views, *model_, spec_, latch_)
+      .yield(t_target);
+}
+
 core::PipelineModel GlobalPipelineOptimizer::optimize_individually(
     double t_target, double pipeline_yield_target, const SizerOptions& sizer) {
   // Per-stage yield requirement from eq. (12): y_i = Y^(1/N).
   const double y_stage = std::pow(
       pipeline_yield_target, 1.0 / static_cast<double>(stages_.size()));
   const double latch_overhead = latch_.timing().nominal_overhead();
-  for (netlist::Netlist* nl : stages_) {
+  if (t_target - latch_overhead <= 0.0)
+    throw std::invalid_argument(
+        "optimize_individually: latch overhead exceeds target");
+  // Every stage sizes against only its own netlist: the per-stage solves
+  // are independent and fan out over the sim engine.
+  sim::parallel_for(stages_.size(), [&](std::size_t i) {
+    netlist::Netlist* nl = stages_[i];
     SizerOptions so = sizer;
     so.yield_target = y_stage;
     // The stage's combinational budget excludes the latch overhead.
     so.t_target = t_target - latch_overhead;
-    if (so.t_target <= 0.0)
-      throw std::invalid_argument(
-          "optimize_individually: latch overhead exceeds target");
     const auto r = size_stage(*nl, *model_, spec_, so);
     if (!r.feasible) {
       // The stage cannot meet its per-stage yield at this target: push it
@@ -54,7 +68,7 @@ core::PipelineModel GlobalPipelineOptimizer::optimize_individually(
       fastest.t_target = 1e-3;
       (void)size_stage(*nl, *model_, spec_, fastest);
     }
-  }
+  });
   return current_model();
 }
 
@@ -66,29 +80,24 @@ GlobalOptimizerResult GlobalPipelineOptimizer::optimize(
     throw std::invalid_argument("optimize: latch overhead exceeds target");
 
   // --- step 1: area-delay curves + elasticities at current operating point.
+  // Each stage's sweep runs on a private copy of its netlist, so all stages
+  // evaluate concurrently with nothing to save/restore.
   const std::size_t n = stages_.size();
   std::vector<double> elasticity(n, 1.0);
-  {
-    for (std::size_t i = 0; i < n; ++i) {
-      // Save sizes; the sweep perturbs them.
-      std::vector<double> saved(stages_[i]->size());
-      for (std::size_t g = 0; g < saved.size(); ++g)
-        saved[g] = stages_[i]->gate(g).size;
-      const double d_now = stat_delay(*stages_[i], *model_, spec_,
-                                      opt.sizer.yield_target,
-                                      opt.sizer.output_load);
-      SweepOptions sw = opt.sweep;
-      sw.yield_target = opt.sizer.yield_target;
-      try {
-        const auto sweep = area_delay_sweep(*stages_[i], *model_, spec_, sw);
-        elasticity[i] = sweep.curve.elasticity_at(d_now);
-      } catch (const std::runtime_error&) {
-        elasticity[i] = 1.0;  // flat/degenerate curve: treat as neutral
-      }
-      for (std::size_t g = 0; g < saved.size(); ++g)
-        stages_[i]->gate(g).size = saved[g];
+  sim::parallel_for(n, [&](std::size_t i) {
+    netlist::Netlist work = *stages_[i];
+    const double d_now = stat_delay(work, *model_, spec_,
+                                    opt.sizer.yield_target,
+                                    opt.sizer.output_load);
+    SweepOptions sw = opt.sweep;
+    sw.yield_target = opt.sizer.yield_target;
+    try {
+      const auto sweep = area_delay_sweep(work, *model_, spec_, sw);
+      elasticity[i] = sweep.curve.elasticity_at(d_now);
+    } catch (const std::runtime_error&) {
+      elasticity[i] = 1.0;  // flat/degenerate curve: treat as neutral
     }
-  }
+  });
 
   // --- snapshot "before" state.
   GlobalOptimizerResult result{.stages = {},
@@ -125,11 +134,7 @@ GlobalOptimizerResult GlobalPipelineOptimizer::optimize(
 
   // --- snapshot for the final revert-if-worse guard.
   std::vector<std::vector<double>> snapshot;
-  for (auto* s : stages_) {
-    std::vector<double> sz(s->size());
-    for (std::size_t g = 0; g < s->size(); ++g) sz[g] = s->gate(g).size;
-    snapshot.push_back(std::move(sz));
-  }
+  for (auto* s : stages_) snapshot.push_back(s->sizes());
 
   // --- area-mode pre-phase: buy yield headroom on cheap (receiver)
   // stages so the expensive donors can shed more area afterwards.  The
@@ -140,8 +145,7 @@ GlobalOptimizerResult GlobalPipelineOptimizer::optimize(
     for (std::size_t i = 0; i < n; ++i) {
       if (elasticity[i] >= 1.0) continue;  // receivers only
       netlist::Netlist& nl = *stages_[i];
-      std::vector<double> saved(nl.size());
-      for (std::size_t g = 0; g < nl.size(); ++g) saved[g] = nl.gate(g).size;
+      const std::vector<double> saved = nl.sizes();
       const double area0 = nl.total_area();
       const double y0 = pipeline_yield(opt.t_target);
       if (y0 >= y_headroom) continue;
@@ -149,44 +153,58 @@ GlobalOptimizerResult GlobalPipelineOptimizer::optimize(
       const double d_now = stat_delay(nl, *model_, spec_,
                                       opt.sizer.yield_target,
                                       opt.sizer.output_load);
-      double best_area = std::numeric_limits<double>::infinity();
-      std::vector<double> best_sizes = saved;
-      bool found = false;
-      for (double f : {0.97, 0.93, 0.88, 0.82}) {
-        for (std::size_t g = 0; g < nl.size(); ++g)
-          nl.gate(g).size = saved[g];
+      // Evaluate the speed-up factors as independent candidates: each sizes
+      // a copy of the stage and scores the pipeline with that copy
+      // substituted in.
+      static constexpr double kFactors[] = {0.97, 0.93, 0.88, 0.82};
+      constexpr std::size_t kNf = std::size(kFactors);
+      struct PreCandidate {
+        double yield = -1.0;
+        double area = 0.0;
+        std::vector<double> sizes;
+      };
+      std::vector<PreCandidate> cands(kNf);
+      (void)nl.topological_order();
+      sim::parallel_for(kNf, [&](std::size_t j) {
+        netlist::Netlist work = nl;  // starts at `saved` sizes
         SizerOptions so = opt.sizer;
-        so.t_target = d_now * f;
-        (void)size_stage(nl, *model_, spec_, so);
-        if (pipeline_yield(opt.t_target) >= y_headroom &&
-            nl.total_area() < best_area) {
-          best_area = nl.total_area();
-          for (std::size_t g = 0; g < nl.size(); ++g)
-            best_sizes[g] = nl.gate(g).size;
-          found = true;
+        so.t_target = d_now * kFactors[j];
+        (void)size_stage(work, *model_, spec_, so);
+        cands[j] = {pipeline_yield_with(i, work, opt.t_target),
+                    work.total_area(), work.sizes()};
+      });
+      double best_area = std::numeric_limits<double>::infinity();
+      const std::vector<double>* best_sizes = nullptr;
+      for (const auto& c : cands) {
+        if (c.yield >= y_headroom && c.area < best_area) {
+          best_area = c.area;
+          best_sizes = &c.sizes;
         }
       }
-      for (std::size_t g = 0; g < nl.size(); ++g) nl.gate(g).size = best_sizes[g];
       // Cap the headroom bill: a receiver may spend at most 5% of the
       // pipeline's area here (the savings must come from donors).
-      if (!found || nl.total_area() - area0 >
-                        0.05 * result.total_area_before) {
-        for (std::size_t g = 0; g < nl.size(); ++g) nl.gate(g).size = saved[g];
-      } else if (nl.total_area() != area0) {
-        result.stages[i].chosen_for_speedup = true;
+      if (best_sizes != nullptr &&
+          best_area - area0 <= 0.05 * result.total_area_before) {
+        nl.set_sizes(*best_sizes);
+        if (nl.total_area() != area0) result.stages[i].chosen_for_speedup = true;
+      } else {
+        nl.set_sizes(saved);
       }
     }
   }
 
   // --- steps 3-9: size one stage at a time against the global yield.
   //
-  // For the chosen stage we bisect its combinational stat-delay target:
-  //  * kEnsureYield: find the largest stage target that still lifts the
-  //    pipeline to the yield goal (no over-spending); if even the fastest
-  //    sizing cannot reach the goal, take the fastest and let later stages
-  //    compensate.
-  //  * kMinimizeArea: find the largest stage target (most area recovered)
-  //    that keeps pipeline yield >= the goal.
+  // For the chosen stage we scan a deterministic grid of combinational
+  // stat-delay targets; every grid point sizes a private copy of the stage
+  // and scores pipeline yield with the copy substituted, so all candidates
+  // evaluate concurrently on the sim engine.  Selection then picks, in
+  // fixed target order:
+  //  * the cheapest (minimum-area) candidate that meets the pipeline yield
+  //    goal — kEnsureYield buys the goal without over-spending, and
+  //    kMinimizeArea recovers the most area that still keeps the goal; or
+  //  * failing that, the candidate with the best pipeline yield, as the
+  //    fallback speedup later stages must compensate for.
   for (std::size_t round = 0; round < opt.max_outer_rounds; ++round) {
     bool changed = false;
     for (std::size_t oi = 0; oi < n; ++oi) {
@@ -199,56 +217,54 @@ GlobalOptimizerResult GlobalPipelineOptimizer::optimize(
       // goal — recovering area at the cost of yield is kMinimizeArea's job.
       if (opt.mode == OptimizationMode::kEnsureYield && !need_speed) continue;
 
-      std::vector<double> saved(nl.size());
-      for (std::size_t g = 0; g < nl.size(); ++g) saved[g] = nl.gate(g).size;
+      const std::vector<double> saved = nl.sizes();
       const double area_before_stage = nl.total_area();
 
-      double lo = comb_target * 0.3;  // aggressive end
-      double hi = comb_target * 1.5;  // relaxed end
-      std::vector<double> best_sizes = saved;
-      double best_area = area_before_stage;
-      bool best_meets = y_now >= opt.yield_target;
-      bool found_meeting = best_meets;
-
-      for (std::size_t probe = 0; probe < opt.budget_probes; ++probe) {
-        const double t_stage = 0.5 * (lo + hi);
-        // Restore and size fresh for this probe.
-        for (std::size_t g = 0; g < nl.size(); ++g)
-          nl.gate(g).size = saved[g];
+      const double lo = comb_target * 0.3;  // aggressive end
+      const double hi = comb_target * 1.5;  // relaxed end
+      const std::size_t probes = std::max<std::size_t>(opt.budget_probes, 1);
+      struct Probe {
+        double yield = -1.0;
+        double area = 0.0;
+        std::vector<double> sizes;
+      };
+      std::vector<Probe> grid(probes);
+      (void)nl.topological_order();
+      sim::parallel_for(probes, [&](std::size_t p) {
+        const double t_stage =
+            lo + (hi - lo) * static_cast<double>(p + 1) /
+                     static_cast<double>(probes + 1);
+        netlist::Netlist work = nl;  // starts at `saved` sizes
         SizerOptions so = opt.sizer;
         so.t_target = t_stage;
-        (void)size_stage(nl, *model_, spec_, so);
-        const double y = pipeline_yield(opt.t_target);
-        const double area = nl.total_area();
+        (void)size_stage(work, *model_, spec_, so);
+        grid[p] = {pipeline_yield_with(i, work, opt.t_target),
+                   work.total_area(), work.sizes()};
+      });
 
-        if (y >= opt.yield_target) {
-          // Meets the goal: try relaxing further (recover more area)...
-          if (!found_meeting || area < best_area) {
-            best_area = area;
-            best_meets = true;
-            found_meeting = true;
-            for (std::size_t g = 0; g < nl.size(); ++g)
-              best_sizes[g] = nl.gate(g).size;
-          }
-          lo = t_stage;
-        } else {
-          // Misses: tighten.
-          hi = t_stage;
-          if (!found_meeting) {
-            // Track the best-yield point as a fallback.
-            const double y_best_fallback = best_meets ? 1.0 : y;
-            (void)y_best_fallback;
-            if (y > y_now || probe == 0) {
-              best_area = area;
-              for (std::size_t g = 0; g < nl.size(); ++g)
-                best_sizes[g] = nl.gate(g).size;
-            }
+      // Deterministic selection in grid order.
+      const std::vector<double>* best_sizes = nullptr;
+      double best_area = std::numeric_limits<double>::infinity();
+      bool found_meeting = false;
+      for (const auto& g : grid) {
+        if (g.yield >= opt.yield_target && g.area < best_area) {
+          best_area = g.area;
+          best_sizes = &g.sizes;
+          found_meeting = true;
+        }
+      }
+      if (!found_meeting) {
+        double best_y = y_now;
+        for (const auto& g : grid) {
+          if (g.yield > best_y) {
+            best_y = g.yield;
+            best_sizes = &g.sizes;
           }
         }
       }
 
-      // Adopt the probe result only if it helps the current objective.
-      for (std::size_t g = 0; g < nl.size(); ++g) nl.gate(g).size = best_sizes[g];
+      // Adopt the chosen candidate only if it helps the current objective.
+      if (best_sizes != nullptr) nl.set_sizes(*best_sizes);
       const double y_after = pipeline_yield(opt.t_target);
       const double area_after_stage = nl.total_area();
 
@@ -265,7 +281,7 @@ GlobalOptimizerResult GlobalPipelineOptimizer::optimize(
                      : worthwhile_fallback)
               : (reaches_goal && area_after_stage < area_before_stage - 1e-9);
       if (!helps) {
-        for (std::size_t g = 0; g < nl.size(); ++g) nl.gate(g).size = saved[g];
+        nl.set_sizes(saved);
       } else {
         changed = true;
         result.stages[i].chosen_for_speedup =
@@ -290,8 +306,7 @@ GlobalOptimizerResult GlobalPipelineOptimizer::optimize(
     if (worse && (opt.mode != OptimizationMode::kMinimizeArea ||
                   result.pipeline_yield_before >= opt.yield_target)) {
       for (std::size_t i = 0; i < n; ++i)
-        for (std::size_t g = 0; g < stages_[i]->size(); ++g)
-          stages_[i]->gate(g).size = snapshot[i][g];
+        stages_[i]->set_sizes(snapshot[i]);
     }
   }
 

@@ -85,6 +85,10 @@ class GlobalPipelineOptimizer {
 
  private:
   double pipeline_yield(double t_target) const;
+  /// Pipeline yield with stage i's netlist replaced by `candidate` — the
+  /// read-only evaluation the parallel candidate grids run per probe.
+  double pipeline_yield_with(std::size_t i, const netlist::Netlist& candidate,
+                             double t_target) const;
 
   std::vector<netlist::Netlist*> stages_;
   const device::AlphaPowerModel* model_;

@@ -4,9 +4,11 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "sim/engine.h"
 #include "sta/characterize.h"
 
 namespace statpipe::opt {
+
 
 SweepResult area_delay_sweep(netlist::Netlist& nl,
                              const device::AlphaPowerModel& model,
@@ -26,25 +28,40 @@ SweepResult area_delay_sweep(netlist::Netlist& nl,
   const double d_min =
       stat_delay(nl, model, spec, opt.yield_target, opt.sizer.output_load);
 
-  std::vector<core::AreaDelayCurve::Point> pts;
-  std::vector<std::vector<double>> all_sizes;
+  // Candidate delay targets all size independent copies of the fast-point
+  // netlist, so the design-space points evaluate concurrently and the
+  // outcome does not depend on sweep (or thread) order.
+  (void)nl.topological_order();  // warm the cache the copies inherit
+  struct Candidate {
+    bool feasible = false;
+    double stat_delay = 0.0;
+    double area = 0.0;
+    std::vector<double> sizes;
+  };
   const double d_max = d_min * opt.slow_factor;
-  for (std::size_t k = 0; k < opt.points; ++k) {
+  std::vector<Candidate> cands(opt.points);
+  sim::parallel_for(opt.points, [&](std::size_t k) {
     const double t = d_min * 1.02 +
                      (d_max - d_min * 1.02) * static_cast<double>(k) /
                          static_cast<double>(opt.points - 1);
+    netlist::Netlist work = nl;
     SizerOptions so = opt.sizer;
     so.yield_target = opt.yield_target;
     so.t_target = t;
-    const auto r = size_stage(nl, model, spec, so);
-    if (!r.feasible) continue;
-    // Monotone filter: only accept points that reduce area as delay grows.
-    if (!pts.empty() && r.area >= pts.back().area) continue;
-    if (!pts.empty() && r.stat_delay <= pts.back().delay) continue;
-    pts.push_back({r.stat_delay, r.area});
-    std::vector<double> sizes(nl.size());
-    for (std::size_t i = 0; i < nl.size(); ++i) sizes[i] = nl.gate(i).size;
-    all_sizes.push_back(std::move(sizes));
+    const auto r = size_stage(work, model, spec, so);
+    cands[k] = {r.feasible, r.stat_delay, r.area, work.sizes()};
+  });
+
+  // Deterministic selection in target order with the usual monotone filter:
+  // accept only points that trade delay for strictly less area.
+  std::vector<core::AreaDelayCurve::Point> pts;
+  std::vector<std::vector<double>> all_sizes;
+  for (auto& c : cands) {
+    if (!c.feasible) continue;
+    if (!pts.empty() && c.area >= pts.back().area) continue;
+    if (!pts.empty() && c.stat_delay <= pts.back().delay) continue;
+    pts.push_back({c.stat_delay, c.area});
+    all_sizes.push_back(std::move(c.sizes));
   }
   if (pts.size() < 2)
     throw std::runtime_error(
@@ -52,8 +69,7 @@ SweepResult area_delay_sweep(netlist::Netlist& nl,
         nl.name() + "'");
 
   // Leave the netlist at the fastest point.
-  for (std::size_t i = 0; i < nl.size(); ++i)
-    nl.gate(i).size = all_sizes.front()[i];
+  nl.set_sizes(all_sizes.front());
 
   SweepResult out{core::AreaDelayCurve(pts), d_min, std::move(all_sizes)};
   return out;
@@ -63,21 +79,26 @@ core::StageFamily stage_family_from_sweep(netlist::Netlist& nl,
                                           const device::AlphaPowerModel& model,
                                           const process::VariationSpec& spec,
                                           const SweepOptions& opt) {
-  std::vector<double> saved(nl.size());
-  for (std::size_t i = 0; i < nl.size(); ++i) saved[i] = nl.gate(i).size;
+  const std::vector<double> saved = nl.sizes();
 
   const auto sweep = area_delay_sweep(nl, model, spec, opt);
 
-  // Re-characterize every sweep point in terms of (mu, sigma, inter frac).
+  // Re-characterize every sweep point in terms of (mu, sigma, inter frac) —
+  // independent SSTA evaluations, fanned out over the sim engine.
+  sta::CharacterizeOptions co;
+  co.output_load = opt.sizer.output_load;
+  std::vector<sta::StageCharacterization> chars(sweep.sizes.size());
+  sim::parallel_for(sweep.sizes.size(), [&](std::size_t k) {
+    netlist::Netlist work = nl;
+    work.set_sizes(sweep.sizes[k]);
+    chars[k] = sta::characterize_ssta(work, model, spec, co);
+  });
+  nl.set_sizes(saved);
+
   std::vector<double> mus, sigmas;
   std::vector<core::AreaDelayCurve::Point> mu_curve;
   double inter_frac_sum = 0.0;
-  sta::CharacterizeOptions co;
-  co.output_load = opt.sizer.output_load;
-  for (std::size_t k = 0; k < sweep.sizes.size(); ++k) {
-    for (std::size_t i = 0; i < nl.size(); ++i)
-      nl.gate(i).size = sweep.sizes[k][i];
-    const auto c = sta::characterize_ssta(nl, model, spec, co);
+  for (const auto& c : chars) {
     // Guard monotonicity in mu (stat-delay monotone does not strictly
     // imply mu monotone when sigma shrinks with upsizing).
     if (!mu_curve.empty() && (c.delay.mean <= mu_curve.back().delay ||
@@ -88,7 +109,6 @@ core::StageFamily stage_family_from_sweep(netlist::Netlist& nl,
     sigmas.push_back(c.delay.sigma);
     inter_frac_sum += c.delay.sigma > 0.0 ? c.sigma_inter / c.delay.sigma : 0.0;
   }
-  for (std::size_t i = 0; i < nl.size(); ++i) nl.gate(i).size = saved[i];
   if (mu_curve.size() < 2)
     throw std::runtime_error("stage_family_from_sweep: degenerate curve for '" +
                              nl.name() + "'");

@@ -73,34 +73,45 @@ VariationSampler::VariationSampler(Technology tech, VariationSpec spec,
 }
 
 DieSample VariationSampler::sample(stats::Rng& rng) const {
-  const std::size_t n = positions_.size();
   DieSample d;
+  DieWorkspace ws;
+  sample_into(rng, d, ws);
+  return d;
+}
+
+void VariationSampler::sample_into(stats::Rng& rng, DieSample& d,
+                                   DieWorkspace& ws) const {
+  const std::size_t n = positions_.size();
   d.dvth_inter = spec_.sigma_vth_inter > 0.0
                      ? rng.normal(0.0, spec_.sigma_vth_inter)
                      : 0.0;
   d.dl_inter_rel = spec_.sigma_l_inter_rel > 0.0
                        ? rng.normal(0.0, spec_.sigma_l_inter_rel)
                        : 0.0;
+  d.dvth_systematic.clear();
+  d.dl_systematic_rel.clear();
+  d.dvth_random.clear();
 
   if (has_systematic_) {
     // One correlated standard-normal field drives both Vth and L systematic
     // components (they share the same lithographic origin).
-    std::vector<double> z = rng.normal_vector(n);
-    std::vector<double> field(n, 0.0);
+    rng.normal_fill(ws.z, n);
+    ws.field.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
       double s = 0.0;
-      for (std::size_t j = 0; j <= i; ++j) s += systematic_chol_(i, j) * z[j];
-      field[i] = s;
+      for (std::size_t j = 0; j <= i; ++j)
+        s += systematic_chol_(i, j) * ws.z[j];
+      ws.field[i] = s;
     }
     if (spec_.sigma_vth_systematic > 0.0) {
       d.dvth_systematic.resize(n);
       for (std::size_t i = 0; i < n; ++i)
-        d.dvth_systematic[i] = spec_.sigma_vth_systematic * field[i];
+        d.dvth_systematic[i] = spec_.sigma_vth_systematic * ws.field[i];
     }
     if (spec_.sigma_l_systematic_rel > 0.0) {
       d.dl_systematic_rel.resize(n);
       for (std::size_t i = 0; i < n; ++i)
-        d.dl_systematic_rel[i] = spec_.sigma_l_systematic_rel * field[i];
+        d.dl_systematic_rel[i] = spec_.sigma_l_systematic_rel * ws.field[i];
     }
   }
 
@@ -110,7 +121,6 @@ DieSample VariationSampler::sample(stats::Rng& rng) const {
     for (std::size_t i = 0; i < n; ++i)
       d.dvth_random[i] = rng.normal(0.0, s_rdf);
   }
-  return d;
 }
 
 double VariationSampler::implied_correlation(double sigma_shared,

@@ -78,11 +78,20 @@ struct DieSample {
   double dl_rel_at(std::size_t i) const;
 };
 
+/// Reusable scratch buffers for VariationSampler::sample_into — one per
+/// Monte-Carlo shard, so the per-sample loop is allocation-free.
+struct DieWorkspace {
+  std::vector<double> z;      ///< standard-normal draws for the field
+  std::vector<double> field;  ///< correlated systematic field
+};
+
 /// Generates correlated DieSamples for a fixed set of device sites.
 ///
 /// Sites are positions in normalized die coordinates [0,1]; the systematic
 /// field over sites has correlation exp(-d/correlation_length).  The
 /// Cholesky factor of that field is computed once at construction.
+/// Sampling is const and reentrant: concurrent sample()/sample_into calls
+/// on one sampler are safe as long as each caller owns its Rng/workspace.
 class VariationSampler {
  public:
   VariationSampler(Technology tech, VariationSpec spec,
@@ -94,6 +103,10 @@ class VariationSampler {
 
   /// Draw one die.
   DieSample sample(stats::Rng& rng) const;
+
+  /// Draw one die into caller-owned storage (identical draw sequence to
+  /// sample()); `out` and `ws` are reused across calls.
+  void sample_into(stats::Rng& rng, DieSample& out, DieWorkspace& ws) const;
 
   /// Effective stage-to-stage delay correlation implied by the spec when a
   /// stage's delay sigma decomposes into inter + systematic + random parts:

@@ -1,0 +1,21 @@
+#include "sim/engine.h"
+
+#include <stdexcept>
+
+namespace statpipe::sim {
+
+std::vector<Shard> plan_shards(std::size_t n, std::size_t samples_per_shard) {
+  if (n == 0) throw std::invalid_argument("plan_shards: zero samples");
+  if (samples_per_shard == 0)
+    throw std::invalid_argument("plan_shards: zero samples_per_shard");
+  const std::size_t n_shards = (n + samples_per_shard - 1) / samples_per_shard;
+  std::vector<Shard> shards;
+  shards.reserve(n_shards);
+  for (std::size_t i = 0; i < n_shards; ++i) {
+    const std::size_t begin = i * samples_per_shard;
+    shards.push_back({i, begin, std::min(samples_per_shard, n - begin)});
+  }
+  return shards;
+}
+
+}  // namespace statpipe::sim

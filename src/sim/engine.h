@@ -1,0 +1,67 @@
+// Sharded sample scheduler: the execution layer under every Monte-Carlo
+// engine and optimizer fan-out in the library.
+//
+// A run of n_samples is cut into fixed-size shards; each shard draws from
+// its own counter-derived RNG stream (stats::Rng::fork(shard.index)) and
+// accumulates into its own mergeable result.  Shard boundaries and stream
+// assignment depend only on (n_samples, samples_per_shard) — NEVER on the
+// thread count — and shard results are merged in ascending shard order, so
+// a run is bitwise-identical at 1 and N threads for the same seed.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/thread_pool.h"
+
+namespace statpipe::sim {
+
+/// Execution knobs shared by every sharded run.
+struct ExecutionOptions {
+  /// Worker cap: 0 = every shared-pool thread, 1 = serial.  Results do not
+  /// depend on this value, only wall-clock does.
+  std::size_t threads = 0;
+  /// Shard granularity.  Changing it re-partitions the RNG streams (results
+  /// change deterministically); the thread count never does.
+  std::size_t samples_per_shard = 1024;
+};
+
+/// One contiguous slice of a sample run.  `index` doubles as the RNG
+/// stream id.
+struct Shard {
+  std::size_t index = 0;
+  std::size_t begin = 0;
+  std::size_t count = 0;
+};
+
+/// Cuts n samples into ceil(n / samples_per_shard) shards.  Throws
+/// std::invalid_argument when n == 0 or samples_per_shard == 0.
+std::vector<Shard> plan_shards(std::size_t n, std::size_t samples_per_shard);
+
+/// Convenience forward to the shared pool.
+inline void parallel_for(std::size_t n,
+                         const std::function<void(std::size_t)>& fn,
+                         std::size_t max_threads = 0) {
+  ThreadPool::shared().parallel_for(n, fn, max_threads);
+}
+
+/// Runs body(shard) for every shard (possibly concurrently), then folds the
+/// per-shard results in ascending shard order with merge(acc, part) — the
+/// deterministic reduction that makes thread count invisible in the output.
+template <class Result, class Body, class Merge>
+Result run_sharded(std::size_t n_samples, const ExecutionOptions& exec,
+                   Body&& body, Merge&& merge) {
+  const std::vector<Shard> shards = plan_shards(n_samples, exec.samples_per_shard);
+  std::vector<Result> parts(shards.size());
+  parallel_for(
+      shards.size(), [&](std::size_t i) { parts[i] = body(shards[i]); },
+      exec.threads);
+  Result acc = std::move(parts.front());
+  for (std::size_t i = 1; i < parts.size(); ++i)
+    merge(acc, std::move(parts[i]));
+  return acc;
+}
+
+}  // namespace statpipe::sim

@@ -1,0 +1,136 @@
+#include "sim/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace statpipe::sim {
+
+namespace {
+
+// Set while a pool worker executes tasks, so nested parallel_for calls run
+// inline on that worker instead of waiting on the pool they came from.
+thread_local bool t_in_worker = false;
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("STATPIPE_THREADS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && v >= 1) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? hw : 1;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+  const std::size_t helpers = n_threads > 1 ? n_threads - 1 : 0;
+  workers_.reserve(helpers);
+  for (std::size_t i = 0; i < helpers; ++i)
+    workers_.emplace_back([this] { worker_main(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_indices() {
+  for (;;) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t i = 0;
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      if (next_ >= job_n_) return;
+      i = next_++;
+      fn = job_fn_;
+    }
+    try {
+      (*fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(error_m_);
+      if (!error_) error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      if (++done_ == job_n_) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_main() {
+  t_in_worker = true;
+  std::unique_lock<std::mutex> lk(m_);
+  std::uint64_t seen = 0;
+  for (;;) {
+    cv_work_.wait(lk, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    if (running_ >= job_cap_ || next_ >= job_n_) continue;
+    ++running_;
+    lk.unlock();
+    run_indices();
+    lk.lock();
+    --running_;
+    cv_done_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t max_threads) {
+  if (n == 0) return;
+  const bool serial =
+      n == 1 || workers_.empty() || max_threads == 1 || t_in_worker;
+  std::unique_lock<std::mutex> run_lk(run_m_, std::defer_lock);
+  if (serial || !run_lk.try_lock()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    job_n_ = n;
+    job_fn_ = &fn;
+    next_ = 0;
+    done_ = 0;
+    job_cap_ = max_threads == 0 ? workers_.size()
+                                : std::min(workers_.size(), max_threads - 1);
+    ++generation_;
+  }
+  cv_work_.notify_all();
+  // Mark the caller as a worker while it participates: tasks it executes
+  // that re-enter parallel_for must take the inline path above rather than
+  // touch run_m_, which this thread already owns (try_lock on an owned
+  // std::mutex is undefined behavior).
+  t_in_worker = true;
+  run_indices();
+  t_in_worker = false;
+  {
+    std::unique_lock<std::mutex> lk(m_);
+    cv_done_.wait(lk, [&] { return done_ == job_n_ && running_ == 0; });
+    job_fn_ = nullptr;
+    job_n_ = 0;
+  }
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lk(error_m_);
+    std::swap(err, error_);
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(default_thread_count());
+  return pool;
+}
+
+std::size_t resolve_threads(std::size_t requested) {
+  const std::size_t width = ThreadPool::shared().thread_count();
+  return requested == 0 ? width : std::min(requested, width);
+}
+
+}  // namespace statpipe::sim

@@ -1,0 +1,76 @@
+// Persistent worker pool for the sharded simulation engine.
+//
+// One process-wide pool (ThreadPool::shared()) serves every parallel region
+// in the library: Monte-Carlo shards, SSTA characterization fan-out and the
+// optimizers' candidate evaluations.  The calling thread always participates
+// in the work, so a 1-thread pool degrades to plain serial execution, and a
+// parallel_for issued from inside a worker (nested parallelism) runs inline
+// instead of deadlocking.
+//
+// Thread count resolution: STATPIPE_THREADS env var if set (>= 1), else
+// std::thread::hardware_concurrency().
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace statpipe::sim {
+
+class ThreadPool {
+ public:
+  /// Pool with `n_threads` total workers (the caller counts as one, so
+  /// n_threads - 1 std::threads are spawned).  n_threads == 0 is clamped to 1.
+  explicit ThreadPool(std::size_t n_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total workers including the calling thread.
+  std::size_t thread_count() const noexcept { return workers_.size() + 1; }
+
+  /// Runs fn(i) for every i in [0, n), possibly concurrently, and blocks
+  /// until all complete.  At most `max_threads` workers touch the batch
+  /// (0 = no cap).  The first exception thrown by any task is rethrown on
+  /// the caller after the batch drains.  Reentrant calls (from a worker, or
+  /// while another batch is in flight) execute inline on the caller.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    std::size_t max_threads = 0);
+
+  /// Process-wide pool, sized once from STATPIPE_THREADS / hardware.
+  static ThreadPool& shared();
+
+ private:
+  void worker_main();
+  void run_indices();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex m_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;
+  std::size_t job_n_ = 0;
+  std::size_t job_cap_ = 0;  // max helper workers for the current batch
+  const std::function<void(std::size_t)>* job_fn_ = nullptr;
+  std::size_t next_ = 0;     // next unclaimed index (guarded by m_)
+  std::size_t done_ = 0;     // completed indices (guarded by m_)
+  std::size_t running_ = 0;  // helper workers inside the current batch
+  bool stop_ = false;
+
+  std::mutex error_m_;
+  std::exception_ptr error_;
+
+  std::mutex run_m_;  // serializes top-level batches
+};
+
+/// Worker count a run with `requested` threads actually uses (0 = the full
+/// shared pool).  Capped by the shared pool's width.
+std::size_t resolve_threads(std::size_t requested);
+
+}  // namespace statpipe::sim

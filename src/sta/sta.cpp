@@ -7,27 +7,52 @@ namespace statpipe::sta {
 
 namespace {
 
+// Core arrival propagation into a caller-owned arrival buffer; returns the
+// critical output (arrival-breaking ties toward later outputs, as before).
 template <typename DelayFn>
-StaResult propagate(const netlist::Netlist& nl, DelayFn&& gate_delay) {
-  StaResult r;
-  r.arrival.assign(nl.size(), 0.0);
+netlist::GateId propagate_into(const netlist::Netlist& nl,
+                               DelayFn&& gate_delay,
+                               std::vector<double>& arrival,
+                               double& critical_delay) {
+  arrival.assign(nl.size(), 0.0);
   for (netlist::GateId id : nl.topological_order()) {
     const auto& g = nl.gate(id);
     if (g.is_pseudo()) continue;
     double in_arr = 0.0;
     for (netlist::GateId f : g.fanins)
-      in_arr = std::max(in_arr, r.arrival[f]);
-    r.arrival[id] = in_arr + gate_delay(id);
+      in_arr = std::max(in_arr, arrival[f]);
+    arrival[id] = in_arr + gate_delay(id);
   }
   if (nl.outputs().empty())
     throw std::logic_error("sta: netlist has no primary outputs");
+  critical_delay = 0.0;
+  netlist::GateId critical_output = netlist::kInvalidGate;
   for (netlist::GateId o : nl.outputs()) {
-    if (r.arrival[o] >= r.critical_delay) {
-      r.critical_delay = r.arrival[o];
-      r.critical_output = o;
+    if (arrival[o] >= critical_delay) {
+      critical_delay = arrival[o];
+      critical_output = o;
     }
   }
+  return critical_output;
+}
+
+template <typename DelayFn>
+StaResult propagate(const netlist::Netlist& nl, DelayFn&& gate_delay) {
+  StaResult r;
+  r.critical_output = propagate_into(nl, gate_delay, r.arrival, r.critical_delay);
   return r;
+}
+
+double sample_gate_delay(const netlist::Netlist& nl,
+                         const device::AlphaPowerModel& model,
+                         const process::DieSample& die,
+                         const std::vector<std::size_t>& site_of_gate,
+                         const StaOptions& opt, netlist::GateId id) {
+  const auto& g = nl.gate(id);
+  const std::size_t site = site_of_gate[id];
+  const double dvth = die.dvth_at(site, g.size);
+  const double dl = die.dl_rel_at(site);
+  return model.delay(g.kind, g.size, nl.load_of(id, opt.output_load), dvth, dl);
 }
 
 }  // namespace
@@ -49,13 +74,25 @@ StaResult analyze_sample(const netlist::Netlist& nl,
   if (site_of_gate.size() != nl.size())
     throw std::invalid_argument("analyze_sample: site map size mismatch");
   return propagate(nl, [&](netlist::GateId id) {
-    const auto& g = nl.gate(id);
-    const std::size_t site = site_of_gate[id];
-    const double dvth = die.dvth_at(site, g.size);
-    const double dl = die.dl_rel_at(site);
-    return model.delay(g.kind, g.size, nl.load_of(id, opt.output_load), dvth,
-                       dl);
+    return sample_gate_delay(nl, model, die, site_of_gate, opt, id);
   });
+}
+
+double critical_delay_sample(const netlist::Netlist& nl,
+                             const device::AlphaPowerModel& model,
+                             const process::DieSample& die,
+                             const std::vector<std::size_t>& site_of_gate,
+                             const StaOptions& opt, StaWorkspace& ws) {
+  if (site_of_gate.size() != nl.size())
+    throw std::invalid_argument("critical_delay_sample: site map size mismatch");
+  double critical = 0.0;
+  (void)propagate_into(
+      nl,
+      [&](netlist::GateId id) {
+        return sample_gate_delay(nl, model, die, site_of_gate, opt, id);
+      },
+      ws.arrival, critical);
+  return critical;
 }
 
 StaResult analyze_sample(const netlist::Netlist& nl,

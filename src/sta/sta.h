@@ -48,4 +48,21 @@ StaResult analyze_sample(const netlist::Netlist& nl,
                          const process::DieSample& die,
                          const StaOptions& opt = {});
 
+/// Caller-owned arrival-time arena for tight sample-STA loops (one per
+/// Monte-Carlo shard): steady-state sample STA then allocates nothing.
+struct StaWorkspace {
+  std::vector<double> arrival;
+};
+
+/// Reentrant sample STA: returns only the critical delay, propagating
+/// through the caller's workspace.  Const-safe for concurrent use on the
+/// same netlist provided its topological order has been materialized first
+/// (call nl.topological_order() — or any STA entry point — once before
+/// fanning out; the lazy cache is the one mutable member).
+double critical_delay_sample(const netlist::Netlist& nl,
+                             const device::AlphaPowerModel& model,
+                             const process::DieSample& die,
+                             const std::vector<std::size_t>& site_of_gate,
+                             const StaOptions& opt, StaWorkspace& ws);
+
 }  // namespace statpipe::sta

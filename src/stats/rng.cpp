@@ -4,10 +4,35 @@
 
 namespace statpipe::stats {
 
+namespace {
+
+// splitmix64 finalizer: full-avalanche 64-bit mix, the standard recipe for
+// deriving independent seeds from a counter.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Rng Rng::fork(std::uint64_t stream_id) const {
+  // Mix seed and counter through independent avalanche rounds so adjacent
+  // stream ids land in unrelated regions of the seed space.
+  return Rng(splitmix64(splitmix64(seed_) ^
+                        splitmix64(stream_id ^ 0x51ed2701a49c8e5fULL)));
+}
+
 std::vector<double> Rng::normal_vector(std::size_t n) {
   std::vector<double> v(n);
   for (auto& x : v) x = normal();
   return v;
+}
+
+void Rng::normal_fill(std::vector<double>& out, std::size_t n) {
+  out.resize(n);
+  for (auto& x : out) x = normal();
 }
 
 CorrelatedNormalSampler::CorrelatedNormalSampler(std::vector<double> means,
@@ -24,15 +49,21 @@ CorrelatedNormalSampler::CorrelatedNormalSampler(std::vector<double> means,
 }
 
 std::vector<double> CorrelatedNormalSampler::sample(Rng& rng) const {
+  std::vector<double> z, x;
+  sample_into(rng, z, x);
+  return x;
+}
+
+void CorrelatedNormalSampler::sample_into(Rng& rng, std::vector<double>& z,
+                                          std::vector<double>& out) const {
   const std::size_t n = means_.size();
-  std::vector<double> z = rng.normal_vector(n);
-  std::vector<double> x(n);
+  rng.normal_fill(z, n);
+  out.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     double s = 0.0;
     for (std::size_t j = 0; j <= i; ++j) s += chol_(i, j) * z[j];
-    x[i] = means_[i] + sigmas_[i] * s;
+    out[i] = means_[i] + sigmas_[i] * s;
   }
-  return x;
 }
 
 }  // namespace statpipe::stats

@@ -1,7 +1,10 @@
 // Seeded random number generation for Monte-Carlo experiments.
 //
 // Every sampler in the repository takes an explicit Rng so all experiments
-// are deterministic and reproducible from a printed seed.
+// are deterministic and reproducible from a printed seed.  For sharded
+// parallel runs, fork(stream_id) splits a root Rng into disjoint child
+// streams keyed only on (seed, stream_id) — independent of how many draws
+// have already been made — so shard results never depend on thread count.
 #pragma once
 
 #include <cstdint>
@@ -15,7 +18,8 @@ namespace statpipe::stats {
 /// Thin wrapper over mt19937_64 with convenience draws.
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) : gen_(seed) {}
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL)
+      : seed_(seed), gen_(seed) {}
 
   /// Standard normal draw.
   double normal() { return normal_(gen_); }
@@ -36,12 +40,28 @@ class Rng {
   /// Vector of n iid standard normals.
   std::vector<double> normal_vector(std::size_t n);
 
-  /// Derive an independent child stream (for per-stage / per-run seeding).
+  /// Fills `out` (resized to n) with iid standard normals — the
+  /// allocation-free form for per-shard workspaces.
+  void normal_fill(std::vector<double>& out, std::size_t n);
+
+  /// Derive an independent child stream by drawing from this engine.  The
+  /// child depends on the current engine position (two forks give distinct
+  /// streams) — use for sequential per-stage / per-run seeding.
   Rng fork() { return Rng(gen_()); }
+
+  /// Counter-based stream split: the child depends only on this Rng's
+  /// construction seed and `stream_id`, not on draw position.  Distinct ids
+  /// give statistically independent, reproducible streams — the shard
+  /// streams of the parallel simulation engine.
+  Rng fork(std::uint64_t stream_id) const;
+
+  /// Seed this Rng was constructed with (the stream key fork(id) mixes).
+  std::uint64_t seed() const noexcept { return seed_; }
 
   std::mt19937_64& engine() noexcept { return gen_; }
 
  private:
+  std::uint64_t seed_;
   std::mt19937_64 gen_;
   std::normal_distribution<double> normal_;
 };
@@ -56,6 +76,13 @@ class CorrelatedNormalSampler {
 
   /// One joint draw: x_i = mu_i + sigma_i * (L z)_i with z iid N(0,1).
   std::vector<double> sample(Rng& rng) const;
+
+  /// Same draw into caller-owned buffers: `z` is the standard-normal
+  /// workspace, `out` the joint sample.  Both are resized; no other
+  /// allocation happens in steady state — the batched form the Monte-Carlo
+  /// shards loop over.
+  void sample_into(Rng& rng, std::vector<double>& z,
+                   std::vector<double>& out) const;
 
   std::size_t dimension() const noexcept { return means_.size(); }
 
