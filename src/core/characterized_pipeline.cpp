@@ -19,6 +19,26 @@ LatchOverhead latch_overhead_from(const device::LatchModel& latch,
   return o;
 }
 
+PipelineModel assemble_pipeline(
+    const std::vector<const netlist::Netlist*>& stages,
+    const std::vector<sta::StageCharacterization>& cs,
+    const device::LatchModel& latch, const process::VariationSpec& spec) {
+  if (stages.empty())
+    throw std::invalid_argument("assemble_pipeline: no stages");
+  if (stages.size() != cs.size())
+    throw std::invalid_argument(
+        "assemble_pipeline: characterization count mismatch");
+  std::vector<StageModel> models;
+  models.reserve(stages.size());
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    if (stages[i] == nullptr)
+      throw std::invalid_argument("assemble_pipeline: null stage netlist");
+    models.emplace_back(stages[i]->name(), cs[i].delay, cs[i].sigma_inter,
+                        cs[i].area);
+  }
+  return PipelineModel(std::move(models), latch_overhead_from(latch, spec));
+}
+
 namespace {
 
 template <typename CharFn>
@@ -38,12 +58,7 @@ PipelineModel build(const std::vector<const netlist::Netlist*>& stages,
   sim::parallel_for(stages.size(), [&](std::size_t i) {
     cs[i] = characterize(*stages[i], i);
   });
-  std::vector<StageModel> models;
-  models.reserve(stages.size());
-  for (std::size_t i = 0; i < stages.size(); ++i)
-    models.emplace_back(stages[i]->name(), cs[i].delay, cs[i].sigma_inter,
-                        cs[i].area);
-  return PipelineModel(std::move(models), latch_overhead_from(latch, spec));
+  return assemble_pipeline(stages, cs, latch, spec);
 }
 
 }  // namespace

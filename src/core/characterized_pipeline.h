@@ -17,6 +17,17 @@ namespace statpipe::core {
 LatchOverhead latch_overhead_from(const device::LatchModel& latch,
                                   const process::VariationSpec& spec);
 
+/// Assembles a PipelineModel from per-stage characterizations already in
+/// hand (stage i's name is taken from stages[i]).  This is the substitution
+/// path for batched candidate grids: characterize the unchanged stages once,
+/// batch-characterize the changed stage's size lanes, and assemble one model
+/// per lane — bitwise-equal to rebuilding the full pipeline per candidate.
+/// Throws std::invalid_argument on length mismatch or null stages.
+PipelineModel assemble_pipeline(
+    const std::vector<const netlist::Netlist*>& stages,
+    const std::vector<sta::StageCharacterization>& cs,
+    const device::LatchModel& latch, const process::VariationSpec& spec);
+
 /// Builds a PipelineModel from stage netlists using analytical SSTA
 /// characterization (fast path; used inside the optimizer loop).
 PipelineModel build_pipeline_ssta(

@@ -10,6 +10,12 @@
 // correlation  rho_ij = s_inter,i * s_inter,j / (sigma_i * sigma_j)  feeds
 // Clark's reduction (eqs. 4-6).  A uniform correlation override supports
 // the paper's rho-sweep studies (Fig. 3b, 5b).
+//
+// Layer contract (src/core, see docs/ARCHITECTURE.md): owns the paper's
+// analytical modeling — the pipeline model, the characterized-pipeline
+// bridge, design space, binning and balancing.  May depend on every layer
+// below (including sta's characterizations and sim's fan-out); must not
+// depend on src/opt: optimizers consume core models, never the reverse.
 #pragma once
 
 #include <optional>

@@ -15,6 +15,12 @@
 //
 // which is exactly the quantity the paper's SPICE Monte-Carlo measures per
 // stage before feeding (mu_i, sigma_i) into the analytical model.
+//
+// Layer contract (src/device, see docs/ARCHITECTURE.md): owns cell-level
+// physics — delay, power and latch models over (kind, size, load,
+// parameter shift).  May depend on src/stats and src/process; must not
+// know about netlists (a cell instance is described by its arguments, not
+// by graph position) or any layer above.
 #pragma once
 
 #include "device/gate_library.h"

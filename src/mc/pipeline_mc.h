@@ -18,6 +18,12 @@
 // stream and reuses a per-shard workspace (die sample, STA arena, batch
 // normal buffers), and shard results merge in ascending shard order.  For a
 // given seed the result is bitwise-identical at any thread count.
+//
+// Layer contract (src/mc, see docs/ARCHITECTURE.md): owns Monte-Carlo
+// verification of pipeline delay.  May depend on everything below core's
+// optimizers (stats, process, device, netlist, sta, sim) plus the
+// analytical core::PipelineModel it verifies; must not depend on src/opt —
+// the optimizers call MC, never the reverse.
 #pragma once
 
 #include <cstddef>

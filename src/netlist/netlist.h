@@ -3,6 +3,12 @@
 // This is the substrate on which per-stage statistical timing and the
 // paper's gate-sizing optimization run.  Nodes are gates (including
 // primary-input/output pseudo-gates); edges are driver -> fanout.
+//
+// Layer contract (src/netlist, see docs/ARCHITECTURE.md): owns circuit
+// structure — the DAG, .bench parsing and deterministic generators — plus
+// purely structural quantities (loads, areas, levels).  May depend on
+// src/device (for GateKind and cell traits) and src/stats; must not
+// compute timing, sample variation, or reach into sta/sim/mc/core/opt.
 #pragma once
 
 #include <cstddef>

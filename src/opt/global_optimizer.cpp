@@ -8,6 +8,7 @@
 
 #include "core/characterized_pipeline.h"
 #include "sim/engine.h"
+#include "sta/ssta_batch.h"
 
 namespace statpipe::opt {
 
@@ -29,16 +30,22 @@ core::PipelineModel GlobalPipelineOptimizer::current_model() const {
   return core::build_pipeline_ssta(views, *model_, spec_, latch_);
 }
 
-double GlobalPipelineOptimizer::pipeline_yield(double t_target) const {
-  return current_model().yield(t_target);
+std::vector<sta::StageCharacterization>
+GlobalPipelineOptimizer::characterize_stages() const {
+  // Same characterization build_pipeline_ssta runs internally (default
+  // CharacterizeOptions), so assembled yields match current_model() bitwise.
+  for (const netlist::Netlist* nl : stages_) (void)nl->topological_order();
+  std::vector<sta::StageCharacterization> cs(stages_.size());
+  sim::parallel_for(stages_.size(), [&](std::size_t i) {
+    cs[i] = sta::characterize_ssta(*stages_[i], *model_, spec_, {});
+  });
+  return cs;
 }
 
-double GlobalPipelineOptimizer::pipeline_yield_with(
-    std::size_t i, const netlist::Netlist& candidate, double t_target) const {
+double GlobalPipelineOptimizer::yield_from(
+    const std::vector<sta::StageCharacterization>& cs, double t_target) const {
   std::vector<const netlist::Netlist*> views(stages_.begin(), stages_.end());
-  views[i] = &candidate;
-  return core::build_pipeline_ssta(views, *model_, spec_, latch_)
-      .yield(t_target);
+  return core::assemble_pipeline(views, cs, latch_, spec_).yield(t_target);
 }
 
 core::PipelineModel GlobalPipelineOptimizer::optimize_individually(
@@ -136,6 +143,12 @@ GlobalOptimizerResult GlobalPipelineOptimizer::optimize(
   std::vector<std::vector<double>> snapshot;
   for (auto* s : stages_) snapshot.push_back(s->sizes());
 
+  // Stage characterizations at the current sizes, maintained incrementally
+  // through both phases below: only an adopted candidate changes a stage's
+  // sizes, and its refreshed entry is the candidate's own batched SSTA lane
+  // — bitwise what characterize_stages() would recompute from scratch.
+  std::vector<sta::StageCharacterization> cs = characterize_stages();
+
   // --- area-mode pre-phase: buy yield headroom on cheap (receiver)
   // stages so the expensive donors can shed more area afterwards.  The
   // paper's Table III shows exactly this pattern: receiver stages raised
@@ -147,48 +160,50 @@ GlobalOptimizerResult GlobalPipelineOptimizer::optimize(
       netlist::Netlist& nl = *stages_[i];
       const std::vector<double> saved = nl.sizes();
       const double area0 = nl.total_area();
-      const double y0 = pipeline_yield(opt.t_target);
+      const double y0 = yield_from(cs, opt.t_target);
       if (y0 >= y_headroom) continue;
 
       const double d_now = stat_delay(nl, *model_, spec_,
                                       opt.sizer.yield_target,
                                       opt.sizer.output_load);
       // Evaluate the speed-up factors as independent candidates: each sizes
-      // a copy of the stage and scores the pipeline with that copy
-      // substituted in.
+      // a copy of the stage; the grid's SSTA then runs as one batch (one
+      // topological walk, one size lane per factor), and each lane scores
+      // the pipeline by substituting into the cached characterizations.
       static constexpr double kFactors[] = {0.97, 0.93, 0.88, 0.82};
       constexpr std::size_t kNf = std::size(kFactors);
-      struct PreCandidate {
-        double yield = -1.0;
-        double area = 0.0;
-        std::vector<double> sizes;
-      };
-      std::vector<PreCandidate> cands(kNf);
+      std::vector<std::vector<double>> cand_sizes(kNf);
       (void)nl.topological_order();
       sim::parallel_for(kNf, [&](std::size_t j) {
         netlist::Netlist work = nl;  // starts at `saved` sizes
         SizerOptions so = opt.sizer;
         so.t_target = d_now * kFactors[j];
         (void)size_stage(work, *model_, spec_, so);
-        cands[j] = {pipeline_yield_with(i, work, opt.t_target),
-                    work.total_area(), work.sizes()};
+        cand_sizes[j] = work.sizes();
       });
+      const sta::SstaBatch batch(nl, *model_, {});
+      const auto cand_chars =
+          batch.characterize(sta::make_configs(cand_sizes, spec_));
+      const sta::StageCharacterization cs_saved = cs[i];
       double best_area = std::numeric_limits<double>::infinity();
-      const std::vector<double>* best_sizes = nullptr;
-      for (const auto& c : cands) {
-        if (c.yield >= y_headroom && c.area < best_area) {
-          best_area = c.area;
-          best_sizes = &c.sizes;
+      std::size_t best_j = kNf;  // sentinel: no candidate met the headroom
+      for (std::size_t j = 0; j < kNf; ++j) {
+        cs[i] = cand_chars[j];
+        const double yield = yield_from(cs, opt.t_target);
+        if (yield >= y_headroom && cand_chars[j].area < best_area) {
+          best_area = cand_chars[j].area;
+          best_j = j;
         }
       }
       // Cap the headroom bill: a receiver may spend at most 5% of the
       // pipeline's area here (the savings must come from donors).
-      if (best_sizes != nullptr &&
-          best_area - area0 <= 0.05 * result.total_area_before) {
-        nl.set_sizes(*best_sizes);
+      if (best_j != kNf && best_area - area0 <= 0.05 * result.total_area_before) {
+        nl.set_sizes(cand_sizes[best_j]);
+        cs[i] = cand_chars[best_j];
         if (nl.total_area() != area0) result.stages[i].chosen_for_speedup = true;
       } else {
         nl.set_sizes(saved);
+        cs[i] = cs_saved;
       }
     }
   }
@@ -211,7 +226,9 @@ GlobalOptimizerResult GlobalPipelineOptimizer::optimize(
       const std::size_t i = order[oi];
       netlist::Netlist& nl = *stages_[i];
 
-      const double y_now = pipeline_yield(opt.t_target);
+      // The incrementally-maintained characterizations serve both the y_now
+      // evaluation and the candidate substitutions below.
+      const double y_now = yield_from(cs, opt.t_target);
       const bool need_speed = y_now < opt.yield_target;
       // EnsureYield mode never disturbs a pipeline that already meets the
       // goal — recovering area at the cost of yield is kMinimizeArea's job.
@@ -223,12 +240,7 @@ GlobalOptimizerResult GlobalPipelineOptimizer::optimize(
       const double lo = comb_target * 0.3;  // aggressive end
       const double hi = comb_target * 1.5;  // relaxed end
       const std::size_t probes = std::max<std::size_t>(opt.budget_probes, 1);
-      struct Probe {
-        double yield = -1.0;
-        double area = 0.0;
-        std::vector<double> sizes;
-      };
-      std::vector<Probe> grid(probes);
+      std::vector<std::vector<double>> grid_sizes(probes);
       (void)nl.topological_order();
       sim::parallel_for(probes, [&](std::size_t p) {
         const double t_stage =
@@ -238,34 +250,54 @@ GlobalOptimizerResult GlobalPipelineOptimizer::optimize(
         SizerOptions so = opt.sizer;
         so.t_target = t_stage;
         (void)size_stage(work, *model_, spec_, so);
-        grid[p] = {pipeline_yield_with(i, work, opt.t_target),
-                   work.total_area(), work.sizes()};
+        grid_sizes[p] = work.sizes();
       });
+      // One batched SSTA over the whole probe grid (the changed stage's K
+      // size lanes); each lane's pipeline yield substitutes that lane into
+      // the cached characterizations of the unchanged stages.
+      const sta::SstaBatch batch(nl, *model_, {});
+      const auto grid_chars =
+          batch.characterize(sta::make_configs(grid_sizes, spec_));
+      const sta::StageCharacterization cs_saved = cs[i];
+      std::vector<double> grid_yield(probes);
+      for (std::size_t p = 0; p < probes; ++p) {
+        cs[i] = grid_chars[p];
+        grid_yield[p] = yield_from(cs, opt.t_target);
+      }
 
       // Deterministic selection in grid order.
-      const std::vector<double>* best_sizes = nullptr;
+      std::size_t best_p = probes;  // sentinel: no candidate chosen
       double best_area = std::numeric_limits<double>::infinity();
       bool found_meeting = false;
-      for (const auto& g : grid) {
-        if (g.yield >= opt.yield_target && g.area < best_area) {
-          best_area = g.area;
-          best_sizes = &g.sizes;
+      for (std::size_t p = 0; p < probes; ++p) {
+        if (grid_yield[p] >= opt.yield_target &&
+            grid_chars[p].area < best_area) {
+          best_area = grid_chars[p].area;
+          best_p = p;
           found_meeting = true;
         }
       }
       if (!found_meeting) {
         double best_y = y_now;
-        for (const auto& g : grid) {
-          if (g.yield > best_y) {
-            best_y = g.yield;
-            best_sizes = &g.sizes;
+        for (std::size_t p = 0; p < probes; ++p) {
+          if (grid_yield[p] > best_y) {
+            best_y = grid_yield[p];
+            best_p = p;
           }
         }
       }
 
       // Adopt the chosen candidate only if it helps the current objective.
-      if (best_sizes != nullptr) nl.set_sizes(*best_sizes);
-      const double y_after = pipeline_yield(opt.t_target);
+      // Its pipeline yield is already in hand as the candidate's lane yield
+      // (bitwise what a full rebuild would recompute).
+      double y_after = y_now;
+      if (best_p != probes) {
+        nl.set_sizes(grid_sizes[best_p]);
+        cs[i] = grid_chars[best_p];
+        y_after = grid_yield[best_p];
+      } else {
+        cs[i] = cs_saved;
+      }
       const double area_after_stage = nl.total_area();
 
       // Economy guard: when the pipeline goal was not reached, a fallback
@@ -282,6 +314,7 @@ GlobalOptimizerResult GlobalPipelineOptimizer::optimize(
               : (reaches_goal && area_after_stage < area_before_stage - 1e-9);
       if (!helps) {
         nl.set_sizes(saved);
+        cs[i] = cs_saved;
       } else {
         changed = true;
         result.stages[i].chosen_for_speedup =

@@ -17,6 +17,11 @@
 //    minimum extra area, starting from individually-optimized stages.
 //  * kMinimizeArea (Table III): recover as much area as possible while
 //    keeping pipeline yield at/above the target.
+//
+// Layer contract (src/opt, see docs/ARCHITECTURE.md): the top layer.  Owns
+// optimization policy — the LR sizer, area-delay sweeps and this global
+// flow — and may depend on every other subsystem.  Nothing in src/ may
+// include opt headers; only bench/, examples/ and tests/ sit above it.
 #pragma once
 
 #include <string>
@@ -27,6 +32,7 @@
 #include "netlist/netlist.h"
 #include "opt/sizer.h"
 #include "opt/sweep.h"
+#include "sta/characterize.h"
 
 namespace statpipe::opt {
 
@@ -84,11 +90,15 @@ class GlobalPipelineOptimizer {
   core::PipelineModel current_model() const;
 
  private:
-  double pipeline_yield(double t_target) const;
-  /// Pipeline yield with stage i's netlist replaced by `candidate` — the
-  /// read-only evaluation the parallel candidate grids run per probe.
-  double pipeline_yield_with(std::size_t i, const netlist::Netlist& candidate,
-                             double t_target) const;
+  /// Per-stage SSTA characterizations at the current sizes — the cached
+  /// "all other stages" half of a candidate-grid evaluation.  Candidate
+  /// grids batch-characterize the changed stage's size lanes (sta::SstaBatch)
+  /// and substitute each lane into a copy of this vector, which reproduces
+  /// the full per-candidate pipeline rebuild bitwise at 1/N of the SSTA cost.
+  std::vector<sta::StageCharacterization> characterize_stages() const;
+  /// Pipeline yield assembled from explicit stage characterizations.
+  double yield_from(const std::vector<sta::StageCharacterization>& cs,
+                    double t_target) const;
 
   std::vector<netlist::Netlist*> stages_;
   const device::AlphaPowerModel* model_;

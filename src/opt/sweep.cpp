@@ -6,6 +6,8 @@
 
 #include "sim/engine.h"
 #include "sta/characterize.h"
+#include "sta/ssta_batch.h"
+#include "stats/gaussian.h"
 
 namespace statpipe::opt {
 
@@ -32,36 +34,44 @@ SweepResult area_delay_sweep(netlist::Netlist& nl,
   // netlist, so the design-space points evaluate concurrently and the
   // outcome does not depend on sweep (or thread) order.
   (void)nl.topological_order();  // warm the cache the copies inherit
-  struct Candidate {
-    bool feasible = false;
-    double stat_delay = 0.0;
-    double area = 0.0;
-    std::vector<double> sizes;
-  };
   const double d_max = d_min * opt.slow_factor;
-  std::vector<Candidate> cands(opt.points);
+  auto target_at = [&](std::size_t k) {
+    return d_min * 1.02 + (d_max - d_min * 1.02) * static_cast<double>(k) /
+                              static_cast<double>(opt.points - 1);
+  };
+  std::vector<std::vector<double>> cand_sizes(opt.points);
   sim::parallel_for(opt.points, [&](std::size_t k) {
-    const double t = d_min * 1.02 +
-                     (d_max - d_min * 1.02) * static_cast<double>(k) /
-                         static_cast<double>(opt.points - 1);
     netlist::Netlist work = nl;
     SizerOptions so = opt.sizer;
     so.yield_target = opt.yield_target;
-    so.t_target = t;
-    const auto r = size_stage(work, model, spec, so);
-    cands[k] = {r.feasible, r.stat_delay, r.area, work.sizes()};
+    so.t_target = target_at(k);
+    (void)size_stage(work, model, spec, so);
+    cand_sizes[k] = work.sizes();
   });
+
+  // Score the whole candidate grid in one batched SSTA pass: one topological
+  // walk, opt.points size lanes.  Stat-delay, area and feasibility are
+  // bitwise-equal to what each sizer run reported (its final evaluation is
+  // analyze_ssta at the restored best sizes, and feasibility is the same
+  // tolerance test against the candidate's target).
+  sta::SstaOptions ssta_opt;
+  ssta_opt.output_load = opt.sizer.output_load;
+  const sta::SstaBatch batch(nl, model, ssta_opt);
+  const auto chars = batch.characterize(sta::make_configs(cand_sizes, spec));
+  const double z = stats::normal_icdf(opt.yield_target);
 
   // Deterministic selection in target order with the usual monotone filter:
   // accept only points that trade delay for strictly less area.
   std::vector<core::AreaDelayCurve::Point> pts;
   std::vector<std::vector<double>> all_sizes;
-  for (auto& c : cands) {
-    if (!c.feasible) continue;
-    if (!pts.empty() && c.area >= pts.back().area) continue;
-    if (!pts.empty() && c.stat_delay <= pts.back().delay) continue;
-    pts.push_back({c.stat_delay, c.area});
-    all_sizes.push_back(std::move(c.sizes));
+  for (std::size_t k = 0; k < cand_sizes.size(); ++k) {
+    const double sd = chars[k].delay.mean + z * chars[k].delay.sigma;
+    const double area = chars[k].area;
+    if (sd > target_at(k) + opt.sizer.tolerance_ps) continue;  // infeasible
+    if (!pts.empty() && area >= pts.back().area) continue;
+    if (!pts.empty() && sd <= pts.back().delay) continue;
+    pts.push_back({sd, area});
+    all_sizes.push_back(std::move(cand_sizes[k]));
   }
   if (pts.size() < 2)
     throw std::runtime_error(
@@ -84,15 +94,12 @@ core::StageFamily stage_family_from_sweep(netlist::Netlist& nl,
   const auto sweep = area_delay_sweep(nl, model, spec, opt);
 
   // Re-characterize every sweep point in terms of (mu, sigma, inter frac) —
-  // independent SSTA evaluations, fanned out over the sim engine.
-  sta::CharacterizeOptions co;
-  co.output_load = opt.sizer.output_load;
-  std::vector<sta::StageCharacterization> chars(sweep.sizes.size());
-  sim::parallel_for(sweep.sizes.size(), [&](std::size_t k) {
-    netlist::Netlist work = nl;
-    work.set_sizes(sweep.sizes[k]);
-    chars[k] = sta::characterize_ssta(work, model, spec, co);
-  });
+  // one batched SSTA pass over all points (one topological walk, one size
+  // lane per point) instead of a netlist copy + scalar SSTA per point.
+  sta::SstaOptions ssta_opt;
+  ssta_opt.output_load = opt.sizer.output_load;
+  const sta::SstaBatch batch(nl, model, ssta_opt);
+  const auto chars = batch.characterize(sta::make_configs(sweep.sizes, spec));
   nl.set_sizes(saved);
 
   std::vector<double> mus, sigmas;

@@ -12,6 +12,11 @@
 // not apply to L).  These parameter shifts feed the device module's
 // alpha-power delay model, which converts them into gate-delay shifts —
 // the stand-in for the paper's 70nm-BPTM SPICE Monte-Carlo.
+//
+// Layer contract (src/process, see docs/ARCHITECTURE.md): owns the
+// variation decomposition and correlated die sampling — parameter space
+// only, never delays.  May depend on src/stats alone; must not know about
+// devices, netlists, timing or anything above them.
 #pragma once
 
 #include <cstdint>

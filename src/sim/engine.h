@@ -7,6 +7,11 @@
 // assignment depend only on (n_samples, samples_per_shard) — NEVER on the
 // thread count — and shard results are merged in ascending shard order, so
 // a run is bitwise-identical at 1 and N threads for the same seed.
+//
+// Layer contract (src/sim, see docs/ARCHITECTURE.md): owns execution only —
+// the shared thread pool, shard planning and deterministic reductions.  It
+// schedules work for every layer above it but must know nothing about what
+// it schedules: no include of any other src/ subsystem, ever.
 #pragma once
 
 #include <cstddef>

@@ -25,12 +25,14 @@ CanonicalDelay operator+(const CanonicalDelay& a,
           a.b_sys + b.b_sys};
 }
 
-CanonicalDelay canonical_max(const CanonicalDelay& a, const CanonicalDelay& b) {
-  const double rho = a.correlation(b);
-  const auto cm = stats::clark_max(a.as_gaussian(), b.as_gaussian(), rho);
+namespace {
 
-  // Re-project onto the canonical form: each shared coefficient matches
-  // Cov(max, Z) = b_a*Phi(alpha) + b_b*Phi(-alpha)   (Clark eq. 6)
+// Re-projection of a pairwise Clark result onto the canonical form: each
+// shared coefficient matches Cov(max, Z) = b_a*Phi(alpha) + b_b*Phi(-alpha)
+// (Clark eq. 6).  Shared by the scalar and the lane-batched max so both
+// paths execute the identical floating-point sequence.
+CanonicalDelay reproject_max(const CanonicalDelay& a, const CanonicalDelay& b,
+                             const stats::ClarkMax& cm) {
   const double w = cm.phi_a;
   double bi = a.b_inter * w + b.b_inter * (1.0 - w);
   double bs = a.b_sys * w + b.b_sys * (1.0 - w);
@@ -51,6 +53,41 @@ CanonicalDelay canonical_max(const CanonicalDelay& a, const CanonicalDelay& b) {
     r.sigma_ind = 0.0;
   }
   return r;
+}
+
+}  // namespace
+
+CanonicalDelay canonical_max(const CanonicalDelay& a, const CanonicalDelay& b) {
+  const double rho = a.correlation(b);
+  const auto cm = stats::clark_max(a.as_gaussian(), b.as_gaussian(), rho);
+  return reproject_max(a, b, cm);
+}
+
+void canonical_max_lanes(const CanonicalLanes& acc, const CanonicalLanes& other,
+                         std::size_t lanes) {
+  // Fixed-size chunks keep the gathered Gaussians, correlations and Clark
+  // results on the stack while still feeding clark_max_lanes contiguous
+  // blocks.  Per lane the sequence is exactly canonical_max's:
+  // correlation -> clark_max -> reproject, so results are bitwise-identical
+  // to scalar folding lane by lane.
+  constexpr std::size_t kChunk = 32;
+  stats::Gaussian ga[kChunk], gb[kChunk];
+  double rho[kChunk];
+  stats::ClarkMax cm[kChunk];
+  for (std::size_t base = 0; base < lanes; base += kChunk) {
+    const std::size_t n = std::min(kChunk, lanes - base);
+    for (std::size_t k = 0; k < n; ++k) {
+      const CanonicalDelay a = acc.load(base + k);
+      const CanonicalDelay b = other.load(base + k);
+      rho[k] = a.correlation(b);
+      ga[k] = a.as_gaussian();
+      gb[k] = b.as_gaussian();
+    }
+    stats::clark_max_lanes(ga, gb, rho, cm, n);
+    for (std::size_t k = 0; k < n; ++k)
+      acc.store(base + k,
+                reproject_max(acc.load(base + k), other.load(base + k), cm[k]));
+  }
 }
 
 CanonicalDelay gate_canonical_delay(const netlist::Netlist& nl,

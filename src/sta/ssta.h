@@ -54,6 +54,33 @@ struct CanonicalDelay {
 /// Clark max of two canonical delays, re-projected onto the canonical form.
 CanonicalDelay canonical_max(const CanonicalDelay& a, const CanonicalDelay& b);
 
+/// Structure-of-arrays view over K parallel canonical delays (one sweep lane
+/// each) — the layout the batched SSTA propagation keeps per gate: four
+/// contiguous K-wide vectors instead of K interleaved structs.
+struct CanonicalLanes {
+  double* mu = nullptr;
+  double* b_inter = nullptr;
+  double* sigma_ind = nullptr;
+  double* b_sys = nullptr;
+
+  CanonicalDelay load(std::size_t k) const {
+    return {mu[k], b_inter[k], sigma_ind[k], b_sys[k]};
+  }
+  void store(std::size_t k, const CanonicalDelay& d) const {
+    mu[k] = d.mu;
+    b_inter[k] = d.b_inter;
+    sigma_ind[k] = d.sigma_ind;
+    b_sys[k] = d.b_sys;
+  }
+};
+
+/// acc[k] = canonical_max(acc[k], other[k]) for every lane — exactly the
+/// scalar operator per lane (bitwise-identical), evaluated over contiguous
+/// lane blocks via stats::clark_max_lanes so one gate visit of the batched
+/// propagation services all K sweep configurations.
+void canonical_max_lanes(const CanonicalLanes& acc, const CanonicalLanes& other,
+                         std::size_t lanes);
+
 struct SstaOptions {
   double output_load = 2.0;
 };

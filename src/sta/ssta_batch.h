@@ -1,0 +1,116 @@
+// Batched gate-level SSTA: one netlist topology, K sweep configurations,
+// one topological walk.
+//
+// The yield/area optimizer's inner loops (area-delay sweeps, the global
+// optimizer's candidate grids) evaluate the *same* netlist structure under
+// many per-gate size assignments.  The scalar path pays the full structural
+// cost per point: a deep netlist copy, a topological walk, fanin/fanout list
+// chasing and a primary-output membership scan per gate.  SstaBatch binds
+// the structure once and propagates all K configurations together: gate
+// arrival forms are laid out as structure-of-arrays (four K-wide vectors —
+// mu, b_inter, sigma_ind, b_sys — per gate) and every gate visit performs
+// the Clark max/add over all K lanes before moving on.
+//
+// Determinism contract: per lane, the propagation executes exactly the
+// floating-point sequence of the scalar path, so
+//
+//   SstaBatch(nl, model, opt).analyze(configs)[k]
+//     == analyze_ssta(nl_with(configs[k].sizes), model, configs[k].spec, opt)
+//
+// bitwise, for every k — and likewise characterize() vs characterize_ssta.
+// Lanes carry no random state, so results are also independent of how the
+// batch is sharded over the sim engine and of the thread count
+// (tests/test_sta.cpp enforces both equalities).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "device/delay_model.h"
+#include "netlist/netlist.h"
+#include "process/variation.h"
+#include "sim/engine.h"
+#include "sta/characterize.h"
+#include "sta/ssta.h"
+
+namespace statpipe::sta {
+
+/// One lane of a batched SSTA run: a full per-gate size assignment plus the
+/// variation spec it is evaluated under.
+struct SstaConfig {
+  /// Per-gate sizes (netlist::Netlist::sizes() layout).  Empty = the bound
+  /// netlist's own sizes.  Any other length is an error.
+  std::vector<double> sizes;
+  process::VariationSpec spec;
+};
+
+/// Builds the common grid shape: one shared spec, one size vector per lane.
+std::vector<SstaConfig> make_configs(
+    const std::vector<std::vector<double>>& size_grid,
+    const process::VariationSpec& spec);
+
+/// Shard granularity that splits `lanes` into enough blocks to occupy the
+/// shared pool.  Purely a throughput knob: lane results carry no random
+/// state, so they are bitwise-identical under any partitioning.
+sim::ExecutionOptions batch_exec(std::size_t lanes);
+
+class SstaBatch {
+ public:
+  /// Binds the structural part of `nl` once: topological order, gate kinds,
+  /// fanin/fanout lists, the primary-output set and the current sizes (the
+  /// fallback for configs with empty `sizes`).  `model` must outlive the
+  /// batch; later structural edits to `nl` are not seen.
+  /// Throws std::logic_error if `nl` has no primary outputs.
+  SstaBatch(const netlist::Netlist& nl, const device::AlphaPowerModel& model,
+            const SstaOptions& opt = {});
+
+  std::size_t gate_count() const noexcept { return gates_.size(); }
+
+  /// Canonical arrival at the critical output, one entry per config —
+  /// bitwise-identical to one analyze_ssta run per config (see the file
+  /// comment).  Lane blocks fan out over the sim engine per `exec`.
+  std::vector<CanonicalDelay> analyze(const std::vector<SstaConfig>& configs,
+                                      const sim::ExecutionOptions& exec) const;
+  std::vector<CanonicalDelay> analyze(
+      const std::vector<SstaConfig>& configs) const {
+    return analyze(configs, batch_exec(configs.size()));
+  }
+
+  /// Full stage characterization per config (delay Gaussian, inter/private
+  /// sigma split, area, nominal critical delay) — bitwise-identical to one
+  /// characterize_ssta run per config.
+  std::vector<StageCharacterization> characterize(
+      const std::vector<SstaConfig>& configs,
+      const sim::ExecutionOptions& exec) const;
+  std::vector<StageCharacterization> characterize(
+      const std::vector<SstaConfig>& configs) const {
+    return characterize(configs, batch_exec(configs.size()));
+  }
+
+ private:
+  /// Structure of one gate, flattened out of netlist::Gate: everything the
+  /// propagation needs without touching the (string-carrying) source gates.
+  struct BoundGate {
+    device::GateKind kind;
+    bool pseudo = false;
+    bool drives_output = false;  ///< load includes opt.output_load
+    double base_size = 1.0;      ///< fallback when a config has no sizes
+    std::vector<netlist::GateId> fanins;
+    std::vector<netlist::GateId> fanouts;
+  };
+
+  /// Propagates one contiguous lane block; writes per-lane canonical results
+  /// (and, when `chars` is non-null, full characterizations) at their global
+  /// lane indices.
+  void run_block(const std::vector<SstaConfig>& configs, std::size_t lane_begin,
+                 std::size_t lane_count, CanonicalDelay* out,
+                 StageCharacterization* chars) const;
+
+  const device::AlphaPowerModel* model_;
+  SstaOptions opt_;
+  std::vector<BoundGate> gates_;         // indexed by GateId
+  std::vector<netlist::GateId> topo_;    // cached topological order
+  std::vector<netlist::GateId> outputs_; // primary outputs, netlist order
+};
+
+}  // namespace statpipe::sta

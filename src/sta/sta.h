@@ -3,6 +3,12 @@
 // Arrival times propagate in topological order; the critical (maximum)
 // arrival over primary outputs is the combinational delay T_comb that the
 // paper's stage-delay decomposition SD = Tc-q + T_comb + T_setup consumes.
+//
+// Layer contract (src/sta, see docs/ARCHITECTURE.md): owns timing analysis
+// over one netlist — deterministic STA, canonical-form SSTA, the batched
+// SstaBatch and stage characterization.  May depend on stats/process/
+// device/netlist, and on src/sim only to fan batched lanes out; must not
+// know about Monte-Carlo engines, pipeline models or optimizers.
 #pragma once
 
 #include <vector>

@@ -57,6 +57,14 @@ double clark_correlation(const Gaussian& x1, const Gaussian& x2,
   return std::clamp(num / cm.max.sigma, -1.0, 1.0);
 }
 
+void clark_max_lanes(const Gaussian* x1, const Gaussian* x2, const double* rho,
+                     ClarkMax* out, std::size_t lanes) {
+  // One scalar operator per lane: the bitwise contract (see header) forbids
+  // any algebraic reassociation across lanes; the win is the tight loop over
+  // contiguous inputs.
+  for (std::size_t k = 0; k < lanes; ++k) out[k] = clark_max(x1[k], x2[k], rho[k]);
+}
+
 namespace {
 
 std::vector<std::size_t> make_order(const std::vector<Gaussian>& vars,

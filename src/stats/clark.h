@@ -49,6 +49,16 @@ ClarkMax clark_max(const Gaussian& x1, const Gaussian& x2, double rho = 0.0);
 double clark_correlation(const Gaussian& x1, const Gaussian& x2,
                          const ClarkMax& cm, double rho13, double rho23);
 
+/// Lane-vectorized pairwise Clark operator over a contiguous block:
+/// out[k] = clark_max(x1[k], x2[k], rho[k]) for every lane k.  Contract:
+/// each lane performs exactly the scalar operator's floating-point sequence,
+/// so results are bitwise-identical to k independent clark_max calls — the
+/// batched form exists so SoA callers (the batched SSTA propagation) keep
+/// the Clark evaluations of all sweep lanes in one cache-resident loop the
+/// compiler can vectorize.
+void clark_max_lanes(const Gaussian* x1, const Gaussian* x2, const double* rho,
+                     ClarkMax* out, std::size_t lanes);
+
 /// Variable-ordering policy for the N-way reduction.
 enum class ClarkOrdering {
   kIncreasingMean,  ///< paper's choice: minimizes the approximation error

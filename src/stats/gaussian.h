@@ -4,6 +4,12 @@
 // design-space bounds) is built entirely on the standard-normal pdf phi,
 // cdf Phi and quantile Phi^-1.  These are hand-rolled here: the repository
 // must not depend on anything beyond the C++ standard library.
+//
+// Layer contract (src/stats, see docs/ARCHITECTURE.md): the foundation
+// layer.  Owns distribution primitives, Clark's max operator (scalar and
+// lane-batched), the counter-splittable Rng, matrices and descriptive
+// statistics.  Must not include any other src/ subsystem — only the C++
+// standard library.
 #pragma once
 
 #include <cmath>

@@ -7,8 +7,10 @@
 #include "device/delay_model.h"
 #include "netlist/generators.h"
 #include "process/variation.h"
+#include "sim/engine.h"
 #include "sta/characterize.h"
 #include "sta/ssta.h"
+#include "sta/ssta_batch.h"
 #include "sta/sta.h"
 #include "stats/descriptive.h"
 
@@ -175,6 +177,147 @@ TEST(Ssta, AgreesWithMonteCarloOnDag) {
   // mean within 3% and sigma within 25%.
   EXPECT_NEAR(d.mu, mc.delay.mean, 0.03 * mc.delay.mean);
   EXPECT_NEAR(d.sigma(), mc.delay.sigma, 0.25 * mc.delay.sigma);
+}
+
+// ------------------------------------------------------------- batched SSTA
+
+namespace {
+
+// A K-point sizing grid around the netlist's current sizes, deterministic in
+// (nl, k): lane k scales gate g by 0.6 + 0.1*((k + g) % 8).
+std::vector<sp::sta::SstaConfig> sweep_grid(const sp::netlist::Netlist& nl,
+                                            std::size_t k_lanes,
+                                            const VariationSpec& spec) {
+  std::vector<sp::sta::SstaConfig> cfgs(k_lanes);
+  for (std::size_t k = 0; k < k_lanes; ++k) {
+    cfgs[k].spec = spec;
+    cfgs[k].sizes.resize(nl.size());
+    for (std::size_t g = 0; g < nl.size(); ++g)
+      cfgs[k].sizes[g] =
+          nl.gate(g).size * (0.6 + 0.1 * static_cast<double>((k + g) % 8));
+  }
+  return cfgs;
+}
+
+void expect_bitwise_eq(const sp::sta::CanonicalDelay& a,
+                       const sp::sta::CanonicalDelay& b) {
+  EXPECT_EQ(a.mu, b.mu);
+  EXPECT_EQ(a.b_inter, b.b_inter);
+  EXPECT_EQ(a.sigma_ind, b.sigma_ind);
+  EXPECT_EQ(a.b_sys, b.b_sys);
+}
+
+}  // namespace
+
+TEST(SstaBatch, GridBitwiseEqualsScalarRuns) {
+  // The PR's core invariant: a K>=8 sweep grid through SstaBatch is
+  // bitwise-identical to K independent analyze_ssta runs.
+  const auto nl = sp::netlist::iscas_like("c432");
+  const auto m = model();
+  const auto spec = VariationSpec::inter_intra(0.020, 0.010, 0.5);
+  const auto cfgs = sweep_grid(nl, 9, spec);
+
+  const auto batch = sp::sta::SstaBatch(nl, m).analyze(cfgs);
+  ASSERT_EQ(batch.size(), cfgs.size());
+  for (std::size_t k = 0; k < cfgs.size(); ++k) {
+    auto work = nl;
+    work.set_sizes(cfgs[k].sizes);
+    expect_bitwise_eq(batch[k], sp::sta::analyze_ssta(work, m, cfgs[k].spec));
+  }
+}
+
+TEST(SstaBatch, SingleLaneEqualsScalar) {
+  const auto nl = sp::netlist::iscas_like("c880");
+  const auto m = model();
+  const auto spec = VariationSpec::inter_intra(0.015, 0.010, 0.4);
+  const auto cfgs = sweep_grid(nl, 1, spec);
+  const auto batch = sp::sta::SstaBatch(nl, m).analyze(cfgs);
+  auto work = nl;
+  work.set_sizes(cfgs[0].sizes);
+  expect_bitwise_eq(batch[0], sp::sta::analyze_ssta(work, m, spec));
+}
+
+TEST(SstaBatch, EmptySizesUseNetlistSizes) {
+  const auto nl = sp::netlist::inverter_chain(12);
+  const auto m = model();
+  const auto spec = VariationSpec::inter_intra(0.020, 0.010, 0.5);
+  std::vector<sp::sta::SstaConfig> cfgs(2);
+  cfgs[0].spec = spec;
+  cfgs[1].spec = VariationSpec::inter_only(0.040);
+  const auto batch = sp::sta::SstaBatch(nl, m).analyze(cfgs);
+  expect_bitwise_eq(batch[0], sp::sta::analyze_ssta(nl, m, cfgs[0].spec));
+  expect_bitwise_eq(batch[1], sp::sta::analyze_ssta(nl, m, cfgs[1].spec));
+}
+
+TEST(SstaBatch, ZeroVarianceLaneIsDegenerateButExact) {
+  // A degenerate all-zero-variance config rides in the same batch as live
+  // lanes: its canonical form collapses to the deterministic delay.
+  const auto nl = sp::netlist::iscas_like("c432");
+  const auto m = model();
+  auto cfgs = sweep_grid(nl, 4, VariationSpec::inter_intra(0.020, 0.010, 0.5));
+  VariationSpec frozen;  // every variation source off
+  frozen.sigma_vth_inter = 0.0;
+  frozen.sigma_vth_systematic = 0.0;
+  frozen.enable_rdf = false;
+  cfgs[2].spec = frozen;
+  const auto batch = sp::sta::SstaBatch(nl, m).analyze(cfgs);
+  for (std::size_t k = 0; k < cfgs.size(); ++k) {
+    auto work = nl;
+    work.set_sizes(cfgs[k].sizes);
+    expect_bitwise_eq(batch[k], sp::sta::analyze_ssta(work, m, cfgs[k].spec));
+  }
+  EXPECT_EQ(batch[2].sigma(), 0.0);
+  auto work = nl;
+  work.set_sizes(cfgs[2].sizes);
+  EXPECT_NEAR(batch[2].mu, sp::sta::analyze(work, m).critical_delay, 1e-9);
+}
+
+TEST(SstaBatch, CharacterizeBitwiseEqualsScalar) {
+  const auto nl = sp::netlist::iscas_like("c499");
+  const auto m = model();
+  const auto spec = VariationSpec::inter_intra(0.020, 0.010, 0.5);
+  const auto cfgs = sweep_grid(nl, 8, spec);
+  const auto chars = sp::sta::SstaBatch(nl, m).characterize(cfgs);
+  for (std::size_t k = 0; k < cfgs.size(); ++k) {
+    auto work = nl;
+    work.set_sizes(cfgs[k].sizes);
+    const auto c = sp::sta::characterize_ssta(work, m, cfgs[k].spec);
+    EXPECT_EQ(chars[k].delay.mean, c.delay.mean);
+    EXPECT_EQ(chars[k].delay.sigma, c.delay.sigma);
+    EXPECT_EQ(chars[k].sigma_inter, c.sigma_inter);
+    EXPECT_EQ(chars[k].sigma_private, c.sigma_private);
+    EXPECT_EQ(chars[k].area, c.area);
+    EXPECT_EQ(chars[k].nominal_delay, c.nominal_delay);
+  }
+}
+
+TEST(SstaBatch, ResultIndependentOfShardingAndThreads) {
+  // No RNG is involved, so any (samples_per_shard, threads) pair gives the
+  // same lanes bitwise.
+  const auto nl = sp::netlist::iscas_like("c432");
+  const auto m = model();
+  const auto cfgs =
+      sweep_grid(nl, 16, VariationSpec::inter_intra(0.020, 0.010, 0.5));
+  const sp::sta::SstaBatch batch(nl, m);
+  const auto serial = batch.analyze(cfgs, sp::sim::ExecutionOptions{1, 1024});
+  const auto narrow = batch.analyze(cfgs, sp::sim::ExecutionOptions{0, 1});
+  const auto chunky = batch.analyze(cfgs, sp::sim::ExecutionOptions{0, 3});
+  for (std::size_t k = 0; k < cfgs.size(); ++k) {
+    expect_bitwise_eq(serial[k], narrow[k]);
+    expect_bitwise_eq(serial[k], chunky[k]);
+  }
+}
+
+TEST(SstaBatch, RejectsBadConfigAndMissingOutputs) {
+  const auto nl = sp::netlist::inverter_chain(4);
+  const auto m = model();
+  std::vector<sp::sta::SstaConfig> bad(1);
+  bad[0].sizes = {1.0, 2.0};  // wrong length
+  EXPECT_THROW(sp::sta::SstaBatch(nl, m).analyze(bad), std::invalid_argument);
+
+  sp::netlist::Netlist empty("empty");
+  empty.add_input("a");
+  EXPECT_THROW(sp::sta::SstaBatch(empty, m), std::logic_error);
 }
 
 // --------------------------------------------------------- characterization
