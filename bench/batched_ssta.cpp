@@ -67,13 +67,23 @@ bool bitwise_eq(const sp::sta::StageCharacterization& a,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  try {
+    json_path = bench_util::take_json_arg(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "batched_ssta: %s\n", e.what());
+    return EXIT_FAILURE;
+  }
   bench_util::banner(
       "batched_ssta",
       "Batched (SstaBatch) vs scalar SSTA characterization, K=32 sweep grid");
 
   const sp::device::AlphaPowerModel model{sp::process::Technology{}};
   const auto spec = sp::process::VariationSpec::inter_intra(0.020, 0.010, 0.5);
+
+  bench_util::JsonReport report("batched_ssta");
+  report.meta("lanes", static_cast<double>(kLanes));
 
   bench_util::row({"circuit", "gates", "scalar-1t", "scalar-Nt", "batch-1t",
                    "batch-Nt", "speedup", "bitwise"});
@@ -128,8 +138,24 @@ int main() {
     std::printf("%s,%zu,%.3f,%.3f,%.3f,%.3f,%.2f,%d\n", name, nl.gate_count(),
                 scalar_1t, scalar_nt, batch_1t, batch_nt, speedup,
                 equal ? 1 : 0);
+
+    report.row();
+    report.col("circuit", name);
+    report.col("gates", static_cast<double>(nl.gate_count()));
+    report.col("scalar_1t_ms", scalar_1t);
+    report.col("scalar_nt_ms", scalar_nt);
+    report.col("batch_1t_ms", batch_1t);
+    report.col("batch_nt_ms", batch_nt);
+    report.col("speedup_nt", speedup);
+    report.col("bitwise_equal", equal ? 1.0 : 0.0);
   }
   bench_util::csv_end();
+  try {
+    report.write(json_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "batched_ssta: %s\n", e.what());
+    return EXIT_FAILURE;
+  }
 
   if (!all_equal) {
     std::printf("FAIL: batched characterization diverged from scalar\n");

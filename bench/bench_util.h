@@ -1,10 +1,15 @@
 // Shared formatting helpers for the benchmark harnesses.  Every bench
 // prints (a) a paper-style summary table and (b) CSV blocks that re-plot
-// the corresponding figure with any plotting tool.
+// the corresponding figure with any plotting tool.  Benches that track the
+// perf trajectory additionally accept `--json <path>` (see take_json_arg /
+// JsonReport) and write a flat machine-readable BENCH_*.json record that CI
+// archives per PR.
 #pragma once
 
 #include <cstdio>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace bench_util {
@@ -40,5 +45,122 @@ inline void csv_begin(const std::string& name, const std::string& header) {
   std::printf("-- csv:%s\n%s\n", name.c_str(), header.c_str());
 }
 inline void csv_end() { std::printf("-- end\n"); }
+
+/// Extracts `--json <path>` (or `--json=<path>`) from argv, compacting the
+/// remaining arguments so the bench's own flag parsing never sees it.
+/// Returns the path, or "" when the flag is absent.  Throws
+/// std::invalid_argument when --json is given without a path.
+inline std::string take_json_arg(int& argc, char** argv) {
+  std::string path;
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      if (i + 1 >= argc)
+        throw std::invalid_argument("--json requires a file path");
+      path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      path = arg.substr(7);
+      if (path.empty())
+        throw std::invalid_argument("--json requires a file path");
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  argc = w;
+  return path;
+}
+
+/// Flat machine-readable bench record: one object per run with scalar
+/// metadata plus an array of uniform rows, e.g.
+///   {"bench": "sample_sta_block", "meta": {...}, "rows": [{...}, ...]}
+/// Values are strings or numbers; numbers are written with enough digits to
+/// round-trip.  write() throws std::runtime_error when the file cannot be
+/// produced, so a CI bench job fails loudly instead of uploading nothing.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
+
+  /// Run-level metadata (compiler, circuit set, thread count, ...).
+  void meta(const std::string& key, const std::string& v) {
+    meta_.emplace_back(key, quote(v));
+  }
+  void meta(const std::string& key, double v) { meta_.emplace_back(key, num(v)); }
+
+  /// Starts a new row; subsequent col() calls fill it.
+  void row() { rows_.emplace_back(); }
+  void col(const std::string& key, const std::string& v) {
+    rows_.back().emplace_back(key, quote(v));
+  }
+  void col(const std::string& key, double v) {
+    rows_.back().emplace_back(key, num(v));
+  }
+
+  /// Writes the report; no-op when `path` is empty (flag absent).
+  void write(const std::string& path) const {
+    if (path.empty()) return;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+      throw std::runtime_error("JsonReport: cannot open " + path);
+    std::string out = "{\"bench\": " + quote(bench_) + ",\n \"meta\": {";
+    out += join(meta_, ", ");
+    out += "},\n \"rows\": [\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      out += "  {" + join(rows_[i], ", ") + "}";
+      if (i + 1 < rows_.size()) out += ",";
+      out += "\n";
+    }
+    out += " ]\n}\n";
+    const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+    std::fclose(f);
+    if (!ok) throw std::runtime_error("JsonReport: short write to " + path);
+    std::printf("json report -> %s\n", path.c_str());
+  }
+
+ private:
+  using Fields = std::vector<std::pair<std::string, std::string>>;
+
+  static std::string quote(const std::string& s) {
+    std::string q = "\"";
+    for (char c : s) {
+      const unsigned char u = static_cast<unsigned char>(c);
+      if (c == '"' || c == '\\') {
+        q += '\\';
+        q += c;
+      } else if (c == '\n') {
+        q += "\\n";
+      } else if (c == '\t') {
+        q += "\\t";
+      } else if (c == '\r') {
+        q += "\\r";
+      } else if (u < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x", u);
+        q += buf;
+      } else {
+        q += c;
+      }
+    }
+    return q + "\"";
+  }
+  static std::string num(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+  }
+  static std::string join(const Fields& fields, const std::string& sep) {
+    std::string out;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (i != 0) out += sep;
+      out += quote_key(fields[i].first) + ": " + fields[i].second;
+    }
+    return out;
+  }
+  static std::string quote_key(const std::string& k) { return quote(k); }
+
+  std::string bench_;
+  Fields meta_;
+  std::vector<Fields> rows_;
+};
 
 }  // namespace bench_util

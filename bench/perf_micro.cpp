@@ -7,6 +7,9 @@
 
 #include <map>
 #include <string>
+#include <vector>
+
+#include "bench_util.h"
 
 #include "core/pipeline_model.h"
 #include "mc/pipeline_mc.h"
@@ -164,6 +167,35 @@ static void BM_StageLevelMcSharded(benchmark::State& state) {
 }
 BENCHMARK(BM_StageLevelMcSharded)->Arg(1)->Arg(2)->Arg(8)->UseRealTime();
 
+// Gate-level MC at block widths 1 / 8 / 16 (serial): the SoA block-kernel
+// speedup in isolation.  Same seed at every width — bitwise-identical
+// results by the block-path determinism contract; only wall-clock changes.
+static void BM_GateLevelMcBlockWidth(benchmark::State& state) {
+  static const auto stages = [] {
+    std::vector<sp::netlist::Netlist> s;
+    for (int i = 0; i < 5; ++i) s.push_back(sp::netlist::inverter_chain(24));
+    return s;
+  }();
+  std::vector<const sp::netlist::Netlist*> views;
+  for (const auto& s : stages) views.push_back(&s);
+  const sp::device::LatchModel latch{{}, model()};
+  sp::mc::GateLevelMonteCarlo mc(views, model(), spec(), latch);
+  sp::sim::ExecutionOptions exec;
+  exec.threads = 1;
+  exec.samples_per_shard = 256;
+  exec.block_width = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kSamples = 2048;
+  sp::stats::Rng rng(3);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(mc.run(kSamples, rng, exec).tp_samples);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kSamples));
+}
+BENCHMARK(BM_GateLevelMcBlockWidth)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
 static void BM_SizerC432(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();
@@ -176,4 +208,29 @@ static void BM_SizerC432(benchmark::State& state) {
 }
 BENCHMARK(BM_SizerC432)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// Custom main: `--json <path>` maps onto google-benchmark's own JSON file
+// reporter, so perf_micro emits the same machine-readable BENCH record
+// contract as the plain-executable benches.
+int main(int argc, char** argv) {
+  std::string json_path;
+  try {
+    json_path = bench_util::take_json_arg(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "perf_micro: %s\n", e.what());
+    return 1;
+  }
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag, fmt_flag;
+  if (!json_path.empty()) {
+    out_flag = "--benchmark_out=" + json_path;
+    fmt_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

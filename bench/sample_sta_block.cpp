@@ -1,0 +1,171 @@
+// Block-vectorized vs scalar gate-level Monte-Carlo — the PR-3 hot-path
+// speedup, and the determinism proof that makes it free to enable.
+//
+// Workload: the paper's "silicon" reference (section 2.4) on c3540-class
+// synthetic netlists — GateLevelMonteCarlo with inter-die + RDF variation.
+// The systematic spatial field is disabled here on purpose: its per-die
+// Cholesky multiply is O(sites^2), identical on both paths, and would
+// swamp the sampling/STA kernel comparison this bench isolates (the MC
+// engines accept it either way; see fig2_delay_distribution for runs with
+// the field enabled).
+//
+// For each circuit the same run (same seed, same shard plan) executes at
+// block widths 1 (the scalar path), 8 and 16, single-threaded and on the
+// full pool; the bench reports the speedup of width-8/16 over width-1 and
+// verifies all runs are bitwise-identical — exec.block_width is a pure
+// throughput knob.
+//
+// `--json <path>` writes the machine-readable BENCH record CI archives.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "bench_util.h"
+#include "mc/pipeline_mc.h"
+#include "netlist/generators.h"
+#include "sim/engine.h"
+#include "sim/thread_pool.h"
+
+namespace sp = statpipe;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+constexpr std::size_t kSamples = 2048;
+constexpr int kReps = 3;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+template <typename Fn>
+double best_of(Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < kReps; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    best = std::min(best, ms_since(t0));
+  }
+  return best;
+}
+
+bool bitwise_eq(const sp::mc::McResult& a, const sp::mc::McResult& b) {
+  if (a.tp_samples.size() != b.tp_samples.size() ||
+      a.stage_stats.size() != b.stage_stats.size())
+    return false;
+  for (std::size_t i = 0; i < a.tp_samples.size(); ++i)
+    if (a.tp_samples[i] != b.tp_samples[i]) return false;
+  for (std::size_t s = 0; s < a.stage_stats.size(); ++s) {
+    if (a.stage_stats[s].count() != b.stage_stats[s].count() ||
+        a.stage_stats[s].mean() != b.stage_stats[s].mean() ||
+        a.stage_stats[s].variance() != b.stage_stats[s].variance() ||
+        a.stage_stats[s].min() != b.stage_stats[s].min() ||
+        a.stage_stats[s].max() != b.stage_stats[s].max())
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  try {
+    json_path = bench_util::take_json_arg(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sample_sta_block: %s\n", e.what());
+    return EXIT_FAILURE;
+  }
+
+  bench_util::banner("sample_sta_block",
+                     "Block (SoA DieBlock) vs scalar gate-level MC, widths "
+                     "{1,8,16}, bitwise-checked");
+
+  const sp::device::AlphaPowerModel model{sp::process::Technology{}};
+  const sp::device::LatchModel latch{{}, model};
+  // Inter-die + RDF, no systematic field (see file comment).
+  sp::process::VariationSpec spec;
+  spec.sigma_vth_inter = 0.020;
+  spec.sigma_vth_systematic = 0.0;
+  spec.enable_rdf = true;
+
+  const std::size_t pool = sp::sim::ThreadPool::shared().thread_count();
+  bench_util::JsonReport report("sample_sta_block");
+  report.meta("samples", static_cast<double>(kSamples));
+  report.meta("pool_threads", static_cast<double>(pool));
+  report.meta("spec", "inter0.020+rdf");
+
+  bench_util::row({"circuit", "gates", "w1-1t", "w8-1t", "w16-1t", "w8-Nt",
+                   "speedup8", "speedup16", "bitwise"});
+  bench_util::csv_begin("sample_sta_block",
+                        "circuit,gates,w1_1t_ms,w8_1t_ms,w16_1t_ms,w8_nt_ms,"
+                        "speedup_w8,speedup_w16,bitwise_equal");
+
+  bool all_equal = true;
+  double worst_speedup8 = 1e300;
+  for (const char* name : {"c432", "c3540"}) {
+    const auto nl = sp::netlist::iscas_like(name);
+    const std::vector<const sp::netlist::Netlist*> stages{&nl};
+    const sp::mc::GateLevelMonteCarlo mc(stages, model, spec, latch);
+
+    auto run_at = [&](std::size_t width, std::size_t threads) {
+      sp::sim::ExecutionOptions exec;
+      exec.threads = threads;
+      exec.samples_per_shard = 256;
+      exec.block_width = width;
+      sp::stats::Rng rng(90210);
+      return mc.run(kSamples, rng, exec);
+    };
+
+    sp::mc::McResult r1, r8, r16, r8n;
+    const double w1_1t = best_of([&] { r1 = run_at(1, 1); });
+    const double w8_1t = best_of([&] { r8 = run_at(8, 1); });
+    const double w16_1t = best_of([&] { r16 = run_at(16, 1); });
+    const double w8_nt = best_of([&] { r8n = run_at(8, 0); });
+
+    const bool equal =
+        bitwise_eq(r1, r8) && bitwise_eq(r1, r16) && bitwise_eq(r1, r8n);
+    all_equal = all_equal && equal;
+    const double speedup8 = w1_1t / w8_1t;
+    const double speedup16 = w1_1t / w16_1t;
+    worst_speedup8 = std::min(worst_speedup8, speedup8);
+
+    bench_util::row({name, std::to_string(nl.gate_count()),
+                     bench_util::fmt(w1_1t) + "ms",
+                     bench_util::fmt(w8_1t) + "ms",
+                     bench_util::fmt(w16_1t) + "ms",
+                     bench_util::fmt(w8_nt) + "ms",
+                     bench_util::fmt(speedup8) + "x",
+                     bench_util::fmt(speedup16) + "x", equal ? "yes" : "NO"});
+    std::printf("%s,%zu,%.3f,%.3f,%.3f,%.3f,%.2f,%.2f,%d\n", name,
+                nl.gate_count(), w1_1t, w8_1t, w16_1t, w8_nt, speedup8,
+                speedup16, equal ? 1 : 0);
+
+    report.row();
+    report.col("circuit", name);
+    report.col("gates", static_cast<double>(nl.gate_count()));
+    report.col("w1_1t_ms", w1_1t);
+    report.col("w8_1t_ms", w8_1t);
+    report.col("w16_1t_ms", w16_1t);
+    report.col("w8_nt_ms", w8_nt);
+    report.col("speedup_w8", speedup8);
+    report.col("speedup_w16", speedup16);
+    report.col("bitwise_equal", equal ? 1.0 : 0.0);
+  }
+  bench_util::csv_end();
+  try {
+    report.write(json_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sample_sta_block: %s\n", e.what());
+    return EXIT_FAILURE;
+  }
+
+  if (!all_equal) {
+    std::printf("FAIL: block gate-level MC diverged from the scalar path\n");
+    return EXIT_FAILURE;
+  }
+  std::printf("block path is bitwise-identical to scalar; worst width-8 "
+              "speedup %.2fx\n", worst_speedup8);
+  return EXIT_SUCCESS;
+}

@@ -165,26 +165,62 @@ GateLevelMonteCarlo::GateLevelMonteCarlo(
 }
 
 McResult GateLevelMonteCarlo::run_shard(const sim::Shard& shard,
-                                        const stats::Rng& root) const {
-  stats::Rng rng = root.fork(shard.index);
+                                        const stats::Rng& root,
+                                        std::size_t block_width) const {
+  // Per-sample streams: sample k of this shard draws from
+  // shard_rng.fork(k) — die draws first, then the per-stage latch draws —
+  // so the values a sample sees depend only on (seed, shard, k), never on
+  // how samples are grouped into blocks.  That plus the per-lane bitwise
+  // equality of the block kernels makes the run block-width-invariant.
+  const stats::Rng shard_rng = root.fork(shard.index);
+  const std::size_t n_stages = stages_.size();
   McResult r;
   r.tp_samples.reserve(shard.count);
-  r.stage_stats.resize(stages_.size());
-  // Per-shard arenas: the sample loop below is allocation-free in steady
-  // state (die buffers, systematic-field batch, arrival arena all reused).
-  process::DieSample die;
-  process::DieWorkspace die_ws;
-  sta::StaWorkspace sta_ws;
-  for (std::size_t k = 0; k < shard.count; ++k) {
-    sampler_.sample_into(rng, die, die_ws);
+  r.stage_stats.resize(n_stages);
+  // Sim-owned per-shard arenas: the loops below are allocation-free in
+  // steady state (die block, systematic-field batch, arrival lane arena and
+  // RNG streams all reused across shards via the workspace pool).
+  auto ws = scratch_.acquire();
+  const std::size_t W = block_width;
+  ws->lane_rngs.resize(W);
+  ws->stage_delay.resize(n_stages * W);
+  ws->sta_block.resize(n_stages);
+
+  std::size_t k = 0;
+  for (; W > 1 && k + W <= shard.count; k += W) {
+    for (std::size_t j = 0; j < W; ++j)
+      ws->lane_rngs[j] = shard_rng.fork(k + j);
+    sampler_.sample_block_into(ws->lane_rngs.data(), W, ws->block,
+                               ws->block_ws);
+    for (std::size_t s = 0; s < n_stages; ++s)
+      sta::critical_delay_sample_block(*stages_[s], *model_, ws->block,
+                                       site_maps_[s], sta_opt_,
+                                       ws->sta_block[s],
+                                       ws->stage_delay.data() + s * W);
+    for (std::size_t j = 0; j < W; ++j) {
+      double tp = 0.0;
+      for (std::size_t s = 0; s < n_stages; ++s) {
+        // Latch sees the shared shifts only; its internal RDF is already in
+        // LatchTiming::random_sigma_rel (keeps MC consistent with
+        // LatchModel::overhead_distribution on the analytical side).
+        const double dvth_latch = ws->block.dvth_shared_at(latch_sites_[s], j);
+        const double sd = ws->stage_delay[s * W + j] +
+                          latch_.sample_overhead(dvth_latch, ws->lane_rngs[j]);
+        r.stage_stats[s].add(sd);
+        tp = std::max(tp, sd);
+      }
+      r.tp_samples.push_back(tp);
+    }
+  }
+  // Scalar tail (and the whole shard when block_width == 1).
+  for (; k < shard.count; ++k) {
+    stats::Rng rng = shard_rng.fork(k);
+    sampler_.sample_into(rng, ws->die, ws->die_ws);
     double tp = 0.0;
-    for (std::size_t s = 0; s < stages_.size(); ++s) {
+    for (std::size_t s = 0; s < n_stages; ++s) {
       const double comb = sta::critical_delay_sample(
-          *stages_[s], *model_, die, site_maps_[s], sta_opt_, sta_ws);
-      // Latch sees the shared shifts only; its internal RDF is already in
-      // LatchTiming::random_sigma_rel (keeps MC consistent with
-      // LatchModel::overhead_distribution on the analytical side).
-      const double dvth_latch = die.dvth_shared_at(latch_sites_[s]);
+          *stages_[s], *model_, ws->die, site_maps_[s], sta_opt_, ws->sta_ws);
+      const double dvth_latch = ws->die.dvth_shared_at(latch_sites_[s]);
       const double sd = comb + latch_.sample_overhead(dvth_latch, rng);
       r.stage_stats[s].add(sd);
       tp = std::max(tp, sd);
@@ -198,10 +234,11 @@ McResult GateLevelMonteCarlo::run(std::size_t n_samples, stats::Rng& rng,
                                   const sim::ExecutionOptions& exec) const {
   if (n_samples == 0)
     throw std::invalid_argument("GateLevelMonteCarlo: zero samples");
+  const std::size_t width = stats::lanes::clamp_width(exec.block_width);
   const stats::Rng root = rng.fork();
   McResult r = sim::run_sharded<McResult>(
       n_samples, exec,
-      [&](const sim::Shard& s) { return run_shard(s, root); },
+      [&](const sim::Shard& s) { return run_shard(s, root, width); },
       [](McResult& acc, McResult&& part) { acc.merge(std::move(part)); });
   r.label = "gate-level MC";
   return r;

@@ -15,9 +15,18 @@
 //
 // Both engines execute on the sharded sim layer: n_samples is partitioned
 // into fixed-size shards, each shard draws from its own counter-derived RNG
-// stream and reuses a per-shard workspace (die sample, STA arena, batch
-// normal buffers), and shard results merge in ascending shard order.  For a
-// given seed the result is bitwise-identical at any thread count.
+// stream and reuses a pooled per-shard workspace (die block, STA lane
+// arena, batch normal buffers), and shard results merge in ascending shard
+// order.  For a given seed the result is bitwise-identical at any thread
+// count.
+//
+// The gate-level engine additionally runs block-vectorized: each shard
+// consumes SoA DieBlocks of exec.block_width dies (tail handled scalar)
+// through process::VariationSampler::sample_block_into and
+// sta::critical_delay_sample_block.  Every sample's RNG stream is keyed on
+// its shard-local index (shard_rng.fork(k)), not on draw position, and the
+// block kernels are bitwise-identical per lane to the scalar path — so for
+// a given seed the result is ALSO bitwise-identical at any block width.
 //
 // Layer contract (src/mc, see docs/ARCHITECTURE.md): owns Monte-Carlo
 // verification of pipeline delay.  May depend on everything below core's
@@ -89,14 +98,31 @@ class GateLevelMonteCarlo {
                       const device::LatchModel& latch,
                       const sta::StaOptions& sta_opt = {});
 
-  /// Same determinism contract as StageLevelMonteCarlo::run.
+  /// Same determinism contract as StageLevelMonteCarlo::run, strengthened
+  /// for the block path: the result depends on (seed, n_samples,
+  /// exec.samples_per_shard) but never on exec.threads or exec.block_width.
   McResult run(std::size_t n_samples, stats::Rng& rng,
                const sim::ExecutionOptions& exec = {}) const;
 
   std::size_t stage_count() const noexcept { return stages_.size(); }
 
  private:
-  McResult run_shard(const sim::Shard& shard, const stats::Rng& root) const;
+  /// Pooled per-shard scratch: block + scalar-tail sampling buffers, the
+  /// SoA STA arena, per-lane RNG streams and the stage-major delay block.
+  struct ShardScratch {
+    std::vector<stats::Rng> lane_rngs;
+    process::DieBlock block;
+    process::BlockWorkspace block_ws;
+    std::vector<sta::StaBlockWorkspace> sta_block;  // one per stage, so each
+                                                    // stays bound to its stage
+    std::vector<double> stage_delay;  // [stage][lane], stage-major
+    process::DieSample die;           // scalar tail
+    process::DieWorkspace die_ws;
+    sta::StaWorkspace sta_ws;
+  };
+
+  McResult run_shard(const sim::Shard& shard, const stats::Rng& root,
+                     std::size_t block_width) const;
 
   std::vector<const netlist::Netlist*> stages_;
   const device::AlphaPowerModel* model_;
@@ -106,6 +132,7 @@ class GateLevelMonteCarlo {
   process::VariationSampler sampler_;          // all sites, all stages
   std::vector<std::vector<std::size_t>> site_maps_;  // per stage: gate -> site
   std::vector<std::size_t> latch_sites_;       // site of each stage's latch
+  mutable sim::WorkspacePool<ShardScratch> scratch_;  // sim-owned workspaces
 };
 
 }  // namespace statpipe::mc

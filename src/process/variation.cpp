@@ -57,6 +57,27 @@ double DieSample::dl_rel_at(std::size_t i) const {
   return d;
 }
 
+double DieBlock::dvth_at(std::size_t i, std::size_t j,
+                         double width_mult) const {
+  double d = dvth_inter[j];
+  if (!dvth_systematic.empty()) d += dvth_systematic[i * width + j];
+  if (!dvth_random.empty())
+    d += dvth_random[i * width + j] / std::sqrt(width_mult);
+  return d;
+}
+
+double DieBlock::dvth_shared_at(std::size_t i, std::size_t j) const {
+  double d = dvth_inter[j];
+  if (!dvth_systematic.empty()) d += dvth_systematic[i * width + j];
+  return d;
+}
+
+double DieBlock::dl_rel_at(std::size_t i, std::size_t j) const {
+  double d = dl_inter_rel[j];
+  if (!dl_systematic_rel.empty()) d += dl_systematic_rel[i * width + j];
+  return d;
+}
+
 VariationSampler::VariationSampler(Technology tech, VariationSpec spec,
                                    std::vector<double> site_positions)
     : tech_(tech), spec_(spec), positions_(std::move(site_positions)) {
@@ -118,8 +139,61 @@ void VariationSampler::sample_into(stats::Rng& rng, DieSample& d,
   if (spec_.enable_rdf) {
     const double s_rdf = tech_.sigma_vth_rdf(1.0);  // unit-width sigma
     d.dvth_random.resize(n);
-    for (std::size_t i = 0; i < n; ++i)
-      d.dvth_random[i] = rng.normal(0.0, s_rdf);
+    rng.normal_fill_scaled(s_rdf, d.dvth_random.data(), n);
+  }
+}
+
+void VariationSampler::sample_block_into(stats::Rng* lane_rngs,
+                                         std::size_t width, DieBlock& d,
+                                         BlockWorkspace& ws) const {
+  if (width == 0 || width > stats::lanes::kMaxWidth)
+    throw std::invalid_argument(
+        "sample_block_into: width must be in [1, lanes::kMaxWidth]");
+  const std::size_t n = positions_.size();
+  const std::size_t W = width;
+  d.width = W;
+  d.sites = n;
+  d.dvth_inter.resize(W);
+  d.dl_inter_rel.resize(W);
+  const bool sys_vth = has_systematic_ && spec_.sigma_vth_systematic > 0.0;
+  const bool sys_l = has_systematic_ && spec_.sigma_l_systematic_rel > 0.0;
+  d.dvth_systematic.resize(sys_vth ? n * W : 0);
+  d.dl_systematic_rel.resize(sys_l ? n * W : 0);
+  d.dvth_random.resize(spec_.enable_rdf ? n * W : 0);
+
+  // Lane-outer loop: lane j's draw sequence is exactly sample_into's on
+  // lane_rngs[j] (inter draws, one batched normal fill for the field, then
+  // per-site RDF), only the stores land site-major in the SoA block.
+  for (std::size_t j = 0; j < W; ++j) {
+    stats::Rng& rng = lane_rngs[j];
+    d.dvth_inter[j] = spec_.sigma_vth_inter > 0.0
+                          ? rng.normal(0.0, spec_.sigma_vth_inter)
+                          : 0.0;
+    d.dl_inter_rel[j] = spec_.sigma_l_inter_rel > 0.0
+                            ? rng.normal(0.0, spec_.sigma_l_inter_rel)
+                            : 0.0;
+    if (has_systematic_) {
+      rng.normal_fill(ws.z, n);
+      ws.field.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        double s = 0.0;
+        for (std::size_t k = 0; k <= i; ++k)
+          s += systematic_chol_(i, k) * ws.z[k];
+        ws.field[i] = s;
+      }
+      if (sys_vth)
+        for (std::size_t i = 0; i < n; ++i)
+          d.dvth_systematic[i * W + j] =
+              spec_.sigma_vth_systematic * ws.field[i];
+      if (sys_l)
+        for (std::size_t i = 0; i < n; ++i)
+          d.dl_systematic_rel[i * W + j] =
+              spec_.sigma_l_systematic_rel * ws.field[i];
+    }
+    if (spec_.enable_rdf) {
+      const double s_rdf = tech_.sigma_vth_rdf(1.0);  // unit-width sigma
+      rng.normal_fill_scaled(s_rdf, d.dvth_random.data() + j, n, W);
+    }
   }
 }
 

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "stats/lanes.h"
 #include "stats/matrix.h"
 #include "stats/rng.h"
 
@@ -90,6 +91,41 @@ struct DieWorkspace {
   std::vector<double> field;  ///< correlated systematic field
 };
 
+/// Structure-of-arrays block of `width` sampled dies — the unit the
+/// block-vectorized sampling/STA kernel layer streams through the gate-level
+/// Monte-Carlo hot path.  Per-site arrays are site-major with lanes
+/// contiguous: value of site i on die (lane) j lives at [i * width + j], so
+/// one gate visit of the block sample STA reads `width` consecutive doubles.
+/// Component presence mirrors DieSample: an absent component's vector is
+/// empty, and lane accessors execute exactly the scalar DieSample accessors'
+/// floating-point sequence (same adds, same order) so per-die results are
+/// bitwise-identical to the scalar path.
+struct DieBlock {
+  std::size_t width = 0;  ///< lanes (dies) per block, <= stats::lanes::kMaxWidth
+  std::size_t sites = 0;  ///< device sites per die
+  std::vector<double> dvth_inter;         ///< [width] shared Vth shift [V]
+  std::vector<double> dl_inter_rel;       ///< [width] shared relative L shift
+  std::vector<double> dvth_systematic;    ///< [sites*width] or empty
+  std::vector<double> dl_systematic_rel;  ///< [sites*width] or empty
+  std::vector<double> dvth_random;        ///< [sites*width] or empty (unit width)
+
+  /// Total Vth shift at site i on lane j for a device of `width_mult`
+  /// min-widths — DieSample::dvth_at, lane-indexed.
+  double dvth_at(std::size_t i, std::size_t j, double width_mult) const;
+  /// Shared (inter + systematic) Vth shift at site i on lane j, excluding
+  /// RDF — DieSample::dvth_shared_at, lane-indexed.
+  double dvth_shared_at(std::size_t i, std::size_t j) const;
+  /// Total relative channel-length shift at site i on lane j.
+  double dl_rel_at(std::size_t i, std::size_t j) const;
+};
+
+/// Reusable scratch for VariationSampler::sample_block_into — per-lane
+/// standard-normal and correlated-field buffers, one per Monte-Carlo shard.
+struct BlockWorkspace {
+  std::vector<double> z;      ///< standard-normal draws for one lane's field
+  std::vector<double> field;  ///< one lane's correlated systematic field
+};
+
 /// Generates correlated DieSamples for a fixed set of device sites.
 ///
 /// Sites are positions in normalized die coordinates [0,1]; the systematic
@@ -112,6 +148,16 @@ class VariationSampler {
   /// Draw one die into caller-owned storage (identical draw sequence to
   /// sample()); `out` and `ws` are reused across calls.
   void sample_into(stats::Rng& rng, DieSample& out, DieWorkspace& ws) const;
+
+  /// Draw `width` correlated dies into an SoA block in one call: one batched
+  /// normal fill per lane drives the shared systematic field, RDF is drawn
+  /// per die per site.  Lane j consumes lane_rngs[j] with exactly the draw
+  /// sequence of sample_into, so lane j of the block is bitwise-identical to
+  /// a scalar sample_into call on the same Rng state — the equivalence the
+  /// block Monte-Carlo path's determinism rests on.  `out` and `ws` are
+  /// reused across calls; width must be in [1, stats::lanes::kMaxWidth].
+  void sample_block_into(stats::Rng* lane_rngs, std::size_t width,
+                         DieBlock& out, BlockWorkspace& ws) const;
 
   /// Effective stage-to-stage delay correlation implied by the spec when a
   /// stage's delay sigma decomposes into inter + systematic + random parts:

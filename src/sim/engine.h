@@ -16,6 +16,8 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -31,6 +33,14 @@ struct ExecutionOptions {
   /// Shard granularity.  Changing it re-partitions the RNG streams (results
   /// change deterministically); the thread count never does.
   std::size_t samples_per_shard = 1024;
+  /// SoA lane width for engines with a block-vectorized sample path: full
+  /// blocks of this many samples go through the block kernels, the shard
+  /// tail runs scalar.  1 = fully scalar.  Engines clamp it to their
+  /// supported range (stats::lanes::kMaxWidth).  Like `threads` — and
+  /// unlike `samples_per_shard` — results NEVER depend on this value: each
+  /// sample's RNG stream is keyed on its shard-local index, and the block
+  /// kernels are bitwise-identical per lane to the scalar path.
+  std::size_t block_width = 8;
 };
 
 /// One contiguous slice of a sample run.  `index` doubles as the RNG
@@ -51,6 +61,60 @@ inline void parallel_for(std::size_t n,
                          std::size_t max_threads = 0) {
   ThreadPool::shared().parallel_for(n, fn, max_threads);
 }
+
+/// Pool of reusable per-shard workspaces, owned by the execution layer so
+/// engines don't reallocate their arenas (die blocks, arrival lanes, RNG
+/// lane arrays) once per shard.  A shard body acquires a lease, works in
+/// the borrowed workspace and returns it on scope exit; at most one lease
+/// per concurrently running shard exists, so the pool's high-water mark is
+/// the worker count, not the shard count.  W must be default-constructible;
+/// the pool knows nothing else about it (the sim layer stays ignorant of
+/// what it schedules).  Workspaces are scratch: nothing in a reused W may
+/// influence results, which every engine's determinism tests enforce.
+template <class W>
+class WorkspacePool {
+ public:
+  class Lease {
+   public:
+    Lease(WorkspacePool& pool, std::unique_ptr<W> ws)
+        : pool_(&pool), ws_(std::move(ws)) {}
+    Lease(Lease&&) = default;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease& operator=(Lease&&) = delete;
+    ~Lease() {
+      if (ws_) pool_->release(std::move(ws_));
+    }
+    W& operator*() noexcept { return *ws_; }
+    W* operator->() noexcept { return ws_.get(); }
+
+   private:
+    WorkspacePool* pool_;
+    std::unique_ptr<W> ws_;
+  };
+
+  /// Borrows a free workspace, constructing one only when none is idle.
+  Lease acquire() {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      if (!free_.empty()) {
+        std::unique_ptr<W> ws = std::move(free_.back());
+        free_.pop_back();
+        return Lease(*this, std::move(ws));
+      }
+    }
+    return Lease(*this, std::make_unique<W>());
+  }
+
+ private:
+  void release(std::unique_ptr<W> ws) {
+    std::lock_guard<std::mutex> lk(m_);
+    free_.push_back(std::move(ws));
+  }
+
+  std::mutex m_;
+  std::vector<std::unique_ptr<W>> free_;
+};
 
 /// Runs body(shard) for every shard (possibly concurrently), then folds the
 /// per-shard results in ascending shard order with merge(acc, part) — the

@@ -1,7 +1,11 @@
 #include "sim/thread_pool.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
+#include <stdexcept>
+#include <string>
 
 namespace statpipe::sim {
 
@@ -12,16 +16,33 @@ namespace {
 thread_local bool t_in_worker = false;
 
 std::size_t default_thread_count() {
-  if (const char* env = std::getenv("STATPIPE_THREADS")) {
-    char* end = nullptr;
-    const unsigned long v = std::strtoul(env, &end, 10);
-    if (end != env && v >= 1) return static_cast<std::size_t>(v);
-  }
+  if (const char* env = std::getenv("STATPIPE_THREADS"))
+    return parse_thread_count(env);
   const unsigned hw = std::thread::hardware_concurrency();
   return hw >= 1 ? hw : 1;
 }
 
 }  // namespace
+
+std::size_t parse_thread_count(const char* text) {
+  const std::string raw = text == nullptr ? "" : text;
+  auto fail = [&](const char* why) {
+    throw std::invalid_argument("STATPIPE_THREADS=\"" + raw + "\": " + why +
+                                " (expected a positive integer)");
+  };
+  const char* p = raw.c_str();
+  while (std::isspace(static_cast<unsigned char>(*p))) ++p;
+  if (*p == '-') fail("negative thread count");
+  if (!std::isdigit(static_cast<unsigned char>(*p))) fail("not a number");
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(p, &end, 10);
+  if (errno == ERANGE || v > std::size_t(-1) / 2) fail("value out of range");
+  while (std::isspace(static_cast<unsigned char>(*end))) ++end;
+  if (*end != '\0') fail("trailing garbage after the number");
+  if (v == 0) fail("zero thread count");
+  return static_cast<std::size_t>(v);
+}
 
 ThreadPool::ThreadPool(std::size_t n_threads) {
   const std::size_t helpers = n_threads > 1 ? n_threads - 1 : 0;

@@ -43,6 +43,8 @@ class ThreadPool {
                     std::size_t max_threads = 0);
 
   /// Process-wide pool, sized once from STATPIPE_THREADS / hardware.
+  /// Throws std::invalid_argument (via parse_thread_count) when
+  /// STATPIPE_THREADS is set to something that is not a positive integer.
   static ThreadPool& shared();
 
  private:
@@ -72,5 +74,13 @@ class ThreadPool {
 /// Worker count a run with `requested` threads actually uses (0 = the full
 /// shared pool).  Capped by the shared pool's width.
 std::size_t resolve_threads(std::size_t requested);
+
+/// Strict parser for the STATPIPE_THREADS environment value: accepts a
+/// positive decimal integer (optionally surrounded by spaces) and nothing
+/// else.  Non-numeric text, trailing garbage, zero, negative values and
+/// overflow all throw std::invalid_argument naming the offending value —
+/// a misspelled thread count must fail loudly, not silently fall back to
+/// hardware concurrency and misconfigure every run in the process.
+std::size_t parse_thread_count(const char* text);
 
 }  // namespace statpipe::sim

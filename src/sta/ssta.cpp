@@ -65,28 +65,49 @@ CanonicalDelay canonical_max(const CanonicalDelay& a, const CanonicalDelay& b) {
 
 void canonical_max_lanes(const CanonicalLanes& acc, const CanonicalLanes& other,
                          std::size_t lanes) {
-  // Fixed-size chunks keep the gathered Gaussians, correlations and Clark
-  // results on the stack while still feeding clark_max_lanes contiguous
-  // blocks.  Per lane the sequence is exactly canonical_max's:
-  // correlation -> clark_max -> reproject, so results are bitwise-identical
-  // to scalar folding lane by lane.
+  // Fixed-size chunks keep the SoA scratch (sigmas, correlations, Clark
+  // outputs) on the stack while feeding clark_max_lanes contiguous blocks.
+  // Per lane the sequence is exactly canonical_max's: correlation ->
+  // clark_max -> reproject, so results are bitwise-identical to scalar
+  // folding lane by lane.  No per-lane dispatch into the scalar operator:
+  // the sigma/correlation prologue below and the Clark kernel itself are
+  // straight-line loops over the canonical-form arrays.
   constexpr std::size_t kChunk = 32;
-  stats::Gaussian ga[kChunk], gb[kChunk];
-  double rho[kChunk];
-  stats::ClarkMax cm[kChunk];
+  double s1[kChunk], s2[kChunk], rho[kChunk];
+  double cmean[kChunk], csigma[kChunk], calpha[kChunk], ca[kChunk],
+      cphi[kChunk];
   for (std::size_t base = 0; base < lanes; base += kChunk) {
     const std::size_t n = std::min(kChunk, lanes - base);
     for (std::size_t k = 0; k < n; ++k) {
-      const CanonicalDelay a = acc.load(base + k);
-      const CanonicalDelay b = other.load(base + k);
-      rho[k] = a.correlation(b);
-      ga[k] = a.as_gaussian();
-      gb[k] = b.as_gaussian();
+      const std::size_t i = base + k;
+      // sigma() of each side, then the shared-normal correlation — the exact
+      // expressions of CanonicalDelay::sigma / ::correlation, with the
+      // degenerate zero-sigma case resolved by select on a sanitized divisor.
+      const double v1 = acc.b_inter[i] * acc.b_inter[i] +
+                        acc.b_sys[i] * acc.b_sys[i] +
+                        acc.sigma_ind[i] * acc.sigma_ind[i];
+      const double v2 = other.b_inter[i] * other.b_inter[i] +
+                        other.b_sys[i] * other.b_sys[i] +
+                        other.sigma_ind[i] * other.sigma_ind[i];
+      s1[k] = std::sqrt(v1);
+      s2[k] = std::sqrt(v2);
+      const bool zero = s1[k] <= 0.0 || s2[k] <= 0.0;
+      const double denom = stats::lanes::select(zero, 1.0, s1[k] * s2[k]);
+      const double num = acc.b_inter[i] * other.b_inter[i] +
+                         acc.b_sys[i] * other.b_sys[i];
+      rho[k] = stats::lanes::select(zero, 0.0,
+                                    std::clamp(num / denom, -1.0, 1.0));
     }
-    stats::clark_max_lanes(ga, gb, rho, cm, n);
-    for (std::size_t k = 0; k < n; ++k)
+    const stats::GaussianLanesView ga{acc.mu + base, s1};
+    const stats::GaussianLanesView gb{other.mu + base, s2};
+    stats::clark_max_lanes(ga, gb, rho, n,
+                           {cmean, csigma, calpha, ca, cphi});
+    for (std::size_t k = 0; k < n; ++k) {
+      const stats::ClarkMax cm{{cmean[k], csigma[k]}, calpha[k], ca[k],
+                               cphi[k]};
       acc.store(base + k,
-                reproject_max(acc.load(base + k), other.load(base + k), cm[k]));
+                reproject_max(acc.load(base + k), other.load(base + k), cm));
+    }
   }
 }
 

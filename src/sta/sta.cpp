@@ -1,6 +1,7 @@
 #include "sta/sta.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace statpipe::sta {
@@ -93,6 +94,118 @@ double critical_delay_sample(const netlist::Netlist& nl,
       },
       ws.arrival, critical);
   return critical;
+}
+
+namespace {
+
+// Bind-once half of the block kernel: flattens the lane-invariant stage
+// structure into the workspace.  Every cached value is computed exactly as
+// the scalar path computes it per die (same expressions, same order), so
+// streaming many blocks through one binding cannot change results.
+void bind_block_workspace(const netlist::Netlist& nl,
+                          const device::AlphaPowerModel& model,
+                          const std::vector<std::size_t>& site_of_gate,
+                          const StaOptions& opt, StaBlockWorkspace& ws) {
+  ws.gate_ids.clear();
+  ws.site.clear();
+  ws.nominal.clear();
+  ws.sqrt_size.clear();
+  ws.fanin_begin.clear();
+  ws.fanins.clear();
+  ws.fanin_begin.push_back(0);
+  for (netlist::GateId id : nl.topological_order()) {
+    const auto& g = nl.gate(id);
+    if (g.is_pseudo()) continue;
+    ws.gate_ids.push_back(id);
+    ws.site.push_back(site_of_gate[id]);
+    ws.nominal.push_back(
+        model.nominal_delay(g.kind, g.size, nl.load_of(id, opt.output_load)));
+    ws.sqrt_size.push_back(std::sqrt(g.size));
+    ws.fanins.insert(ws.fanins.end(), g.fanins.begin(), g.fanins.end());
+    ws.fanin_begin.push_back(ws.fanins.size());
+  }
+  ws.bound_nl = &nl;
+  ws.bound_model = &model;
+  ws.bound_sites = &site_of_gate;
+  ws.bound_output_load = opt.output_load;
+}
+
+}  // namespace
+
+void critical_delay_sample_block(const netlist::Netlist& nl,
+                                 const device::AlphaPowerModel& model,
+                                 const process::DieBlock& block,
+                                 const std::vector<std::size_t>& site_of_gate,
+                                 const StaOptions& opt, StaBlockWorkspace& ws,
+                                 double* critical) {
+  if (site_of_gate.size() != nl.size())
+    throw std::invalid_argument(
+        "critical_delay_sample_block: site map size mismatch");
+  const std::size_t W = block.width;
+  if (W == 0 || W > stats::lanes::kMaxWidth)
+    throw std::invalid_argument(
+        "critical_delay_sample_block: bad block width");
+  if (nl.outputs().empty())
+    throw std::logic_error("sta: netlist has no primary outputs");
+  if (ws.bound_nl != &nl || ws.bound_model != &model ||
+      ws.bound_sites != &site_of_gate ||
+      ws.bound_output_load != opt.output_load)
+    bind_block_workspace(nl, model, site_of_gate, opt, ws);
+
+  ws.arrival.assign(nl.size() * W, 0.0);
+  ws.dvth.resize(W);
+  ws.dl.resize(W);
+  double* arrival = ws.arrival.data();
+  double* dvth = ws.dvth.data();
+  double* dl = ws.dl.data();
+  const double* sys = block.dvth_systematic.empty()
+                          ? nullptr
+                          : block.dvth_systematic.data();
+  const double* rnd =
+      block.dvth_random.empty() ? nullptr : block.dvth_random.data();
+  const double* lsys = block.dl_systematic_rel.empty()
+                           ? nullptr
+                           : block.dl_systematic_rel.data();
+
+  const std::size_t n_gates = ws.gate_ids.size();
+  for (std::size_t gi = 0; gi < n_gates; ++gi) {
+    double* out = arrival + ws.gate_ids[gi] * W;
+    // in_arr per lane: the scalar fanin fold with the lane loop innermost —
+    // same max sequence per die, contiguous lane rows.
+    for (std::size_t j = 0; j < W; ++j) out[j] = 0.0;
+    for (std::size_t fi = ws.fanin_begin[gi]; fi < ws.fanin_begin[gi + 1];
+         ++fi) {
+      const double* fa = arrival + ws.fanins[fi] * W;
+      for (std::size_t j = 0; j < W; ++j) out[j] = std::max(out[j], fa[j]);
+    }
+    const std::size_t site = ws.site[gi];
+    const double nominal = ws.nominal[gi];
+    const double sqrt_size = ws.sqrt_size[gi];
+    // Per-lane parameter shifts: the DieSample accessor sums, SoA-gathered.
+    for (std::size_t j = 0; j < W; ++j) dvth[j] = block.dvth_inter[j];
+    if (sys != nullptr) {
+      const double* row = sys + site * W;
+      for (std::size_t j = 0; j < W; ++j) dvth[j] += row[j];
+    }
+    if (rnd != nullptr) {
+      const double* row = rnd + site * W;
+      for (std::size_t j = 0; j < W; ++j) dvth[j] += row[j] / sqrt_size;
+    }
+    for (std::size_t j = 0; j < W; ++j) dl[j] = block.dl_inter_rel[j];
+    if (lsys != nullptr) {
+      const double* row = lsys + site * W;
+      for (std::size_t j = 0; j < W; ++j) dl[j] += row[j];
+    }
+    for (std::size_t j = 0; j < W; ++j)
+      out[j] += nominal * model.variation_factor(dvth[j], dl[j]);
+  }
+
+  for (std::size_t j = 0; j < W; ++j) critical[j] = 0.0;
+  for (netlist::GateId o : nl.outputs()) {
+    const double* oa = arrival + o * W;
+    for (std::size_t j = 0; j < W; ++j)
+      if (oa[j] >= critical[j]) critical[j] = oa[j];
+  }
 }
 
 StaResult analyze_sample(const netlist::Netlist& nl,

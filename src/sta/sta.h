@@ -71,4 +71,50 @@ double critical_delay_sample(const netlist::Netlist& nl,
                              const std::vector<std::size_t>& site_of_gate,
                              const StaOptions& opt, StaWorkspace& ws);
 
+/// Caller-owned SoA arena for the block sample STA (one per Monte-Carlo
+/// shard and stage): gate-major arrival lanes plus per-gate lane scratch,
+/// all reused so steady-state block STA allocates nothing.
+///
+/// The workspace also caches the lane-invariant stage structure — the
+/// bind-once/stream-many half of the block kernel: flattened topo order,
+/// per-gate site, capacitive load, nominal delay, sqrt(size) and CSR fanin
+/// spans.  Every cached value is exactly what the scalar path recomputes
+/// per die, so reuse cannot change results.  The cache keys on the
+/// ADDRESSES of the netlist, model and site map plus opt.output_load: a
+/// caller that reuses one workspace across stages must keep those objects
+/// alive and structurally unmodified between calls (the Monte-Carlo engine
+/// owns one workspace per stage for exactly this reason).
+struct StaBlockWorkspace {
+  std::vector<double> arrival;  ///< [gates * width], gate-major lane rows
+  std::vector<double> dvth;     ///< [width] per-gate Vth shifts
+  std::vector<double> dl;       ///< [width] per-gate dL/L shifts
+
+  // Bound stage structure (managed by critical_delay_sample_block).
+  const netlist::Netlist* bound_nl = nullptr;
+  const device::AlphaPowerModel* bound_model = nullptr;
+  const std::vector<std::size_t>* bound_sites = nullptr;
+  double bound_output_load = 0.0;
+  std::vector<netlist::GateId> gate_ids;  ///< topo order, pseudo skipped
+  std::vector<std::size_t> site;          ///< per bound gate
+  std::vector<double> nominal;            ///< nominal delay per bound gate
+  std::vector<double> sqrt_size;          ///< sqrt(gate size) per bound gate
+  std::vector<std::size_t> fanin_begin;   ///< CSR offsets, size gate_ids+1
+  std::vector<netlist::GateId> fanins;    ///< CSR fanin ids
+};
+
+/// Block sample STA: evaluates the alpha-power delay model and the topo max
+/// for all `block.width` dies of one SoA DieBlock in a single walk, writing
+/// the per-die critical delays to critical[0 .. width).  Per die the
+/// operation order is unchanged from the scalar path — lane-invariant work
+/// (gate load, nominal delay, sqrt(size)) is hoisted out of the lane loop
+/// but produces the exact values the scalar path computes per call — so
+/// each die's delay is bitwise-identical to critical_delay_sample on that
+/// die.  Same reentrancy contract as critical_delay_sample.
+void critical_delay_sample_block(const netlist::Netlist& nl,
+                                 const device::AlphaPowerModel& model,
+                                 const process::DieBlock& block,
+                                 const std::vector<std::size_t>& site_of_gate,
+                                 const StaOptions& opt, StaBlockWorkspace& ws,
+                                 double* critical);
+
 }  // namespace statpipe::sta

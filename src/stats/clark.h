@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "stats/gaussian.h"
+#include "stats/lanes.h"
 #include "stats/matrix.h"
 
 namespace statpipe::stats {
@@ -49,15 +50,20 @@ ClarkMax clark_max(const Gaussian& x1, const Gaussian& x2, double rho = 0.0);
 double clark_correlation(const Gaussian& x1, const Gaussian& x2,
                          const ClarkMax& cm, double rho13, double rho23);
 
-/// Lane-vectorized pairwise Clark operator over a contiguous block:
-/// out[k] = clark_max(x1[k], x2[k], rho[k]) for every lane k.  Contract:
-/// each lane performs exactly the scalar operator's floating-point sequence,
-/// so results are bitwise-identical to k independent clark_max calls — the
-/// batched form exists so SoA callers (the batched SSTA propagation) keep
-/// the Clark evaluations of all sweep lanes in one cache-resident loop the
-/// compiler can vectorize.
-void clark_max_lanes(const Gaussian* x1, const Gaussian* x2, const double* rho,
-                     ClarkMax* out, std::size_t lanes);
+/// Branch-free lane Clark: the pairwise operator over `lanes` SoA lanes,
+/// out.{mean,sigma,alpha,a,phi_a}[k] = clark_max(x1[k], x2[k], rho[k]).
+///
+/// Contract: each lane performs exactly the scalar operator's floating-point
+/// sequence, so results are bitwise-identical to `lanes` independent
+/// clark_max calls — including the degenerate a ~ 0 lanes (rho = ±1 with
+/// matching sigmas, zero-variance inputs), which are resolved by value
+/// selection (stats::lanes::select) on a sanitized divisor rather than a
+/// per-lane branch into a separate code path.  Inputs are validated up
+/// front exactly as clark_max validates (negative sigma / |rho| > 1 throw).
+/// All arrays must hold `lanes` doubles; inputs and outputs may not alias.
+void clark_max_lanes(const GaussianLanesView& x1, const GaussianLanesView& x2,
+                     const double* rho, std::size_t lanes,
+                     const ClarkLanes& out);
 
 /// Variable-ordering policy for the N-way reduction.
 enum class ClarkOrdering {

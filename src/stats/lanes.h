@@ -1,0 +1,68 @@
+// Lane abstraction for the block-vectorized kernel layer.
+//
+// A "lane block" is a fixed-width structure-of-arrays slice of doubles:
+// every logical value (a die's Vth shift, a gate's arrival time, a Clark
+// operand) is stored as `width` consecutive doubles, one per lane, so the
+// hot kernels (block sample STA, the branch-free Clark operator, the
+// batched SSTA propagation) iterate contiguous memory the compiler can
+// auto-vectorize.  Widths are small powers of two — 8 by default, 16 at
+// most — chosen so one lane row of the four canonical-form arrays stays
+// within a pair of cache lines.
+//
+// Determinism contract shared by every lane kernel in the repository:
+// lane k executes exactly the scalar path's floating-point sequence, so a
+// width-W kernel is bitwise-identical to W independent scalar calls.
+// Data-dependent branches inside a kernel are expressed with lane_select
+// (value blending) instead of control flow, keeping all lanes on one
+// instruction stream ("branch-free") without changing any lane's result.
+//
+// Layer contract (src/stats, see docs/ARCHITECTURE.md): foundation layer —
+// standard library only.
+#pragma once
+
+#include <cstddef>
+
+namespace statpipe::stats {
+
+namespace lanes {
+
+/// Default SoA block width for die-block sampling / block sample STA.
+inline constexpr std::size_t kWidth = 8;
+
+/// Upper bound accepted by the block kernels (workspace sizing).
+inline constexpr std::size_t kMaxWidth = 16;
+
+/// Clamps a requested block width into [1, kMaxWidth].
+constexpr std::size_t clamp_width(std::size_t w) noexcept {
+  return w == 0 ? 1 : (w > kMaxWidth ? kMaxWidth : w);
+}
+
+/// Branch-free value select: take `a` when `cond`, else `b`.  Written as a
+/// ternary so compilers lower it to cmov/blend rather than a branch; the
+/// point is not the codegen per se but that both operands are always safe
+/// to evaluate (kernels pre-sanitize divisors before dividing).
+inline double select(bool cond, double a, double b) noexcept {
+  return cond ? a : b;
+}
+
+}  // namespace lanes
+
+/// SoA view of `lanes` Gaussians: mean[k], sigma[k] describe lane k.
+struct GaussianLanesView {
+  const double* mean = nullptr;
+  const double* sigma = nullptr;
+};
+
+/// SoA output of the branch-free lane Clark operator (stats/clark.h's
+/// clark_max_lanes): per lane the moment-matched max (mean, sigma), the
+/// tie z-score alpha, the difference sigma a, and Phi(alpha) — the same
+/// fields as the scalar ClarkMax, laid out as five parallel arrays.
+struct ClarkLanes {
+  double* mean = nullptr;
+  double* sigma = nullptr;
+  double* alpha = nullptr;
+  double* a = nullptr;
+  double* phi_a = nullptr;
+};
+
+}  // namespace statpipe::stats

@@ -1,5 +1,6 @@
 #include "stats/rng.h"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace statpipe::stats {
@@ -15,7 +16,93 @@ std::uint64_t splitmix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
+// 256-layer ziggurat tables for the standard normal (Marsaglia & Tsang,
+// "The Ziggurat Method for Generating Random Variables", JSS 2000).  The
+// density is covered by 255 equal-area horizontal strips plus a base strip
+// of the same area v whose overhang past x = r is the exact Gaussian tail.
+// x[i] is the right edge of layer i (x[1] = r, descending to x[256] = 0);
+// x[0] = v/f(r) is the virtual base edge that makes layer 0's rectangle
+// area equal v too.  y[i] = f(x[i]) are the strip boundaries for the wedge
+// test.  Standard constants for N = 256 layers.
+struct ZigguratTables {
+  static constexpr int kLayers = 256;
+  static constexpr double kR = 3.6541528853610088;      // tail cut
+  static constexpr double kV = 4.92867323399e-3;        // area per strip
+  double x[kLayers + 1];
+  double y[kLayers + 1];
+
+  ZigguratTables() {
+    const double f_r = std::exp(-0.5 * kR * kR);
+    x[0] = kV / f_r;
+    x[1] = kR;
+    y[0] = 0.0;  // base strip's lower bound (never used in a wedge test)
+    y[1] = f_r;
+    for (int i = 1; i < kLayers; ++i) {
+      // Equal-area recurrence: f(x[i+1]) = v/x[i] + f(x[i]).
+      const double fy = kV / x[i] + std::exp(-0.5 * x[i] * x[i]);
+      if (fy >= 1.0) {
+        x[i + 1] = 0.0;
+        y[i + 1] = 1.0;
+      } else {
+        x[i + 1] = std::sqrt(-2.0 * std::log(fy));
+        y[i + 1] = fy;
+      }
+    }
+    x[kLayers] = 0.0;
+    y[kLayers] = 1.0;
+  }
+};
+
+const ZigguratTables& ziggurat() {
+  static const ZigguratTables tables;
+  return tables;
+}
+
 }  // namespace
+
+void Xoshiro256::reseed(std::uint64_t seed) noexcept {
+  // Four independent splitmix64 steps, the seeding Blackman/Vigna recommend;
+  // the all-zero state (invalid for xoshiro) cannot survive the guard.
+  std::uint64_t sm = seed;
+  auto next_sm = [&sm] {
+    sm += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = sm;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  s_[0] = next_sm();
+  s_[1] = next_sm();
+  s_[2] = next_sm();
+  s_[3] = next_sm();
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x9e3779b97f4a7c15ULL;
+}
+
+double Rng::normal() {
+  const ZigguratTables& t = ziggurat();
+  for (;;) {
+    const std::uint64_t bits = gen_();
+    const int i = static_cast<int>(bits & 0xFF);  // layer
+    const bool neg = (bits >> 8) & 1;             // sign
+    // Magnitude: 55 uniform bits scaled into [0, x[i]).
+    const double u = static_cast<double>(bits >> 9) * 0x1.0p-55;
+    const double mag = u * t.x[i];
+    if (mag < t.x[i + 1]) return neg ? -mag : mag;  // fully inside the layer
+    if (i == 0) {
+      // Base-strip overhang: the exact Gaussian tail beyond r (Marsaglia's
+      // exponential-rejection tail sampler).
+      for (;;) {
+        const double xx = -std::log(unit_pos()) / ZigguratTables::kR;
+        const double yy = -std::log(unit_pos());
+        if (yy + yy > xx * xx)
+          return neg ? -(ZigguratTables::kR + xx) : ZigguratTables::kR + xx;
+      }
+    }
+    // Wedge: uniform height within the strip vs the true density.
+    const double yv = t.y[i] + unit() * (t.y[i + 1] - t.y[i]);
+    if (yv < std::exp(-0.5 * mag * mag)) return neg ? -mag : mag;
+  }
+}
 
 Rng Rng::fork(std::uint64_t stream_id) const {
   // Mix seed and counter through independent avalanche rounds so adjacent
@@ -33,6 +120,11 @@ std::vector<double> Rng::normal_vector(std::size_t n) {
 void Rng::normal_fill(std::vector<double>& out, std::size_t n) {
   out.resize(n);
   for (auto& x : out) x = normal();
+}
+
+void Rng::normal_fill_scaled(double sigma, double* out, std::size_t n,
+                             std::size_t stride) {
+  for (std::size_t i = 0; i < n; ++i) out[i * stride] = sigma * normal();
 }
 
 CorrelatedNormalSampler::CorrelatedNormalSampler(std::vector<double> means,

@@ -5,6 +5,14 @@
 // parallel runs, fork(stream_id) splits a root Rng into disjoint child
 // streams keyed only on (seed, stream_id) — independent of how many draws
 // have already been made — so shard results never depend on thread count.
+//
+// The core engine is xoshiro256** (Blackman & Vigna, public domain) seeded
+// through splitmix64: O(1) construction makes the per-sample fork of the
+// block Monte-Carlo path essentially free (a mt19937 would pay a 312-word
+// re-seed per die), and normal draws use a 256-layer ziggurat rejection
+// sampler (~1 engine draw per deviate) instead of the much slower
+// std::normal_distribution — the gate-level engines spend a per-site RDF
+// draw per die, so deviate cost is hot-path cost.
 #pragma once
 
 #include <cstdint>
@@ -15,21 +23,53 @@
 
 namespace statpipe::stats {
 
-/// Thin wrapper over mt19937_64 with convenience draws.
+/// xoshiro256** uniform random bit generator: 256-bit state, 64-bit output,
+/// O(1) seeding.  Satisfies std::uniform_random_bit_generator so the
+/// std::*_distribution adapters keep working on top of it.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  explicit Xoshiro256(std::uint64_t seed = 0) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept;
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+/// Seeded generator with the convenience draws the samplers use.
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL)
       : seed_(seed), gen_(seed) {}
 
-  /// Standard normal draw.
-  double normal() { return normal_(gen_); }
+  /// Standard normal draw (256-layer ziggurat).
+  double normal();
 
   /// N(mean, sigma^2) draw.
-  double normal(double mean, double sigma) { return mean + sigma * normal_(gen_); }
+  double normal(double mean, double sigma) { return mean + sigma * normal(); }
 
   /// Uniform in [lo, hi).
   double uniform(double lo = 0.0, double hi = 1.0) {
-    return std::uniform_real_distribution<double>(lo, hi)(gen_);
+    return lo + (hi - lo) * unit();
   }
 
   /// Uniform integer in [lo, hi] inclusive.
@@ -44,6 +84,13 @@ class Rng {
   /// allocation-free form for per-shard workspaces.
   void normal_fill(std::vector<double>& out, std::size_t n);
 
+  /// Writes n iid N(0, sigma^2) draws to out[0], out[stride], ... — one
+  /// batched call for strided SoA targets (a DieBlock lane) and contiguous
+  /// arrays alike.  Draw k equals normal(0.0, sigma) issued k-th, so scalar
+  /// and lane-block samplers consuming the same stream stay bitwise-equal.
+  void normal_fill_scaled(double sigma, double* out, std::size_t n,
+                          std::size_t stride = 1);
+
   /// Derive an independent child stream by drawing from this engine.  The
   /// child depends on the current engine position (two forks give distinct
   /// streams) — use for sequential per-stage / per-run seeding.
@@ -51,19 +98,26 @@ class Rng {
 
   /// Counter-based stream split: the child depends only on this Rng's
   /// construction seed and `stream_id`, not on draw position.  Distinct ids
-  /// give statistically independent, reproducible streams — the shard
-  /// streams of the parallel simulation engine.
+  /// give statistically independent, reproducible streams — the shard and
+  /// per-sample streams of the parallel simulation engine.  O(1): cheap
+  /// enough to fork one stream per Monte-Carlo die.
   Rng fork(std::uint64_t stream_id) const;
 
   /// Seed this Rng was constructed with (the stream key fork(id) mixes).
   std::uint64_t seed() const noexcept { return seed_; }
 
-  std::mt19937_64& engine() noexcept { return gen_; }
+  Xoshiro256& engine() noexcept { return gen_; }
 
  private:
+  /// Uniform double in [0, 1): the top 53 bits of one engine draw.
+  double unit() { return static_cast<double>(gen_() >> 11) * 0x1.0p-53; }
+  /// Uniform double in (0, 1]: safe as a log() argument (tail sampling).
+  double unit_pos() {
+    return static_cast<double>((gen_() >> 11) + 1) * 0x1.0p-53;
+  }
+
   std::uint64_t seed_;
-  std::mt19937_64 gen_;
-  std::normal_distribution<double> normal_;
+  Xoshiro256 gen_;
 };
 
 /// Draws from a multivariate normal with given means, sigmas and correlation

@@ -185,6 +185,66 @@ TEST(GateMc, YieldCurveMonotone) {
   }
 }
 
+TEST(GateMc, BlockWidthAndThreadCountInvariant) {
+  // The block-vectorized path contract: for a given seed, every
+  // (block_width, threads) combination in {1,8,16} x {1,2,8} produces a
+  // bitwise-identical McResult.  1000 samples over 128-sample shards leaves
+  // a 104-sample final shard, so full blocks, partial-block boundaries and
+  // the scalar tail are all exercised at every width.
+  GateLevelFixture f(3, 6);
+  const auto spec = sp::process::VariationSpec::inter_intra(0.020, 0.010, 0.5);
+  sp::mc::GateLevelMonteCarlo mc(f.views(), f.model, spec, f.latch);
+  constexpr std::size_t kSamples = 1000;
+
+  auto run_at = [&](std::size_t width, std::size_t threads) {
+    sp::sim::ExecutionOptions exec;
+    exec.block_width = width;
+    exec.threads = threads;
+    exec.samples_per_shard = 128;
+    sp::stats::Rng rng(31415);
+    return mc.run(kSamples, rng, exec);
+  };
+
+  const auto ref = run_at(1, 1);
+  ASSERT_EQ(ref.tp_samples.size(), kSamples);
+  for (const std::size_t width : {std::size_t{1}, std::size_t{8},
+                                  std::size_t{16}}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{8}}) {
+      const auto r = run_at(width, threads);
+      ASSERT_EQ(r.tp_samples.size(), kSamples);
+      for (std::size_t i = 0; i < kSamples; ++i)
+        ASSERT_EQ(ref.tp_samples[i], r.tp_samples[i])
+            << "width " << width << " threads " << threads << " sample " << i;
+      for (std::size_t s = 0; s < ref.stage_stats.size(); ++s) {
+        EXPECT_EQ(ref.stage_stats[s].count(), r.stage_stats[s].count());
+        EXPECT_EQ(ref.stage_stats[s].mean(), r.stage_stats[s].mean());
+        EXPECT_EQ(ref.stage_stats[s].variance(), r.stage_stats[s].variance());
+        EXPECT_EQ(ref.stage_stats[s].min(), r.stage_stats[s].min());
+        EXPECT_EQ(ref.stage_stats[s].max(), r.stage_stats[s].max());
+      }
+    }
+  }
+}
+
+TEST(GateMc, OversizeBlockWidthIsClampedNotRejected) {
+  // block_width beyond lanes::kMaxWidth clamps (it is a throughput knob,
+  // not a correctness knob) and still matches the scalar run bitwise.
+  GateLevelFixture f(2, 4);
+  const auto spec = sp::process::VariationSpec::intra_only();
+  sp::mc::GateLevelMonteCarlo mc(f.views(), f.model, spec, f.latch);
+  sp::sim::ExecutionOptions huge, scalar;
+  huge.block_width = 4096;
+  huge.threads = 1;
+  scalar.block_width = 1;
+  scalar.threads = 1;
+  sp::stats::Rng r1(5), r2(5);
+  const auto a = mc.run(300, r1, huge);
+  const auto b = mc.run(300, r2, scalar);
+  for (std::size_t i = 0; i < a.tp_samples.size(); ++i)
+    ASSERT_EQ(a.tp_samples[i], b.tp_samples[i]);
+}
+
 TEST(GateMc, RejectsDegenerateInputs) {
   GateLevelFixture f(2, 4);
   const auto spec = sp::process::VariationSpec::intra_only();

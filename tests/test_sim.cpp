@@ -61,6 +61,32 @@ TEST(ThreadPool, SingleThreadPoolDegradesToSerial) {
   EXPECT_EQ(sum, 45);
 }
 
+// -------------------------------------------------- STATPIPE_THREADS parsing
+
+TEST(ThreadPoolEnv, AcceptsPositiveIntegers) {
+  EXPECT_EQ(sp::sim::parse_thread_count("1"), 1u);
+  EXPECT_EQ(sp::sim::parse_thread_count("8"), 8u);
+  EXPECT_EQ(sp::sim::parse_thread_count("  16  "), 16u);
+  EXPECT_EQ(sp::sim::parse_thread_count("0064"), 64u);
+}
+
+TEST(ThreadPoolEnv, RejectsGarbageZeroAndNegative) {
+  for (const char* bad : {"", "   ", "abc", "4x", "4 threads", "1.5", "-2",
+                          "-0", "0", "0x8", "99999999999999999999999"}) {
+    EXPECT_THROW(sp::sim::parse_thread_count(bad), std::invalid_argument)
+        << "value: '" << bad << "'";
+  }
+  EXPECT_THROW(sp::sim::parse_thread_count(nullptr), std::invalid_argument);
+  // The error message must name the offending value.
+  try {
+    sp::sim::parse_thread_count("banana");
+    FAIL() << "must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("banana"), std::string::npos)
+        << e.what();
+  }
+}
+
 // ---------------------------------------------------------- shard planning
 
 TEST(Shards, CoverRangeDisjointly) {
@@ -213,9 +239,14 @@ PipelineModel small_pipeline() {
 
 template <typename Mc>
 void expect_bitwise_identical_runs(const Mc& mc, std::size_t n_samples) {
+  // Vary thread count AND block width together: both are pure throughput
+  // knobs, so the wide run (8 threads, 16-wide SoA blocks) must be
+  // bitwise-equal to the serial scalar run (1 thread, width 1).
   sp::sim::ExecutionOptions serial, wide;
   serial.threads = 1;
+  serial.block_width = 1;
   wide.threads = 8;
+  wide.block_width = 16;
   serial.samples_per_shard = wide.samples_per_shard = 256;
 
   sp::stats::Rng rng1(4242), rng2(4242);

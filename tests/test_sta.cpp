@@ -97,6 +97,115 @@ TEST(Sta, ThrowsWithoutOutputs) {
 
 // -------------------------------------------------------------------- SSTA
 
+TEST(BlockSta, BitwiseMatchesScalarPerDie) {
+  // critical_delay_sample_block's contract: die j of a width-W block gets
+  // exactly the delay critical_delay_sample computes for that die.  Use a
+  // reconvergent multi-fanin DAG and every variation component at once.
+  const auto m = model();
+  for (const char* which : {"c17", "grid"}) {
+    const auto nl = std::string(which) == "c17"
+                        ? sp::netlist::iscas_c17()
+                        : sp::netlist::inverter_grid(4, 6);
+    auto spec = VariationSpec::inter_intra(0.020, 0.010, 0.5);
+    spec.sigma_l_inter_rel = 0.01;
+    const sp::process::VariationSampler sampler(
+        m.technology(), spec, sp::process::linear_sites(nl.size()));
+    std::vector<std::size_t> site_map(nl.size());
+    for (std::size_t i = 0; i < site_map.size(); ++i) site_map[i] = i;
+    const sp::sta::StaOptions opt;
+
+    for (const std::size_t width : {std::size_t{1}, std::size_t{8},
+                                    std::size_t{16}}) {
+      const sp::stats::Rng root(4321);
+      std::vector<sp::stats::Rng> lane_rngs(width);
+      for (std::size_t j = 0; j < width; ++j) lane_rngs[j] = root.fork(j);
+      sp::process::DieBlock block;
+      sp::process::BlockWorkspace bws;
+      sampler.sample_block_into(lane_rngs.data(), width, block, bws);
+
+      sp::sta::StaBlockWorkspace ws;
+      std::vector<double> critical(width);
+      sp::sta::critical_delay_sample_block(nl, m, block, site_map, opt, ws,
+                                           critical.data());
+
+      for (std::size_t j = 0; j < width; ++j) {
+        sp::stats::Rng rng = root.fork(j);
+        sp::process::DieSample die;
+        sp::process::DieWorkspace dws;
+        sampler.sample_into(rng, die, dws);
+        sp::sta::StaWorkspace sws;
+        const double scalar =
+            sp::sta::critical_delay_sample(nl, m, die, site_map, opt, sws);
+        EXPECT_EQ(critical[j], scalar)
+            << which << " w=" << width << " die " << j;
+      }
+    }
+  }
+}
+
+TEST(BlockSta, WorkspaceRebindsAcrossNetlists) {
+  // One workspace streamed across two different stages must rebind its
+  // cached structure (keyed on the netlist/site-map addresses) and still
+  // match the scalar path on both.
+  const auto m = model();
+  const auto nl1 = sp::netlist::inverter_chain(6);
+  const auto nl2 = sp::netlist::inverter_grid(3, 4);
+  const auto spec = VariationSpec::intra_only();
+  const sp::sta::StaOptions opt;
+  sp::sta::StaBlockWorkspace ws;
+
+  for (const auto* nl : {&nl1, &nl2, &nl1}) {
+    const sp::process::VariationSampler sampler(
+        m.technology(), spec, sp::process::linear_sites(nl->size()));
+    std::vector<std::size_t> site_map(nl->size());
+    for (std::size_t i = 0; i < site_map.size(); ++i) site_map[i] = i;
+    const sp::stats::Rng root(7);
+    std::vector<sp::stats::Rng> lane_rngs(4);
+    for (std::size_t j = 0; j < 4; ++j) lane_rngs[j] = root.fork(j);
+    sp::process::DieBlock block;
+    sp::process::BlockWorkspace bws;
+    sampler.sample_block_into(lane_rngs.data(), 4, block, bws);
+    double critical[4];
+    sp::sta::critical_delay_sample_block(*nl, m, block, site_map, opt, ws,
+                                         critical);
+    for (std::size_t j = 0; j < 4; ++j) {
+      sp::stats::Rng rng = root.fork(j);
+      sp::process::DieSample die;
+      sp::process::DieWorkspace dws;
+      sampler.sample_into(rng, die, dws);
+      sp::sta::StaWorkspace sws;
+      EXPECT_EQ(critical[j],
+                sp::sta::critical_delay_sample(*nl, m, die, site_map, opt, sws))
+          << nl->name() << " die " << j;
+    }
+  }
+}
+
+TEST(BlockSta, RejectsBadInputs) {
+  const auto m = model();
+  const auto nl = sp::netlist::inverter_chain(4);
+  const auto spec = VariationSpec::intra_only();
+  const sp::process::VariationSampler sampler(
+      m.technology(), spec, sp::process::linear_sites(nl.size()));
+  sp::stats::Rng rng(1);
+  std::vector<sp::stats::Rng> lanes{rng.fork(0), rng.fork(1)};
+  sp::process::DieBlock block;
+  sp::process::BlockWorkspace bws;
+  sampler.sample_block_into(lanes.data(), 2, block, bws);
+  sp::sta::StaBlockWorkspace ws;
+  double critical[2];
+  const std::vector<std::size_t> short_map(nl.size() - 1, 0);
+  EXPECT_THROW(sp::sta::critical_delay_sample_block(nl, m, block, short_map,
+                                                    {}, ws, critical),
+               std::invalid_argument);
+  block.width = 0;
+  std::vector<std::size_t> site_map(nl.size());
+  for (std::size_t i = 0; i < site_map.size(); ++i) site_map[i] = i;
+  EXPECT_THROW(sp::sta::critical_delay_sample_block(nl, m, block, site_map,
+                                                    {}, ws, critical),
+               std::invalid_argument);
+}
+
 TEST(Ssta, CanonicalArithmetic) {
   const sp::sta::CanonicalDelay a{10.0, 3.0, 4.0};
   EXPECT_DOUBLE_EQ(a.sigma(), 5.0);

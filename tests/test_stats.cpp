@@ -139,6 +139,88 @@ TEST(Clark, RejectsBadInputs) {
                std::invalid_argument);
 }
 
+TEST(ClarkLanes, BitwiseMatchesScalarIncludingEdgeLanes) {
+  // One lane per regime the scalar operator distinguishes, including every
+  // degenerate route: zero-variance inputs and rho = ±1 pairs that collapse
+  // a = sd(X1 - X2) to zero.
+  const std::vector<sp::Gaussian> x1 = {
+      {100.0, 5.0},  // generic independent
+      {100.0, 4.0},  // rho = +1, equal sigma: degenerate, X1 wins on mean
+      {90.0, 4.0},   // rho = +1, equal sigma: degenerate, X2 wins on mean
+      {100.0, 5.0},  // rho = +1, unequal sigma: NOT degenerate
+      {100.0, 3.0},  // rho = -1: anticorrelated, a = s1 + s2
+      {100.0, 0.0},  // zero-variance vs zero-variance: degenerate
+      {100.0, 0.0},  // zero variance vs live variable
+      {100.0, 5.0},  // equal means, alpha = 0
+  };
+  const std::vector<sp::Gaussian> x2 = {
+      {102.0, 4.0}, {95.0, 4.0},  {95.0, 4.0}, {99.0, 2.0},
+      {101.0, 2.0}, {99.0, 0.0},  {98.0, 3.0}, {100.0, 7.0},
+  };
+  const std::vector<double> rho = {0.3, 1.0, 1.0, 1.0, -1.0, 0.0, 0.0, 0.0};
+  const std::size_t n = x1.size();
+
+  std::vector<double> mu1(n), s1(n), mu2(n), s2(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    mu1[k] = x1[k].mean;
+    s1[k] = x1[k].sigma;
+    mu2[k] = x2[k].mean;
+    s2[k] = x2[k].sigma;
+  }
+  std::vector<double> mean(n), sigma(n), alpha(n), a(n), phi(n);
+  sp::clark_max_lanes({mu1.data(), s1.data()}, {mu2.data(), s2.data()},
+                      rho.data(), n,
+                      {mean.data(), sigma.data(), alpha.data(), a.data(),
+                       phi.data()});
+
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto scalar = sp::clark_max(x1[k], x2[k], rho[k]);
+    EXPECT_EQ(mean[k], scalar.max.mean) << "lane " << k;
+    EXPECT_EQ(sigma[k], scalar.max.sigma) << "lane " << k;
+    EXPECT_EQ(alpha[k], scalar.alpha) << "lane " << k;
+    EXPECT_EQ(a[k], scalar.a) << "lane " << k;
+    EXPECT_EQ(phi[k], scalar.phi_a) << "lane " << k;
+  }
+}
+
+TEST(ClarkLanes, RejectsInvalidLanesLikeScalar) {
+  double mu1[2] = {1.0, 2.0}, s1[2] = {1.0, 1.0};
+  double mu2[2] = {0.0, 0.0}, s2[2] = {1.0, 1.0};
+  double out_m[2], out_s[2], out_al[2], out_a[2], out_p[2];
+  const sp::ClarkLanes out{out_m, out_s, out_al, out_a, out_p};
+
+  double bad_rho[2] = {0.0, 1.5};
+  EXPECT_THROW(sp::clark_max_lanes({mu1, s1}, {mu2, s2}, bad_rho, 2, out),
+               std::invalid_argument);
+  double ok_rho[2] = {0.0, 0.0};
+  double bad_s[2] = {1.0, -0.5};
+  EXPECT_THROW(sp::clark_max_lanes({mu1, bad_s}, {mu2, s2}, ok_rho, 2, out),
+               std::invalid_argument);
+}
+
+TEST(Rng, ZigguratNormalMomentsAndTails) {
+  // The ziggurat sampler must reproduce the standard normal's body AND its
+  // tails (yield estimates live at 3 sigma).  200k draws: the tolerances
+  // below sit 4+ sampling sigmas from the true values.
+  sp::Rng rng(2718);
+  const std::size_t n = 200000;
+  sp::RunningStats rs;
+  std::size_t beyond3 = 0, beyond4 = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    rs.add(x);
+    if (std::abs(x) > 3.0) ++beyond3;
+    if (std::abs(x) > 4.0) ++beyond4;
+  }
+  EXPECT_NEAR(rs.mean(), 0.0, 0.01);
+  EXPECT_NEAR(rs.stddev(), 1.0, 0.01);
+  // P(|X| > 3) = 2.6998e-3 -> expect ~540 of 200k, sd ~23.
+  EXPECT_NEAR(static_cast<double>(beyond3), 2.6998e-3 * n, 100.0);
+  // P(|X| > 4) = 6.334e-5 -> expect ~12.7 of 200k.
+  EXPECT_GT(beyond4, 0u);
+  EXPECT_LT(beyond4, 40u);
+}
+
 TEST(Clark, NWayMatchesPairwiseForTwo) {
   const std::vector<sp::Gaussian> v{{10.0, 2.0}, {11.0, 1.5}};
   const auto m2 = sp::clark_max_n(v);
