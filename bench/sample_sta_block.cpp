@@ -95,6 +95,10 @@ int main(int argc, char** argv) {
   report.meta("samples", static_cast<double>(kSamples));
   report.meta("pool_threads", static_cast<double>(pool));
   report.meta("spec", "inter0.020+rdf");
+  // Implementation marker for the perf trajectory (tools/bench_diff.py):
+  // "lanes-poly" = the shared vectorized pow core of PR 4, replacing the
+  // per-lane std::pow that dominated the block kernel.
+  report.meta("varfactor", "lanes-poly");
 
   bench_util::row({"circuit", "gates", "w1-1t", "w8-1t", "w16-1t", "w8-Nt",
                    "speedup8", "speedup16", "bitwise"});

@@ -2,8 +2,33 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
+
+#include "stats/lanes.h"
 
 namespace statpipe::device {
+
+namespace {
+
+// Drive-ratio window accepted by the pow core: together with the
+// constructor's alpha <= 3.9 cap it keeps |alpha * log2(ratio)| <= 998,
+// inside pow_pos's documented |y*log2 x| <= 1020 precondition.  A die
+// whose drive collapsed (or exploded) by 2^256 is a functional failure,
+// not a timing sample — same rationale as the existing out-of-saturation
+// rejection.
+constexpr double kMinDriveRatio = 0x1p-256;
+constexpr double kMaxDriveRatio = 0x1p256;
+constexpr double kMaxAlpha = 3.9;
+
+}  // namespace
+
+AlphaPowerModel::AlphaPowerModel(process::Technology tech) : tech_(tech) {
+  if (!(tech_.alpha > 0.0 && tech_.alpha <= kMaxAlpha))
+    throw std::invalid_argument(
+        "AlphaPowerModel: alpha must be in (0, " + std::to_string(kMaxAlpha) +
+        "] (velocity saturation is physically 1..2; the cap bounds the pow "
+        "core's exponent range)");
+}
 
 double AlphaPowerModel::variation_factor(double dvth, double dl_rel) const {
   const double drive0 = tech_.vdd - tech_.vth0;
@@ -14,7 +39,47 @@ double AlphaPowerModel::variation_factor(double dvth, double dl_rel) const {
   const double lf = 1.0 + dl_rel;
   if (lf <= 0.0)
     throw std::domain_error("variation_factor: channel length <= 0");
-  return std::pow(drive0 / drive, tech_.alpha) * lf * lf;
+  const double ratio = drive0 / drive;
+  if (!(ratio >= kMinDriveRatio && ratio <= kMaxDriveRatio))
+    throw std::domain_error(
+        "variation_factor: drive ratio beyond physical range");
+  return stats::lanes::pow_pos(ratio, tech_.alpha) * lf * lf;
+}
+
+// SSE4.2 (2008-baseline, gated to x86-64 GNU-compatible compilers) supplies
+// the packed int64 compare/blend ops pow_pos's bit tricks need; the generic
+// x86-64 baseline lacks them and gcc falls back to scalar code.  FP
+// semantics are unchanged — -std=c++20 keeps -ffp-contract=off, so no FMA
+// fusion — which is what keeps the vector lanes bitwise-equal to the
+// scalar variation_factor path.
+#if defined(__x86_64__) && defined(__GNUC__)
+__attribute__((target("sse4.2")))
+#endif
+void AlphaPowerModel::variation_factor_lanes(const double* dvth,
+                                             const double* dl_rel,
+                                             std::size_t n,
+                                             double* out) const {
+  const double drive0 = tech_.vdd - tech_.vth0;
+  const double alpha = tech_.alpha;
+  // Domain checks hoisted out of the hot loop (and completed before any
+  // write) so the arithmetic below is straight-line vectorizable code.
+  for (std::size_t j = 0; j < n; ++j) {
+    const double drive = drive0 - dvth[j];
+    if (drive <= 0.0)
+      throw std::domain_error(
+          "variation_factor: Vth shift drives gate out of saturation");
+    if (1.0 + dl_rel[j] <= 0.0)
+      throw std::domain_error("variation_factor: channel length <= 0");
+    const double ratio = drive0 / drive;
+    if (!(ratio >= kMinDriveRatio && ratio <= kMaxDriveRatio))
+      throw std::domain_error(
+          "variation_factor: drive ratio beyond physical range");
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    const double lf = 1.0 + dl_rel[j];
+    out[j] =
+        stats::lanes::pow_pos(drive0 / (drive0 - dvth[j]), alpha) * lf * lf;
+  }
 }
 
 double AlphaPowerModel::nominal_delay(GateKind kind, double size,

@@ -30,7 +30,11 @@ namespace statpipe::device {
 
 class AlphaPowerModel {
  public:
-  explicit AlphaPowerModel(process::Technology tech) : tech_(tech) {}
+  /// Throws std::invalid_argument unless 0 < tech.alpha <= 3.9: the
+  /// velocity-saturation index is physically 1..2, and the cap is what
+  /// lets variation_factor's fixed drive-ratio window guarantee the pow
+  /// core's |alpha * log2(ratio)| <= 1020 precondition (delay_model.cpp).
+  explicit AlphaPowerModel(process::Technology tech);
 
   const process::Technology& technology() const noexcept { return tech_; }
 
@@ -39,7 +43,20 @@ class AlphaPowerModel {
   /// Throws std::domain_error if dvth drives the gate out of saturation
   /// (Vdd - Vth <= 0) — a die that badly broken is a functional failure,
   /// not a timing sample.
+  /// The exponentiation runs on the shared vectorizable pow core
+  /// (stats::lanes::pow_pos), the same per-element function the lane form
+  /// below evaluates — so the scalar and block sample-STA paths stay
+  /// bitwise-identical by construction.
   double variation_factor(double dvth, double dl_rel = 0.0) const;
+
+  /// Lane form: out[j] = variation_factor(dvth[j], dl_rel[j]) for j < n,
+  /// bitwise-equal to n scalar calls (same pow core, same operation order
+  /// per element) but laid out as one straight-line loop the compiler can
+  /// vectorize — this call is the hot kernel of the block sample STA.
+  /// Domain violations are checked for every lane up front and throw
+  /// std::domain_error before anything is written to `out`.
+  void variation_factor_lanes(const double* dvth, const double* dl_rel,
+                              std::size_t n, double* out) const;
 
   /// Nominal (variation-free) delay of a cell instance [ps].
   /// `load_cap` in min-inverter-cap units; `size` >= minimum size.

@@ -1,0 +1,314 @@
+#include "dist/coordinator.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/engine.h"
+
+namespace statpipe::dist {
+
+namespace {
+
+void log_line(const CoordinatorOptions& opt, const std::string& msg) {
+  if (opt.verbose) std::fprintf(stderr, "[coordinator] %s\n", msg.c_str());
+}
+
+}  // namespace
+
+Coordinator::Coordinator(RunDescriptor desc, CoordinatorOptions opt)
+    : desc_(std::move(desc)),
+      opt_(std::move(opt)),
+      listener_(opt_.bind_host, opt_.port) {
+  if (desc_.n_samples == 0)
+    throw std::invalid_argument("Coordinator: descriptor with zero samples");
+  // finalize_descriptor always sets a nonzero hash (FNV of a non-empty
+  // stage list), and hash == 0 would additionally disable the worker-side
+  // workload verification — so a zero hash means an unfinalized
+  // descriptor, regardless of what seed the user picked.
+  if (desc_.netlist_hash == 0)
+    throw std::invalid_argument(
+        "Coordinator: descriptor not finalized (netlist_hash unset; call "
+        "finalize_descriptor)");
+  if (opt_.max_attempts < 1)
+    throw std::invalid_argument("Coordinator: max_attempts must be >= 1");
+  // Validate the plan inputs with the engine's own planner: throws on zero
+  // samples_per_shard, and gives us the shard count ranges are cut from.
+  n_shards_ = sim::shard_count(desc_.n_samples, desc_.samples_per_shard);
+  if (opt_.shards_per_range > n_shards_)
+    throw std::invalid_argument(
+        "Coordinator: shards_per_range " +
+        std::to_string(opt_.shards_per_range) + " exceeds the plan's " +
+        std::to_string(n_shards_) + " shard(s)");
+  // Cut the shard space into contiguous ranges up front.  Range size is a
+  // pure scheduling knob — results are merged per shard, so it can never
+  // change the output, only load balance.  It IS bounded by the wire: a
+  // range's kResult frame carries ~8 bytes per sample of tp_samples, so
+  // the range must fit kMaxFramePayload with margin — reject an explicit
+  // size that cannot, cap the auto size, and fail up front (not after a
+  // retry cascade) when even one shard is too big.
+  const std::size_t bytes_per_shard = desc_.samples_per_shard * 8;
+  const std::size_t cap_shards =
+      std::max<std::size_t>(1, (kMaxFramePayload / 2) / bytes_per_shard);
+  if (bytes_per_shard > kMaxFramePayload / 2)
+    throw std::invalid_argument(
+        "Coordinator: samples_per_shard " +
+        std::to_string(desc_.samples_per_shard) +
+        " makes a single shard's result exceed the frame payload cap; "
+        "use smaller shards");
+  if (opt_.shards_per_range > cap_shards)
+    throw std::invalid_argument(
+        "Coordinator: shards_per_range " +
+        std::to_string(opt_.shards_per_range) + " would exceed the " +
+        std::to_string(kMaxFramePayload) +
+        "-byte frame payload cap (max " + std::to_string(cap_shards) +
+        " shards of " + std::to_string(desc_.samples_per_shard) +
+        " samples per range)");
+  const std::size_t per =
+      opt_.shards_per_range != 0
+          ? opt_.shards_per_range
+          : std::min(cap_shards, std::max<std::size_t>(1, n_shards_ / 8));
+  for (std::size_t b = 0; b < n_shards_; b += per)
+    pending_.push_back({b, std::min(b + per, n_shards_), 0});
+  log_line(opt_, "listening on " + opt_.bind_host + ":" +
+                     std::to_string(listener_.port()) + ", " +
+                     std::to_string(n_shards_) + " shards in " +
+                     std::to_string(pending_.size()) + " ranges");
+}
+
+Coordinator::~Coordinator() = default;
+
+void Coordinator::admit_worker() {
+  Socket s = listener_.accept();
+  // Hello is read synchronously — it is the first thing a real worker
+  // writes — but under a timeout: a peer that connects and stays silent (a
+  // port scanner, a health probe on a 0.0.0.0 bind) must not wedge the
+  // event loop.
+  std::optional<Frame> hello;
+  try {
+    s.set_recv_timeout_ms(5000);
+    hello = recv_frame(s);
+    // From here on the idle timeout bounds every read from this worker: a
+    // peer that stalls MID-FRAME after poll() reported readability would
+    // otherwise block run() forever, beyond idle_timeout_ms's reach (it
+    // only guards poll).  A timed-out read surfaces as a recv error ->
+    // requeue + drop, so the range is reassigned instead of wedging.
+    s.set_recv_timeout_ms(opt_.idle_timeout_ms > 0 ? opt_.idle_timeout_ms
+                                                   : 0);
+  } catch (const std::exception& e) {
+    log_line(opt_, std::string("rejecting connection: ") + e.what());
+    return;
+  }
+  if (!hello || hello->type != MsgType::kHello) {
+    log_line(opt_, "rejecting connection: no hello");
+    return;
+  }
+  ByteWriter w;
+  write_run_descriptor(w, desc_);
+  WorkerState ws;
+  ws.sock = std::move(s);
+  try {
+    send_frame(ws.sock, MsgType::kSetup, w.bytes());
+  } catch (const std::exception& e) {
+    log_line(opt_, std::string("setup failed: ") + e.what());
+    return;
+  }
+  ws.ready = true;
+  assign_if_possible(ws);
+  workers_.push_back(std::move(ws));
+  log_line(opt_, "worker connected (" + std::to_string(workers_.size()) +
+                     " total)");
+}
+
+void Coordinator::assign_if_possible(WorkerState& w) {
+  if (!w.sock.valid() || !w.ready || w.has_range || pending_.empty()) return;
+  Range r = pending_.front();
+  pending_.pop_front();
+  r.attempts += 1;
+  ByteWriter out;
+  out.u64(r.begin);
+  out.u64(r.end);
+  try {
+    send_frame(w.sock, MsgType::kAssign, out.bytes());
+  } catch (const std::exception&) {
+    // Undo fully: the attempt never reached a worker, so it must not burn
+    // the range's attempt budget.  Closing the socket marks the worker for
+    // removal at the top of the next event-loop iteration.
+    r.attempts -= 1;
+    pending_.push_front(r);
+    w.sock.close();
+    return;
+  }
+  w.has_range = true;
+  w.range = r;
+  log_line(opt_, "assigned shards [" + std::to_string(r.begin) + ", " +
+                     std::to_string(r.end) + ") attempt " +
+                     std::to_string(r.attempts));
+}
+
+void Coordinator::requeue(WorkerState& w, const std::string& why) {
+  if (w.has_range) {
+    log_line(opt_, "range [" + std::to_string(w.range.begin) + ", " +
+                       std::to_string(w.range.end) + ") lost: " + why);
+    if (w.range.attempts >= opt_.max_attempts)
+      throw std::runtime_error(
+          "dist: shard range [" + std::to_string(w.range.begin) + ", " +
+          std::to_string(w.range.end) + ") failed " +
+          std::to_string(w.range.attempts) + " attempt(s); last: " + why);
+    pending_.push_front(w.range);
+    w.has_range = false;
+  }
+  w.sock.close();
+}
+
+void Coordinator::handle_result(WorkerState& w, const Frame& f) {
+  ByteReader r(f.payload);
+  const std::uint64_t begin = r.u64();
+  const std::uint64_t end = r.u64();
+  if (!w.has_range || begin != w.range.begin || end != w.range.end)
+    throw std::runtime_error("unexpected result range [" +
+                             std::to_string(begin) + ", " +
+                             std::to_string(end) + ")");
+  const std::uint64_t count = r.u64();
+  if (count != end - begin)
+    throw std::runtime_error("result carries " + std::to_string(count) +
+                             " shard(s) for a range of " +
+                             std::to_string(end - begin));
+  std::map<std::size_t, mc::McResult> parts;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t shard = r.u64();
+    if (shard < begin || shard >= end || parts.count(shard) != 0)
+      throw std::runtime_error("bad shard index " + std::to_string(shard) +
+                               " in result range");
+    parts.emplace(shard, read_mc_result(r));
+  }
+  r.expect_done();
+  for (auto& [shard, part] : parts) results_[shard] = std::move(part);
+  w.has_range = false;
+  log_line(opt_, "range [" + std::to_string(begin) + ", " +
+                     std::to_string(end) + ") done; " +
+                     std::to_string(results_.size()) + "/" +
+                     std::to_string(n_shards_) + " shards");
+}
+
+bool Coordinator::service_worker(WorkerState& w) {
+  std::optional<Frame> f;
+  try {
+    f = recv_frame(w.sock);
+  } catch (const std::exception& e) {
+    requeue(w, e.what());
+    return false;
+  }
+  if (!f) {
+    requeue(w, "worker disconnected");
+    return false;
+  }
+  switch (f->type) {
+    case MsgType::kResult:
+      try {
+        handle_result(w, *f);
+      } catch (const std::exception& e) {
+        // std::exception, not just runtime_error: a corrupt frame can also
+        // surface as length_error/bad_alloc from the deserializer, and any
+        // of those must forfeit the range (bounded by its attempt budget),
+        // not abort the run.
+        requeue(w, e.what());
+        return false;
+      }
+      assign_if_possible(w);
+      return true;
+    case MsgType::kError: {
+      ByteReader r(f->payload);
+      requeue(w, "worker error: " + r.str());
+      return false;
+    }
+    default:
+      requeue(w, "unexpected frame type " +
+                     std::to_string(static_cast<int>(f->type)));
+      return false;
+  }
+}
+
+mc::McResult Coordinator::run() {
+  while (results_.size() < n_shards_) {
+    // Drop workers whose sockets died outside service_worker (e.g. a
+    // failed kAssign send) — a closed-socket entry must not linger as a
+    // zombie the assignment loop keeps visiting.
+    std::erase_if(workers_,
+                  [](const WorkerState& w) { return !w.sock.valid(); });
+    std::vector<pollfd> fds;
+    fds.push_back({listener_.fd(), POLLIN, 0});
+    for (const WorkerState& w : workers_)
+      fds.push_back({w.sock.fd(), POLLIN, 0});
+    const int timeout = opt_.idle_timeout_ms > 0 ? opt_.idle_timeout_ms : -1;
+    const int rc = ::poll(fds.data(), fds.size(), timeout);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("dist: poll failed");
+    }
+    if (rc == 0)
+      throw std::runtime_error(
+          "dist: no worker progress for " +
+          std::to_string(opt_.idle_timeout_ms) + " ms (" +
+          std::to_string(results_.size()) + "/" + std::to_string(n_shards_) +
+          " shards done)");
+    if (fds[0].revents & POLLIN) admit_worker();
+    // Service in reverse so erasing a dead worker never shifts an entry we
+    // have yet to visit (fds[i+1] belongs to workers_[i] of this snapshot;
+    // admit_worker only appends).
+    for (std::size_t i = workers_.size(); i-- > 0;) {
+      if (i + 1 >= fds.size()) continue;  // connected this iteration
+      if ((fds[i + 1].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      if (!service_worker(workers_[i]))
+        workers_.erase(workers_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    // A result may have freed a worker while the queue was empty at its
+    // last assignment opportunity; top everyone up.
+    for (WorkerState& w : workers_) assign_if_possible(w);
+  }
+  // Every shard arrived: shut workers down politely, then fold ascending —
+  // the identical left fold GateLevelMonteCarlo::run applies locally.
+  for (WorkerState& w : workers_) {
+    try {
+      send_frame(w.sock, MsgType::kShutdown, {});
+    } catch (const std::exception&) {
+      // Worker already gone; shutdown is best-effort.
+    }
+  }
+  // Drain the accept backlog: a worker whose connect landed after the last
+  // result would otherwise sit blocked waiting for kSetup forever while
+  // its parent waits in waitpid.  Each straggler gets a kShutdown (which
+  // run_worker treats as a clean no-work session) instead of silence.
+  // Callers that spawned worker processes keep calling drain_backlog()
+  // while reaping them, closing the residual window where a slow-starting
+  // worker connects only after this first drain.
+  drain_backlog();
+  auto it = results_.begin();
+  mc::McResult acc = std::move(it->second);
+  for (++it; it != results_.end(); ++it) acc.merge(std::move(it->second));
+  acc.label = "gate-level MC";
+  return acc;
+}
+
+void Coordinator::drain_backlog() {
+  for (;;) {
+    pollfd lfd{listener_.fd(), POLLIN, 0};
+    const int rc = ::poll(&lfd, 1, 0);
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc <= 0 || (lfd.revents & POLLIN) == 0) break;
+    try {
+      Socket s = listener_.accept();
+      s.set_recv_timeout_ms(5000);
+      if (recv_frame(s))  // their hello
+        send_frame(s, MsgType::kShutdown, {});
+    } catch (const std::exception& e) {
+      log_line(opt_, std::string("backlog drain: ") + e.what());
+    }
+  }
+}
+
+}  // namespace statpipe::dist

@@ -1,0 +1,111 @@
+// Distributed run coordinator: plans shards, farms contiguous shard ranges
+// to TCP workers, reassigns ranges lost to worker failures, and merges
+// per-shard results in ascending shard order.
+//
+// Determinism invariant (extends the thread-count/block-width invariants of
+// src/sim and src/mc to the PROCESS count): shard boundaries and RNG
+// stream ids depend only on (root_seed, n_samples, samples_per_shard) —
+// workers receive those in the RunDescriptor and replay the exact streams
+// — and the coordinator folds shard results with the same ascending left
+// fold the local engine uses.  A run split across N workers (any N, any
+// range sizes, any retry history) is therefore bitwise-identical to the
+// single-process run at the same seed (tests/test_dist.cpp enforces it,
+// including under injected worker failures).
+//
+// Failure semantics: a worker that disconnects, errors, or sends an
+// invalid result forfeits its in-flight range; the range re-enters the
+// queue and is handed to the next idle worker.  Each range carries an
+// attempt budget (CoordinatorOptions::max_attempts); exhausting it fails
+// the run loudly.  Workers may connect at any time during the run.
+//
+// Layer contract (src/dist, see docs/ARCHITECTURE.md): the distributed
+// execution layer sits on top of mc/sim/stats and may depend on all of
+// them; nothing below src/dist may know it exists.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dist/serialize.h"
+#include "dist/transport.h"
+#include "mc/pipeline_mc.h"
+
+namespace statpipe::dist {
+
+struct CoordinatorOptions {
+  std::string bind_host = "127.0.0.1";  ///< 0.0.0.0 for multi-machine runs
+  std::uint16_t port = 0;               ///< 0 = ephemeral, see port()
+  /// Shards per assignment; 0 = auto (n_shards / 8, min 1 — i.e. ~8
+  /// assignments total, cut once at construction).  A pure scheduling
+  /// knob: results are merged per shard, so this can never change the
+  /// output, only load balance.  Validated up front: a nonzero value must
+  /// be <= the run's shard count to be satisfiable.
+  std::size_t shards_per_range = 0;
+  int max_attempts = 3;                 ///< per range, >= 1
+  /// Progress bound, 0 = wait forever.  Caps both the event loop's poll
+  /// (no connect/result/error at all for this long aborts the run) and
+  /// every read from an admitted worker (a peer stalling mid-frame times
+  /// out, forfeits its range to reassignment and is dropped).
+  int idle_timeout_ms = 0;
+  bool verbose = false;                 ///< progress lines on stderr
+};
+
+class Coordinator {
+ public:
+  /// Binds the listener immediately (so port() is valid before run());
+  /// validates descriptor and options up front — zero samples, zero range
+  /// size, or a range size exceeding the plan throw std::invalid_argument.
+  Coordinator(RunDescriptor desc, CoordinatorOptions opt = {});
+  ~Coordinator();
+
+  std::uint16_t port() const noexcept { return listener_.port(); }
+  const RunDescriptor& descriptor() const noexcept { return desc_; }
+
+  /// Serves workers until every shard's result arrived, then returns the
+  /// ascending-order merge.  Throws std::runtime_error when a range
+  /// exhausts its attempts or the idle timeout expires.
+  mc::McResult run();
+
+  /// Accepts and politely dismisses (kShutdown) every connection waiting
+  /// in the listener backlog, without blocking.  run() drains once on
+  /// completion; a caller that spawned worker PROCESSES should keep
+  /// calling this while reaping them, so a worker slow enough to connect
+  /// only after the run ended is turned away instead of hanging in its
+  /// setup read.
+  void drain_backlog();
+
+ private:
+  struct Range {
+    std::size_t begin = 0;  ///< first shard index
+    std::size_t end = 0;    ///< one past last shard index
+    int attempts = 0;
+  };
+  struct WorkerState {
+    Socket sock;
+    bool ready = false;       ///< hello'd + setup sent
+    bool has_range = false;
+    Range range;
+  };
+
+  void admit_worker();
+  void assign_if_possible(WorkerState& w);
+  /// Handles one readable worker; returns false when the worker is gone
+  /// (its range, if any, re-queued).
+  bool service_worker(WorkerState& w);
+  void handle_result(WorkerState& w, const Frame& f);
+  void requeue(WorkerState& w, const std::string& why);
+
+  RunDescriptor desc_;
+  CoordinatorOptions opt_;
+  Listener listener_;
+  std::size_t n_shards_ = 0;
+  std::deque<Range> pending_;
+  std::vector<WorkerState> workers_;
+  std::map<std::size_t, mc::McResult> results_;  ///< by shard index
+};
+
+}  // namespace statpipe::dist

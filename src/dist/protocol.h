@@ -1,0 +1,49 @@
+// Shard-range wire protocol for distributed Monte-Carlo runs.
+//
+// One coordinator serves many workers over TCP.  Every message is a frame:
+//
+//   { u32 magic, u16 version, u16 type, u64 payload_size } payload...
+//
+// (all little-endian, payload layouts in dist/serialize.h).  The exchange:
+//
+//   worker -> coordinator   kHello     { u16 proto_version, u64 threads }
+//   coordinator -> worker   kSetup     { RunDescriptor }
+//   coordinator -> worker   kAssign    { u64 shard_begin, u64 shard_end }
+//   worker -> coordinator   kResult    { u64 shard_begin, u64 shard_end,
+//                                        u64 count,
+//                                        count * (u64 shard_index,
+//                                                 McResult) }
+//   worker -> coordinator   kError     { string message }
+//   coordinator -> worker   kShutdown  { }
+//
+// A worker that disconnects or reports kError forfeits its in-flight
+// range; the coordinator re-queues the range for another worker (bounded
+// by CoordinatorOptions::max_attempts).  Results are per SHARD, not per
+// range: the coordinator folds every shard's McResult in ascending shard
+// index — the same left fold the local engine applies — so the merged run
+// is bitwise-identical to the single-process result no matter how ranges
+// were split, retried or reassigned.
+//
+// Layer contract (src/dist, see docs/ARCHITECTURE.md): the distributed
+// execution layer sits on top of mc/sim/stats and may depend on all of
+// them; nothing below src/dist may know it exists.
+#pragma once
+
+#include <cstdint>
+
+namespace statpipe::dist {
+
+enum class MsgType : std::uint16_t {
+  kHello = 1,
+  kSetup = 2,
+  kAssign = 3,
+  kResult = 4,
+  kError = 5,
+  kShutdown = 6,
+};
+
+/// Sanity cap on a single frame payload (1 GiB): a length beyond this is a
+/// corrupt or hostile peer, not a big result.
+inline constexpr std::uint64_t kMaxFramePayload = 1ull << 30;
+
+}  // namespace statpipe::dist

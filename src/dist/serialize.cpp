@@ -1,0 +1,252 @@
+#include "dist/serialize.h"
+
+#include <bit>
+#include <cstdio>
+#include <stdexcept>
+
+#include "stats/rng.h"
+
+namespace statpipe::dist {
+
+// ------------------------------------------------------------ ByteWriter
+
+void ByteWriter::u16(std::uint16_t v) {
+  for (int i = 0; i < 2; ++i) buf_.push_back((v >> (8 * i)) & 0xff);
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back((v >> (8 * i)) & 0xff);
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back((v >> (8 * i)) & 0xff);
+}
+
+void ByteWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void ByteWriter::str(const std::string& s) {
+  u64(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::f64_vec(const std::vector<double>& v) {
+  u64(v.size());
+  for (double d : v) f64(d);
+}
+
+// ------------------------------------------------------------ ByteReader
+
+void ByteReader::need(std::size_t n) const {
+  if (data_.size() - pos_ < n)
+    throw std::runtime_error("dist: truncated payload (need " +
+                             std::to_string(n) + " bytes, have " +
+                             std::to_string(data_.size() - pos_) + ")");
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::u16() {
+  need(2);
+  std::uint16_t v = 0;
+  for (int i = 0; i < 2; ++i)
+    v |= static_cast<std::uint16_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::uint32_t ByteReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string ByteReader::str() {
+  const std::uint64_t n = u64();
+  need(n);
+  std::string s(reinterpret_cast<const char*>(data_.data()) + pos_, n);
+  pos_ += n;
+  return s;
+}
+
+std::vector<double> ByteReader::f64_vec() {
+  const std::uint64_t n = u64();
+  // Overflow-safe length sanity before reserving: a hostile/corrupt length
+  // must throw, not trigger a giant allocation.
+  if (n > remaining() / 8)
+    throw std::runtime_error("dist: truncated payload (vector of " +
+                             std::to_string(n) + " doubles, " +
+                             std::to_string(remaining()) + " bytes left)");
+  std::vector<double> v;
+  v.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(f64());
+  return v;
+}
+
+void ByteReader::expect_done() const {
+  if (!done())
+    throw std::runtime_error("dist: " + std::to_string(remaining()) +
+                             " trailing byte(s) after payload");
+}
+
+// --------------------------------------------------------------- payloads
+
+void write_running_stats(ByteWriter& w, const stats::RunningStats& s) {
+  const stats::RunningStats::State st = s.state();
+  w.u64(st.n);
+  w.f64(st.mean);
+  w.f64(st.m2);
+  w.f64(st.min);
+  w.f64(st.max);
+}
+
+stats::RunningStats read_running_stats(ByteReader& r) {
+  stats::RunningStats::State st;
+  st.n = r.u64();
+  st.mean = r.f64();
+  st.m2 = r.f64();
+  st.min = r.f64();
+  st.max = r.f64();
+  return stats::RunningStats::from_state(st);
+}
+
+void write_histogram(ByteWriter& w, const stats::Histogram& h) {
+  w.f64(h.lo());
+  w.f64(h.hi());
+  w.u64(h.bins());
+  for (std::size_t i = 0; i < h.bins(); ++i) w.u64(h.count(i));
+}
+
+stats::Histogram read_histogram(ByteReader& r) {
+  const double lo = r.f64();
+  const double hi = r.f64();
+  const std::uint64_t bins = r.u64();
+  if (bins == 0) throw std::runtime_error("dist: histogram with zero bins");
+  if (bins > r.remaining() / 8)
+    throw std::runtime_error("dist: truncated payload (histogram of " +
+                             std::to_string(bins) + " bins, " +
+                             std::to_string(r.remaining()) + " bytes left)");
+  std::vector<std::size_t> counts;
+  counts.reserve(bins);
+  for (std::uint64_t i = 0; i < bins; ++i) counts.push_back(r.u64());
+  return stats::Histogram::from_counts(lo, hi, std::move(counts));
+}
+
+void write_mc_result(ByteWriter& w, const mc::McResult& r) {
+  w.str(r.label);
+  w.f64_vec(r.tp_samples);
+  w.u64(r.stage_stats.size());
+  for (const auto& s : r.stage_stats) write_running_stats(w, s);
+}
+
+mc::McResult read_mc_result(ByteReader& r) {
+  mc::McResult out;
+  out.label = r.str();
+  out.tp_samples = r.f64_vec();
+  const std::uint64_t n_stages = r.u64();
+  // A serialized RunningStats is 40 bytes; reject hostile counts before
+  // reserving (same rationale as f64_vec's length guard).
+  if (n_stages > r.remaining() / 40)
+    throw std::runtime_error("dist: truncated payload (" +
+                             std::to_string(n_stages) + " stage stats, " +
+                             std::to_string(r.remaining()) + " bytes left)");
+  out.stage_stats.reserve(n_stages);
+  for (std::uint64_t i = 0; i < n_stages; ++i)
+    out.stage_stats.push_back(read_running_stats(r));
+  return out;
+}
+
+void write_run_descriptor(ByteWriter& w, const RunDescriptor& d) {
+  w.str(d.workload);
+  w.u64(d.netlist_hash);
+  w.u64(d.seed);
+  w.u64(d.root_seed);
+  w.u64(d.n_samples);
+  w.u64(d.samples_per_shard);
+  w.u64(d.block_width);
+  w.f64(d.sigma_vth_inter);
+  w.f64(d.sigma_vth_systematic);
+  w.f64(d.correlation_length);
+  w.u8(d.enable_rdf);
+  w.f64(d.sigma_l_inter_rel);
+  w.f64(d.sigma_l_systematic_rel);
+  w.f64(d.output_load);
+  w.f64(d.latch_tcq_ps);
+  w.f64(d.latch_tsetup_ps);
+  w.f64(d.latch_random_sigma_rel);
+}
+
+RunDescriptor read_run_descriptor(ByteReader& r) {
+  RunDescriptor d;
+  d.workload = r.str();
+  d.netlist_hash = r.u64();
+  d.seed = r.u64();
+  d.root_seed = r.u64();
+  d.n_samples = r.u64();
+  d.samples_per_shard = r.u64();
+  d.block_width = r.u64();
+  d.sigma_vth_inter = r.f64();
+  d.sigma_vth_systematic = r.f64();
+  d.correlation_length = r.f64();
+  d.enable_rdf = r.u8();
+  d.sigma_l_inter_rel = r.f64();
+  d.sigma_l_systematic_rel = r.f64();
+  d.output_load = r.f64();
+  d.latch_tcq_ps = r.f64();
+  d.latch_tsetup_ps = r.f64();
+  d.latch_random_sigma_rel = r.f64();
+  return d;
+}
+
+std::uint64_t derive_root_seed(std::uint64_t seed) {
+  stats::Rng rng(seed);
+  return rng.fork().seed();
+}
+
+// ------------------------------------------------------------ file blobs
+
+std::vector<std::uint8_t> serialize_mc_result(const mc::McResult& r) {
+  ByteWriter w;
+  w.u32(kWireMagic);
+  w.u16(kWireVersion);
+  write_mc_result(w, r);
+  return w.take();
+}
+
+mc::McResult deserialize_mc_result(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  const std::uint32_t magic = r.u32();
+  if (magic != kWireMagic) {
+    char hex[16];
+    std::snprintf(hex, sizeof hex, "0x%08x", magic);
+    throw std::runtime_error("dist: bad magic " + std::string(hex) +
+                             " (not a statpipe result blob)");
+  }
+  const std::uint16_t version = r.u16();
+  if (version != kWireVersion)
+    throw std::runtime_error("dist: unsupported wire version " +
+                             std::to_string(version) + " (this build speaks " +
+                             std::to_string(kWireVersion) + ")");
+  mc::McResult out = read_mc_result(r);
+  r.expect_done();
+  return out;
+}
+
+bool bitwise_equal(const mc::McResult& a, const mc::McResult& b) {
+  return serialize_mc_result(a) == serialize_mc_result(b);
+}
+
+}  // namespace statpipe::dist

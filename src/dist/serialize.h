@@ -1,0 +1,152 @@
+// Versioned, endian-safe binary serialization for distributed runs.
+//
+// Everything a shard-range result or a run descriptor contains is written
+// as explicit little-endian bytes (u8/u16/u32/u64 integers, doubles as
+// their IEEE-754 bit patterns), so a payload produced on any host decodes
+// identically on any other — and, critically for the repository-wide
+// determinism contract, a stats::RunningStats or mc::McResult that crosses
+// a process boundary is reconstructed bit for bit: serialization must
+// never be the reason a distributed run diverges from a local one.
+//
+// Framing carries a magic number and a format version (kWireVersion);
+// readers reject unknown magic/versions up front with a clear error
+// instead of misparsing.  Round-trips are byte-stable: serialize ∘
+// deserialize ∘ serialize is the identity on bytes (fuzzed in
+// tests/test_dist.cpp).
+//
+// Layer contract (src/dist, see docs/ARCHITECTURE.md): the distributed
+// execution layer sits on top of mc/sim/stats and may depend on all of
+// them; nothing below src/dist may know it exists.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mc/pipeline_mc.h"
+#include "stats/descriptive.h"
+#include "stats/histogram.h"
+
+namespace statpipe::dist {
+
+/// Wire format magic ("SPD1" little-endian) and version.  Bump the version
+/// on any layout change; readers reject mismatches.
+inline constexpr std::uint32_t kWireMagic = 0x31445053;
+inline constexpr std::uint16_t kWireVersion = 1;
+
+/// Append-only little-endian byte sink.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// IEEE-754 bit pattern, little-endian — exact, not formatted.
+  void f64(double v);
+  /// u64 length followed by raw bytes.
+  void str(const std::string& s);
+  void f64_vec(const std::vector<double>& v);
+
+  const std::vector<std::uint8_t>& bytes() const noexcept { return buf_; }
+  std::vector<std::uint8_t> take() noexcept { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian reader over a borrowed buffer.  Every read
+/// past the end throws std::runtime_error("dist: truncated payload ...").
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  std::string str();
+  std::vector<double> f64_vec();
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool done() const noexcept { return pos_ == data_.size(); }
+  /// Throws std::runtime_error when trailing bytes remain — a framing bug.
+  void expect_done() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+// --------------------------------------------------------------- payloads
+// Field-level writers/readers compose into message payloads; each is the
+// exact inverse of its counterpart.
+
+void write_running_stats(ByteWriter& w, const stats::RunningStats& s);
+stats::RunningStats read_running_stats(ByteReader& r);
+
+// Histogram serialization has no wire message yet: it is the forward
+// format for shipping delay DISTRIBUTIONS (not just samples) once ranges
+// grow past what tp_samples-by-value can carry — versioned with
+// kWireVersion from day one so adding that message is not a format break.
+void write_histogram(ByteWriter& w, const stats::Histogram& h);
+stats::Histogram read_histogram(ByteReader& r);
+
+void write_mc_result(ByteWriter& w, const mc::McResult& r);
+mc::McResult read_mc_result(ByteReader& r);
+
+/// Everything a worker needs to reconstruct a run bit for bit: the
+/// workload identity (name + structural hash, verified on the worker), the
+/// RNG keys, the shard plan inputs and the sampling/timing options.
+/// Shard boundaries and stream ids depend only on (root_seed, n_samples,
+/// samples_per_shard) — the process count is as invisible as the thread
+/// count, which is the whole point of the subsystem.
+struct RunDescriptor {
+  std::string workload;            ///< comma-separated ISCAS85 stage names
+  std::uint64_t netlist_hash = 0;  ///< combined Netlist::structural_hash
+  std::uint64_t seed = 0;          ///< user-facing run seed (display)
+  std::uint64_t root_seed = 0;     ///< engine root key (derive_root_seed)
+  std::uint64_t n_samples = 0;
+  std::uint64_t samples_per_shard = 1024;
+  std::uint64_t block_width = 8;
+  // process::VariationSpec
+  double sigma_vth_inter = 0.020;
+  double sigma_vth_systematic = 0.0;
+  double correlation_length = 0.5;
+  std::uint8_t enable_rdf = 1;
+  double sigma_l_inter_rel = 0.0;
+  double sigma_l_systematic_rel = 0.0;
+  // sta::StaOptions
+  double output_load = 2.0;
+  // device::LatchTiming
+  double latch_tcq_ps = 22.0;
+  double latch_tsetup_ps = 14.0;
+  double latch_random_sigma_rel = 0.02;
+};
+
+void write_run_descriptor(ByteWriter& w, const RunDescriptor& d);
+RunDescriptor read_run_descriptor(ByteReader& r);
+
+/// The run key GateLevelMonteCarlo::run derives from a user seed (one
+/// fork() draw): run_shard_range(n, derive_root_seed(seed), ...) on any
+/// process reproduces run(n, Rng(seed))'s shard streams exactly.
+std::uint64_t derive_root_seed(std::uint64_t seed);
+
+// ------------------------------------------------------------ file blobs
+// Standalone blob form (magic + version header) for dumping results to
+// disk or diffing runs byte for byte.
+
+std::vector<std::uint8_t> serialize_mc_result(const mc::McResult& r);
+mc::McResult deserialize_mc_result(std::span<const std::uint8_t> bytes);
+
+/// True when the two results are bit-for-bit identical (samples, per-stage
+/// accumulator states and label) — the acceptance predicate for
+/// distributed-vs-local equality, implemented as byte equality of the
+/// serialized forms.
+bool bitwise_equal(const mc::McResult& a, const mc::McResult& b);
+
+}  // namespace statpipe::dist

@@ -1,0 +1,189 @@
+#include "dist/transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "dist/serialize.h"
+
+namespace statpipe::dist {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error("dist: " + what + ": " + std::strerror(errno));
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw std::runtime_error("dist: bad IPv4 address '" + host + "'");
+  return addr;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Socket
+
+Socket::~Socket() { close(); }
+
+Socket& Socket::operator=(Socket&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::set_recv_timeout_ms(int ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv) != 0)
+    throw_errno("setsockopt(SO_RCVTIMEO)");
+}
+
+void Socket::send_all(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (n > 0) {
+    const ssize_t w = ::send(fd_, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+bool Socket::recv_all(void* data, std::size_t n) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd_, p + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    if (r == 0) {
+      if (got == 0) return false;  // clean close at a message boundary
+      throw std::runtime_error("dist: peer closed mid-frame (" +
+                               std::to_string(got) + "/" + std::to_string(n) +
+                               " bytes)");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+// -------------------------------------------------------------- Listener
+
+Listener::Listener(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  sock_ = Socket(fd);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr = make_addr(host, port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0)
+    throw_errno("bind " + host + ":" + std::to_string(port));
+  if (::listen(fd, 64) != 0) throw_errno("listen");
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    throw_errno("getsockname");
+  port_ = ntohs(addr.sin_port);
+}
+
+Socket Listener::accept() {
+  for (;;) {
+    const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return Socket(fd);
+    }
+    if (errno != EINTR) throw_errno("accept");
+  }
+}
+
+Socket connect_to(const std::string& host, std::uint16_t port, int retry_ms) {
+  const sockaddr_in addr = make_addr(host, port);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(retry_ms);
+  for (;;) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("socket");
+    Socket s(fd);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) == 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return s;
+    }
+    if (std::chrono::steady_clock::now() >= deadline)
+      throw_errno("connect " + host + ":" + std::to_string(port));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+// ---------------------------------------------------------------- frames
+
+void send_frame(Socket& s, MsgType type,
+                const std::vector<std::uint8_t>& payload) {
+  if (payload.size() > kMaxFramePayload)
+    throw std::runtime_error("dist: frame payload too large (" +
+                             std::to_string(payload.size()) + " bytes)");
+  ByteWriter w;
+  w.u32(kWireMagic);
+  w.u16(kWireVersion);
+  w.u16(static_cast<std::uint16_t>(type));
+  w.u64(payload.size());
+  std::vector<std::uint8_t> buf = w.take();
+  buf.insert(buf.end(), payload.begin(), payload.end());
+  s.send_all(buf.data(), buf.size());
+}
+
+std::optional<Frame> recv_frame(Socket& s) {
+  std::uint8_t header[16];
+  if (!s.recv_all(header, sizeof header)) return std::nullopt;
+  ByteReader r(std::span<const std::uint8_t>(header, sizeof header));
+  const std::uint32_t magic = r.u32();
+  if (magic != kWireMagic)
+    throw std::runtime_error("dist: bad frame magic (not a statpipe peer)");
+  const std::uint16_t version = r.u16();
+  if (version != kWireVersion)
+    throw std::runtime_error("dist: peer speaks wire version " +
+                             std::to_string(version) + ", this build " +
+                             std::to_string(kWireVersion));
+  Frame f;
+  f.type = static_cast<MsgType>(r.u16());
+  const std::uint64_t size = r.u64();
+  if (size > kMaxFramePayload)
+    throw std::runtime_error("dist: oversize frame payload (" +
+                             std::to_string(size) + " bytes)");
+  f.payload.resize(size);
+  if (size > 0 && !s.recv_all(f.payload.data(), size))
+    throw std::runtime_error("dist: peer closed before frame payload");
+  return f;
+}
+
+}  // namespace statpipe::dist

@@ -1,0 +1,92 @@
+// Minimal TCP transport for the shard-range protocol: RAII sockets, a
+// listener, and length-prefixed frame send/receive (dist/protocol.h).
+//
+// Deliberately boring POSIX blocking sockets: the coordinator multiplexes
+// readiness with poll(2) and then reads one frame with blocking reads (a
+// worker writes each frame in one piece), and workers are fully
+// synchronous.  All functions throw std::runtime_error with the errno
+// string on socket errors; a clean peer close surfaces as std::nullopt
+// from recv_frame, never as an exception — disconnection is an expected
+// event the coordinator handles, not a crash.
+//
+// Layer contract (src/dist, see docs/ARCHITECTURE.md): the distributed
+// execution layer sits on top of mc/sim/stats and may depend on all of
+// them; nothing below src/dist may know it exists.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dist/protocol.h"
+
+namespace statpipe::dist {
+
+/// Move-only owner of a connected socket fd.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+  Socket(Socket&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Socket& operator=(Socket&& o) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  void close();
+
+  /// Receive timeout for subsequent reads (0 = block forever).  A timed-out
+  /// recv throws like any other socket error — used by the coordinator to
+  /// bound the synchronous hello read from a freshly accepted peer.
+  void set_recv_timeout_ms(int ms);
+
+  /// Writes exactly n bytes (MSG_NOSIGNAL; a dead peer throws, never
+  /// SIGPIPEs the process).
+  void send_all(const void* data, std::size_t n);
+  /// Reads exactly n bytes; returns false on clean EOF at a frame
+  /// boundary (n unread bytes), throws on mid-read EOF or errors.
+  bool recv_all(void* data, std::size_t n);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening TCP socket bound to host:port (port 0 = ephemeral; port()
+/// reports the actual one).
+class Listener {
+ public:
+  Listener(const std::string& host, std::uint16_t port);
+
+  std::uint16_t port() const noexcept { return port_; }
+  int fd() const noexcept { return sock_.fd(); }
+  Socket accept();
+
+ private:
+  Socket sock_;
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to host:port, retrying for up to retry_ms (workers may start
+/// before the coordinator binds).  Throws on final failure.
+Socket connect_to(const std::string& host, std::uint16_t port,
+                  int retry_ms = 5000);
+
+struct Frame {
+  MsgType type{};
+  std::vector<std::uint8_t> payload;
+};
+
+/// Sends one framed message (header + payload in a single buffer, one
+/// write path — a frame is never interleaved).
+void send_frame(Socket& s, MsgType type,
+                const std::vector<std::uint8_t>& payload);
+
+/// Receives one frame; std::nullopt on clean peer close before a header
+/// byte.  Throws std::runtime_error on bad magic, unsupported version,
+/// oversize payload or mid-frame EOF.
+std::optional<Frame> recv_frame(Socket& s);
+
+}  // namespace statpipe::dist

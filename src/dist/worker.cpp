@@ -1,0 +1,123 @@
+#include "dist/worker.h"
+
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "dist/transport.h"
+#include "dist/workload.h"
+#include "sim/thread_pool.h"
+
+namespace statpipe::dist {
+
+namespace {
+
+void log_line(const WorkerOptions& opt, const std::string& msg) {
+  if (opt.verbose) std::fprintf(stderr, "[worker] %s\n", msg.c_str());
+}
+
+void send_error(Socket& s, const std::string& msg) {
+  ByteWriter w;
+  w.str(msg);
+  send_frame(s, MsgType::kError, w.bytes());
+}
+
+}  // namespace
+
+WorkloadFactory default_workload_factory() {
+  return [](const RunDescriptor& desc) -> ShardRangeRunner {
+    // shared_ptr: the runner outlives this factory call and the engine
+    // must keep its stage/model addresses stable for the whole session.
+    std::shared_ptr<Workload> wl = Workload::make(desc);
+    return [wl, desc](std::size_t begin, std::size_t end) {
+      return wl->engine().run_shard_range(desc.n_samples, desc.root_seed,
+                                          begin, end, wl->exec(desc));
+    };
+  };
+}
+
+std::size_t run_worker(const WorkerOptions& opt,
+                       const WorkloadFactory& make) {
+  Socket sock = connect_to(opt.host, opt.port, opt.connect_retry_ms);
+  {
+    ByteWriter hello;
+    hello.u16(kWireVersion);
+    hello.u64(sim::ThreadPool::shared().thread_count());
+    send_frame(sock, MsgType::kHello, hello.bytes());
+  }
+  // The setup read is bounded: a worker admitted normally sees kSetup
+  // within milliseconds, so a long silence means the run ended before this
+  // worker was accepted — better to fail loudly than sit forever.
+  sock.set_recv_timeout_ms(60000);
+  std::optional<Frame> setup = recv_frame(sock);
+  sock.set_recv_timeout_ms(0);
+  if (setup && setup->type == MsgType::kShutdown) {
+    // Run already complete (we were a backlogged straggler): clean exit.
+    log_line(opt, "run already complete; exiting with no work");
+    return 0;
+  }
+  if (!setup || setup->type != MsgType::kSetup)
+    throw std::runtime_error("dist: coordinator sent no setup");
+  RunDescriptor desc;
+  {
+    ByteReader r(setup->payload);
+    desc = read_run_descriptor(r);
+    r.expect_done();
+  }
+  log_line(opt, "setup: workload '" + desc.workload + "', " +
+                    std::to_string(desc.n_samples) + " samples");
+  ShardRangeRunner runner;
+  try {
+    runner = make(desc);
+  } catch (const std::exception& e) {
+    log_line(opt, std::string("workload rejected: ") + e.what());
+    send_error(sock, e.what());
+    return 0;
+  }
+
+  std::size_t completed = 0;
+  for (;;) {
+    std::optional<Frame> f = recv_frame(sock);
+    if (!f) {
+      log_line(opt, "coordinator closed; exiting");
+      return completed;
+    }
+    if (f->type == MsgType::kShutdown) {
+      log_line(opt, "shutdown after " + std::to_string(completed) +
+                        " range(s)");
+      return completed;
+    }
+    if (f->type != MsgType::kAssign)
+      throw std::runtime_error("dist: unexpected frame type " +
+                               std::to_string(static_cast<int>(f->type)));
+    ByteReader r(f->payload);
+    const std::uint64_t begin = r.u64();
+    const std::uint64_t end = r.u64();
+    r.expect_done();
+    log_line(opt, "running shards [" + std::to_string(begin) + ", " +
+                      std::to_string(end) + ")");
+    std::vector<mc::McResult> parts;
+    try {
+      parts = runner(begin, end);
+    } catch (const std::exception& e) {
+      // An engine failure on this range: report and bail out — the
+      // coordinator re-queues the range for a healthy worker.
+      log_line(opt, std::string("range failed: ") + e.what());
+      send_error(sock, e.what());
+      return completed;
+    }
+    ByteWriter out;
+    out.u64(begin);
+    out.u64(end);
+    out.u64(parts.size());
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      out.u64(begin + i);
+      write_mc_result(out, parts[i]);
+    }
+    send_frame(sock, MsgType::kResult, out.bytes());
+    completed += 1;
+  }
+}
+
+}  // namespace statpipe::dist

@@ -1,0 +1,54 @@
+// Distributed worker runtime: dials the coordinator, rebuilds the
+// described workload, and serves shard-range assignments until shutdown.
+//
+// Per assignment the worker executes the contiguous shard range through
+// GateLevelMonteCarlo::run_shard_range — the existing block-vectorized
+// shard path on the local sim::ThreadPool — and ships one serialized
+// McResult PER SHARD (unmerged, ascending), so the coordinator can fold
+// all shards of the run in ascending order regardless of how ranges were
+// distributed.  Workload construction failures (unknown circuit, netlist
+// hash mismatch) are reported as kError frames and end the session: a
+// worker that cannot prove it holds the coordinator's exact circuit must
+// not contribute samples.
+//
+// Layer contract (src/dist, see docs/ARCHITECTURE.md): the distributed
+// execution layer sits on top of mc/sim/stats and may depend on all of
+// them; nothing below src/dist may know it exists.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dist/serialize.h"
+#include "mc/pipeline_mc.h"
+
+namespace statpipe::dist {
+
+struct WorkerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  int connect_retry_ms = 5000;  ///< keep dialing a not-yet-bound coordinator
+  bool verbose = false;         ///< progress lines on stderr
+};
+
+/// Maps a RunDescriptor to a shard-range runner.  The default factory
+/// (Workload-based) suits the statpipe-worker daemon; tests inject
+/// factories that fail on purpose.
+using ShardRangeRunner = std::function<std::vector<mc::McResult>(
+    std::size_t shard_begin, std::size_t shard_end)>;
+using WorkloadFactory =
+    std::function<ShardRangeRunner(const RunDescriptor&)>;
+
+/// The Workload-registry factory used by the worker daemon.
+WorkloadFactory default_workload_factory();
+
+/// Runs one worker session to completion: connect, hello, setup, serve
+/// assignments, exit on kShutdown or coordinator disconnect.  Returns the
+/// number of ranges completed.  Throws std::runtime_error on transport
+/// errors; workload construction failure is reported to the coordinator
+/// as kError and returns normally.
+std::size_t run_worker(const WorkerOptions& opt, const WorkloadFactory& make);
+
+}  // namespace statpipe::dist

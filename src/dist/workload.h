@@ -1,0 +1,78 @@
+// Workload registry for distributed runs: turns a RunDescriptor into the
+// exact GateLevelMonteCarlo engine the coordinator described.
+//
+// The descriptor names the pipeline as a comma-separated list of ISCAS85
+// circuit names ("c3540,c2670,c1908,c432"); every process synthesizes the
+// stages with the same deterministic generator and verifies the combined
+// Netlist::structural_hash against the descriptor before running a single
+// shard — a worker with a diverging build of the generators refuses work
+// instead of silently contributing wrong samples.
+//
+// Layer contract (src/dist, see docs/ARCHITECTURE.md): the distributed
+// execution layer sits on top of mc/sim/stats and may depend on all of
+// them; nothing below src/dist may know it exists.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "device/delay_model.h"
+#include "device/latch.h"
+#include "dist/serialize.h"
+#include "mc/pipeline_mc.h"
+#include "netlist/netlist.h"
+#include "process/variation.h"
+#include "sim/engine.h"
+
+namespace statpipe::dist {
+
+/// A fully assembled gate-level MC workload with stable addresses (the
+/// engine holds pointers into stages/model for its lifetime), built from a
+/// RunDescriptor.  Non-copyable, non-movable for exactly that reason.
+class Workload {
+ public:
+  /// Builds stages from desc.workload, applies the descriptor's variation
+  /// / latch / STA options and verifies desc.netlist_hash (0 = skip the
+  /// check, used by the side that computes the hash in the first place).
+  /// Throws std::invalid_argument on unknown circuit names or hash
+  /// mismatch.
+  static std::unique_ptr<Workload> make(const RunDescriptor& desc);
+
+  Workload(const Workload&) = delete;
+  Workload& operator=(const Workload&) = delete;
+
+  const mc::GateLevelMonteCarlo& engine() const noexcept { return *engine_; }
+  /// Combined structural hash of the stages (what RunDescriptor carries).
+  std::uint64_t stage_hash() const noexcept { return hash_; }
+
+  /// Execution options matching the descriptor; threads stays 0 (the local
+  /// pool's choice — it never affects results).
+  sim::ExecutionOptions exec(const RunDescriptor& desc) const;
+
+ private:
+  Workload() = default;
+
+  std::vector<netlist::Netlist> stages_;
+  std::unique_ptr<device::AlphaPowerModel> model_;
+  std::unique_ptr<device::LatchModel> latch_;
+  std::unique_ptr<mc::GateLevelMonteCarlo> engine_;
+  std::uint64_t hash_ = 0;
+};
+
+/// Combined structural hash over an ordered stage list (FNV-fold of the
+/// per-netlist hashes; order-sensitive, like the pipeline).
+std::uint64_t hash_stages(const std::vector<netlist::Netlist>& stages);
+
+/// Fills desc.netlist_hash and desc.root_seed from desc.workload and
+/// desc.seed — what a coordinator does before serving the descriptor.
+void finalize_descriptor(RunDescriptor& desc);
+
+/// Runs the descriptor's workload to completion in this process (the
+/// single-process reference): exactly GateLevelMonteCarlo::run with
+/// Rng(desc.seed).  The distributed acceptance check is bitwise_equal
+/// against this.
+mc::McResult run_local(const RunDescriptor& desc);
+
+}  // namespace statpipe::dist

@@ -15,6 +15,10 @@ std::string run_name(const McResult& r) {
 }  // namespace
 
 void McResult::merge(McResult&& other) {
+  if (&other == this)
+    throw std::invalid_argument(
+        "McResult::merge: run '" + run_name(*this) +
+        "' merged into itself (would double-count every sample)");
   if (stage_stats.size() != other.stage_stats.size())
     throw std::invalid_argument("McResult::merge: stage count mismatch (" +
                                 std::to_string(stage_stats.size()) + " vs " +
@@ -96,6 +100,7 @@ McResult StageLevelMonteCarlo::run(std::size_t n_samples, stats::Rng& rng,
                                    const sim::ExecutionOptions& exec) const {
   if (n_samples == 0)
     throw std::invalid_argument("StageLevelMonteCarlo: zero samples");
+  exec.validate();  // no block kernel here, but a zero shard size is a bug
   // One engine draw keys the whole run: repeated runs differ, shard streams
   // stay independent of thread scheduling.
   const stats::Rng root = rng.fork();
@@ -230,16 +235,37 @@ McResult GateLevelMonteCarlo::run_shard(const sim::Shard& shard,
   return r;
 }
 
+std::vector<McResult> GateLevelMonteCarlo::run_shard_range(
+    std::size_t n_samples, std::uint64_t root_seed, std::size_t shard_begin,
+    std::size_t shard_end, const sim::ExecutionOptions& exec) const {
+  if (n_samples == 0)
+    throw std::invalid_argument("GateLevelMonteCarlo: zero samples");
+  exec.validate(stats::lanes::kMaxWidth);
+  // Materialize only the assigned subrange: a distributed worker must not
+  // rebuild the full O(n_shards) plan for a two-shard assignment.
+  const std::vector<sim::Shard> shards = sim::plan_shard_range(
+      n_samples, exec.samples_per_shard, shard_begin, shard_end);
+  // Rng(root_seed) reconstructs the exact root run() forks: fork(stream_id)
+  // depends only on the construction seed, so a remote process holding just
+  // the 64-bit key replays every shard's streams bit for bit.
+  const stats::Rng root(root_seed);
+  return sim::run_shard_subrange<McResult>(
+      shards, 0, shards.size(), exec,
+      [&](const sim::Shard& s) { return run_shard(s, root, exec.block_width); });
+}
+
 McResult GateLevelMonteCarlo::run(std::size_t n_samples, stats::Rng& rng,
                                   const sim::ExecutionOptions& exec) const {
   if (n_samples == 0)
     throw std::invalid_argument("GateLevelMonteCarlo: zero samples");
-  const std::size_t width = stats::lanes::clamp_width(exec.block_width);
+  exec.validate(stats::lanes::kMaxWidth);
   const stats::Rng root = rng.fork();
-  McResult r = sim::run_sharded<McResult>(
-      n_samples, exec,
-      [&](const sim::Shard& s) { return run_shard(s, root, width); },
-      [](McResult& acc, McResult&& part) { acc.merge(std::move(part)); });
+  const std::size_t n_shards =
+      sim::shard_count(n_samples, exec.samples_per_shard);
+  std::vector<McResult> parts =
+      run_shard_range(n_samples, root.seed(), 0, n_shards, exec);
+  McResult r = std::move(parts.front());
+  for (std::size_t i = 1; i < parts.size(); ++i) r.merge(std::move(parts[i]));
   r.label = "gate-level MC";
   return r;
 }

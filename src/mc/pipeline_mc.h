@@ -36,6 +36,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -58,7 +59,12 @@ struct McResult {
   std::vector<stats::RunningStats> stage_stats;  ///< per-stage delay stats
 
   /// Appends another run's samples and folds its per-stage accumulators.
-  /// Throws std::invalid_argument on stage-count mismatch.
+  /// Throws std::invalid_argument on stage-count mismatch or self-merge
+  /// (which would double-count every sample).  Note the fold is a left
+  /// fold with a defined order everywhere in the library: RunningStats
+  /// merging is only approximately associative in floating point, so
+  /// reducing shards in any other shape than ascending-order left fold
+  /// forfeits bitwise reproducibility.
   void merge(McResult&& other);
 
   stats::Gaussian tp_estimate() const;           ///< sample (mu, sigma)
@@ -101,8 +107,27 @@ class GateLevelMonteCarlo {
   /// Same determinism contract as StageLevelMonteCarlo::run, strengthened
   /// for the block path: the result depends on (seed, n_samples,
   /// exec.samples_per_shard) but never on exec.threads or exec.block_width.
+  /// Throws std::invalid_argument on exec.block_width outside
+  /// [1, stats::lanes::kMaxWidth] (validated up front, never clamped).
   McResult run(std::size_t n_samples, stats::Rng& rng,
                const sim::ExecutionOptions& exec = {}) const;
+
+  /// Distributed building block: plans the exact shard set run() plans for
+  /// (n_samples, exec.samples_per_shard) and executes only the contiguous
+  /// subrange [shard_begin, shard_end) on the local pool, returning one
+  /// UNMERGED McResult per shard in ascending shard order.  `root_seed` is
+  /// the run key — run() derives it as rng.fork().seed(), and a remote
+  /// caller that folds every shard's part in ascending shard order
+  /// reproduces run()'s result bit for bit, no matter how the shard space
+  /// was split across processes or machines.  Same validation and
+  /// determinism contract as run(); throws std::invalid_argument on an
+  /// empty or out-of-bounds range.
+  std::vector<McResult> run_shard_range(std::size_t n_samples,
+                                        std::uint64_t root_seed,
+                                        std::size_t shard_begin,
+                                        std::size_t shard_end,
+                                        const sim::ExecutionOptions& exec =
+                                            {}) const;
 
   std::size_t stage_count() const noexcept { return stages_.size(); }
 

@@ -1,6 +1,7 @@
 #include "netlist/netlist.h"
 
 #include <algorithm>
+#include <bit>
 #include <queue>
 #include <stdexcept>
 
@@ -165,6 +166,23 @@ GateId Netlist::find(const std::string& name) const {
   for (std::size_t i = 0; i < gates_.size(); ++i)
     if (gates_[i].name == name) return i;
   return kInvalidGate;
+}
+
+std::uint64_t Netlist::structural_hash() const {
+  std::uint64_t h = kFnvOffsetBasis;
+  h = fnv1a_fold(h, gates_.size());
+  for (const Gate& g : gates_) {
+    h = fnv1a_fold(h, static_cast<std::uint64_t>(g.kind));
+    h = fnv1a_fold(h, std::bit_cast<std::uint64_t>(g.size));
+    h = fnv1a_fold(h, std::bit_cast<std::uint64_t>(g.position));
+    h = fnv1a_fold(h, g.fanins.size());
+    for (GateId f : g.fanins) h = fnv1a_fold(h, f);
+  }
+  h = fnv1a_fold(h, inputs_.size());
+  for (GateId i : inputs_) h = fnv1a_fold(h, i);
+  h = fnv1a_fold(h, outputs_.size());
+  for (GateId o : outputs_) h = fnv1a_fold(h, o);
+  return h;
 }
 
 }  // namespace statpipe::netlist

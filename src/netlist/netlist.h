@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <vector>
@@ -22,6 +23,21 @@ namespace statpipe::netlist {
 
 using GateId = std::size_t;
 inline constexpr GateId kInvalidGate = std::numeric_limits<GateId>::max();
+
+/// 64-bit FNV-1a fold of one value's 8 bytes (low byte first) into a
+/// running hash.  Seed new hashes with kFnvOffsetBasis.  Shared by
+/// Netlist::structural_hash and the distributed workload identity
+/// (dist::hash_stages) — both sides of the cross-process hash check MUST
+/// fold with this exact function.
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t fnv1a_fold(std::uint64_t h, std::uint64_t v) noexcept {
+  constexpr std::uint64_t kPrime = 0x00000100000001b3ULL;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffULL;
+    h *= kPrime;
+  }
+  return h;
+}
 
 struct Gate {
   std::string name;
@@ -98,6 +114,15 @@ class Netlist {
 
   /// Lookup by name (linear scan; netlists here are small).
   GateId find(const std::string& name) const;
+
+  /// Order-sensitive FNV-1a digest of everything that affects timing and
+  /// sampling: per-gate kind, size and position bit patterns, fanin lists,
+  /// and the input/output id lists.  Gate names are display-only and
+  /// excluded.  Two netlists with equal hashes are (up to a 2^-64 collision)
+  /// interchangeable as simulation workloads — the check a distributed
+  /// worker runs to prove it rebuilt the coordinator's exact circuit before
+  /// contributing shards.
+  std::uint64_t structural_hash() const;
 
  private:
   std::string name_;

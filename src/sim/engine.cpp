@@ -1,21 +1,56 @@
 #include "sim/engine.h"
 
 #include <stdexcept>
+#include <string>
 
 namespace statpipe::sim {
 
-std::vector<Shard> plan_shards(std::size_t n, std::size_t samples_per_shard) {
+void ExecutionOptions::validate(std::size_t max_block_width) const {
+  if (samples_per_shard == 0)
+    throw std::invalid_argument(
+        "ExecutionOptions: samples_per_shard must be >= 1");
+  if (block_width == 0)
+    throw std::invalid_argument("ExecutionOptions: block_width must be >= 1");
+  if (max_block_width != 0 && block_width > max_block_width)
+    throw std::invalid_argument(
+        "ExecutionOptions: block_width " + std::to_string(block_width) +
+        " exceeds the engine's kernel cap " + std::to_string(max_block_width));
+}
+
+void check_shard_range(std::size_t n_shards, std::size_t begin,
+                       std::size_t end) {
+  if (begin >= end || end > n_shards)
+    throw std::invalid_argument(
+        "check_shard_range: bad shard range [" + std::to_string(begin) +
+        ", " + std::to_string(end) + ") for a plan of " +
+        std::to_string(n_shards) + " shard(s)");
+}
+
+std::size_t shard_count(std::size_t n, std::size_t samples_per_shard) {
   if (n == 0) throw std::invalid_argument("plan_shards: zero samples");
   if (samples_per_shard == 0)
     throw std::invalid_argument("plan_shards: zero samples_per_shard");
-  const std::size_t n_shards = (n + samples_per_shard - 1) / samples_per_shard;
+  return (n + samples_per_shard - 1) / samples_per_shard;
+}
+
+std::vector<Shard> plan_shard_range(std::size_t n,
+                                    std::size_t samples_per_shard,
+                                    std::size_t shard_begin,
+                                    std::size_t shard_end) {
+  check_shard_range(shard_count(n, samples_per_shard), shard_begin,
+                    shard_end);
   std::vector<Shard> shards;
-  shards.reserve(n_shards);
-  for (std::size_t i = 0; i < n_shards; ++i) {
+  shards.reserve(shard_end - shard_begin);
+  for (std::size_t i = shard_begin; i < shard_end; ++i) {
     const std::size_t begin = i * samples_per_shard;
     shards.push_back({i, begin, std::min(samples_per_shard, n - begin)});
   }
   return shards;
+}
+
+std::vector<Shard> plan_shards(std::size_t n, std::size_t samples_per_shard) {
+  return plan_shard_range(n, samples_per_shard, 0,
+                          shard_count(n, samples_per_shard));
 }
 
 }  // namespace statpipe::sim

@@ -35,12 +35,23 @@ struct ExecutionOptions {
   std::size_t samples_per_shard = 1024;
   /// SoA lane width for engines with a block-vectorized sample path: full
   /// blocks of this many samples go through the block kernels, the shard
-  /// tail runs scalar.  1 = fully scalar.  Engines clamp it to their
-  /// supported range (stats::lanes::kMaxWidth).  Like `threads` — and
-  /// unlike `samples_per_shard` — results NEVER depend on this value: each
-  /// sample's RNG stream is keyed on its shard-local index, and the block
-  /// kernels are bitwise-identical per lane to the scalar path.
+  /// tail runs scalar.  1 = fully scalar.  Engines validate it against
+  /// their kernel cap (stats::lanes::kMaxWidth) via validate() below — a
+  /// value of 0 or beyond the cap throws, it is never silently clamped.
+  /// Like `threads` — and unlike `samples_per_shard` — results NEVER
+  /// depend on this value: each sample's RNG stream is keyed on its
+  /// shard-local index, and the block kernels are bitwise-identical per
+  /// lane to the scalar path.
   std::size_t block_width = 8;
+
+  /// Validates the options up front: samples_per_shard >= 1, block_width
+  /// >= 1 and — when the caller states its kernel cap via max_block_width
+  /// != 0 — block_width <= max_block_width.  Throws std::invalid_argument
+  /// naming the offending field.  Engines call this before planning so a
+  /// width of 0 or 64 fails loudly instead of being silently clamped into
+  /// range (the sim layer knows no kernel widths itself, hence the cap
+  /// parameter).
+  void validate(std::size_t max_block_width = 0) const;
 };
 
 /// One contiguous slice of a sample run.  `index` doubles as the RNG
@@ -51,9 +62,31 @@ struct Shard {
   std::size_t count = 0;
 };
 
+/// Number of shards plan_shards would cut n samples into
+/// (ceil(n / samples_per_shard)) without materializing them — what a run
+/// or a distributed coordinator needs to size its bookkeeping.  Throws
+/// std::invalid_argument when n == 0 or samples_per_shard == 0.
+std::size_t shard_count(std::size_t n, std::size_t samples_per_shard);
+
+/// Materializes only shards [shard_begin, shard_end) of the plan for n
+/// samples — the shards a distributed worker actually executes, without
+/// building the full O(n_shards) vector per assignment.  Validates the
+/// range against the plan (check_shard_range).
+std::vector<Shard> plan_shard_range(std::size_t n,
+                                    std::size_t samples_per_shard,
+                                    std::size_t shard_begin,
+                                    std::size_t shard_end);
+
 /// Cuts n samples into ceil(n / samples_per_shard) shards.  Throws
 /// std::invalid_argument when n == 0 or samples_per_shard == 0.
 std::vector<Shard> plan_shards(std::size_t n, std::size_t samples_per_shard);
+
+/// Validates a contiguous shard subrange [begin, end) against a plan of
+/// n_shards shards: throws std::invalid_argument on an empty or
+/// out-of-bounds range.  The up-front range check shared by the engines'
+/// subrange entry points and the distributed coordinator's assignments.
+void check_shard_range(std::size_t n_shards, std::size_t begin,
+                       std::size_t end);
 
 /// Convenience forward to the shared pool.
 inline void parallel_for(std::size_t n,
@@ -116,17 +149,40 @@ class WorkspacePool {
   std::vector<std::unique_ptr<W>> free_;
 };
 
+/// Runs body(shard) for every shard in the contiguous subrange
+/// [shard_begin, shard_end) of `shards` (possibly concurrently) and returns
+/// the per-shard results UNMERGED, in ascending shard order — the
+/// distributed building block: a remote worker executes exactly this over
+/// its assigned range and ships the parts, and the coordinator folds every
+/// part in ascending shard order (the same left fold run_sharded applies),
+/// so a run split across processes is bitwise-identical to a local one.
+template <class Result, class Body>
+std::vector<Result> run_shard_subrange(const std::vector<Shard>& shards,
+                                       std::size_t shard_begin,
+                                       std::size_t shard_end,
+                                       const ExecutionOptions& exec,
+                                       Body&& body) {
+  check_shard_range(shards.size(), shard_begin, shard_end);
+  std::vector<Result> parts(shard_end - shard_begin);
+  parallel_for(
+      parts.size(),
+      [&](std::size_t i) { parts[i] = body(shards[shard_begin + i]); },
+      exec.threads);
+  return parts;
+}
+
 /// Runs body(shard) for every shard (possibly concurrently), then folds the
 /// per-shard results in ascending shard order with merge(acc, part) — the
 /// deterministic reduction that makes thread count invisible in the output.
+/// Composed from run_shard_subrange over the full plan, so the local and
+/// distributed paths share one scheduling implementation.
 template <class Result, class Body, class Merge>
 Result run_sharded(std::size_t n_samples, const ExecutionOptions& exec,
                    Body&& body, Merge&& merge) {
-  const std::vector<Shard> shards = plan_shards(n_samples, exec.samples_per_shard);
-  std::vector<Result> parts(shards.size());
-  parallel_for(
-      shards.size(), [&](std::size_t i) { parts[i] = body(shards[i]); },
-      exec.threads);
+  const std::vector<Shard> shards =
+      plan_shards(n_samples, exec.samples_per_shard);
+  std::vector<Result> parts = run_shard_subrange<Result>(
+      shards, 0, shards.size(), exec, std::forward<Body>(body));
   Result acc = std::move(parts.front());
   for (std::size_t i = 1; i < parts.size(); ++i)
     merge(acc, std::move(parts[i]));

@@ -88,6 +88,7 @@ struct StaBlockWorkspace {
   std::vector<double> arrival;  ///< [gates * width], gate-major lane rows
   std::vector<double> dvth;     ///< [width] per-gate Vth shifts
   std::vector<double> dl;       ///< [width] per-gate dL/L shifts
+  std::vector<double> vf;       ///< [width] per-gate variation factors
 
   // Bound stage structure (managed by critical_delay_sample_block).
   const netlist::Netlist* bound_nl = nullptr;

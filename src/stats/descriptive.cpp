@@ -38,6 +38,16 @@ void RunningStats::merge(const RunningStats& other) noexcept {
   n_ += other.n_;
 }
 
+RunningStats RunningStats::from_state(const State& s) noexcept {
+  RunningStats r;
+  r.n_ = s.n;
+  r.mean_ = s.mean;
+  r.m2_ = s.m2;
+  r.min_ = s.min;
+  r.max_ = s.max;
+  return r;
+}
+
 double RunningStats::variance() const noexcept {
   return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
 }

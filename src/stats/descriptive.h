@@ -11,8 +11,23 @@ namespace statpipe::stats {
 /// Numerically stable for the millions of MC samples the benches produce.
 class RunningStats {
  public:
+  /// Exact internal state, exposed so accumulators can cross process
+  /// boundaries (dist/serialize) without losing a bit: a RunningStats
+  /// rebuilt via from_state(state()) is indistinguishable from the
+  /// original — same mean/variance/min/max down to the last ulp.
+  struct State {
+    std::size_t n = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
   void add(double x) noexcept;
   void merge(const RunningStats& other) noexcept;
+
+  State state() const noexcept { return {n_, mean_, m2_, min_, max_}; }
+  static RunningStats from_state(const State& s) noexcept;
 
   std::size_t count() const noexcept { return n_; }
   double mean() const noexcept { return n_ ? mean_ : 0.0; }

@@ -22,6 +22,28 @@ Histogram Histogram::from_samples(std::span<const double> xs, std::size_t bins) 
   return h;
 }
 
+Histogram Histogram::from_counts(double lo, double hi,
+                                 std::vector<std::size_t> counts) {
+  Histogram h(lo, hi, counts.size());  // validates bins > 0 and hi > lo
+  h.counts_ = std::move(counts);
+  for (std::size_t c : h.counts_) h.total_ += c;
+  return h;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (lo_ != other.lo_ || hi_ != other.hi_ ||
+      counts_.size() != other.counts_.size())
+    throw std::invalid_argument(
+        "Histogram::merge: binning mismatch ([" + std::to_string(lo_) + ", " +
+        std::to_string(hi_) + ") x " + std::to_string(counts_.size()) +
+        " vs [" + std::to_string(other.lo_) + ", " +
+        std::to_string(other.hi_) + ") x " +
+        std::to_string(other.counts_.size()) + ")");
+  const std::size_t extra = other.total_;  // read first: self-merge aliases
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += extra;
+}
+
 void Histogram::add(double x) {
   const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
   auto idx = static_cast<long>((x - lo_) / w);

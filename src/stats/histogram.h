@@ -19,8 +19,21 @@ class Histogram {
   /// Convenience: range = [min, max] of the sample padded by 1%.
   static Histogram from_samples(std::span<const double> xs, std::size_t bins);
 
+  /// Rebuilds a histogram from its exact parts — the deserialization
+  /// counterpart of (lo, hi, counts).  Throws std::invalid_argument on an
+  /// empty counts vector or hi <= lo.
+  static Histogram from_counts(double lo, double hi,
+                               std::vector<std::size_t> counts);
+
   void add(double x);
   void add(std::span<const double> xs);
+
+  /// Folds another histogram's mass into this one — the distributed /
+  /// sharded aggregation primitive.  Both histograms must use the exact
+  /// same binning (lo, hi and bin count, compared bitwise); anything else
+  /// throws std::invalid_argument instead of silently misbinning mass.
+  /// Self-merge doubles every bin, which is well-defined and allowed.
+  void merge(const Histogram& other);
 
   std::size_t bins() const noexcept { return counts_.size(); }
   std::size_t total() const noexcept { return total_; }

@@ -20,7 +20,11 @@
 // standard library only.
 #pragma once
 
+#include <bit>
 #include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
 
 namespace statpipe::stats {
 
@@ -32,9 +36,17 @@ inline constexpr std::size_t kWidth = 8;
 /// Upper bound accepted by the block kernels (workspace sizing).
 inline constexpr std::size_t kMaxWidth = 16;
 
-/// Clamps a requested block width into [1, kMaxWidth].
-constexpr std::size_t clamp_width(std::size_t w) noexcept {
-  return w == 0 ? 1 : (w > kMaxWidth ? kMaxWidth : w);
+/// Validates a requested block width: returns w when 1 <= w <= kMaxWidth,
+/// throws std::invalid_argument otherwise.  A width of 0 or 64 is a caller
+/// bug — it fails loudly up front instead of being silently clamped into
+/// range (which would quietly change the run's RNG-stream grouping a user
+/// thought they had asked for).
+inline std::size_t validated_width(std::size_t w) {
+  if (w == 0 || w > kMaxWidth)
+    throw std::invalid_argument("block width " + std::to_string(w) +
+                                " outside [1, " + std::to_string(kMaxWidth) +
+                                "]");
+  return w;
 }
 
 /// Branch-free value select: take `a` when `cond`, else `b`.  Written as a
@@ -43,6 +55,92 @@ constexpr std::size_t clamp_width(std::size_t w) noexcept {
 /// to evaluate (kernels pre-sanitize divisors before dividing).
 inline double select(bool cond, double a, double b) noexcept {
   return cond ? a : b;
+}
+
+/// Branch-free polynomial pow for positive normal finite x: the shared
+/// exponentiation core of AlphaPowerModel::variation_factor, which std::pow
+/// made ~80% of the block sample-STA kernel.  Evaluated as
+/// exp2(y * log2(x)) with a bit-level exponent split, an atanh-series log2
+/// on [sqrt(1/2), sqrt(2)) and a degree-12 Taylor exp — straight-line
+/// arithmetic a compiler can vectorize across lanes, unlike the libm call.
+///
+/// Both the scalar and the lane paths call this exact function per element,
+/// so the repository-wide bitwise scalar/block contract holds by
+/// construction.  It is a distinct function from std::pow (results differ
+/// from libm in the last couple of ulps; relative error < ~1e-13 over the
+/// variation-factor domain), which is why BOTH paths must use it.
+/// Exactness anchors: pow_pos(1.0, y) == 1.0 and pow_pos(x, 0.0) == 1.0.
+/// Preconditions (the caller's to reject — variation_factor's domain
+/// checks do): x positive, normal, finite; |y * log2(x)| <= 1020 so the
+/// bit-built 2^k scale stays inside the normal exponent range.  There is
+/// deliberately no internal clamp: a clamp's constant arm makes the rest
+/// of the computation compile-time-constant, and gcc then specializes it
+/// into a real branch — killing vectorization of every lane loop over
+/// this function.
+inline double pow_pos(double x, double y) noexcept {
+  // Split x = 2^e * m, then re-center m into [sqrt(1/2), sqrt(2)) so the
+  // atanh argument t stays within +-0.1716.  The exponent is read as a
+  // double by splicing the 11 exponent bits into the mantissa of 2^52 and
+  // subtracting (2^52 + 1023) — exact, and free of the int64<->double
+  // converts that SSE2/AVX2 cannot vectorize.
+  constexpr double kSqrt2 = 1.4142135623730951;
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(x);
+  const double eb =
+      std::bit_cast<double>(((bits >> 52) & 0x7ffULL) | 0x4330000000000000ULL);
+  double e = eb - 4503599627371519.0;  // 2^52 + 1023
+  double m = std::bit_cast<double>((bits & 0x000fffffffffffffULL) |
+                                   0x3ff0000000000000ULL);
+  // Re-centering select as a mask blend (not a ternary): gcc turns the
+  // ternary into a real branch here, which blocks if-conversion and with
+  // it vectorization of the lane loop.
+  const std::uint64_t rmask = 0ULL - static_cast<std::uint64_t>(m >= kSqrt2);
+  m = std::bit_cast<double>(
+      (std::bit_cast<std::uint64_t>(0.5 * m) & rmask) |
+      (std::bit_cast<std::uint64_t>(m) & ~rmask));
+  e += std::bit_cast<double>(std::bit_cast<std::uint64_t>(1.0) & rmask);
+
+  // log2(m) = (2/ln2) * atanh(t), t = (m-1)/(m+1); odd series through t^17
+  // truncates below 1e-16 on this range.
+  const double t = (m - 1.0) / (m + 1.0);
+  const double t2 = t * t;
+  double p = 1.0 / 17.0;
+  p = p * t2 + 1.0 / 15.0;
+  p = p * t2 + 1.0 / 13.0;
+  p = p * t2 + 1.0 / 11.0;
+  p = p * t2 + 1.0 / 9.0;
+  p = p * t2 + 1.0 / 7.0;
+  p = p * t2 + 1.0 / 5.0;
+  p = p * t2 + 1.0 / 3.0;
+  const double atanh_t = t + t * t2 * p;
+  constexpr double kTwoOverLn2 = 2.8853900817779268;  // 2 / ln 2
+  const double log2x = e + kTwoOverLn2 * atanh_t;
+
+  // exp2(z): z = k + f with integer k (round-to-nearest via the 1.5*2^52
+  // trick) and f in [-0.5, 0.5]; e^(f ln2) by degree-12 Taylor
+  // (truncation < 2e-16), scaled by bit-built 2^k.
+  const double z = y * log2x;  // |z| <= 1020 by precondition
+  const double zr = z + 0x1.8p52;  // k lives in zr's low mantissa bits
+  const double kd = zr - 0x1.8p52;
+  constexpr double kLn2 = 0.6931471805599453;
+  const double u = (z - kd) * kLn2;
+  double q = 1.0 / 479001600.0;  // 1/12!
+  q = q * u + 1.0 / 39916800.0;
+  q = q * u + 1.0 / 3628800.0;
+  q = q * u + 1.0 / 362880.0;
+  q = q * u + 1.0 / 40320.0;
+  q = q * u + 1.0 / 5040.0;
+  q = q * u + 1.0 / 720.0;
+  q = q * u + 1.0 / 120.0;
+  q = q * u + 1.0 / 24.0;
+  q = q * u + 1.0 / 6.0;
+  q = q * u + 0.5;
+  const double expu = 1.0 + u * (1.0 + u * q);
+  // 2^k from zr's bit pattern: zr = 2^52 + 2^51 + k exactly, so zr's low 12
+  // mantissa bits are k mod 2^12 (two's complement); adding the 1023 bias
+  // and shifting into the exponent field builds 2^k with no int converts.
+  const double scale = std::bit_cast<double>(
+      (std::bit_cast<std::uint64_t>(zr) + 1023ULL) << 52);
+  return expu * scale;
 }
 
 }  // namespace lanes

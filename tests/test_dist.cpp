@@ -1,0 +1,399 @@
+// Distributed execution subsystem tests: serialization round-trips (byte
+// stability, version gating, fuzz), protocol/transport behavior, and the
+// acceptance contract — a c3540-class gate-level MC run sharded across
+// real worker PROCESSES over localhost TCP is bitwise-identical to the
+// single-process run at the same seed, including under injected worker
+// failures and reassignment.
+#include <gtest/gtest.h>
+#include <spawn.h>
+#include <sys/wait.h>
+
+#include <chrono>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/coordinator.h"
+#include "dist/serialize.h"
+#include "dist/transport.h"
+#include "dist/worker.h"
+#include "dist/workload.h"
+#include "mc/pipeline_mc.h"
+#include "netlist/generators.h"
+#include "stats/rng.h"
+
+extern char** environ;
+
+namespace sp = statpipe;
+using sp::dist::ByteReader;
+using sp::dist::ByteWriter;
+
+namespace {
+
+// ------------------------------------------------------------- helpers
+
+sp::dist::RunDescriptor small_descriptor(
+    const std::string& workload = "c432", std::uint64_t samples = 1024,
+    std::uint64_t samples_per_shard = 128) {
+  sp::dist::RunDescriptor d;
+  d.workload = workload;
+  d.seed = 20260729;
+  d.n_samples = samples;
+  d.samples_per_shard = samples_per_shard;
+  d.block_width = 8;
+  d.sigma_vth_inter = 0.020;
+  d.sigma_vth_systematic = 0.0;  // keep the O(sites^2) field out of tests
+  d.enable_rdf = 1;
+  sp::dist::finalize_descriptor(d);
+  return d;
+}
+
+pid_t spawn_worker_process(std::uint16_t port) {
+  const char* bin = STATPIPE_WORKER_BIN;
+  const std::string port_s = std::to_string(port);
+  std::vector<char*> args{const_cast<char*>(bin),
+                          const_cast<char*>("--port"),
+                          const_cast<char*>(port_s.c_str()),
+                          const_cast<char*>("--quiet"), nullptr};
+  pid_t pid = -1;
+  const int rc = ::posix_spawn(&pid, bin, nullptr, nullptr, args.data(),
+                               environ);
+  EXPECT_EQ(rc, 0) << "posix_spawn " << bin;
+  return rc == 0 ? pid : -1;
+}
+
+// Reaps a spawned worker while draining the coordinator's listener
+// backlog, so a worker that connected only after the run completed is
+// dismissed with kShutdown instead of hanging in its setup read.
+void reap(sp::dist::Coordinator& coord, pid_t pid) {
+  if (pid < 0) return;
+  int status = 0;
+  pid_t got;
+  while ((got = ::waitpid(pid, &status, WNOHANG)) == 0) {
+    coord.drain_backlog();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_EQ(got, pid);
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+sp::stats::RunningStats random_stats(std::mt19937_64& g, std::size_t n) {
+  std::normal_distribution<double> d(250.0, 40.0);
+  sp::stats::RunningStats s;
+  for (std::size_t i = 0; i < n; ++i) s.add(d(g));
+  return s;
+}
+
+// ---------------------------------------------------------- serialization
+
+TEST(DistSerialize, PrimitivesRoundTripLittleEndian) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.f64(-1234.5678e-9);
+  w.str("shard range");
+  // Wire bytes are defined, not host-dependent: check u16's layout.
+  EXPECT_EQ(w.bytes()[1], 0x34);  // low byte first
+  EXPECT_EQ(w.bytes()[2], 0x12);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.f64(), -1234.5678e-9);
+  EXPECT_EQ(r.str(), "shard range");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(DistSerialize, TruncatedPayloadThrows) {
+  ByteWriter w;
+  w.u64(7);
+  std::vector<std::uint8_t> bytes = w.bytes();
+  bytes.pop_back();
+  ByteReader r(bytes);
+  EXPECT_THROW(r.u64(), std::runtime_error);
+  // Hostile vector length must throw, not allocate.
+  ByteWriter w2;
+  w2.u64(~0ULL);
+  ByteReader r2(w2.bytes());
+  EXPECT_THROW(r2.f64_vec(), std::runtime_error);
+}
+
+TEST(DistSerialize, RunningStatsRoundTripIsExact) {
+  std::mt19937_64 g(42);
+  for (int rep = 0; rep < 50; ++rep) {
+    const auto s = random_stats(g, 1 + static_cast<std::size_t>(g() % 500));
+    ByteWriter w;
+    sp::dist::write_running_stats(w, s);
+    ByteReader r(w.bytes());
+    const auto back = sp::dist::read_running_stats(r);
+    EXPECT_TRUE(r.done());
+    // Exact, not approximate: every internal field crosses the wire as its
+    // bit pattern.
+    EXPECT_EQ(back.count(), s.count());
+    EXPECT_EQ(back.mean(), s.mean());
+    EXPECT_EQ(back.variance(), s.variance());
+    EXPECT_EQ(back.min(), s.min());
+    EXPECT_EQ(back.max(), s.max());
+    // Byte-stable: serialize(deserialize(b)) == b.
+    ByteWriter w2;
+    sp::dist::write_running_stats(w2, back);
+    EXPECT_EQ(w.bytes(), w2.bytes());
+  }
+}
+
+TEST(DistSerialize, HistogramRoundTrip) {
+  sp::stats::Histogram h(100.0, 300.0, 32);
+  std::mt19937_64 g(7);
+  std::normal_distribution<double> d(200.0, 30.0);
+  for (int i = 0; i < 5000; ++i) h.add(d(g));
+  ByteWriter w;
+  sp::dist::write_histogram(w, h);
+  ByteReader r(w.bytes());
+  const auto back = sp::dist::read_histogram(r);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(back.lo(), h.lo());
+  EXPECT_EQ(back.hi(), h.hi());
+  EXPECT_EQ(back.bins(), h.bins());
+  EXPECT_EQ(back.total(), h.total());
+  for (std::size_t i = 0; i < h.bins(); ++i)
+    EXPECT_EQ(back.count(i), h.count(i));
+}
+
+TEST(DistSerialize, McResultRoundTripFuzzIsByteStable) {
+  std::mt19937_64 g(1234);
+  std::normal_distribution<double> d(250.0, 40.0);
+  for (int rep = 0; rep < 25; ++rep) {
+    sp::mc::McResult m;
+    m.label = rep % 3 == 0 ? "" : "fuzz run " + std::to_string(rep);
+    const std::size_t n = g() % 200;
+    for (std::size_t i = 0; i < n; ++i) m.tp_samples.push_back(d(g));
+    m.stage_stats.resize(g() % 5);
+    for (auto& s : m.stage_stats) s = random_stats(g, g() % 100);
+    const auto bytes = sp::dist::serialize_mc_result(m);
+    const auto back = sp::dist::deserialize_mc_result(bytes);
+    EXPECT_EQ(sp::dist::serialize_mc_result(back), bytes);
+    EXPECT_TRUE(sp::dist::bitwise_equal(m, back));
+  }
+}
+
+TEST(DistSerialize, HostileStageCountThrowsInsteadOfAllocating) {
+  ByteWriter w;
+  w.str("evil");
+  w.f64_vec({});             // no samples
+  w.u64(1ULL << 60);         // claimed stage count
+  ByteReader r(w.bytes());
+  EXPECT_THROW(sp::dist::read_mc_result(r), std::runtime_error);
+}
+
+TEST(DistSerialize, ResultBlobRejectsBadMagicAndVersion) {
+  sp::mc::McResult m;
+  m.tp_samples = {1.0, 2.0};
+  m.stage_stats.resize(1);
+  auto bytes = sp::dist::serialize_mc_result(m);
+  auto corrupt = bytes;
+  corrupt[0] ^= 0xff;
+  EXPECT_THROW(sp::dist::deserialize_mc_result(corrupt), std::runtime_error);
+  auto future = bytes;
+  future[4] = 0x7f;  // version low byte
+  EXPECT_THROW(sp::dist::deserialize_mc_result(future), std::runtime_error);
+}
+
+TEST(DistSerialize, RunDescriptorRoundTrip) {
+  const auto d = small_descriptor("c432,c880", 2048, 256);
+  ByteWriter w;
+  sp::dist::write_run_descriptor(w, d);
+  ByteReader r(w.bytes());
+  const auto back = sp::dist::read_run_descriptor(r);
+  r.expect_done();
+  EXPECT_EQ(back.workload, d.workload);
+  EXPECT_EQ(back.netlist_hash, d.netlist_hash);
+  EXPECT_EQ(back.seed, d.seed);
+  EXPECT_EQ(back.root_seed, d.root_seed);
+  EXPECT_EQ(back.n_samples, d.n_samples);
+  EXPECT_EQ(back.samples_per_shard, d.samples_per_shard);
+  EXPECT_EQ(back.block_width, d.block_width);
+  EXPECT_EQ(back.sigma_vth_inter, d.sigma_vth_inter);
+  EXPECT_EQ(back.enable_rdf, d.enable_rdf);
+  EXPECT_EQ(back.output_load, d.output_load);
+  EXPECT_EQ(back.latch_tcq_ps, d.latch_tcq_ps);
+}
+
+// ------------------------------------------------------------- workload
+
+TEST(DistWorkload, HashMismatchIsRejected) {
+  auto d = small_descriptor();
+  d.netlist_hash ^= 1;
+  EXPECT_THROW(sp::dist::Workload::make(d), std::invalid_argument);
+}
+
+TEST(DistWorkload, UnknownCircuitIsRejected) {
+  sp::dist::RunDescriptor d;
+  d.workload = "c9999";
+  d.n_samples = 16;
+  EXPECT_THROW(sp::dist::finalize_descriptor(d), std::invalid_argument);
+}
+
+TEST(DistWorkload, StructuralHashDetectsStageEdits) {
+  auto a = sp::netlist::iscas_like("c432");
+  auto b = sp::netlist::iscas_like("c432");
+  EXPECT_EQ(a.structural_hash(), b.structural_hash());
+  b.gate(b.topological_order().back()).size *= 1.5;
+  EXPECT_NE(a.structural_hash(), b.structural_hash());
+}
+
+// ----------------------------------------------- run_shard_range contract
+
+TEST(DistEngine, ShardRangePartsFoldToLocalRun) {
+  const auto desc = small_descriptor("c432", 1024, 128);  // 8 shards
+  const auto wl = sp::dist::Workload::make(desc);
+  const sp::mc::McResult local = sp::dist::run_local(desc);
+  // Recompute the run in arbitrary contiguous pieces; fold ascending.
+  std::vector<sp::mc::McResult> parts;
+  for (const auto [b, e] :
+       {std::pair<std::size_t, std::size_t>{0, 3}, {3, 4}, {4, 8}}) {
+    auto range = wl->engine().run_shard_range(desc.n_samples, desc.root_seed,
+                                              b, e, wl->exec(desc));
+    for (auto& p : range) parts.push_back(std::move(p));
+  }
+  sp::mc::McResult acc = std::move(parts.front());
+  for (std::size_t i = 1; i < parts.size(); ++i)
+    acc.merge(std::move(parts[i]));
+  acc.label = local.label;
+  EXPECT_TRUE(sp::dist::bitwise_equal(acc, local));
+}
+
+TEST(DistEngine, ShardRangeValidatesUpFront) {
+  const auto desc = small_descriptor("c432", 1024, 128);  // 8 shards
+  const auto wl = sp::dist::Workload::make(desc);
+  auto exec = wl->exec(desc);
+  EXPECT_THROW(wl->engine().run_shard_range(desc.n_samples, desc.root_seed,
+                                            3, 3, exec),
+               std::invalid_argument);
+  EXPECT_THROW(wl->engine().run_shard_range(desc.n_samples, desc.root_seed,
+                                            0, 9, exec),
+               std::invalid_argument);
+  exec.block_width = 0;
+  EXPECT_THROW(wl->engine().run_shard_range(desc.n_samples, desc.root_seed,
+                                            0, 8, exec),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------- coordinator/CLI
+
+TEST(DistCoordinator, ValidatesRangeSizeUpFront) {
+  auto desc = small_descriptor("c432", 1024, 128);  // 8 shards
+  sp::dist::CoordinatorOptions opt;
+  opt.shards_per_range = 9;  // more than the plan holds
+  EXPECT_THROW(sp::dist::Coordinator(desc, opt), std::invalid_argument);
+  opt.shards_per_range = 0;
+  opt.max_attempts = 0;
+  EXPECT_THROW(sp::dist::Coordinator(desc, opt), std::invalid_argument);
+}
+
+// The acceptance contract: a c3540-class run split across TWO worker
+// PROCESSES (localhost TCP) merges to the exact bytes of the
+// single-process, single-thread run at the same seed.
+TEST(DistEndToEnd, TwoWorkerProcessesMatchLocalBitwise) {
+  const auto desc = small_descriptor("c3540", 1024, 128);  // 8 shards
+  sp::dist::CoordinatorOptions opt;
+  opt.shards_per_range = 2;  // 4 assignments across 2 workers
+  opt.idle_timeout_ms = 120000;
+  sp::dist::Coordinator coord(desc, opt);
+
+  const pid_t w1 = spawn_worker_process(coord.port());
+  const pid_t w2 = spawn_worker_process(coord.port());
+  const sp::mc::McResult dist_result = coord.run();
+  reap(coord, w1);
+  reap(coord, w2);
+
+  // Single-process, single-thread reference.
+  const auto wl = sp::dist::Workload::make(desc);
+  auto exec = wl->exec(desc);
+  exec.threads = 1;
+  sp::stats::Rng rng(desc.seed);
+  const auto local = wl->engine().run(desc.n_samples, rng, exec);
+  EXPECT_TRUE(sp::dist::bitwise_equal(dist_result, local));
+  EXPECT_EQ(dist_result.tp_samples.size(), desc.n_samples);
+}
+
+// N=1 over localhost: the degenerate cluster is still exactly the local
+// run.
+TEST(DistEndToEnd, SingleWorkerProcessMatchesLocalBitwise) {
+  const auto desc = small_descriptor("c432", 512, 64);  // 8 shards
+  sp::dist::CoordinatorOptions opt;
+  opt.idle_timeout_ms = 120000;
+  sp::dist::Coordinator coord(desc, opt);
+  const pid_t w1 = spawn_worker_process(coord.port());
+  const sp::mc::McResult dist_result = coord.run();
+  reap(coord, w1);
+  EXPECT_TRUE(sp::dist::bitwise_equal(dist_result, sp::dist::run_local(desc)));
+}
+
+// Worker failure: a fake worker handshakes, takes an assignment, and dies.
+// The coordinator reassigns the forfeited range to a healthy process and
+// the merged result is still bitwise-identical.  The coordinator runs on a
+// thread so the failure can be sequenced deterministically BEFORE the
+// healthy worker exists.
+TEST(DistEndToEnd, WorkerFailureReassignmentStaysBitwiseIdentical) {
+  const auto desc = small_descriptor("c432", 1024, 128);
+  sp::dist::CoordinatorOptions opt;
+  opt.shards_per_range = 2;
+  opt.idle_timeout_ms = 120000;
+  sp::dist::Coordinator coord(desc, opt);
+
+  sp::mc::McResult dist_result;
+  std::thread serving([&] { dist_result = coord.run(); });
+
+  // Saboteur (inline): hello, read setup, accept one assignment, vanish
+  // without producing it.
+  {
+    auto sock = sp::dist::connect_to("127.0.0.1", coord.port());
+    sp::dist::ByteWriter hello;
+    hello.u16(sp::dist::kWireVersion);
+    hello.u64(1);
+    sp::dist::send_frame(sock, sp::dist::MsgType::kHello, hello.bytes());
+    auto setup = sp::dist::recv_frame(sock);
+    ASSERT_TRUE(setup && setup->type == sp::dist::MsgType::kSetup);
+    auto assign = sp::dist::recv_frame(sock);
+    ASSERT_TRUE(assign && assign->type == sp::dist::MsgType::kAssign);
+    sock.close();  // forfeits the range
+  }
+
+  const pid_t w1 = spawn_worker_process(coord.port());
+  serving.join();
+  reap(coord, w1);
+  EXPECT_TRUE(sp::dist::bitwise_equal(dist_result, sp::dist::run_local(desc)));
+}
+
+// A worker whose workload build fails reports kError and contributes
+// nothing; the run completes on the healthy worker that arrives after.
+TEST(DistEndToEnd, WorkloadRejectionIsReportedNotFatal) {
+  const auto desc = small_descriptor("c432", 256, 64);
+  sp::dist::CoordinatorOptions opt;
+  opt.idle_timeout_ms = 120000;
+  sp::dist::Coordinator coord(desc, opt);
+
+  sp::mc::McResult dist_result;
+  std::thread serving([&] { dist_result = coord.run(); });
+
+  sp::dist::WorkerOptions wopt;
+  wopt.port = coord.port();
+  const std::size_t done = sp::dist::run_worker(
+      wopt, [](const sp::dist::RunDescriptor&) -> sp::dist::ShardRangeRunner {
+        throw std::invalid_argument("injected workload failure");
+      });
+  EXPECT_EQ(done, 0u);
+
+  const pid_t w1 = spawn_worker_process(coord.port());
+  serving.join();
+  reap(coord, w1);
+  EXPECT_TRUE(sp::dist::bitwise_equal(dist_result, sp::dist::run_local(desc)));
+}
+
+}  // namespace

@@ -4,12 +4,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <random>
 
 #include "core/characterized_pipeline.h"
 #include "core/pipeline_model.h"
 #include "mc/pipeline_mc.h"
 #include "netlist/generators.h"
 #include "stats/ks.h"
+#include "stats/lanes.h"
 
 namespace sp = statpipe;
 using sp::core::LatchOverhead;
@@ -227,19 +230,30 @@ TEST(GateMc, BlockWidthAndThreadCountInvariant) {
   }
 }
 
-TEST(GateMc, OversizeBlockWidthIsClampedNotRejected) {
-  // block_width beyond lanes::kMaxWidth clamps (it is a throughput knob,
-  // not a correctness knob) and still matches the scalar run bitwise.
+TEST(GateMc, BadBlockWidthIsRejectedUpFront) {
+  // block_width outside [1, lanes::kMaxWidth] is a caller bug: it is
+  // rejected with a clear error before any sampling, never silently
+  // clamped into range (a clamp would quietly change the block grouping
+  // the caller thought they configured).
   GateLevelFixture f(2, 4);
   const auto spec = sp::process::VariationSpec::intra_only();
   sp::mc::GateLevelMonteCarlo mc(f.views(), f.model, spec, f.latch);
-  sp::sim::ExecutionOptions huge, scalar;
-  huge.block_width = 4096;
-  huge.threads = 1;
+  sp::stats::Rng rng(5);
+  sp::sim::ExecutionOptions bad;
+  bad.block_width = 4096;
+  EXPECT_THROW(mc.run(300, rng, bad), std::invalid_argument);
+  bad.block_width = sp::stats::lanes::kMaxWidth + 1;
+  EXPECT_THROW(mc.run(300, rng, bad), std::invalid_argument);
+  bad.block_width = 0;
+  EXPECT_THROW(mc.run(300, rng, bad), std::invalid_argument);
+  // The full supported range is accepted and bitwise-equal to scalar.
+  sp::sim::ExecutionOptions max_w, scalar;
+  max_w.block_width = sp::stats::lanes::kMaxWidth;
+  max_w.threads = 1;
   scalar.block_width = 1;
   scalar.threads = 1;
   sp::stats::Rng r1(5), r2(5);
-  const auto a = mc.run(300, r1, huge);
+  const auto a = mc.run(300, r1, max_w);
   const auto b = mc.run(300, r2, scalar);
   for (std::size_t i = 0; i < a.tp_samples.size(); ++i)
     ASSERT_EQ(a.tp_samples[i], b.tp_samples[i]);
@@ -253,6 +267,91 @@ TEST(GateMc, RejectsDegenerateInputs) {
   EXPECT_THROW(mc.run(0, rng), std::invalid_argument);
   EXPECT_THROW(sp::mc::GateLevelMonteCarlo({}, f.model, spec, f.latch),
                std::invalid_argument);
+}
+
+// --------------------------------------------------- merge edge cases
+
+namespace {
+
+sp::mc::McResult make_result(std::uint64_t seed, std::size_t n_samples,
+                             std::size_t n_stages) {
+  sp::stats::Rng rng(seed);
+  sp::mc::McResult r;
+  r.stage_stats.resize(n_stages);
+  for (std::size_t k = 0; k < n_samples; ++k) {
+    double tp = 0.0;
+    for (std::size_t s = 0; s < n_stages; ++s) {
+      const double sd = rng.normal(200.0 + 10.0 * static_cast<double>(s), 8.0);
+      r.stage_stats[s].add(sd);
+      tp = std::max(tp, sd);
+    }
+    r.tp_samples.push_back(tp);
+  }
+  return r;
+}
+
+}  // namespace
+
+TEST(McMerge, EmptyStageStatsMergeLegally) {
+  // Stage-stat-free results (stage count 0 on both sides) merge: samples
+  // concatenate, nothing else to fold.
+  auto a = make_result(1, 10, 0);
+  auto b = make_result(2, 7, 0);
+  a.merge(std::move(b));
+  EXPECT_EQ(a.tp_samples.size(), 17u);
+  EXPECT_TRUE(a.stage_stats.empty());
+}
+
+TEST(McMerge, StageCountMismatchThrows) {
+  auto a = make_result(1, 10, 3);
+  auto b = make_result(2, 10, 2);
+  auto c = make_result(3, 10, 0);
+  EXPECT_THROW(a.merge(std::move(b)), std::invalid_argument);
+  EXPECT_THROW(a.merge(std::move(c)), std::invalid_argument);
+}
+
+TEST(McMerge, SelfMergeIsRejected) {
+  auto a = make_result(1, 10, 2);
+  EXPECT_THROW(a.merge(std::move(a)), std::invalid_argument);
+  // ...and the failed merge left the result intact.
+  EXPECT_EQ(a.tp_samples.size(), 10u);
+  EXPECT_EQ(a.stage_stats[0].count(), 10u);
+}
+
+TEST(McMerge, MergeOrderAssociativityFuzz) {
+  // RunningStats merging is associative only up to floating-point
+  // rounding; sample concatenation and counts are exact.  Fuzz random
+  // partitions: ((a.b).c) vs (a.(b.c)) must agree exactly on counts and
+  // samples, and to ~1e-9 relative on the folded moments.  (This is why
+  // every reduction in the library — local and distributed — commits to
+  // ONE shape: the ascending-order left fold.)
+  std::mt19937_64 g(99);
+  for (int rep = 0; rep < 20; ++rep) {
+    const std::size_t n_stages = 1 + rep % 3;
+    auto a1 = make_result(10 + rep, 5 + g() % 40, n_stages);
+    auto b1 = make_result(50 + rep, 5 + g() % 40, n_stages);
+    auto c1 = make_result(90 + rep, 5 + g() % 40, n_stages);
+    auto a2 = a1, b2 = b1, c2 = c1;
+
+    a1.merge(std::move(b1));
+    a1.merge(std::move(c1));  // (a.b).c
+
+    b2.merge(std::move(c2));
+    a2.merge(std::move(b2));  // a.(b.c)
+
+    ASSERT_EQ(a1.tp_samples.size(), a2.tp_samples.size());
+    for (std::size_t i = 0; i < a1.tp_samples.size(); ++i)
+      ASSERT_EQ(a1.tp_samples[i], a2.tp_samples[i]);
+    for (std::size_t s = 0; s < n_stages; ++s) {
+      ASSERT_EQ(a1.stage_stats[s].count(), a2.stage_stats[s].count());
+      EXPECT_NEAR(a1.stage_stats[s].mean(), a2.stage_stats[s].mean(),
+                  1e-9 * std::abs(a1.stage_stats[s].mean()));
+      EXPECT_NEAR(a1.stage_stats[s].variance(), a2.stage_stats[s].variance(),
+                  1e-9 * a1.stage_stats[s].variance() + 1e-12);
+      EXPECT_EQ(a1.stage_stats[s].min(), a2.stage_stats[s].min());
+      EXPECT_EQ(a1.stage_stats[s].max(), a2.stage_stats[s].max());
+    }
+  }
 }
 
 // --------------------------------------------------- ordering ablation

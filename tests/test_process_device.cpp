@@ -222,6 +222,20 @@ TEST(AlphaPower, NominalFactorIsOne) {
   EXPECT_DOUBLE_EQ(m.variation_factor(0.0, 0.0), 1.0);
 }
 
+TEST(AlphaPower, RejectsUnphysicalAlpha) {
+  // The constructor's alpha cap is what makes variation_factor's fixed
+  // drive-ratio window a sound guard for the pow core's exponent range.
+  Technology t;
+  t.alpha = 5.0;
+  EXPECT_THROW(AlphaPowerModel{t}, std::invalid_argument);
+  t.alpha = 0.0;
+  EXPECT_THROW(AlphaPowerModel{t}, std::invalid_argument);
+  t.alpha = -1.3;
+  EXPECT_THROW(AlphaPowerModel{t}, std::invalid_argument);
+  t.alpha = 2.0;
+  EXPECT_NO_THROW(AlphaPowerModel{t});
+}
+
 TEST(AlphaPower, SlowsWithHigherVthFasterWithLower) {
   AlphaPowerModel m{Technology{}};
   EXPECT_GT(m.variation_factor(+0.040), 1.0);
@@ -238,6 +252,53 @@ TEST(AlphaPower, ThrowsOutOfSaturation) {
   AlphaPowerModel m{Technology{}};
   EXPECT_THROW(m.variation_factor(0.9), std::domain_error);
   EXPECT_THROW(m.variation_factor(0.0, -1.0), std::domain_error);
+}
+
+TEST(AlphaPower, LaneFactorBitwiseEqualsScalar) {
+  // The vectorized pow sweep must be indistinguishable from n scalar
+  // calls — this is the contract that lets the block sample STA share the
+  // scalar path's results bit for bit.
+  AlphaPowerModel m{Technology{}};
+  sp::stats::Rng rng(31415);
+  constexpr std::size_t kN = 16;
+  double dvth[kN], dl[kN], out[kN];
+  for (int rep = 0; rep < 200; ++rep) {
+    for (std::size_t j = 0; j < kN; ++j) {
+      dvth[j] = rng.normal(0.0, 0.030);
+      dl[j] = rng.normal(0.0, 0.04);
+    }
+    m.variation_factor_lanes(dvth, dl, kN, out);
+    for (std::size_t j = 0; j < kN; ++j)
+      ASSERT_EQ(out[j], m.variation_factor(dvth[j], dl[j]));
+  }
+}
+
+TEST(AlphaPower, LaneFactorRejectsBadLaneBeforeWriting) {
+  AlphaPowerModel m{Technology{}};
+  double dvth[4] = {0.0, 0.01, 0.9, 0.0};  // lane 2 out of saturation
+  double dl[4] = {0.0, 0.0, 0.0, 0.0};
+  double out[4] = {-1.0, -1.0, -1.0, -1.0};
+  EXPECT_THROW(m.variation_factor_lanes(dvth, dl, 4, out), std::domain_error);
+  for (double v : out) EXPECT_EQ(v, -1.0);  // nothing written
+  dvth[2] = 0.0;
+  dl[1] = -1.5;  // lane 1: negative channel length
+  EXPECT_THROW(m.variation_factor_lanes(dvth, dl, 4, out), std::domain_error);
+}
+
+TEST(AlphaPower, FactorAgreesWithLibmPow) {
+  // variation_factor now runs on the shared polynomial pow core; it must
+  // still track the libm formula to ~1e-13 relative over the sampling
+  // domain.
+  AlphaPowerModel m{Technology{}};
+  const Technology t{};
+  sp::stats::Rng rng(2718);
+  for (int i = 0; i < 20000; ++i) {
+    const double dvth = rng.normal(0.0, 0.040);
+    const double drive0 = t.vdd - t.vth0;
+    if (drive0 - dvth <= 0.0) continue;
+    const double ref = std::pow(drive0 / (drive0 - dvth), t.alpha);
+    EXPECT_NEAR(m.variation_factor(dvth), ref, 1e-13 * ref);
+  }
 }
 
 TEST(AlphaPower, DelayDecreasesWithSizeIncreasesWithLoad) {

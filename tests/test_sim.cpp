@@ -111,6 +111,31 @@ TEST(Shards, SmallRunIsOneShard) {
 TEST(Shards, RejectsDegenerateInputs) {
   EXPECT_THROW(sp::sim::plan_shards(0, 16), std::invalid_argument);
   EXPECT_THROW(sp::sim::plan_shards(16, 0), std::invalid_argument);
+  EXPECT_THROW(sp::sim::shard_count(0, 16), std::invalid_argument);
+  EXPECT_THROW(sp::sim::shard_count(16, 0), std::invalid_argument);
+}
+
+TEST(Shards, SubrangePlanMatchesFullPlanSlice) {
+  // plan_shard_range must mint exactly the shards plan_shards would — the
+  // distributed workers rely on this to replay the coordinator's plan
+  // without materializing all of it.
+  const std::size_t n = 10000, per = 1024;
+  const auto full = sp::sim::plan_shards(n, per);
+  EXPECT_EQ(sp::sim::shard_count(n, per), full.size());
+  for (const auto [b, e] :
+       {std::pair<std::size_t, std::size_t>{0, full.size()}, {3, 7}, {9, 10}}) {
+    const auto sub = sp::sim::plan_shard_range(n, per, b, e);
+    ASSERT_EQ(sub.size(), e - b);
+    for (std::size_t i = 0; i < sub.size(); ++i) {
+      EXPECT_EQ(sub[i].index, full[b + i].index);
+      EXPECT_EQ(sub[i].begin, full[b + i].begin);
+      EXPECT_EQ(sub[i].count, full[b + i].count);
+    }
+  }
+  EXPECT_THROW(sp::sim::plan_shard_range(n, per, 5, 5),
+               std::invalid_argument);
+  EXPECT_THROW(sp::sim::plan_shard_range(n, per, 0, full.size() + 1),
+               std::invalid_argument);
 }
 
 // ------------------------------------------------------------ RNG streams

@@ -10,6 +10,7 @@
 #include "stats/gaussian.h"
 #include "stats/histogram.h"
 #include "stats/ks.h"
+#include "stats/lanes.h"
 #include "stats/matrix.h"
 #include "stats/rng.h"
 
@@ -508,6 +509,101 @@ TEST(Histogram, CsvHasHeaderAndRows) {
   const auto csv = h.to_csv("unit");
   EXPECT_NE(csv.find("center,count,density"), std::string::npos);
   EXPECT_NE(csv.find("# histogram unit"), std::string::npos);
+}
+
+TEST(Histogram, MergeFoldsCountsWithIdenticalBinning) {
+  sp::Histogram a(0.0, 10.0, 5), b(0.0, 10.0, 5);
+  a.add(1.0);
+  a.add(3.0);
+  b.add(3.5);
+  b.add(9.0);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_EQ(a.count(0), 1u);
+  EXPECT_EQ(a.count(1), 2u);
+  EXPECT_EQ(a.count(4), 1u);
+  // Self-merge doubles every bin — aliasing-safe by design.
+  a.merge(a);
+  EXPECT_EQ(a.total(), 8u);
+  EXPECT_EQ(a.count(1), 4u);
+}
+
+TEST(Histogram, MergeRejectsMismatchedBinning) {
+  sp::Histogram a(0.0, 10.0, 5);
+  EXPECT_THROW(a.merge(sp::Histogram(0.0, 10.0, 6)), std::invalid_argument);
+  EXPECT_THROW(a.merge(sp::Histogram(0.0, 9.0, 5)), std::invalid_argument);
+  EXPECT_THROW(a.merge(sp::Histogram(0.5, 10.0, 5)), std::invalid_argument);
+}
+
+TEST(Histogram, FromCountsRebuildsExactly) {
+  sp::Histogram a(5.0, 25.0, 4);
+  a.add(6.0);
+  a.add(24.0);
+  a.add(24.5);
+  const auto b = sp::Histogram::from_counts(
+      a.lo(), a.hi(), {a.count(0), a.count(1), a.count(2), a.count(3)});
+  EXPECT_EQ(b.total(), a.total());
+  for (std::size_t i = 0; i < a.bins(); ++i) EXPECT_EQ(b.count(i), a.count(i));
+  EXPECT_THROW(sp::Histogram::from_counts(0.0, 1.0, {}),
+               std::invalid_argument);
+}
+
+// -------------------------------------------------------- RunningStats IO
+
+TEST(RunningStats, StateRoundTripIsIndistinguishable) {
+  sp::Rng rng(404);
+  sp::RunningStats s;
+  for (int i = 0; i < 1000; ++i) s.add(rng.normal(50.0, 9.0));
+  const auto back = sp::RunningStats::from_state(s.state());
+  EXPECT_EQ(back.count(), s.count());
+  EXPECT_EQ(back.mean(), s.mean());
+  EXPECT_EQ(back.variance(), s.variance());
+  EXPECT_EQ(back.min(), s.min());
+  EXPECT_EQ(back.max(), s.max());
+  // Continuing to accumulate after the round trip matches exactly too.
+  sp::RunningStats cont = back;
+  sp::RunningStats orig = s;
+  cont.add(123.456);
+  orig.add(123.456);
+  EXPECT_EQ(cont.mean(), orig.mean());
+  EXPECT_EQ(cont.variance(), orig.variance());
+}
+
+// ------------------------------------------------------------------ lanes
+
+TEST(Lanes, ValidatedWidthRejectsOutOfRange) {
+  EXPECT_EQ(sp::lanes::validated_width(1), 1u);
+  EXPECT_EQ(sp::lanes::validated_width(sp::lanes::kWidth), sp::lanes::kWidth);
+  EXPECT_EQ(sp::lanes::validated_width(sp::lanes::kMaxWidth),
+            sp::lanes::kMaxWidth);
+  EXPECT_THROW(sp::lanes::validated_width(0), std::invalid_argument);
+  EXPECT_THROW(sp::lanes::validated_width(sp::lanes::kMaxWidth + 1),
+               std::invalid_argument);
+}
+
+TEST(Lanes, PowPosMatchesStdPowClosely) {
+  // pow_pos is a distinct implementation from libm (that is the point:
+  // both the scalar and lane paths share it), so agreement is to ~1e-13
+  // relative over the variation-factor domain, not bitwise.
+  sp::Rng rng(777);
+  double worst = 0.0;
+  for (int i = 0; i < 200000; ++i) {
+    const double x = rng.uniform(0.05, 20.0);
+    const double y = rng.uniform(-4.0, 4.0);
+    const double ours = sp::lanes::pow_pos(x, y);
+    const double ref = std::pow(x, y);
+    worst = std::max(worst, std::abs(ours - ref) / std::abs(ref));
+  }
+  EXPECT_LT(worst, 1e-13);
+}
+
+TEST(Lanes, PowPosExactAnchors) {
+  EXPECT_EQ(sp::lanes::pow_pos(1.0, 1.3), 1.0);
+  EXPECT_EQ(sp::lanes::pow_pos(1.0, -271.25), 1.0);
+  EXPECT_EQ(sp::lanes::pow_pos(17.25, 0.0), 1.0);
+  // Exact powers of two with integer exponents come out exact.
+  EXPECT_EQ(sp::lanes::pow_pos(2.0, 10.0), 1024.0);
+  EXPECT_EQ(sp::lanes::pow_pos(4.0, -1.0), 0.25);
 }
 
 // ---------------------------------------------------------------- KS

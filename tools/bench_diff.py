@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json records and flag performance regressions.
+
+The benches (sample_sta_block, batched_ssta, perf_micro) emit flat
+machine-readable records via bench_util::JsonReport:
+
+    {"bench": "...", "meta": {...}, "rows": [{...}, ...]}
+
+This tool compares consecutive records of the same bench — typically the
+previous CI run's artifact vs the current one — and reports per-row deltas
+for every shared numeric column:
+
+  * columns ending in "_ms" are times: lower is better;
+  * columns starting with "speedup" are ratios: higher is better;
+  * other numeric columns (gate counts, bitwise flags, ...) are never
+    flagged and printed only when their value changed between records.
+
+Rows are matched by their first string-valued column (e.g. "circuit" or
+"case"); rows present on only one side are reported but not flagged.
+
+Exit status: 0 by default (the CI bench-smoke job *flags* regressions in
+the log without failing the build — bench machines are noisy); with
+--strict, exits 1 when any watched column regresses by more than
+--threshold (default 0.25 = 25%, deliberately loose for shared runners).
+
+Usage:
+    tools/bench_diff.py OLD.json NEW.json [--threshold 0.25] [--strict]
+"""
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        rec = json.load(f)
+    for key in ("bench", "rows"):
+        if key not in rec:
+            raise SystemExit(f"bench_diff: {path}: not a JsonReport record "
+                             f"(missing '{key}')")
+    return rec
+
+
+def row_key(row):
+    for v in row.values():
+        if isinstance(v, str):
+            return v
+    return "<row>"
+
+
+def keyed_rows(rows):
+    """Rows keyed by their first string column; duplicates get a #N suffix
+    so two rows sharing a label are both diffed instead of the earlier one
+    being silently dropped."""
+    out = {}
+    for row in rows:
+        base = row_key(row)
+        key, n = base, 1
+        while key in out:
+            n += 1
+            key = f"{base}#{n}"
+        out[key] = row
+    return out
+
+
+def numeric_columns(row):
+    return {k: v for k, v in row.items() if isinstance(v, (int, float))}
+
+
+def classify(col):
+    if col.endswith("_ms"):
+        return "time"       # lower is better
+    if col.startswith("speedup"):
+        return "ratio"      # higher is better
+    return "info"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("old", type=Path)
+    ap.add_argument("new", type=Path)
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="relative regression to flag (default 0.25)")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit 1 when a watched column regresses")
+    args = ap.parse_args()
+
+    old, new = load(args.old), load(args.new)
+    if old["bench"] != new["bench"]:
+        raise SystemExit(f"bench_diff: records disagree on bench name "
+                         f"({old['bench']!r} vs {new['bench']!r})")
+
+    old_rows = keyed_rows(old["rows"])
+    new_rows = keyed_rows(new["rows"])
+
+    print(f"bench_diff: {new['bench']} "
+          f"({args.old.name} -> {args.new.name}, threshold "
+          f"{args.threshold:.0%})")
+    regressions = []
+    for key in new_rows:
+        if key not in old_rows:
+            print(f"  {key}: new row (no baseline)")
+            continue
+        o, n = numeric_columns(old_rows[key]), numeric_columns(new_rows[key])
+        for col in sorted(set(o) & set(n)):
+            ov, nv = o[col], n[col]
+            if ov == 0:
+                continue
+            rel = (nv - ov) / abs(ov)
+            kind = classify(col)
+            flag = ""
+            if kind == "time" and rel > args.threshold:
+                flag = "  <-- REGRESSION (slower)"
+                regressions.append((key, col, rel))
+            elif kind == "ratio" and rel < -args.threshold:
+                flag = "  <-- REGRESSION (less speedup)"
+                regressions.append((key, col, rel))
+            if kind != "info" or nv != ov:
+                print(f"  {key}.{col}: {ov:.4g} -> {nv:.4g} "
+                      f"({rel:+.1%}){flag}")
+    for key in old_rows:
+        if key not in new_rows:
+            print(f"  {key}: row disappeared")
+
+    if regressions:
+        print(f"bench_diff: {len(regressions)} regression(s) flagged")
+        return 1 if args.strict else 0
+    print("bench_diff: no regressions flagged")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

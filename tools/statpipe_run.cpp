@@ -1,0 +1,181 @@
+// statpipe-run — distributed Monte-Carlo coordinator entry point.
+//
+// Plans a gate-level MC run, serves shard ranges to statpipe-worker
+// processes over TCP, merges their per-shard results in ascending shard
+// order, and prints the yield summary.  With --check-local it also runs
+// the identical workload single-process and asserts the distributed
+// result is bitwise-identical — the subsystem's acceptance gate, used by
+// the CI dist-smoke job.
+//
+//   statpipe-run --workload c3540,c432 --samples 4096 [--seed 90210]
+//                [--port 0] [--host 127.0.0.1]
+//                [--samples-per-shard 256] [--block-width 8]
+//                [--shards-per-range N] [--max-attempts 3]
+//                [--spawn N --worker-bin PATH] [--timeout-ms N]
+//                [--check-local] [--quiet]
+//
+// --spawn N forks N local statpipe-worker processes pointed at the bound
+// port (default worker binary: ./statpipe-worker next to this one) — the
+// one-command localhost cluster.  Without --spawn, start workers yourself
+// against the printed port.
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dist/coordinator.h"
+#include "dist/workload.h"
+#include "stats/gaussian.h"
+
+extern char** environ;
+
+namespace {
+
+namespace sp = statpipe;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --workload NAMES --samples N [--seed S] [--port P]\n"
+      "          [--host H] [--samples-per-shard N] [--block-width W]\n"
+      "          [--shards-per-range N] [--max-attempts N] [--timeout-ms N]\n"
+      "          [--spawn N] [--worker-bin PATH] [--check-local] [--quiet]\n",
+      argv0);
+  std::exit(EXIT_FAILURE);
+}
+
+std::uint16_t parse_port(const std::string& s) {
+  const unsigned long v = std::stoul(s);
+  if (v > 65535)
+    throw std::invalid_argument("port " + s + " outside [0, 65535]");
+  return static_cast<std::uint16_t>(v);
+}
+
+std::string sibling_worker_bin(const char* argv0) {
+  std::string self(argv0);
+  const std::size_t slash = self.rfind('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : self.substr(0, slash);
+  return dir + "/statpipe-worker";
+}
+
+pid_t spawn_worker(const std::string& bin, std::uint16_t port, bool quiet) {
+  const std::string port_s = std::to_string(port);
+  std::vector<char*> args;
+  args.push_back(const_cast<char*>(bin.c_str()));
+  args.push_back(const_cast<char*>("--port"));
+  args.push_back(const_cast<char*>(port_s.c_str()));
+  if (quiet) args.push_back(const_cast<char*>("--quiet"));
+  args.push_back(nullptr);
+  pid_t pid = -1;
+  const int rc =
+      ::posix_spawn(&pid, bin.c_str(), nullptr, nullptr, args.data(), environ);
+  if (rc != 0)
+    throw std::runtime_error("cannot spawn " + bin + ": " +
+                             std::strerror(rc));
+  return pid;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sp::dist::RunDescriptor desc;
+  sp::dist::CoordinatorOptions copt;
+  copt.verbose = true;
+  std::size_t spawn_n = 0;
+  std::string worker_bin = sibling_worker_bin(argv[0]);
+  bool check_local = false;
+  desc.seed = 90210;
+  desc.samples_per_shard = 256;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> std::string {
+        if (i + 1 >= argc) usage(argv[0]);
+        return argv[++i];
+      };
+      if (arg == "--workload") desc.workload = next();
+      else if (arg == "--samples") desc.n_samples = std::stoull(next());
+      else if (arg == "--seed") desc.seed = std::stoull(next());
+      else if (arg == "--samples-per-shard")
+        desc.samples_per_shard = std::stoull(next());
+      else if (arg == "--block-width") desc.block_width = std::stoull(next());
+      else if (arg == "--port") copt.port = parse_port(next());
+      else if (arg == "--host") copt.bind_host = next();
+      else if (arg == "--shards-per-range")
+        copt.shards_per_range = std::stoull(next());
+      else if (arg == "--max-attempts") copt.max_attempts = std::stoi(next());
+      else if (arg == "--timeout-ms") copt.idle_timeout_ms = std::stoi(next());
+      else if (arg == "--spawn") spawn_n = std::stoull(next());
+      else if (arg == "--worker-bin") worker_bin = next();
+      else if (arg == "--check-local") check_local = true;
+      else if (arg == "--quiet") copt.verbose = false;
+      else usage(argv[0]);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "statpipe-run: bad argument: %s\n", e.what());
+    usage(argv[0]);
+  }
+  if (desc.workload.empty() || desc.n_samples == 0) usage(argv[0]);
+
+  try {
+    sp::dist::finalize_descriptor(desc);
+    sp::dist::Coordinator coord(desc, copt);
+    std::printf("statpipe-run: %s, %llu samples, seed %llu, port %u\n",
+                desc.workload.c_str(),
+                static_cast<unsigned long long>(desc.n_samples),
+                static_cast<unsigned long long>(desc.seed), coord.port());
+
+    std::vector<pid_t> kids;
+    for (std::size_t i = 0; i < spawn_n; ++i)
+      kids.push_back(spawn_worker(worker_bin, coord.port(), !copt.verbose));
+
+    const sp::mc::McResult dist_result = coord.run();
+
+    // Reap spawned workers while draining the listener: a worker slow
+    // enough to connect only after the run ended receives kShutdown from
+    // drain_backlog and exits cleanly instead of hanging in its setup
+    // read (and us in waitpid).
+    int exit_code = EXIT_SUCCESS;
+    for (pid_t pid : kids) {
+      int status = 0;
+      pid_t got;
+      while ((got = ::waitpid(pid, &status, WNOHANG)) == 0) {
+        coord.drain_backlog();
+        ::usleep(50 * 1000);
+      }
+      if (got < 0 || !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+        std::fprintf(stderr, "statpipe-run: worker %d exited abnormally\n",
+                     static_cast<int>(pid));
+        exit_code = EXIT_FAILURE;
+      }
+    }
+
+    const sp::stats::Gaussian g = dist_result.tp_estimate();
+    std::printf("T_P estimate: mu %.4f ps, sigma %.4f ps over %zu samples\n",
+                g.mean, g.sigma, dist_result.tp_samples.size());
+
+    if (check_local) {
+      const sp::mc::McResult local = sp::dist::run_local(desc);
+      if (!sp::dist::bitwise_equal(dist_result, local)) {
+        std::printf("FAIL: distributed result diverges from the "
+                    "single-process run\n");
+        return EXIT_FAILURE;
+      }
+      std::printf("distributed result is bitwise-identical to the "
+                  "single-process run\n");
+    }
+    return exit_code;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "statpipe-run: %s\n", e.what());
+    return EXIT_FAILURE;
+  }
+}

@@ -1,0 +1,72 @@
+// statpipe-worker — distributed Monte-Carlo worker daemon.
+//
+// Dials a coordinator (statpipe-run, or an embedded dist::Coordinator),
+// rebuilds the advertised workload, verifies its structural hash, and
+// serves shard-range assignments on the local thread pool until shutdown.
+//
+//   statpipe-worker --port 4815 [--host 127.0.0.1] [--retry-ms 5000]
+//                   [--quiet]
+//
+// Thread count follows STATPIPE_THREADS / hardware, like every other
+// binary; it never affects results.  Exits 0 on clean shutdown (including
+// a rejected workload, which is the coordinator's problem to report), 1 on
+// usage or transport errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "dist/worker.h"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --port P [--host H] [--retry-ms N] [--quiet]\n",
+               argv0);
+  std::exit(EXIT_FAILURE);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  statpipe::dist::WorkerOptions opt;
+  opt.verbose = true;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> std::string {
+        if (i + 1 >= argc) usage(argv[0]);
+        return argv[++i];
+      };
+      if (arg == "--port") {
+        const unsigned long v = std::stoul(next());
+        if (v == 0 || v > 65535)
+          throw std::invalid_argument("port outside [1, 65535]");
+        opt.port = static_cast<std::uint16_t>(v);
+      } else if (arg == "--host") {
+        opt.host = next();
+      } else if (arg == "--retry-ms") {
+        opt.connect_retry_ms = std::stoi(next());
+      } else if (arg == "--quiet") {
+        opt.verbose = false;
+      } else {
+        usage(argv[0]);
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "statpipe-worker: bad argument: %s\n", e.what());
+    usage(argv[0]);
+  }
+  if (opt.port == 0) usage(argv[0]);
+
+  try {
+    statpipe::dist::run_worker(opt,
+                               statpipe::dist::default_workload_factory());
+    return EXIT_SUCCESS;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "statpipe-worker: %s\n", e.what());
+    return EXIT_FAILURE;
+  }
+}
