@@ -1,0 +1,135 @@
+#include "dist/cluster.h"
+
+#include <signal.h>
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "dist/workload.h"
+#include "netlist/generators.h"
+
+extern char** environ;
+
+namespace statpipe::dist {
+
+pid_t spawn_worker_process(const std::string& worker_bin, std::uint16_t port,
+                           bool quiet) {
+  const std::string port_s = std::to_string(port);
+  std::vector<char*> args;
+  args.push_back(const_cast<char*>(worker_bin.c_str()));
+  args.push_back(const_cast<char*>("--port"));
+  args.push_back(const_cast<char*>(port_s.c_str()));
+  if (quiet) args.push_back(const_cast<char*>("--quiet"));
+  args.push_back(nullptr);
+  pid_t pid = -1;
+  const int rc = ::posix_spawn(&pid, worker_bin.c_str(), nullptr, nullptr,
+                               args.data(), environ);
+  if (rc != 0)
+    throw std::runtime_error("dist: cannot spawn " + worker_bin + ": " +
+                             std::strerror(rc));
+  return pid;
+}
+
+TaskResult run_cluster(const RunDescriptor& desc, const ClusterOptions& opt) {
+  if (opt.spawn_workers > 0 && opt.worker_bin.empty())
+    throw std::invalid_argument(
+        "dist: run_cluster with spawn_workers > 0 needs a worker_bin path");
+  Coordinator coord(desc, opt.coordinator);
+  if (opt.on_listening) opt.on_listening(coord.port());
+  std::vector<pid_t> kids;
+  kids.reserve(opt.spawn_workers);
+  TaskResult result;
+  try {
+    for (std::size_t i = 0; i < opt.spawn_workers; ++i)
+      kids.push_back(spawn_worker_process(opt.worker_bin, coord.port(),
+                                          !opt.coordinator.verbose));
+    result = coord.run();
+  } catch (...) {
+    // A failed run (attempts exhausted, idle timeout) or a mid-fleet
+    // spawn failure must not leak the workers already forked: this is
+    // library code invoked per grid submission inside long-lived
+    // optimizer processes, not a CLI about to exit.  Kill and reap
+    // before rethrowing.
+    for (pid_t pid : kids) ::kill(pid, SIGKILL);
+    for (pid_t pid : kids) {
+      int status = 0;
+      while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+      }
+    }
+    throw;
+  }
+  // Reap spawned workers while draining the listener: a worker slow
+  // enough to connect only after the run ended receives kShutdown from
+  // drain_backlog and exits cleanly instead of hanging in its setup read
+  // (and us in waitpid).  An abnormal exit at this point cannot taint the
+  // result — every unit was validated and reassembled before coord.run()
+  // returned — so it is worth a loud warning, not a discarded run.
+  for (pid_t pid : kids) {
+    int status = 0;
+    pid_t got;
+    while ((got = ::waitpid(pid, &status, WNOHANG)) == 0) {
+      coord.drain_backlog();
+      ::usleep(20 * 1000);
+    }
+    if (got < 0 || !WIFEXITED(status) || WEXITSTATUS(status) != 0)
+      std::fprintf(stderr,
+                   "[cluster] warning: spawned worker %d exited abnormally "
+                   "after the run completed (result unaffected)\n",
+                   static_cast<int>(pid));
+  }
+  return result;
+}
+
+std::string workload_name_for(const netlist::Netlist& nl) {
+  std::string name = nl.name();
+  constexpr const char* kSuffix = "_like";
+  constexpr std::size_t kSuffixLen = 5;
+  if (name.size() > kSuffixLen &&
+      name.compare(name.size() - kSuffixLen, kSuffixLen, kSuffix) == 0)
+    name.resize(name.size() - kSuffixLen);
+  netlist::Netlist rebuilt = netlist::iscas_like(name);  // throws on unknown
+  if (rebuilt.size() != nl.size())
+    throw std::invalid_argument(
+        "dist: netlist '" + nl.name() + "' is not the registry's '" + name +
+        "' (gate count " + std::to_string(nl.size()) + " vs rebuilt " +
+        std::to_string(rebuilt.size()) + ")");
+  // Transplant the caller's sizes so the comparison checks structure
+  // modulo sizing — the grid carries explicit per-lane size vectors, so
+  // sizes are the one thing allowed to differ.
+  rebuilt.set_sizes(nl.sizes());
+  if (rebuilt.structural_hash() != nl.structural_hash())
+    throw std::invalid_argument(
+        "dist: netlist '" + nl.name() +
+        "' is not reconstructible from the workload registry ('" + name +
+        "' differs structurally); cluster grid submission needs a "
+        "generator-built netlist");
+  return name;
+}
+
+sta::GridCharacterizer grid_characterizer(ClusterOptions opt) {
+  return [opt = std::move(opt)](
+             const netlist::Netlist& nl, const device::AlphaPowerModel& model,
+             const std::vector<std::vector<double>>& size_grid,
+             const process::VariationSpec& spec, const sta::SstaOptions& sopt)
+             -> std::vector<sta::StageCharacterization> {
+    RunDescriptor desc;
+    desc.task_kind = TaskKind::kSstaGrid;
+    desc.workload = workload_name_for(nl);
+    desc.size_grid = size_grid;
+    set_descriptor_technology(desc, model.technology());
+    set_descriptor_spec(desc, spec);
+    desc.output_load = sopt.output_load;
+    finalize_descriptor(desc);
+    TaskResult r = run_cluster(desc, opt);
+    return std::move(r.lanes);
+  };
+}
+
+}  // namespace statpipe::dist

@@ -1,0 +1,78 @@
+// Cluster client: submit a finalized RunDescriptor to a self-hosted
+// coordinator session — optionally forking a localhost worker fleet — and
+// adapt the result back into the shapes the upper layers consume.
+//
+// This is the piece that lets the optimizer layers run their candidate
+// grids on a cluster WITHOUT ever including src/dist: `opt` routes grids
+// through the sta::GridCharacterizer seam (sta/ssta_batch.h), and
+// grid_characterizer() below manufactures a cluster-backed implementation
+// of that seam.  One hook invocation = one coordinator session (bind,
+// serve, reassemble, reap), so every submission carries the full
+// determinism contract: the returned lanes are bitwise-identical to the
+// local SstaBatch path (docs/DETERMINISM.md, tests/test_dist.cpp).
+//
+// Layer contract (src/dist, see docs/ARCHITECTURE.md): the distributed
+// execution layer sits on top of mc/sta/sim/stats and may depend on all of
+// them; nothing below src/dist may know it exists — opt reaches it only
+// through the injected sta::GridCharacterizer.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "dist/coordinator.h"
+#include "dist/task.h"
+#include "netlist/netlist.h"
+#include "sta/ssta_batch.h"
+
+namespace statpipe::dist {
+
+struct ClusterOptions {
+  CoordinatorOptions coordinator;  ///< bind/port, range size, attempts, ...
+  /// Fork this many localhost statpipe-worker processes per submission
+  /// (the one-command cluster).  0 = workers dial in from outside against
+  /// coordinator.port().
+  std::size_t spawn_workers = 0;
+  std::string worker_bin;          ///< required when spawn_workers > 0
+  /// Called with the bound port right after the listener binds and before
+  /// the run blocks — how a caller with spawn_workers == 0 learns the
+  /// ephemeral port to announce to externally started workers.
+  std::function<void(std::uint16_t)> on_listening;
+};
+
+/// Forks one statpipe-worker process against `port` (posix_spawn).  Throws
+/// std::runtime_error when the binary cannot be spawned.
+pid_t spawn_worker_process(const std::string& worker_bin, std::uint16_t port,
+                           bool quiet);
+
+/// One full coordinator session for a finalized descriptor: bind, spawn
+/// the requested local workers, serve until every unit arrived, then reap
+/// the spawned workers while draining the listener backlog.  Throws
+/// std::runtime_error when the run itself fails (range attempts
+/// exhausted, idle timeout) — spawned workers are killed and reaped
+/// before the rethrow.  A worker that exits abnormally AFTER the run
+/// completed does not discard the result (every unit was already
+/// validated and reassembled); it is reported on stderr instead.
+TaskResult run_cluster(const RunDescriptor& desc, const ClusterOptions& opt);
+
+/// The registry workload name for a netlist the cluster can rebuild:
+/// strips the generator's "_like" suffix from nl.name(), re-synthesizes
+/// the circuit, transplants nl's sizes and verifies structural-hash
+/// equality — so a netlist that is NOT reconstructible from the workload
+/// registry (edited structure, foreign parser input) is rejected with a
+/// clear error instead of silently characterizing the wrong circuit.
+std::string workload_name_for(const netlist::Netlist& nl);
+
+/// Cluster-backed sta::GridCharacterizer: each invocation packages the
+/// grid as a kSstaGrid RunDescriptor (workload_name_for identity check;
+/// spec, output_load and the model's technology copied into the
+/// descriptor), finalizes it and runs one cluster session.  Plug it into
+/// opt::SweepOptions::grid / opt::GlobalOptimizerOptions::grid to farm
+/// candidate grids out; results are bitwise-identical to leaving the hook
+/// empty.
+sta::GridCharacterizer grid_characterizer(ClusterOptions opt);
+
+}  // namespace statpipe::dist

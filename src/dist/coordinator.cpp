@@ -8,8 +8,6 @@
 #include <stdexcept>
 #include <utility>
 
-#include "sim/engine.h"
-
 namespace statpipe::dist {
 
 namespace {
@@ -24,8 +22,6 @@ Coordinator::Coordinator(RunDescriptor desc, CoordinatorOptions opt)
     : desc_(std::move(desc)),
       opt_(std::move(opt)),
       listener_(opt_.bind_host, opt_.port) {
-  if (desc_.n_samples == 0)
-    throw std::invalid_argument("Coordinator: descriptor with zero samples");
   // finalize_descriptor always sets a nonzero hash (FNV of a non-empty
   // stage list), and hash == 0 would additionally disable the worker-side
   // workload verification — so a zero hash means an unfinalized
@@ -36,47 +32,49 @@ Coordinator::Coordinator(RunDescriptor desc, CoordinatorOptions opt)
         "finalize_descriptor)");
   if (opt_.max_attempts < 1)
     throw std::invalid_argument("Coordinator: max_attempts must be >= 1");
-  // Validate the plan inputs with the engine's own planner: throws on zero
-  // samples_per_shard, and gives us the shard count ranges are cut from.
-  n_shards_ = sim::shard_count(desc_.n_samples, desc_.samples_per_shard);
-  if (opt_.shards_per_range > n_shards_)
+  // Validate the plan inputs with the task layer's own planner: throws on
+  // zero samples / an empty grid, and gives us the unit count ranges are
+  // cut from.
+  n_units_ = task_unit_count(desc_);
+  if (opt_.units_per_range > n_units_)
     throw std::invalid_argument(
-        "Coordinator: shards_per_range " +
-        std::to_string(opt_.shards_per_range) + " exceeds the plan's " +
-        std::to_string(n_shards_) + " shard(s)");
-  // Cut the shard space into contiguous ranges up front.  Range size is a
-  // pure scheduling knob — results are merged per shard, so it can never
-  // change the output, only load balance.  It IS bounded by the wire: a
-  // range's kResult frame carries ~8 bytes per sample of tp_samples, so
-  // the range must fit kMaxFramePayload with margin — reject an explicit
-  // size that cannot, cap the auto size, and fail up front (not after a
-  // retry cascade) when even one shard is too big.
-  const std::size_t bytes_per_shard = desc_.samples_per_shard * 8;
-  const std::size_t cap_shards =
-      std::max<std::size_t>(1, (kMaxFramePayload / 2) / bytes_per_shard);
-  if (bytes_per_shard > kMaxFramePayload / 2)
+        "Coordinator: units_per_range " +
+        std::to_string(opt_.units_per_range) + " exceeds the plan's " +
+        std::to_string(n_units_) + " unit(s)");
+  // Cut the unit space into contiguous ranges up front.  Range size is a
+  // pure scheduling knob — results are reassembled per unit, so it can
+  // never change the output, only load balance.  It IS bounded by the
+  // wire: a range's kResult frame carries ~task_unit_wire_bytes per unit
+  // (for MC, ~8 bytes per sample of tp_samples), so the range must fit
+  // kMaxFramePayload with margin — reject an explicit size that cannot,
+  // cap the auto size, and fail up front (not after a retry cascade) when
+  // even one unit is too big.
+  const std::size_t bytes_per_unit = task_unit_wire_bytes(desc_);
+  const std::size_t cap_units =
+      std::max<std::size_t>(1, (kMaxFramePayload / 2) / bytes_per_unit);
+  if (bytes_per_unit > kMaxFramePayload / 2)
     throw std::invalid_argument(
         "Coordinator: samples_per_shard " +
         std::to_string(desc_.samples_per_shard) +
         " makes a single shard's result exceed the frame payload cap; "
         "use smaller shards");
-  if (opt_.shards_per_range > cap_shards)
+  if (opt_.units_per_range > cap_units)
     throw std::invalid_argument(
-        "Coordinator: shards_per_range " +
-        std::to_string(opt_.shards_per_range) + " would exceed the " +
+        "Coordinator: units_per_range " +
+        std::to_string(opt_.units_per_range) + " would exceed the " +
         std::to_string(kMaxFramePayload) +
-        "-byte frame payload cap (max " + std::to_string(cap_shards) +
-        " shards of " + std::to_string(desc_.samples_per_shard) +
-        " samples per range)");
+        "-byte frame payload cap (max " + std::to_string(cap_units) +
+        " units per range)");
   const std::size_t per =
-      opt_.shards_per_range != 0
-          ? opt_.shards_per_range
-          : std::min(cap_shards, std::max<std::size_t>(1, n_shards_ / 8));
-  for (std::size_t b = 0; b < n_shards_; b += per)
-    pending_.push_back({b, std::min(b + per, n_shards_), 0});
-  log_line(opt_, "listening on " + opt_.bind_host + ":" +
+      opt_.units_per_range != 0
+          ? opt_.units_per_range
+          : std::min(cap_units, std::max<std::size_t>(1, n_units_ / 8));
+  for (std::size_t b = 0; b < n_units_; b += per)
+    pending_.push_back({b, std::min(b + per, n_units_), 0});
+  log_line(opt_, std::string("listening on ") + opt_.bind_host + ":" +
                      std::to_string(listener_.port()) + ", " +
-                     std::to_string(n_shards_) + " shards in " +
+                     task_kind_name(desc_.task_kind) + " task, " +
+                     std::to_string(n_units_) + " units in " +
                      std::to_string(pending_.size()) + " ranges");
 }
 
@@ -145,7 +143,7 @@ void Coordinator::assign_if_possible(WorkerState& w) {
   }
   w.has_range = true;
   w.range = r;
-  log_line(opt_, "assigned shards [" + std::to_string(r.begin) + ", " +
+  log_line(opt_, "assigned units [" + std::to_string(r.begin) + ", " +
                      std::to_string(r.end) + ") attempt " +
                      std::to_string(r.attempts));
 }
@@ -156,7 +154,7 @@ void Coordinator::requeue(WorkerState& w, const std::string& why) {
                        std::to_string(w.range.end) + ") lost: " + why);
     if (w.range.attempts >= opt_.max_attempts)
       throw std::runtime_error(
-          "dist: shard range [" + std::to_string(w.range.begin) + ", " +
+          "dist: unit range [" + std::to_string(w.range.begin) + ", " +
           std::to_string(w.range.end) + ") failed " +
           std::to_string(w.range.attempts) + " attempt(s); last: " + why);
     pending_.push_front(w.range);
@@ -176,23 +174,34 @@ void Coordinator::handle_result(WorkerState& w, const Frame& f) {
   const std::uint64_t count = r.u64();
   if (count != end - begin)
     throw std::runtime_error("result carries " + std::to_string(count) +
-                             " shard(s) for a range of " +
+                             " unit(s) for a range of " +
                              std::to_string(end - begin));
-  std::map<std::size_t, mc::McResult> parts;
+  // Decode into range-local staging first: a payload that turns corrupt
+  // halfway through must forfeit the whole range, not leave partial units
+  // behind.
+  std::map<std::size_t, mc::McResult> mc_parts;
+  std::map<std::size_t, sta::StageCharacterization> lane_parts;
   for (std::uint64_t i = 0; i < count; ++i) {
-    const std::uint64_t shard = r.u64();
-    if (shard < begin || shard >= end || parts.count(shard) != 0)
-      throw std::runtime_error("bad shard index " + std::to_string(shard) +
+    const std::uint64_t unit = r.u64();
+    const bool dup = desc_.task_kind == TaskKind::kSstaGrid
+                         ? lane_parts.count(unit) != 0
+                         : mc_parts.count(unit) != 0;
+    if (unit < begin || unit >= end || dup)
+      throw std::runtime_error("bad unit index " + std::to_string(unit) +
                                " in result range");
-    parts.emplace(shard, read_mc_result(r));
+    if (desc_.task_kind == TaskKind::kSstaGrid)
+      lane_parts.emplace(unit, read_stage_characterization(r));
+    else
+      mc_parts.emplace(unit, read_mc_result(r));
   }
   r.expect_done();
-  for (auto& [shard, part] : parts) results_[shard] = std::move(part);
+  for (auto& [unit, part] : mc_parts) mc_results_[unit] = std::move(part);
+  for (auto& [unit, part] : lane_parts) lane_results_[unit] = part;
   w.has_range = false;
   log_line(opt_, "range [" + std::to_string(begin) + ", " +
                      std::to_string(end) + ") done; " +
-                     std::to_string(results_.size()) + "/" +
-                     std::to_string(n_shards_) + " shards");
+                     std::to_string(done_units()) + "/" +
+                     std::to_string(n_units_) + " units");
 }
 
 bool Coordinator::service_worker(WorkerState& w) {
@@ -233,8 +242,8 @@ bool Coordinator::service_worker(WorkerState& w) {
   }
 }
 
-mc::McResult Coordinator::run() {
-  while (results_.size() < n_shards_) {
+TaskResult Coordinator::run() {
+  while (done_units() < n_units_) {
     // Drop workers whose sockets died outside service_worker (e.g. a
     // failed kAssign send) — a closed-socket entry must not linger as a
     // zombie the assignment loop keeps visiting.
@@ -254,8 +263,8 @@ mc::McResult Coordinator::run() {
       throw std::runtime_error(
           "dist: no worker progress for " +
           std::to_string(opt_.idle_timeout_ms) + " ms (" +
-          std::to_string(results_.size()) + "/" + std::to_string(n_shards_) +
-          " shards done)");
+          std::to_string(done_units()) + "/" + std::to_string(n_units_) +
+          " units done)");
     if (fds[0].revents & POLLIN) admit_worker();
     // Service in reverse so erasing a dead worker never shifts an entry we
     // have yet to visit (fds[i+1] belongs to workers_[i] of this snapshot;
@@ -270,8 +279,9 @@ mc::McResult Coordinator::run() {
     // last assignment opportunity; top everyone up.
     for (WorkerState& w : workers_) assign_if_possible(w);
   }
-  // Every shard arrived: shut workers down politely, then fold ascending —
-  // the identical left fold GateLevelMonteCarlo::run applies locally.
+  // Every unit arrived: shut workers down politely, then reassemble
+  // ascending — for MC the identical left fold GateLevelMonteCarlo::run
+  // applies locally, for grids positional lane placement.
   for (WorkerState& w : workers_) {
     try {
       send_frame(w.sock, MsgType::kShutdown, {});
@@ -287,11 +297,19 @@ mc::McResult Coordinator::run() {
   // while reaping them, closing the residual window where a slow-starting
   // worker connects only after this first drain.
   drain_backlog();
-  auto it = results_.begin();
+  TaskResult out;
+  out.kind = desc_.task_kind;
+  if (desc_.task_kind == TaskKind::kSstaGrid) {
+    out.lanes.resize(n_units_);
+    for (auto& [unit, lane] : lane_results_) out.lanes[unit] = lane;
+    return out;
+  }
+  auto it = mc_results_.begin();
   mc::McResult acc = std::move(it->second);
-  for (++it; it != results_.end(); ++it) acc.merge(std::move(it->second));
+  for (++it; it != mc_results_.end(); ++it) acc.merge(std::move(it->second));
   acc.label = "gate-level MC";
-  return acc;
+  out.mc = std::move(acc);
+  return out;
 }
 
 void Coordinator::drain_backlog() {

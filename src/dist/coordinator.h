@@ -1,16 +1,21 @@
-// Distributed run coordinator: plans shards, farms contiguous shard ranges
-// to TCP workers, reassigns ranges lost to worker failures, and merges
-// per-shard results in ascending shard order.
+// Distributed run coordinator: plans the task's units, farms contiguous
+// unit ranges to TCP workers, reassigns ranges lost to worker failures,
+// and reassembles per-unit results in ascending unit order.
 //
-// Determinism invariant (extends the thread-count/block-width invariants of
-// src/sim and src/mc to the PROCESS count): shard boundaries and RNG
-// stream ids depend only on (root_seed, n_samples, samples_per_shard) —
-// workers receive those in the RunDescriptor and replay the exact streams
-// — and the coordinator folds shard results with the same ascending left
-// fold the local engine uses.  A run split across N workers (any N, any
-// range sizes, any retry history) is therefore bitwise-identical to the
-// single-process run at the same seed (tests/test_dist.cpp enforces it,
-// including under injected worker failures).
+// Units are task-kind-specific (dist/task.h): Monte-Carlo shards or SSTA
+// grid lanes.  Determinism invariant (extends the thread-count/block-width
+// invariants of src/sim and src/mc to the PROCESS count, and to
+// distributed lane ranges — docs/DETERMINISM.md): for Monte-Carlo, shard
+// boundaries and RNG stream ids depend only on (root_seed, n_samples,
+// samples_per_shard) — workers receive those in the RunDescriptor and
+// replay the exact streams — and the coordinator folds shard results with
+// the same ascending left fold the local engine uses.  For SSTA grids the
+// lanes carry no random state and each lane executes the scalar path's
+// exact floating-point sequence, so positional reassembly is trivially
+// bitwise.  A run split across N workers (any N, any range sizes, any
+// retry history) is therefore bitwise-identical to the single-process run
+// (tests/test_dist.cpp enforces it for both kinds, including under
+// injected worker failures).
 //
 // Failure semantics: a worker that disconnects, errors, or sends an
 // invalid result forfeits its in-flight range; the range re-enters the
@@ -19,7 +24,7 @@
 // the run loudly.  Workers may connect at any time during the run.
 //
 // Layer contract (src/dist, see docs/ARCHITECTURE.md): the distributed
-// execution layer sits on top of mc/sim/stats and may depend on all of
+// execution layer sits on top of mc/sta/sim/stats and may depend on all of
 // them; nothing below src/dist may know it exists.
 #pragma once
 
@@ -31,6 +36,7 @@
 #include <vector>
 
 #include "dist/serialize.h"
+#include "dist/task.h"
 #include "dist/transport.h"
 #include "mc/pipeline_mc.h"
 
@@ -39,12 +45,12 @@ namespace statpipe::dist {
 struct CoordinatorOptions {
   std::string bind_host = "127.0.0.1";  ///< 0.0.0.0 for multi-machine runs
   std::uint16_t port = 0;               ///< 0 = ephemeral, see port()
-  /// Shards per assignment; 0 = auto (n_shards / 8, min 1 — i.e. ~8
+  /// Units per assignment; 0 = auto (n_units / 8, min 1 — i.e. ~8
   /// assignments total, cut once at construction).  A pure scheduling
-  /// knob: results are merged per shard, so this can never change the
+  /// knob: results are reassembled per unit, so this can never change the
   /// output, only load balance.  Validated up front: a nonzero value must
-  /// be <= the run's shard count to be satisfiable.
-  std::size_t shards_per_range = 0;
+  /// be <= the run's unit count to be satisfiable.
+  std::size_t units_per_range = 0;
   int max_attempts = 3;                 ///< per range, >= 1
   /// Progress bound, 0 = wait forever.  Caps both the event loop's poll
   /// (no connect/result/error at all for this long aborts the run) and
@@ -57,18 +63,20 @@ struct CoordinatorOptions {
 class Coordinator {
  public:
   /// Binds the listener immediately (so port() is valid before run());
-  /// validates descriptor and options up front — zero samples, zero range
-  /// size, or a range size exceeding the plan throw std::invalid_argument.
+  /// validates descriptor and options up front — zero samples / an empty
+  /// grid, zero range size, or a range size exceeding the plan throw
+  /// std::invalid_argument.
   Coordinator(RunDescriptor desc, CoordinatorOptions opt = {});
   ~Coordinator();
 
   std::uint16_t port() const noexcept { return listener_.port(); }
   const RunDescriptor& descriptor() const noexcept { return desc_; }
 
-  /// Serves workers until every shard's result arrived, then returns the
-  /// ascending-order merge.  Throws std::runtime_error when a range
+  /// Serves workers until every unit's result arrived, then returns the
+  /// ascending-order reassembly (MC: left fold of shard results; grid:
+  /// positional lane placement).  Throws std::runtime_error when a range
   /// exhausts its attempts or the idle timeout expires.
-  mc::McResult run();
+  TaskResult run();
 
   /// Accepts and politely dismisses (kShutdown) every connection waiting
   /// in the listener backlog, without blocking.  run() drains once on
@@ -80,8 +88,8 @@ class Coordinator {
 
  private:
   struct Range {
-    std::size_t begin = 0;  ///< first shard index
-    std::size_t end = 0;    ///< one past last shard index
+    std::size_t begin = 0;  ///< first unit index
+    std::size_t end = 0;    ///< one past last unit index
     int attempts = 0;
   };
   struct WorkerState {
@@ -98,14 +106,23 @@ class Coordinator {
   bool service_worker(WorkerState& w);
   void handle_result(WorkerState& w, const Frame& f);
   void requeue(WorkerState& w, const std::string& why);
+  std::size_t done_units() const noexcept {
+    return desc_.task_kind == TaskKind::kSstaGrid ? lane_results_.size()
+                                                  : mc_results_.size();
+  }
 
   RunDescriptor desc_;
   CoordinatorOptions opt_;
   Listener listener_;
-  std::size_t n_shards_ = 0;
+  std::size_t n_units_ = 0;
   std::deque<Range> pending_;
   std::vector<WorkerState> workers_;
-  std::map<std::size_t, mc::McResult> results_;  ///< by shard index
+  // Decoded per-unit results, exactly one map populated per run (selected
+  // by desc_.task_kind).  Decoding happens on receipt so a corrupt payload
+  // forfeits the range within its attempt budget instead of failing the
+  // final fold.
+  std::map<std::size_t, mc::McResult> mc_results_;
+  std::map<std::size_t, sta::StageCharacterization> lane_results_;
 };
 
 }  // namespace statpipe::dist

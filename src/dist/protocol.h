@@ -1,31 +1,41 @@
-// Shard-range wire protocol for distributed Monte-Carlo runs.
+// Generic task wire protocol for distributed runs: one coordinator farms
+// contiguous UNIT ranges of a task to many workers over TCP.
 //
-// One coordinator serves many workers over TCP.  Every message is a frame:
+// A task is identified by a TaskKind discriminator carried in the
+// RunDescriptor (dist/serialize.h); the unit of work depends on the kind:
+//
+//   kMonteCarlo  unit = one sim shard; unit payload = one mc::McResult
+//   kSstaGrid    unit = one sweep-config lane of an sta::SstaBatch grid;
+//                unit payload = one sta::StageCharacterization
+//
+// Every message is a frame:
 //
 //   { u32 magic, u16 version, u16 type, u64 payload_size } payload...
 //
-// (all little-endian, payload layouts in dist/serialize.h).  The exchange:
+// (all little-endian, payload layouts in dist/serialize.h and
+// docs/WIRE_FORMAT.md).  The exchange:
 //
 //   worker -> coordinator   kHello     { u16 proto_version, u64 threads }
 //   coordinator -> worker   kSetup     { RunDescriptor }
-//   coordinator -> worker   kAssign    { u64 shard_begin, u64 shard_end }
-//   worker -> coordinator   kResult    { u64 shard_begin, u64 shard_end,
+//   coordinator -> worker   kAssign    { u64 unit_begin, u64 unit_end }
+//   worker -> coordinator   kResult    { u64 unit_begin, u64 unit_end,
 //                                        u64 count,
-//                                        count * (u64 shard_index,
-//                                                 McResult) }
+//                                        count * (u64 unit_index,
+//                                                 unit payload) }
 //   worker -> coordinator   kError     { string message }
 //   coordinator -> worker   kShutdown  { }
 //
 // A worker that disconnects or reports kError forfeits its in-flight
 // range; the coordinator re-queues the range for another worker (bounded
-// by CoordinatorOptions::max_attempts).  Results are per SHARD, not per
-// range: the coordinator folds every shard's McResult in ascending shard
-// index — the same left fold the local engine applies — so the merged run
-// is bitwise-identical to the single-process result no matter how ranges
-// were split, retried or reassigned.
+// by CoordinatorOptions::max_attempts).  Results are per UNIT, not per
+// range: the coordinator folds every unit's result in ascending unit
+// index — for Monte-Carlo that is the same left fold the local engine
+// applies, for SSTA grids it is positional lane placement — so the merged
+// run is bitwise-identical to the single-process result no matter how
+// ranges were split, retried or reassigned (docs/DETERMINISM.md).
 //
 // Layer contract (src/dist, see docs/ARCHITECTURE.md): the distributed
-// execution layer sits on top of mc/sim/stats and may depend on all of
+// execution layer sits on top of mc/sta/sim/stats and may depend on all of
 // them; nothing below src/dist may know it exists.
 #pragma once
 
@@ -41,6 +51,21 @@ enum class MsgType : std::uint16_t {
   kError = 5,
   kShutdown = 6,
 };
+
+/// Wire discriminator for what a RunDescriptor describes and what each
+/// result unit contains.  Serialized as u16; readers reject unknown values
+/// with a task-kind error, never a generic deserialize failure.
+enum class TaskKind : std::uint16_t {
+  kMonteCarlo = 1,  ///< gate-level MC; unit = shard, payload = McResult
+  kSstaGrid = 2,    ///< SSTA sweep grid; unit = lane, payload =
+                    ///< StageCharacterization
+};
+
+/// Human-readable name for error messages and CLI output.
+const char* task_kind_name(TaskKind kind) noexcept;
+
+/// True when `raw` names a TaskKind this build understands.
+bool is_known_task_kind(std::uint16_t raw) noexcept;
 
 /// Sanity cap on a single frame payload (1 GiB): a length beyond this is a
 /// corrupt or hostile peer, not a big result.

@@ -8,6 +8,23 @@
 
 namespace statpipe::dist {
 
+// -------------------------------------------------------------- TaskKind
+
+const char* task_kind_name(TaskKind kind) noexcept {
+  switch (kind) {
+    case TaskKind::kMonteCarlo:
+      return "monte-carlo";
+    case TaskKind::kSstaGrid:
+      return "ssta-grid";
+  }
+  return "unknown";
+}
+
+bool is_known_task_kind(std::uint16_t raw) noexcept {
+  return raw == static_cast<std::uint16_t>(TaskKind::kMonteCarlo) ||
+         raw == static_cast<std::uint16_t>(TaskKind::kSstaGrid);
+}
+
 // ------------------------------------------------------------ ByteWriter
 
 void ByteWriter::u16(std::uint16_t v) {
@@ -32,6 +49,10 @@ void ByteWriter::str(const std::string& s) {
 void ByteWriter::f64_vec(const std::vector<double>& v) {
   u64(v.size());
   for (double d : v) f64(d);
+}
+
+void ByteWriter::append(const std::vector<std::uint8_t>& b) {
+  buf_.insert(buf_.end(), b.begin(), b.end());
 }
 
 // ------------------------------------------------------------ ByteReader
@@ -169,7 +190,29 @@ mc::McResult read_mc_result(ByteReader& r) {
   return out;
 }
 
+void write_stage_characterization(ByteWriter& w,
+                                  const sta::StageCharacterization& c) {
+  w.f64(c.delay.mean);
+  w.f64(c.delay.sigma);
+  w.f64(c.sigma_inter);
+  w.f64(c.sigma_private);
+  w.f64(c.area);
+  w.f64(c.nominal_delay);
+}
+
+sta::StageCharacterization read_stage_characterization(ByteReader& r) {
+  sta::StageCharacterization c;
+  c.delay.mean = r.f64();
+  c.delay.sigma = r.f64();
+  c.sigma_inter = r.f64();
+  c.sigma_private = r.f64();
+  c.area = r.f64();
+  c.nominal_delay = r.f64();
+  return c;
+}
+
 void write_run_descriptor(ByteWriter& w, const RunDescriptor& d) {
+  w.u16(static_cast<std::uint16_t>(d.task_kind));
   w.str(d.workload);
   w.u64(d.netlist_hash);
   w.u64(d.seed);
@@ -177,6 +220,8 @@ void write_run_descriptor(ByteWriter& w, const RunDescriptor& d) {
   w.u64(d.n_samples);
   w.u64(d.samples_per_shard);
   w.u64(d.block_width);
+  w.u64(d.size_grid.size());
+  for (const auto& lane : d.size_grid) w.f64_vec(lane);
   w.f64(d.sigma_vth_inter);
   w.f64(d.sigma_vth_systematic);
   w.f64(d.correlation_length);
@@ -187,10 +232,26 @@ void write_run_descriptor(ByteWriter& w, const RunDescriptor& d) {
   w.f64(d.latch_tcq_ps);
   w.f64(d.latch_tsetup_ps);
   w.f64(d.latch_random_sigma_rel);
+  w.f64(d.tech_vdd);
+  w.f64(d.tech_vth0);
+  w.f64(d.tech_leff);
+  w.f64(d.tech_wmin);
+  w.f64(d.tech_alpha);
+  w.f64(d.tech_tau_ps);
+  w.f64(d.tech_avt);
 }
 
 RunDescriptor read_run_descriptor(ByteReader& r) {
   RunDescriptor d;
+  // The discriminator leads so an unknown task kind fails as exactly that
+  // — a clear capability error — instead of a generic deserialize failure
+  // somewhere down the payload.
+  const std::uint16_t raw_kind = r.u16();
+  if (!is_known_task_kind(raw_kind))
+    throw std::runtime_error(
+        "dist: unknown task kind " + std::to_string(raw_kind) +
+        " (this build knows monte-carlo=1, ssta-grid=2)");
+  d.task_kind = static_cast<TaskKind>(raw_kind);
   d.workload = r.str();
   d.netlist_hash = r.u64();
   d.seed = r.u64();
@@ -198,6 +259,15 @@ RunDescriptor read_run_descriptor(ByteReader& r) {
   d.n_samples = r.u64();
   d.samples_per_shard = r.u64();
   d.block_width = r.u64();
+  const std::uint64_t lanes = r.u64();
+  // Lane-count guard before reserving: each lane is at least a u64 length
+  // prefix, so a claimed count beyond remaining()/8 is hostile or corrupt.
+  if (lanes > r.remaining() / 8)
+    throw std::runtime_error("dist: truncated payload (size grid of " +
+                             std::to_string(lanes) + " lanes, " +
+                             std::to_string(r.remaining()) + " bytes left)");
+  d.size_grid.reserve(lanes);
+  for (std::uint64_t i = 0; i < lanes; ++i) d.size_grid.push_back(r.f64_vec());
   d.sigma_vth_inter = r.f64();
   d.sigma_vth_systematic = r.f64();
   d.correlation_length = r.f64();
@@ -208,6 +278,13 @@ RunDescriptor read_run_descriptor(ByteReader& r) {
   d.latch_tcq_ps = r.f64();
   d.latch_tsetup_ps = r.f64();
   d.latch_random_sigma_rel = r.f64();
+  d.tech_vdd = r.f64();
+  d.tech_vth0 = r.f64();
+  d.tech_leff = r.f64();
+  d.tech_wmin = r.f64();
+  d.tech_alpha = r.f64();
+  d.tech_tau_ps = r.f64();
+  d.tech_avt = r.f64();
   return d;
 }
 
@@ -245,8 +322,49 @@ mc::McResult deserialize_mc_result(std::span<const std::uint8_t> bytes) {
   return out;
 }
 
+std::vector<std::uint8_t> serialize_characterizations(
+    const std::vector<sta::StageCharacterization>& lanes) {
+  ByteWriter w;
+  w.u32(kWireMagic);
+  w.u16(kWireVersion);
+  w.u64(lanes.size());
+  for (const auto& c : lanes) write_stage_characterization(w, c);
+  return w.take();
+}
+
+std::vector<sta::StageCharacterization> deserialize_characterizations(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  const std::uint32_t magic = r.u32();
+  if (magic != kWireMagic)
+    throw std::runtime_error("dist: bad magic (not a statpipe lane blob)");
+  const std::uint16_t version = r.u16();
+  if (version != kWireVersion)
+    throw std::runtime_error("dist: unsupported wire version " +
+                             std::to_string(version) + " (this build speaks " +
+                             std::to_string(kWireVersion) + ")");
+  const std::uint64_t n = r.u64();
+  // A serialized StageCharacterization is 48 bytes; same hostile-length
+  // rationale as read_mc_result's stage count.
+  if (n > r.remaining() / 48)
+    throw std::runtime_error("dist: truncated payload (" + std::to_string(n) +
+                             " lanes, " + std::to_string(r.remaining()) +
+                             " bytes left)");
+  std::vector<sta::StageCharacterization> lanes;
+  lanes.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i)
+    lanes.push_back(read_stage_characterization(r));
+  r.expect_done();
+  return lanes;
+}
+
 bool bitwise_equal(const mc::McResult& a, const mc::McResult& b) {
   return serialize_mc_result(a) == serialize_mc_result(b);
+}
+
+bool bitwise_equal(const std::vector<sta::StageCharacterization>& a,
+                   const std::vector<sta::StageCharacterization>& b) {
+  return serialize_characterizations(a) == serialize_characterizations(b);
 }
 
 }  // namespace statpipe::dist

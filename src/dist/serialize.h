@@ -1,21 +1,24 @@
 // Versioned, endian-safe binary serialization for distributed runs.
 //
-// Everything a shard-range result or a run descriptor contains is written
+// Everything a unit-range result or a run descriptor contains is written
 // as explicit little-endian bytes (u8/u16/u32/u64 integers, doubles as
 // their IEEE-754 bit patterns), so a payload produced on any host decodes
 // identically on any other — and, critically for the repository-wide
-// determinism contract, a stats::RunningStats or mc::McResult that crosses
-// a process boundary is reconstructed bit for bit: serialization must
-// never be the reason a distributed run diverges from a local one.
+// determinism contract, a stats::RunningStats, mc::McResult or
+// sta::StageCharacterization that crosses a process boundary is
+// reconstructed bit for bit: serialization must never be the reason a
+// distributed run diverges from a local one.
 //
 // Framing carries a magic number and a format version (kWireVersion);
 // readers reject unknown magic/versions up front with a clear error
-// instead of misparsing.  Round-trips are byte-stable: serialize ∘
-// deserialize ∘ serialize is the identity on bytes (fuzzed in
-// tests/test_dist.cpp).
+// instead of misparsing, and the RunDescriptor leads with its TaskKind
+// discriminator so an unknown task kind is reported as exactly that.
+// Round-trips are byte-stable: serialize ∘ deserialize ∘ serialize is the
+// identity on bytes (fuzzed in tests/test_dist.cpp).  The byte-level spec
+// of every record lives in docs/WIRE_FORMAT.md; keep the two in sync.
 //
 // Layer contract (src/dist, see docs/ARCHITECTURE.md): the distributed
-// execution layer sits on top of mc/sim/stats and may depend on all of
+// execution layer sits on top of mc/sta/sim/stats and may depend on all of
 // them; nothing below src/dist may know it exists.
 #pragma once
 
@@ -25,16 +28,20 @@
 #include <string>
 #include <vector>
 
+#include "dist/protocol.h"
 #include "mc/pipeline_mc.h"
+#include "sta/characterize.h"
 #include "stats/descriptive.h"
 #include "stats/histogram.h"
 
 namespace statpipe::dist {
 
 /// Wire format magic ("SPD1" little-endian) and version.  Bump the version
-/// on any layout change; readers reject mismatches.
+/// on any layout change; readers reject mismatches.  v1 (PR 4) carried the
+/// Monte-Carlo-only descriptor; v2 added the task-kind discriminator and
+/// the SSTA grid payload.
 inline constexpr std::uint32_t kWireMagic = 0x31445053;
-inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::uint16_t kWireVersion = 2;
 
 /// Append-only little-endian byte sink.
 class ByteWriter {
@@ -48,6 +55,9 @@ class ByteWriter {
   /// u64 length followed by raw bytes.
   void str(const std::string& s);
   void f64_vec(const std::vector<double>& v);
+  /// Appends pre-serialized bytes verbatim (no length prefix) — how a
+  /// worker splices already-encoded unit payloads into a kResult frame.
+  void append(const std::vector<std::uint8_t>& b);
 
   const std::vector<std::uint8_t>& bytes() const noexcept { return buf_; }
   std::vector<std::uint8_t> take() noexcept { return std::move(buf_); }
@@ -99,20 +109,36 @@ stats::Histogram read_histogram(ByteReader& r);
 void write_mc_result(ByteWriter& w, const mc::McResult& r);
 mc::McResult read_mc_result(ByteReader& r);
 
-/// Everything a worker needs to reconstruct a run bit for bit: the
-/// workload identity (name + structural hash, verified on the worker), the
-/// RNG keys, the shard plan inputs and the sampling/timing options.
-/// Shard boundaries and stream ids depend only on (root_seed, n_samples,
-/// samples_per_shard) — the process count is as invisible as the thread
-/// count, which is the whole point of the subsystem.
+/// Six f64 fields in declaration order (48 bytes) — the unit payload of a
+/// kSstaGrid lane.  Exact bit patterns, so a lane that crossed the wire is
+/// indistinguishable from one computed locally.
+void write_stage_characterization(ByteWriter& w,
+                                  const sta::StageCharacterization& c);
+sta::StageCharacterization read_stage_characterization(ByteReader& r);
+
+/// Everything a worker needs to reconstruct a run bit for bit: the task
+/// kind, the workload identity (name + structural hash, verified on the
+/// worker), the RNG keys, the unit plan inputs, the sampling/timing
+/// options and — for kSstaGrid — the K-lane size grid itself.
+/// For Monte-Carlo, shard boundaries and stream ids depend only on
+/// (root_seed, n_samples, samples_per_shard) — the process count is as
+/// invisible as the thread count.  For SSTA grids the lanes carry no
+/// random state at all, so any lane partitioning reproduces the local
+/// batch bit for bit (docs/DETERMINISM.md).
 struct RunDescriptor {
+  TaskKind task_kind = TaskKind::kMonteCarlo;
   std::string workload;            ///< comma-separated ISCAS85 stage names
+                                   ///< (kSstaGrid: exactly one name)
   std::uint64_t netlist_hash = 0;  ///< combined Netlist::structural_hash
   std::uint64_t seed = 0;          ///< user-facing run seed (display)
   std::uint64_t root_seed = 0;     ///< engine root key (derive_root_seed)
-  std::uint64_t n_samples = 0;
+  std::uint64_t n_samples = 0;     ///< kMonteCarlo only; ignored for grids
   std::uint64_t samples_per_shard = 1024;
   std::uint64_t block_width = 8;
+  /// kSstaGrid payload: one full per-gate size vector per sweep lane.
+  /// Every lane must carry a complete vector (empty lanes are rejected —
+  /// they would silently fall back to the rebuilt netlist's base sizes).
+  std::vector<std::vector<double>> size_grid;
   // process::VariationSpec
   double sigma_vth_inter = 0.020;
   double sigma_vth_systematic = 0.0;
@@ -126,6 +152,17 @@ struct RunDescriptor {
   double latch_tcq_ps = 22.0;
   double latch_tsetup_ps = 14.0;
   double latch_random_sigma_rel = 0.02;
+  // process::Technology — the delay model's parameters travel too, so a
+  // workload built against a non-default technology is replayed exactly
+  // instead of silently falling back to defaults on the worker.  Defaults
+  // mirror process::Technology's.
+  double tech_vdd = 1.0;
+  double tech_vth0 = 0.20;
+  double tech_leff = 70e-9;
+  double tech_wmin = 140e-9;
+  double tech_alpha = 1.3;
+  double tech_tau_ps = 4.0;
+  double tech_avt = 30e-3 * 9.899494936611665e-8;
 };
 
 void write_run_descriptor(ByteWriter& w, const RunDescriptor& d);
@@ -143,10 +180,22 @@ std::uint64_t derive_root_seed(std::uint64_t seed);
 std::vector<std::uint8_t> serialize_mc_result(const mc::McResult& r);
 mc::McResult deserialize_mc_result(std::span<const std::uint8_t> bytes);
 
+/// Standalone blob form of an SSTA-grid result (all lanes, ascending lane
+/// order) under the same magic + version header.
+std::vector<std::uint8_t> serialize_characterizations(
+    const std::vector<sta::StageCharacterization>& lanes);
+std::vector<sta::StageCharacterization> deserialize_characterizations(
+    std::span<const std::uint8_t> bytes);
+
 /// True when the two results are bit-for-bit identical (samples, per-stage
 /// accumulator states and label) — the acceptance predicate for
 /// distributed-vs-local equality, implemented as byte equality of the
 /// serialized forms.
 bool bitwise_equal(const mc::McResult& a, const mc::McResult& b);
+
+/// Lane-grid twin of the McResult predicate: bit-for-bit equality of two
+/// characterization vectors (length and every f64 bit pattern).
+bool bitwise_equal(const std::vector<sta::StageCharacterization>& a,
+                   const std::vector<sta::StageCharacterization>& b);
 
 }  // namespace statpipe::dist

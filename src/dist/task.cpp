@@ -1,0 +1,134 @@
+#include "dist/task.h"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "dist/workload.h"
+#include "process/variation.h"
+#include "sim/engine.h"
+#include "sta/ssta_batch.h"
+
+namespace statpipe::dist {
+
+namespace {
+
+/// Grid-task workload with stable addresses: the rebuilt stage netlist,
+/// the delay model (descriptor technology, like Workload), the bound
+/// SstaBatch — which keeps a pointer to the model for its lifetime — and
+/// the size grid itself, owned here so the session's range runner does
+/// not duplicate the K x G doubles in its closure.
+struct GridWorkload {
+  netlist::Netlist nl;
+  device::AlphaPowerModel model;
+  sta::SstaBatch batch;
+  std::vector<std::vector<double>> size_grid;
+
+  GridWorkload(netlist::Netlist n, const process::Technology& tech,
+               const sta::SstaOptions& opt,
+               std::vector<std::vector<double>> grid)
+      : nl(std::move(n)),
+        model(tech),
+        batch(nl, model, opt),
+        size_grid(std::move(grid)) {}
+};
+
+std::vector<std::vector<std::uint8_t>> serialize_lane_units(
+    const std::vector<sta::StageCharacterization>& lanes) {
+  std::vector<std::vector<std::uint8_t>> units;
+  units.reserve(lanes.size());
+  for (const auto& c : lanes) {
+    ByteWriter w;
+    write_stage_characterization(w, c);
+    units.push_back(w.take());
+  }
+  return units;
+}
+
+}  // namespace
+
+std::size_t task_unit_count(const RunDescriptor& desc) {
+  switch (desc.task_kind) {
+    case TaskKind::kMonteCarlo:
+      if (desc.n_samples == 0)
+        throw std::invalid_argument("dist: descriptor with zero samples");
+      // The engine's own planner: throws on zero samples_per_shard.
+      return sim::shard_count(desc.n_samples, desc.samples_per_shard);
+    case TaskKind::kSstaGrid:
+      if (desc.size_grid.empty())
+        throw std::invalid_argument(
+            "dist: ssta-grid descriptor with an empty size grid");
+      return desc.size_grid.size();
+  }
+  throw std::invalid_argument("dist: descriptor with unknown task kind");
+}
+
+std::size_t task_unit_wire_bytes(const RunDescriptor& desc) {
+  if (desc.task_kind == TaskKind::kSstaGrid)
+    return 64;  // 48-byte StageCharacterization + index and slack
+  return static_cast<std::size_t>(desc.samples_per_shard) * 8;
+}
+
+UnitRangeRunner make_unit_runner(const RunDescriptor& desc) {
+  if (desc.task_kind == TaskKind::kSstaGrid) {
+    // shared_ptr: the runner outlives this call and the batch must keep
+    // its netlist/model addresses stable for the whole session.
+    sta::SstaOptions opt;
+    opt.output_load = desc.output_load;
+    auto wl = std::make_shared<GridWorkload>(build_grid_stage(desc),
+                                             descriptor_technology(desc), opt,
+                                             desc.size_grid);
+    const process::VariationSpec spec = descriptor_spec(desc);
+    return [wl, spec](std::size_t begin, std::size_t end) {
+      sim::check_shard_range(wl->size_grid.size(), begin, end);
+      // Characterize only the assigned lanes: lane results carry no random
+      // state and execute the scalar path's exact floating-point sequence
+      // per lane, so a sub-grid batch is bitwise-identical to the same
+      // lanes of the full local batch under any partitioning.
+      std::vector<std::vector<double>> sub(
+          wl->size_grid.begin() + static_cast<std::ptrdiff_t>(begin),
+          wl->size_grid.begin() + static_cast<std::ptrdiff_t>(end));
+      return serialize_lane_units(
+          wl->batch.characterize(sta::make_configs(sub, spec)));
+    };
+  }
+  std::shared_ptr<Workload> wl = Workload::make(desc);
+  return [wl, desc](std::size_t begin, std::size_t end) {
+    const std::vector<mc::McResult> parts = wl->engine().run_shard_range(
+        desc.n_samples, desc.root_seed, begin, end, wl->exec(desc));
+    std::vector<std::vector<std::uint8_t>> units;
+    units.reserve(parts.size());
+    for (const auto& p : parts) {
+      ByteWriter w;
+      write_mc_result(w, p);
+      units.push_back(w.take());
+    }
+    return units;
+  };
+}
+
+TaskResult run_local_task(const RunDescriptor& desc) {
+  TaskResult out;
+  out.kind = desc.task_kind;
+  if (desc.task_kind == TaskKind::kSstaGrid) {
+    const netlist::Netlist nl = build_grid_stage(desc);
+    const device::AlphaPowerModel model{descriptor_technology(desc)};
+    sta::SstaOptions opt;
+    opt.output_load = desc.output_load;
+    // The exact local path the optimizer layers take with an empty hook —
+    // one implementation, so reference and production cannot drift.
+    out.lanes = sta::characterize_grid(nl, model, desc.size_grid,
+                                       descriptor_spec(desc), opt);
+    return out;
+  }
+  out.mc = run_local(desc);
+  return out;
+}
+
+bool bitwise_equal(const TaskResult& a, const TaskResult& b) {
+  if (a.kind != b.kind) return false;
+  if (a.kind == TaskKind::kSstaGrid) return bitwise_equal(a.lanes, b.lanes);
+  return bitwise_equal(a.mc, b.mc);
+}
+
+}  // namespace statpipe::dist

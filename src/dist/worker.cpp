@@ -1,12 +1,11 @@
 #include "dist/worker.h"
 
 #include <cstdio>
-#include <memory>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 #include "dist/transport.h"
-#include "dist/workload.h"
 #include "sim/thread_pool.h"
 
 namespace statpipe::dist {
@@ -26,15 +25,7 @@ void send_error(Socket& s, const std::string& msg) {
 }  // namespace
 
 WorkloadFactory default_workload_factory() {
-  return [](const RunDescriptor& desc) -> ShardRangeRunner {
-    // shared_ptr: the runner outlives this factory call and the engine
-    // must keep its stage/model addresses stable for the whole session.
-    std::shared_ptr<Workload> wl = Workload::make(desc);
-    return [wl, desc](std::size_t begin, std::size_t end) {
-      return wl->engine().run_shard_range(desc.n_samples, desc.root_seed,
-                                          begin, end, wl->exec(desc));
-    };
-  };
+  return [](const RunDescriptor& desc) { return make_unit_runner(desc); };
 }
 
 std::size_t run_worker(const WorkerOptions& opt,
@@ -65,9 +56,12 @@ std::size_t run_worker(const WorkerOptions& opt,
     desc = read_run_descriptor(r);
     r.expect_done();
   }
-  log_line(opt, "setup: workload '" + desc.workload + "', " +
-                    std::to_string(desc.n_samples) + " samples");
-  ShardRangeRunner runner;
+  log_line(opt, std::string("setup: ") + task_kind_name(desc.task_kind) +
+                    " workload '" + desc.workload + "', " +
+                    (desc.task_kind == TaskKind::kSstaGrid
+                         ? std::to_string(desc.size_grid.size()) + " lanes"
+                         : std::to_string(desc.n_samples) + " samples"));
+  UnitRangeRunner runner;
   try {
     runner = make(desc);
   } catch (const std::exception& e) {
@@ -95,11 +89,11 @@ std::size_t run_worker(const WorkerOptions& opt,
     const std::uint64_t begin = r.u64();
     const std::uint64_t end = r.u64();
     r.expect_done();
-    log_line(opt, "running shards [" + std::to_string(begin) + ", " +
+    log_line(opt, "running units [" + std::to_string(begin) + ", " +
                       std::to_string(end) + ")");
-    std::vector<mc::McResult> parts;
+    std::vector<std::vector<std::uint8_t>> units;
     try {
-      parts = runner(begin, end);
+      units = runner(begin, end);
     } catch (const std::exception& e) {
       // An engine failure on this range: report and bail out — the
       // coordinator re-queues the range for a healthy worker.
@@ -110,10 +104,10 @@ std::size_t run_worker(const WorkerOptions& opt,
     ByteWriter out;
     out.u64(begin);
     out.u64(end);
-    out.u64(parts.size());
-    for (std::size_t i = 0; i < parts.size(); ++i) {
+    out.u64(units.size());
+    for (std::size_t i = 0; i < units.size(); ++i) {
       out.u64(begin + i);
-      write_mc_result(out, parts[i]);
+      out.append(units[i]);
     }
     send_frame(sock, MsgType::kResult, out.bytes());
     completed += 1;

@@ -1,28 +1,28 @@
 // Distributed worker runtime: dials the coordinator, rebuilds the
-// described workload, and serves shard-range assignments until shutdown.
+// described workload, and serves unit-range assignments until shutdown.
 //
-// Per assignment the worker executes the contiguous shard range through
-// GateLevelMonteCarlo::run_shard_range — the existing block-vectorized
-// shard path on the local sim::ThreadPool — and ships one serialized
-// McResult PER SHARD (unmerged, ascending), so the coordinator can fold
-// all shards of the run in ascending order regardless of how ranges were
-// distributed.  Workload construction failures (unknown circuit, netlist
-// hash mismatch) are reported as kError frames and end the session: a
-// worker that cannot prove it holds the coordinator's exact circuit must
-// not contribute samples.
+// Per assignment the worker executes the contiguous unit range through the
+// task's UnitRangeRunner (dist/task.h) — Monte-Carlo shard ranges via
+// GateLevelMonteCarlo::run_shard_range, SSTA grid lane ranges via
+// sta::SstaBatch — and ships one serialized payload PER UNIT (unmerged,
+// ascending), so the coordinator can reassemble all units of the run in
+// ascending order regardless of how ranges were distributed.  Workload
+// construction failures (unknown circuit, netlist hash mismatch, invalid
+// grid) are reported as kError frames and end the session: a worker that
+// cannot prove it holds the coordinator's exact workload must not
+// contribute results.
 //
 // Layer contract (src/dist, see docs/ARCHITECTURE.md): the distributed
-// execution layer sits on top of mc/sim/stats and may depend on all of
+// execution layer sits on top of mc/sta/sim/stats and may depend on all of
 // them; nothing below src/dist may know it exists.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <string>
-#include <vector>
 
 #include "dist/serialize.h"
-#include "mc/pipeline_mc.h"
+#include "dist/task.h"
 
 namespace statpipe::dist {
 
@@ -33,15 +33,13 @@ struct WorkerOptions {
   bool verbose = false;         ///< progress lines on stderr
 };
 
-/// Maps a RunDescriptor to a shard-range runner.  The default factory
-/// (Workload-based) suits the statpipe-worker daemon; tests inject
-/// factories that fail on purpose.
-using ShardRangeRunner = std::function<std::vector<mc::McResult>(
-    std::size_t shard_begin, std::size_t shard_end)>;
-using WorkloadFactory =
-    std::function<ShardRangeRunner(const RunDescriptor&)>;
+/// Maps a RunDescriptor to a unit-range runner.  The default factory
+/// (task-registry-based, all task kinds) suits the statpipe-worker daemon;
+/// tests inject factories that fail on purpose.
+using WorkloadFactory = std::function<UnitRangeRunner(const RunDescriptor&)>;
 
-/// The Workload-registry factory used by the worker daemon.
+/// The task-registry factory used by the worker daemon — dispatches on
+/// desc.task_kind via dist/task.h's make_unit_runner.
 WorkloadFactory default_workload_factory();
 
 /// Runs one worker session to completion: connect, hello, setup, serve

@@ -8,9 +8,7 @@
 
 namespace statpipe::dist {
 
-namespace {
-
-std::vector<std::string> split_names(const std::string& workload) {
+std::vector<std::string> split_workload_names(const std::string& workload) {
   std::vector<std::string> names;
   std::string cur;
   for (char c : workload) {
@@ -27,7 +25,30 @@ std::vector<std::string> split_names(const std::string& workload) {
   return names;
 }
 
-process::VariationSpec spec_of(const RunDescriptor& d) {
+process::Technology descriptor_technology(const RunDescriptor& d) {
+  process::Technology tech;
+  tech.vdd = d.tech_vdd;
+  tech.vth0 = d.tech_vth0;
+  tech.leff = d.tech_leff;
+  tech.wmin = d.tech_wmin;
+  tech.alpha = d.tech_alpha;
+  tech.tau_ps = d.tech_tau_ps;
+  tech.avt = d.tech_avt;
+  return tech;
+}
+
+void set_descriptor_technology(RunDescriptor& d,
+                               const process::Technology& tech) {
+  d.tech_vdd = tech.vdd;
+  d.tech_vth0 = tech.vth0;
+  d.tech_leff = tech.leff;
+  d.tech_wmin = tech.wmin;
+  d.tech_alpha = tech.alpha;
+  d.tech_tau_ps = tech.tau_ps;
+  d.tech_avt = tech.avt;
+}
+
+process::VariationSpec descriptor_spec(const RunDescriptor& d) {
   process::VariationSpec spec;
   spec.sigma_vth_inter = d.sigma_vth_inter;
   spec.sigma_vth_systematic = d.sigma_vth_systematic;
@@ -38,7 +59,14 @@ process::VariationSpec spec_of(const RunDescriptor& d) {
   return spec;
 }
 
-}  // namespace
+void set_descriptor_spec(RunDescriptor& d, const process::VariationSpec& s) {
+  d.sigma_vth_inter = s.sigma_vth_inter;
+  d.sigma_vth_systematic = s.sigma_vth_systematic;
+  d.correlation_length = s.correlation_length;
+  d.enable_rdf = s.enable_rdf ? 1 : 0;
+  d.sigma_l_inter_rel = s.sigma_l_inter_rel;
+  d.sigma_l_systematic_rel = s.sigma_l_systematic_rel;
+}
 
 std::uint64_t hash_stages(const std::vector<netlist::Netlist>& stages) {
   // FNV-1a fold of the per-stage structural hashes: order-sensitive, so
@@ -51,7 +79,7 @@ std::uint64_t hash_stages(const std::vector<netlist::Netlist>& stages) {
 
 std::unique_ptr<Workload> Workload::make(const RunDescriptor& desc) {
   std::unique_ptr<Workload> w(new Workload());
-  for (const std::string& name : split_names(desc.workload))
+  for (const std::string& name : split_workload_names(desc.workload))
     w->stages_.push_back(netlist::iscas_like(name));  // throws on unknown
   w->hash_ = hash_stages(w->stages_);
   if (desc.netlist_hash != 0 && desc.netlist_hash != w->hash_)
@@ -61,7 +89,7 @@ std::unique_ptr<Workload> Workload::make(const RunDescriptor& desc) {
         std::to_string(w->hash_) +
         ") — coordinator and worker builds disagree on the netlist");
   w->model_ =
-      std::make_unique<device::AlphaPowerModel>(process::Technology{});
+      std::make_unique<device::AlphaPowerModel>(descriptor_technology(desc));
   device::LatchTiming timing;
   timing.tcq_ps = desc.latch_tcq_ps;
   timing.tsetup_ps = desc.latch_tsetup_ps;
@@ -73,8 +101,39 @@ std::unique_ptr<Workload> Workload::make(const RunDescriptor& desc) {
   sta::StaOptions sta_opt;
   sta_opt.output_load = desc.output_load;
   w->engine_ = std::make_unique<mc::GateLevelMonteCarlo>(
-      std::move(views), *w->model_, spec_of(desc), *w->latch_, sta_opt);
+      std::move(views), *w->model_, descriptor_spec(desc), *w->latch_,
+      sta_opt);
   return w;
+}
+
+netlist::Netlist build_grid_stage(const RunDescriptor& desc) {
+  const auto names = split_workload_names(desc.workload);
+  if (names.size() != 1)
+    throw std::invalid_argument(
+        "dist: ssta-grid workload must name exactly one circuit, got " +
+        std::to_string(names.size()) + " ('" + desc.workload + "')");
+  netlist::Netlist nl = netlist::iscas_like(names.front());  // throws unknown
+  if (desc.size_grid.empty())
+    throw std::invalid_argument(
+        "dist: ssta-grid descriptor with an empty size grid");
+  for (std::size_t k = 0; k < desc.size_grid.size(); ++k)
+    if (desc.size_grid[k].size() != nl.size())
+      throw std::invalid_argument(
+          "dist: size grid lane " + std::to_string(k) + " carries " +
+          std::to_string(desc.size_grid[k].size()) + " sizes for a netlist "
+          "of " + std::to_string(nl.size()) +
+          " gates (every lane must be a full size vector)");
+  if (desc.netlist_hash != 0) {
+    const std::uint64_t h =
+        netlist::fnv1a_fold(netlist::kFnvOffsetBasis, nl.structural_hash());
+    if (h != desc.netlist_hash)
+      throw std::invalid_argument(
+          "dist: workload '" + desc.workload + "' hash mismatch (descriptor " +
+          std::to_string(desc.netlist_hash) + ", rebuilt " +
+          std::to_string(h) +
+          ") — coordinator and worker builds disagree on the netlist");
+  }
+  return nl;
 }
 
 sim::ExecutionOptions Workload::exec(const RunDescriptor& desc) const {
@@ -86,6 +145,13 @@ sim::ExecutionOptions Workload::exec(const RunDescriptor& desc) const {
 }
 
 void finalize_descriptor(RunDescriptor& desc) {
+  if (desc.task_kind == TaskKind::kSstaGrid) {
+    const netlist::Netlist nl = build_grid_stage(desc);
+    desc.netlist_hash =
+        netlist::fnv1a_fold(netlist::kFnvOffsetBasis, nl.structural_hash());
+    desc.root_seed = derive_root_seed(desc.seed);
+    return;
+  }
   if (desc.n_samples == 0)
     throw std::invalid_argument("dist: descriptor with zero samples");
   const std::unique_ptr<Workload> w = Workload::make(desc);

@@ -1,15 +1,18 @@
 // Workload registry for distributed runs: turns a RunDescriptor into the
-// exact GateLevelMonteCarlo engine the coordinator described.
+// exact netlists and engines the coordinator described.
 //
-// The descriptor names the pipeline as a comma-separated list of ISCAS85
-// circuit names ("c3540,c2670,c1908,c432"); every process synthesizes the
-// stages with the same deterministic generator and verifies the combined
-// Netlist::structural_hash against the descriptor before running a single
-// shard — a worker with a diverging build of the generators refuses work
-// instead of silently contributing wrong samples.
+// The descriptor names the workload as a comma-separated list of ISCAS85
+// circuit names ("c3540,c2670,c1908,c432"; SSTA grid tasks name exactly
+// one); every process synthesizes the stages with the same deterministic
+// generator and verifies the combined Netlist::structural_hash against the
+// descriptor before running a single unit — a worker with a diverging
+// build of the generators refuses work instead of silently contributing
+// wrong results.  The Workload class below is the Monte-Carlo engine
+// assembly; the grid-task assembly lives in dist/task.h on top of
+// build_grid_stage.
 //
 // Layer contract (src/dist, see docs/ARCHITECTURE.md): the distributed
-// execution layer sits on top of mc/sim/stats and may depend on all of
+// execution layer sits on top of mc/sta/sim/stats and may depend on all of
 // them; nothing below src/dist may know it exists.
 #pragma once
 
@@ -65,14 +68,46 @@ class Workload {
 /// per-netlist hashes; order-sensitive, like the pipeline).
 std::uint64_t hash_stages(const std::vector<netlist::Netlist>& stages);
 
+/// Splits the descriptor's comma-separated workload field into circuit
+/// names (spaces ignored).  Throws std::invalid_argument when empty.
+std::vector<std::string> split_workload_names(const std::string& workload);
+
+/// The process::VariationSpec the descriptor's spec fields encode, and
+/// the write-side twin a submitter uses — keep them the single mapping so
+/// a new spec field cannot be copied in one direction and forgotten in
+/// the other.
+process::VariationSpec descriptor_spec(const RunDescriptor& d);
+void set_descriptor_spec(RunDescriptor& d, const process::VariationSpec& s);
+
+/// The process::Technology the descriptor's tech_* fields encode — every
+/// workload assembly (MC and grid, local and worker-side) builds its delay
+/// model from this, so non-default technologies replay exactly.
+process::Technology descriptor_technology(const RunDescriptor& d);
+
+/// The inverse: copies a model's technology into the descriptor — what a
+/// submitter does before finalizing.
+void set_descriptor_technology(RunDescriptor& d,
+                               const process::Technology& tech);
+
+/// Rebuilds and validates the single stage netlist of a kSstaGrid
+/// descriptor: exactly one circuit name, a non-empty size grid, every lane
+/// a full per-gate size vector, and (when desc.netlist_hash != 0) a
+/// structural-hash match.  Throws std::invalid_argument naming the
+/// offending field; both finalize_descriptor and the worker-side grid
+/// assembly (dist/task.h) go through it, so coordinator and worker agree
+/// on what a valid grid is.
+netlist::Netlist build_grid_stage(const RunDescriptor& desc);
+
 /// Fills desc.netlist_hash and desc.root_seed from desc.workload and
 /// desc.seed — what a coordinator does before serving the descriptor.
+/// Dispatches on desc.task_kind and validates the kind's plan inputs.
 void finalize_descriptor(RunDescriptor& desc);
 
-/// Runs the descriptor's workload to completion in this process (the
-/// single-process reference): exactly GateLevelMonteCarlo::run with
-/// Rng(desc.seed).  The distributed acceptance check is bitwise_equal
-/// against this.
+/// Runs the descriptor's Monte-Carlo workload to completion in this
+/// process (the single-process reference): exactly
+/// GateLevelMonteCarlo::run with Rng(desc.seed).  The distributed
+/// acceptance check is bitwise_equal against this.  Kind-generic callers
+/// use dist/task.h's run_local_task instead.
 mc::McResult run_local(const RunDescriptor& desc);
 
 }  // namespace statpipe::dist

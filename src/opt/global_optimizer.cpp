@@ -181,9 +181,8 @@ GlobalOptimizerResult GlobalPipelineOptimizer::optimize(
         (void)size_stage(work, *model_, spec_, so);
         cand_sizes[j] = work.sizes();
       });
-      const sta::SstaBatch batch(nl, *model_, {});
       const auto cand_chars =
-          batch.characterize(sta::make_configs(cand_sizes, spec_));
+          sta::characterize_grid(nl, *model_, cand_sizes, spec_, {}, opt.grid);
       const sta::StageCharacterization cs_saved = cs[i];
       double best_area = std::numeric_limits<double>::infinity();
       std::size_t best_j = kNf;  // sentinel: no candidate met the headroom
@@ -255,9 +254,8 @@ GlobalOptimizerResult GlobalPipelineOptimizer::optimize(
       // One batched SSTA over the whole probe grid (the changed stage's K
       // size lanes); each lane's pipeline yield substitutes that lane into
       // the cached characterizations of the unchanged stages.
-      const sta::SstaBatch batch(nl, *model_, {});
       const auto grid_chars =
-          batch.characterize(sta::make_configs(grid_sizes, spec_));
+          sta::characterize_grid(nl, *model_, grid_sizes, spec_, {}, opt.grid);
       const sta::StageCharacterization cs_saved = cs[i];
       std::vector<double> grid_yield(probes);
       for (std::size_t p = 0; p < probes; ++p) {

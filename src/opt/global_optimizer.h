@@ -46,6 +46,12 @@ struct GlobalOptimizerOptions {
   std::size_t budget_probes = 10;     ///< bisection depth per stage
   SizerOptions sizer;                 ///< inner LR sizer options
   SweepOptions sweep;                 ///< curve-extraction options
+  /// Whole-grid characterization backend for the pre-phase and probe
+  /// candidate grids: empty = local SstaBatch,
+  /// dist::grid_characterizer(...) = cluster submission.  Never changes
+  /// results (the bitwise contract in sta/ssta_batch.h); note it is
+  /// separate from sweep.grid, which covers the curve-extraction grids.
+  sta::GridCharacterizer grid;
 };
 
 struct StageReport {

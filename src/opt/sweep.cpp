@@ -1,7 +1,9 @@
 #include "opt/sweep.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
 
 #include "sim/engine.h"
@@ -10,6 +12,31 @@
 #include "stats/gaussian.h"
 
 namespace statpipe::opt {
+
+namespace {
+
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+}  // namespace
+
+bool bitwise_equal(const SweepResult& a, const SweepResult& b) {
+  if (!same_bits(a.min_stat_delay, b.min_stat_delay)) return false;
+  const auto& pa = a.curve.points();
+  const auto& pb = b.curve.points();
+  if (pa.size() != pb.size() || a.sizes.size() != b.sizes.size()) return false;
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    if (!same_bits(pa[i].delay, pb[i].delay) ||
+        !same_bits(pa[i].area, pb[i].area))
+      return false;
+  for (std::size_t i = 0; i < a.sizes.size(); ++i) {
+    if (a.sizes[i].size() != b.sizes[i].size()) return false;
+    for (std::size_t g = 0; g < a.sizes[i].size(); ++g)
+      if (!same_bits(a.sizes[i][g], b.sizes[i][g])) return false;
+  }
+  return true;
+}
 
 
 SweepResult area_delay_sweep(netlist::Netlist& nl,
@@ -53,11 +80,12 @@ SweepResult area_delay_sweep(netlist::Netlist& nl,
   // walk, opt.points size lanes.  Stat-delay, area and feasibility are
   // bitwise-equal to what each sizer run reported (its final evaluation is
   // analyze_ssta at the restored best sizes, and feasibility is the same
-  // tolerance test against the candidate's target).
+  // tolerance test against the candidate's target).  With opt.grid set the
+  // same grid runs on a cluster instead — bitwise-identical either way.
   sta::SstaOptions ssta_opt;
   ssta_opt.output_load = opt.sizer.output_load;
-  const sta::SstaBatch batch(nl, model, ssta_opt);
-  const auto chars = batch.characterize(sta::make_configs(cand_sizes, spec));
+  const auto chars =
+      sta::characterize_grid(nl, model, cand_sizes, spec, ssta_opt, opt.grid);
   const double z = stats::normal_icdf(opt.yield_target);
 
   // Deterministic selection in target order with the usual monotone filter:
@@ -98,8 +126,8 @@ core::StageFamily stage_family_from_sweep(netlist::Netlist& nl,
   // lane per point) instead of a netlist copy + scalar SSTA per point.
   sta::SstaOptions ssta_opt;
   ssta_opt.output_load = opt.sizer.output_load;
-  const sta::SstaBatch batch(nl, model, ssta_opt);
-  const auto chars = batch.characterize(sta::make_configs(sweep.sizes, spec));
+  const auto chars =
+      sta::characterize_grid(nl, model, sweep.sizes, spec, ssta_opt, opt.grid);
   nl.set_sizes(saved);
 
   std::vector<double> mus, sigmas;

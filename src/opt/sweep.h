@@ -11,6 +11,7 @@
 #include "netlist/netlist.h"
 #include "opt/sizer.h"
 #include "process/variation.h"
+#include "sta/ssta_batch.h"
 
 namespace statpipe::opt {
 
@@ -19,6 +20,12 @@ struct SweepOptions {
   double yield_target = 0.95;     ///< statistical metric mu + z*sigma
   double slow_factor = 2.0;       ///< slowest target = fastest * slow_factor
   SizerOptions sizer;             ///< inner sizing options (t_target ignored)
+  /// Whole-grid characterization backend for the sweep's candidate grids
+  /// (an ExecutionOptions-style switch): empty = the local SstaBatch path;
+  /// dist::grid_characterizer(...) = submit each grid to a cluster.  Any
+  /// backend must honor the bitwise contract in sta/ssta_batch.h, so the
+  /// sweep result never depends on this knob (docs/DETERMINISM.md).
+  sta::GridCharacterizer grid;
 };
 
 struct SweepResult {
@@ -26,6 +33,12 @@ struct SweepResult {
   double min_stat_delay = 0.0;              ///< fastest achievable D_stat
   std::vector<std::vector<double>> sizes;   ///< gate sizes per curve point
 };
+
+/// Bit-exact equality of two sweep results (every double compared by its
+/// IEEE-754 bit pattern) — the distributed-vs-local acceptance predicate
+/// shared by statpipe-run --check-local and tests/test_dist.cpp, kept in
+/// one place so the CI gate and the tests can never drift apart.
+bool bitwise_equal(const SweepResult& a, const SweepResult& b);
 
 /// Builds the stage's area-delay curve.  Leaves `nl` sized at the *fastest*
 /// point.  Throws std::runtime_error if no target is feasible.

@@ -32,6 +32,16 @@ sim::ExecutionOptions batch_exec(std::size_t lanes) {
   return exec;
 }
 
+std::vector<StageCharacterization> characterize_grid(
+    const netlist::Netlist& nl, const device::AlphaPowerModel& model,
+    const std::vector<std::vector<double>>& size_grid,
+    const process::VariationSpec& spec, const SstaOptions& opt,
+    const GridCharacterizer& hook) {
+  if (hook) return hook(nl, model, size_grid, spec, opt);
+  const SstaBatch batch(nl, model, opt);
+  return batch.characterize(make_configs(size_grid, spec));
+}
+
 SstaBatch::SstaBatch(const netlist::Netlist& nl,
                      const device::AlphaPowerModel& model,
                      const SstaOptions& opt)

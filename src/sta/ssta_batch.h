@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "device/delay_model.h"
@@ -53,6 +54,39 @@ std::vector<SstaConfig> make_configs(
 /// shared pool.  Purely a throughput knob: lane results carry no random
 /// state, so they are bitwise-identical under any partitioning.
 sim::ExecutionOptions batch_exec(std::size_t lanes);
+
+/// Pluggable whole-grid characterization backend: given one netlist
+/// structure, the delay model, a K-lane size grid (every lane a FULL
+/// per-gate size vector) and a shared variation spec, return one
+/// StageCharacterization per lane.  The optimizer layers
+/// (`opt::SweepOptions::grid`, `opt::GlobalOptimizerOptions::grid`) route
+/// their candidate grids through this seam; an empty function means the
+/// local SstaBatch path.  `src/dist` provides a cluster-backed
+/// implementation (dist::grid_characterizer) — this typedef lives down
+/// here in sta so opt and dist can compose without ever including each
+/// other.
+///
+/// Contract for alternative backends: lane k of the returned vector must
+/// be bitwise-identical to what
+/// `SstaBatch(nl, model, opt).characterize(make_configs(grid, spec))[k]`
+/// computes locally — which is why the model is part of the signature: a
+/// backend must replay model.technology() exactly, not assume defaults
+/// (tests/test_dist.cpp enforces it for the cluster backend; see
+/// docs/DETERMINISM.md).
+using GridCharacterizer =
+    std::function<std::vector<StageCharacterization>(
+        const netlist::Netlist& nl, const device::AlphaPowerModel& model,
+        const std::vector<std::vector<double>>& size_grid,
+        const process::VariationSpec& spec, const SstaOptions& opt)>;
+
+/// Characterizes a whole size grid through `hook` when set, else through a
+/// freshly bound local SstaBatch — the one-liner the optimizer layers call
+/// at every candidate-grid site.
+std::vector<StageCharacterization> characterize_grid(
+    const netlist::Netlist& nl, const device::AlphaPowerModel& model,
+    const std::vector<std::vector<double>>& size_grid,
+    const process::VariationSpec& spec, const SstaOptions& opt,
+    const GridCharacterizer& hook = {});
 
 class SstaBatch {
  public:

@@ -1,9 +1,11 @@
 // Distributed execution subsystem tests: serialization round-trips (byte
-// stability, version gating, fuzz), protocol/transport behavior, and the
-// acceptance contract — a c3540-class gate-level MC run sharded across
-// real worker PROCESSES over localhost TCP is bitwise-identical to the
-// single-process run at the same seed, including under injected worker
-// failures and reassignment.
+// stability, version gating, truncation/hostile-length fuzz — including
+// the v2 task-kind discriminator and the SSTA grid payload), protocol/
+// transport behavior, and the acceptance contract — a c3540-class
+// gate-level MC run AND an SSTA sweep grid sharded across real worker
+// PROCESSES over localhost TCP are bitwise-identical to the
+// single-process runs, including under injected worker failures and
+// reassignment (docs/DETERMINISM.md).
 #include <gtest/gtest.h>
 #include <spawn.h>
 #include <sys/wait.h>
@@ -15,13 +17,17 @@
 #include <thread>
 #include <vector>
 
+#include "dist/cluster.h"
 #include "dist/coordinator.h"
 #include "dist/serialize.h"
+#include "dist/task.h"
 #include "dist/transport.h"
 #include "dist/worker.h"
 #include "dist/workload.h"
 #include "mc/pipeline_mc.h"
 #include "netlist/generators.h"
+#include "opt/sweep.h"
+#include "sta/ssta_batch.h"
 #include "stats/rng.h"
 
 extern char** environ;
@@ -78,6 +84,23 @@ void reap(sp::dist::Coordinator& coord, pid_t pid) {
   ASSERT_EQ(got, pid);
   EXPECT_TRUE(WIFEXITED(status));
   EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+// A small SSTA sweep-grid descriptor: `lanes` uniformly scaled copies of
+// the circuit's base sizes (every lane a full size vector, as the wire
+// format requires).
+sp::dist::RunDescriptor grid_descriptor(const std::string& name = "c432",
+                                        std::size_t lanes = 6) {
+  sp::dist::RunDescriptor d;
+  d.task_kind = sp::dist::TaskKind::kSstaGrid;
+  d.workload = name;
+  d.seed = 20260729;
+  const auto nl = sp::netlist::iscas_like(name);
+  d.size_grid.assign(lanes, nl.sizes());
+  for (std::size_t k = 0; k < lanes; ++k)
+    for (double& s : d.size_grid[k]) s *= 1.0 + 0.07 * static_cast<double>(k);
+  sp::dist::finalize_descriptor(d);
+  return d;
 }
 
 sp::stats::RunningStats random_stats(std::mt19937_64& g, std::size_t n) {
@@ -289,9 +312,9 @@ TEST(DistEngine, ShardRangeValidatesUpFront) {
 TEST(DistCoordinator, ValidatesRangeSizeUpFront) {
   auto desc = small_descriptor("c432", 1024, 128);  // 8 shards
   sp::dist::CoordinatorOptions opt;
-  opt.shards_per_range = 9;  // more than the plan holds
+  opt.units_per_range = 9;  // more than the plan holds
   EXPECT_THROW(sp::dist::Coordinator(desc, opt), std::invalid_argument);
-  opt.shards_per_range = 0;
+  opt.units_per_range = 0;
   opt.max_attempts = 0;
   EXPECT_THROW(sp::dist::Coordinator(desc, opt), std::invalid_argument);
 }
@@ -302,13 +325,13 @@ TEST(DistCoordinator, ValidatesRangeSizeUpFront) {
 TEST(DistEndToEnd, TwoWorkerProcessesMatchLocalBitwise) {
   const auto desc = small_descriptor("c3540", 1024, 128);  // 8 shards
   sp::dist::CoordinatorOptions opt;
-  opt.shards_per_range = 2;  // 4 assignments across 2 workers
+  opt.units_per_range = 2;  // 4 assignments across 2 workers
   opt.idle_timeout_ms = 120000;
   sp::dist::Coordinator coord(desc, opt);
 
   const pid_t w1 = spawn_worker_process(coord.port());
   const pid_t w2 = spawn_worker_process(coord.port());
-  const sp::mc::McResult dist_result = coord.run();
+  const sp::mc::McResult dist_result = coord.run().mc;
   reap(coord, w1);
   reap(coord, w2);
 
@@ -330,7 +353,7 @@ TEST(DistEndToEnd, SingleWorkerProcessMatchesLocalBitwise) {
   opt.idle_timeout_ms = 120000;
   sp::dist::Coordinator coord(desc, opt);
   const pid_t w1 = spawn_worker_process(coord.port());
-  const sp::mc::McResult dist_result = coord.run();
+  const sp::mc::McResult dist_result = coord.run().mc;
   reap(coord, w1);
   EXPECT_TRUE(sp::dist::bitwise_equal(dist_result, sp::dist::run_local(desc)));
 }
@@ -343,12 +366,12 @@ TEST(DistEndToEnd, SingleWorkerProcessMatchesLocalBitwise) {
 TEST(DistEndToEnd, WorkerFailureReassignmentStaysBitwiseIdentical) {
   const auto desc = small_descriptor("c432", 1024, 128);
   sp::dist::CoordinatorOptions opt;
-  opt.shards_per_range = 2;
+  opt.units_per_range = 2;
   opt.idle_timeout_ms = 120000;
   sp::dist::Coordinator coord(desc, opt);
 
   sp::mc::McResult dist_result;
-  std::thread serving([&] { dist_result = coord.run(); });
+  std::thread serving([&] { dist_result = coord.run().mc; });
 
   // Saboteur (inline): hello, read setup, accept one assignment, vanish
   // without producing it.
@@ -380,12 +403,12 @@ TEST(DistEndToEnd, WorkloadRejectionIsReportedNotFatal) {
   sp::dist::Coordinator coord(desc, opt);
 
   sp::mc::McResult dist_result;
-  std::thread serving([&] { dist_result = coord.run(); });
+  std::thread serving([&] { dist_result = coord.run().mc; });
 
   sp::dist::WorkerOptions wopt;
   wopt.port = coord.port();
   const std::size_t done = sp::dist::run_worker(
-      wopt, [](const sp::dist::RunDescriptor&) -> sp::dist::ShardRangeRunner {
+      wopt, [](const sp::dist::RunDescriptor&) -> sp::dist::UnitRangeRunner {
         throw std::invalid_argument("injected workload failure");
       });
   EXPECT_EQ(done, 0u);
@@ -394,6 +417,343 @@ TEST(DistEndToEnd, WorkloadRejectionIsReportedNotFatal) {
   serving.join();
   reap(coord, w1);
   EXPECT_TRUE(sp::dist::bitwise_equal(dist_result, sp::dist::run_local(desc)));
+}
+
+// -------------------------------------------------- generic task layer
+
+TEST(DistSerialize, StageCharacterizationRoundTripFuzzIsByteStable) {
+  std::mt19937_64 g(777);
+  std::normal_distribution<double> d(120.0, 55.0);
+  for (int rep = 0; rep < 50; ++rep) {
+    sp::sta::StageCharacterization c;
+    c.delay = {d(g), std::abs(d(g))};
+    c.sigma_inter = std::abs(d(g));
+    c.sigma_private = std::abs(d(g));
+    c.area = std::abs(d(g));
+    c.nominal_delay = d(g);
+    ByteWriter w;
+    sp::dist::write_stage_characterization(w, c);
+    EXPECT_EQ(w.bytes().size(), 48u);  // the documented fixed record size
+    ByteReader r(w.bytes());
+    const auto back = sp::dist::read_stage_characterization(r);
+    EXPECT_TRUE(r.done());
+    ByteWriter w2;
+    sp::dist::write_stage_characterization(w2, back);
+    EXPECT_EQ(w.bytes(), w2.bytes());
+  }
+}
+
+TEST(DistSerialize, GridDescriptorRoundTripCarriesTaskKindAndGrid) {
+  const auto d = grid_descriptor("c432", 5);
+  ByteWriter w;
+  sp::dist::write_run_descriptor(w, d);
+  ByteReader r(w.bytes());
+  const auto back = sp::dist::read_run_descriptor(r);
+  r.expect_done();
+  EXPECT_EQ(back.task_kind, sp::dist::TaskKind::kSstaGrid);
+  EXPECT_EQ(back.workload, d.workload);
+  EXPECT_EQ(back.netlist_hash, d.netlist_hash);
+  EXPECT_EQ(back.size_grid, d.size_grid);
+  // Byte-stable: serialize(deserialize(b)) == b.
+  ByteWriter w2;
+  sp::dist::write_run_descriptor(w2, back);
+  EXPECT_EQ(w.bytes(), w2.bytes());
+}
+
+// Every truncated prefix of a v2 descriptor must fail loudly as a
+// truncation (or task-kind) error — never parse, never crash.
+TEST(DistSerialize, GridDescriptorTruncationFuzzAlwaysThrows) {
+  const auto d = grid_descriptor("c432", 3);
+  ByteWriter w;
+  sp::dist::write_run_descriptor(w, d);
+  const auto& bytes = w.bytes();
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    ByteReader r(std::span<const std::uint8_t>(bytes.data(), len));
+    EXPECT_THROW((void)sp::dist::read_run_descriptor(r), std::runtime_error)
+        << "prefix of " << len << " bytes parsed";
+  }
+}
+
+TEST(DistSerialize, UnknownTaskKindIsRejectedAsTaskKindError) {
+  auto d = grid_descriptor("c432", 2);
+  ByteWriter w;
+  sp::dist::write_run_descriptor(w, d);
+  auto bytes = w.bytes();
+  bytes[0] = 0x07;  // task-kind low byte: unknown kind 7
+  bytes[1] = 0x00;
+  ByteReader r(bytes);
+  try {
+    (void)sp::dist::read_run_descriptor(r);
+    FAIL() << "unknown task kind parsed";
+  } catch (const std::runtime_error& e) {
+    // The satellite contract: a clear task-kind error naming what this
+    // build knows, not a generic deserialize failure downstream.
+    EXPECT_NE(std::string(e.what()).find("task kind"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("ssta-grid"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(DistSerialize, HostileGridLaneCountThrowsInsteadOfAllocating) {
+  ByteWriter w;
+  w.u16(static_cast<std::uint16_t>(sp::dist::TaskKind::kSstaGrid));
+  w.str("c432");
+  for (int i = 0; i < 6; ++i) w.u64(1);  // hash..block_width
+  w.u64(1ULL << 60);                     // claimed lane count
+  ByteReader r(w.bytes());
+  EXPECT_THROW((void)sp::dist::read_run_descriptor(r), std::runtime_error);
+}
+
+TEST(DistSerialize, CharacterizationBlobRejectsBadMagicAndVersion) {
+  const auto local = sp::dist::run_local_task(grid_descriptor("c432", 3));
+  auto bytes = sp::dist::serialize_characterizations(local.lanes);
+  EXPECT_EQ(sp::dist::deserialize_characterizations(bytes).size(), 3u);
+  auto corrupt = bytes;
+  corrupt[0] ^= 0xff;
+  EXPECT_THROW((void)sp::dist::deserialize_characterizations(corrupt),
+               std::runtime_error);
+  auto future = bytes;
+  future[4] = 0x7f;  // version low byte
+  EXPECT_THROW((void)sp::dist::deserialize_characterizations(future),
+               std::runtime_error);
+}
+
+TEST(DistWorkload, GridDescriptorValidation) {
+  // Multi-circuit grid workloads are rejected: one grid = one stage.
+  {
+    auto d = grid_descriptor("c432", 2);
+    d.workload = "c432,c880";
+    EXPECT_THROW(sp::dist::build_grid_stage(d), std::invalid_argument);
+  }
+  // Empty grid.
+  {
+    auto d = grid_descriptor("c432", 2);
+    d.size_grid.clear();
+    EXPECT_THROW(sp::dist::build_grid_stage(d), std::invalid_argument);
+  }
+  // A lane that is not a full size vector (empty or wrong length) would
+  // silently fall back to rebuilt base sizes on the worker — rejected.
+  {
+    auto d = grid_descriptor("c432", 2);
+    d.size_grid[1].pop_back();
+    EXPECT_THROW(sp::dist::build_grid_stage(d), std::invalid_argument);
+    d.size_grid[1].clear();
+    EXPECT_THROW(sp::dist::build_grid_stage(d), std::invalid_argument);
+  }
+  // Hash mismatch (diverging generator builds).
+  {
+    auto d = grid_descriptor("c432", 2);
+    d.netlist_hash ^= 1;
+    EXPECT_THROW(sp::dist::build_grid_stage(d), std::invalid_argument);
+  }
+}
+
+TEST(DistCluster, WorkloadNameForVerifiesStructure) {
+  auto nl = sp::netlist::iscas_like("c432");
+  EXPECT_EQ(sp::dist::workload_name_for(nl), "c432");
+  // Resizing is fine — grids carry explicit size lanes.
+  auto sizes = nl.sizes();
+  for (double& s : sizes) s *= 1.3;
+  nl.set_sizes(sizes);
+  EXPECT_EQ(sp::dist::workload_name_for(nl), "c432");
+  // A structural edit (not just sizes) must be rejected.
+  sp::netlist::Netlist renamed = sp::netlist::iscas_like("c880");
+  renamed.set_name("c432_like");
+  EXPECT_THROW(sp::dist::workload_name_for(renamed), std::invalid_argument);
+}
+
+// The grid acceptance contract: a sweep grid split across TWO worker
+// PROCESSES reassembles to the exact bytes of the local SstaBatch run —
+// both the run_local_task reference and a caller-side batch at the same
+// configs.
+TEST(DistEndToEnd, TwoWorkerSstaGridMatchesLocalBatchBitwise) {
+  const auto desc = grid_descriptor("c432", 6);
+  sp::dist::CoordinatorOptions opt;
+  opt.units_per_range = 2;  // 3 assignments across 2 workers
+  opt.idle_timeout_ms = 120000;
+  sp::dist::Coordinator coord(desc, opt);
+
+  const pid_t w1 = spawn_worker_process(coord.port());
+  const pid_t w2 = spawn_worker_process(coord.port());
+  const sp::dist::TaskResult dist_result = coord.run();
+  reap(coord, w1);
+  reap(coord, w2);
+
+  ASSERT_EQ(dist_result.kind, sp::dist::TaskKind::kSstaGrid);
+  ASSERT_EQ(dist_result.lanes.size(), desc.size_grid.size());
+  const sp::dist::TaskResult local = sp::dist::run_local_task(desc);
+  EXPECT_TRUE(sp::dist::bitwise_equal(dist_result, local));
+
+  // And against a directly-bound batch, the way an optimizer would see it.
+  const auto nl = sp::netlist::iscas_like("c432");
+  const sp::device::AlphaPowerModel model{sp::process::Technology{}};
+  sp::sta::SstaOptions sopt;
+  sopt.output_load = desc.output_load;
+  const sp::sta::SstaBatch batch(nl, model, sopt);
+  const auto direct = batch.characterize(sp::sta::make_configs(
+      desc.size_grid, sp::dist::descriptor_spec(desc)));
+  EXPECT_TRUE(sp::dist::bitwise_equal(dist_result.lanes, direct));
+}
+
+// A non-default technology must replay exactly on the worker: the
+// descriptor carries the delay model's parameters, so a grid submitted
+// from a tweaked-technology optimizer is not silently characterized with
+// registry defaults.
+TEST(DistEndToEnd, NonDefaultTechnologyCrossesTheWire) {
+  sp::process::Technology tech;
+  tech.tau_ps = 5.5;   // slower inverter
+  tech.alpha = 1.45;   // different velocity-saturation index
+  auto desc = grid_descriptor("c432", 4);
+  sp::dist::set_descriptor_technology(desc, tech);
+
+  sp::dist::CoordinatorOptions opt;
+  opt.idle_timeout_ms = 120000;
+  sp::dist::Coordinator coord(desc, opt);
+  const pid_t w1 = spawn_worker_process(coord.port());
+  const sp::dist::TaskResult dist_result = coord.run();
+  reap(coord, w1);
+
+  const sp::device::AlphaPowerModel model{tech};
+  const auto nl = sp::netlist::iscas_like("c432");
+  sp::sta::SstaOptions sopt;
+  sopt.output_load = desc.output_load;
+  const sp::sta::SstaBatch batch(nl, model, sopt);
+  const auto direct = batch.characterize(sp::sta::make_configs(
+      desc.size_grid, sp::dist::descriptor_spec(desc)));
+  EXPECT_TRUE(sp::dist::bitwise_equal(dist_result.lanes, direct));
+  // And the tweaked technology actually changes the numbers (the test
+  // would be vacuous if defaults happened to match).
+  const sp::device::AlphaPowerModel default_model{sp::process::Technology{}};
+  const sp::sta::SstaBatch default_batch(nl, default_model, sopt);
+  const auto with_defaults = default_batch.characterize(sp::sta::make_configs(
+      desc.size_grid, sp::dist::descriptor_spec(desc)));
+  EXPECT_FALSE(sp::dist::bitwise_equal(dist_result.lanes, with_defaults));
+}
+
+// Worker failure on a grid task: a saboteur takes a lane range and dies;
+// the reassigned reassembly is still bitwise-identical.
+TEST(DistEndToEnd, SstaGridWorkerFailureReassignmentStaysBitwise) {
+  const auto desc = grid_descriptor("c432", 8);
+  sp::dist::CoordinatorOptions opt;
+  opt.units_per_range = 2;
+  opt.idle_timeout_ms = 120000;
+  sp::dist::Coordinator coord(desc, opt);
+
+  sp::dist::TaskResult dist_result;
+  std::thread serving([&] { dist_result = coord.run(); });
+
+  {
+    auto sock = sp::dist::connect_to("127.0.0.1", coord.port());
+    sp::dist::ByteWriter hello;
+    hello.u16(sp::dist::kWireVersion);
+    hello.u64(1);
+    sp::dist::send_frame(sock, sp::dist::MsgType::kHello, hello.bytes());
+    auto setup = sp::dist::recv_frame(sock);
+    ASSERT_TRUE(setup && setup->type == sp::dist::MsgType::kSetup);
+    auto assign = sp::dist::recv_frame(sock);
+    ASSERT_TRUE(assign && assign->type == sp::dist::MsgType::kAssign);
+    sock.close();  // forfeits the lane range
+  }
+
+  const pid_t w1 = spawn_worker_process(coord.port());
+  serving.join();
+  reap(coord, w1);
+  EXPECT_TRUE(
+      sp::dist::bitwise_equal(dist_result, sp::dist::run_local_task(desc)));
+}
+
+// The tentpole acceptance contract: opt::area_delay_sweep with its grid
+// submitted to a 2-process cluster — WITH an injected worker failure
+// mid-run — produces bitwise-identical results to the single-process
+// SstaBatch path.
+TEST(DistEndToEnd, DistributedSweepWithWorkerFailureMatchesLocalBitwise) {
+  const sp::device::AlphaPowerModel model{sp::process::Technology{}};
+  sp::process::VariationSpec spec;
+  spec.sigma_vth_inter = 0.020;
+  spec.sigma_vth_systematic = 0.0;
+
+  sp::opt::SweepOptions sw;
+  sw.points = 6;
+
+  // Local reference first (the hook left empty = SstaBatch path).
+  sp::netlist::Netlist nl_local = sp::netlist::iscas_like("c432");
+  const auto local = sp::opt::area_delay_sweep(nl_local, model, spec, sw);
+
+  // Cluster-backed sweep: the hook runs one coordinator session per grid,
+  // sabotaged by a fake worker that takes a range and dies before two
+  // healthy worker processes finish the job.
+  sw.grid = [](const sp::netlist::Netlist& nl,
+               const sp::device::AlphaPowerModel& hook_model,
+               const std::vector<std::vector<double>>& grid,
+               const sp::process::VariationSpec& sp_spec,
+               const sp::sta::SstaOptions& sopt) {
+    sp::dist::RunDescriptor d;
+    d.task_kind = sp::dist::TaskKind::kSstaGrid;
+    d.workload = sp::dist::workload_name_for(nl);
+    d.size_grid = grid;
+    sp::dist::set_descriptor_technology(d, hook_model.technology());
+    sp::dist::set_descriptor_spec(d, sp_spec);
+    d.output_load = sopt.output_load;
+    sp::dist::finalize_descriptor(d);
+
+    sp::dist::CoordinatorOptions copt;
+    copt.units_per_range = 2;
+    copt.idle_timeout_ms = 120000;
+    sp::dist::Coordinator coord(d, copt);
+
+    sp::dist::TaskResult res;
+    std::thread serving([&] { res = coord.run(); });
+    {
+      auto sock = sp::dist::connect_to("127.0.0.1", coord.port());
+      sp::dist::ByteWriter hello;
+      hello.u16(sp::dist::kWireVersion);
+      hello.u64(1);
+      sp::dist::send_frame(sock, sp::dist::MsgType::kHello, hello.bytes());
+      auto setup = sp::dist::recv_frame(sock);
+      EXPECT_TRUE(setup && setup->type == sp::dist::MsgType::kSetup);
+      auto assign = sp::dist::recv_frame(sock);
+      EXPECT_TRUE(assign && assign->type == sp::dist::MsgType::kAssign);
+      sock.close();  // forfeits the range
+    }
+    const pid_t w1 = spawn_worker_process(coord.port());
+    const pid_t w2 = spawn_worker_process(coord.port());
+    serving.join();
+    reap(coord, w1);
+    reap(coord, w2);
+    return res.lanes;
+  };
+  sp::netlist::Netlist nl_dist = sp::netlist::iscas_like("c432");
+  const auto dist_sweep = sp::opt::area_delay_sweep(nl_dist, model, spec, sw);
+
+  EXPECT_TRUE(sp::opt::bitwise_equal(dist_sweep, local));
+  // The sweep leaves the netlist at the fastest point; both paths must
+  // agree on that too.
+  EXPECT_EQ(nl_dist.sizes(), nl_local.sizes());
+}
+
+// The public cluster API end to end: grid_characterizer + run_cluster
+// spawn-and-reap their own localhost fleet and match the local sweep.
+TEST(DistEndToEnd, ClusterGridCharacterizerMatchesLocalSweep) {
+  const sp::device::AlphaPowerModel model{sp::process::Technology{}};
+  sp::process::VariationSpec spec;
+  spec.sigma_vth_inter = 0.020;
+  spec.sigma_vth_systematic = 0.0;
+
+  sp::opt::SweepOptions sw;
+  sw.points = 5;
+  sp::netlist::Netlist nl_local = sp::netlist::iscas_like("c880");
+  const auto local = sp::opt::area_delay_sweep(nl_local, model, spec, sw);
+
+  sp::dist::ClusterOptions cl;
+  cl.coordinator.idle_timeout_ms = 120000;
+  cl.spawn_workers = 2;
+  cl.worker_bin = STATPIPE_WORKER_BIN;
+  sw.grid = sp::dist::grid_characterizer(cl);
+  sp::netlist::Netlist nl_dist = sp::netlist::iscas_like("c880");
+  const auto dist_sweep = sp::opt::area_delay_sweep(nl_dist, model, spec, sw);
+
+  EXPECT_TRUE(sp::opt::bitwise_equal(dist_sweep, local));
 }
 
 }  // namespace

@@ -1,39 +1,45 @@
-// statpipe-run — distributed Monte-Carlo coordinator entry point.
+// statpipe-run — distributed task coordinator entry point.
 //
-// Plans a gate-level MC run, serves shard ranges to statpipe-worker
-// processes over TCP, merges their per-shard results in ascending shard
-// order, and prints the yield summary.  With --check-local it also runs
-// the identical workload single-process and asserts the distributed
-// result is bitwise-identical — the subsystem's acceptance gate, used by
-// the CI dist-smoke job.
+// Plans a distributed task, serves unit ranges to statpipe-worker
+// processes over TCP, reassembles their per-unit results in ascending
+// unit order, and prints a summary.  Two task kinds:
+//
+//   --task mc          (default) gate-level Monte-Carlo: units are sim
+//                      shards, the merged result is the yield estimate.
+//   --task ssta-sweep  distributed area-delay sweep: the sweep's candidate
+//                      grids (SSTA sweep-config lanes) are farmed to the
+//                      cluster via dist::grid_characterizer; the workload
+//                      must name exactly one circuit.
+//
+// With --check-local the identical workload also runs single-process and
+// the distributed result must be bitwise-identical — the subsystem's
+// acceptance gate, used by the CI dist-smoke job for both task kinds.
 //
 //   statpipe-run --workload c3540,c432 --samples 4096 [--seed 90210]
+//                [--task mc|ssta-sweep] [--points N]
 //                [--port 0] [--host 127.0.0.1]
 //                [--samples-per-shard 256] [--block-width 8]
-//                [--shards-per-range N] [--max-attempts 3]
+//                [--units-per-range N] [--max-attempts 3]
 //                [--spawn N --worker-bin PATH] [--timeout-ms N]
 //                [--check-local] [--quiet]
 //
 // --spawn N forks N local statpipe-worker processes pointed at the bound
 // port (default worker binary: ./statpipe-worker next to this one) — the
 // one-command localhost cluster.  Without --spawn, start workers yourself
-// against the printed port.
-#include <spawn.h>
-#include <sys/wait.h>
-#include <unistd.h>
-
+// against the printed port.  Wire format: docs/WIRE_FORMAT.md; bitwise
+// contract: docs/DETERMINISM.md.
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
-#include "dist/coordinator.h"
+#include "dist/cluster.h"
+#include "dist/task.h"
 #include "dist/workload.h"
+#include "netlist/generators.h"
+#include "opt/sweep.h"
 #include "stats/gaussian.h"
-
-extern char** environ;
 
 namespace {
 
@@ -43,9 +49,16 @@ namespace sp = statpipe;
   std::fprintf(
       stderr,
       "usage: %s --workload NAMES --samples N [--seed S] [--port P]\n"
-      "          [--host H] [--samples-per-shard N] [--block-width W]\n"
-      "          [--shards-per-range N] [--max-attempts N] [--timeout-ms N]\n"
-      "          [--spawn N] [--worker-bin PATH] [--check-local] [--quiet]\n",
+      "          [--task mc|ssta-sweep] [--points N] [--host H]\n"
+      "          [--samples-per-shard N] [--block-width W]\n"
+      "          [--units-per-range N] [--max-attempts N] [--timeout-ms N]\n"
+      "          [--spawn N] [--worker-bin PATH] [--check-local] [--quiet]\n"
+      "\n"
+      "task kinds (docs/WIRE_FORMAT.md):\n"
+      "  mc          gate-level Monte-Carlo; units are sim shards\n"
+      "              (--samples required; NAMES may list several stages)\n"
+      "  ssta-sweep  distributed area-delay sweep; units are SSTA grid\n"
+      "              lanes (--points targets; NAMES must be one circuit)\n",
       argv0);
   std::exit(EXIT_FAILURE);
 }
@@ -66,31 +79,94 @@ std::string sibling_worker_bin(const char* argv0) {
   return dir + "/statpipe-worker";
 }
 
-pid_t spawn_worker(const std::string& bin, std::uint16_t port, bool quiet) {
-  const std::string port_s = std::to_string(port);
-  std::vector<char*> args;
-  args.push_back(const_cast<char*>(bin.c_str()));
-  args.push_back(const_cast<char*>("--port"));
-  args.push_back(const_cast<char*>(port_s.c_str()));
-  if (quiet) args.push_back(const_cast<char*>("--quiet"));
-  args.push_back(nullptr);
-  pid_t pid = -1;
-  const int rc =
-      ::posix_spawn(&pid, bin.c_str(), nullptr, nullptr, args.data(), environ);
-  if (rc != 0)
-    throw std::runtime_error("cannot spawn " + bin + ": " +
-                             std::strerror(rc));
-  return pid;
+int run_mc(sp::dist::RunDescriptor& desc, const sp::dist::ClusterOptions& cl,
+           bool check_local) {
+  sp::dist::finalize_descriptor(desc);
+  std::printf("statpipe-run: mc, %s, %llu samples, seed %llu\n",
+              desc.workload.c_str(),
+              static_cast<unsigned long long>(desc.n_samples),
+              static_cast<unsigned long long>(desc.seed));
+  const sp::dist::TaskResult dist_result = sp::dist::run_cluster(desc, cl);
+
+  const sp::stats::Gaussian g = dist_result.mc.tp_estimate();
+  std::printf("T_P estimate: mu %.4f ps, sigma %.4f ps over %zu samples\n",
+              g.mean, g.sigma, dist_result.mc.tp_samples.size());
+
+  if (check_local) {
+    const sp::dist::TaskResult local = sp::dist::run_local_task(desc);
+    if (!sp::dist::bitwise_equal(dist_result, local)) {
+      std::printf("FAIL: distributed result diverges from the "
+                  "single-process run\n");
+      return EXIT_FAILURE;
+    }
+    std::printf("distributed result is bitwise-identical to the "
+                "single-process run\n");
+  }
+  return EXIT_SUCCESS;
+}
+
+int run_ssta_sweep(const sp::dist::RunDescriptor& desc, std::size_t points,
+                   const sp::dist::ClusterOptions& cl, bool check_local) {
+  const auto names = sp::dist::split_workload_names(desc.workload);
+  if (names.size() != 1) {
+    std::fprintf(stderr,
+                 "statpipe-run: --task ssta-sweep needs exactly one "
+                 "circuit in --workload, got '%s'\n",
+                 desc.workload.c_str());
+    return EXIT_FAILURE;
+  }
+  const sp::device::AlphaPowerModel model{sp::process::Technology{}};
+  const sp::process::VariationSpec spec = sp::dist::descriptor_spec(desc);
+
+  sp::opt::SweepOptions sw;
+  sw.points = points;
+  sw.sizer.output_load = desc.output_load;
+  sw.grid = sp::dist::grid_characterizer(cl);
+
+  std::printf("statpipe-run: ssta-sweep, %s, %zu sweep points\n",
+              desc.workload.c_str(), points);
+  sp::netlist::Netlist nl = sp::netlist::iscas_like(names.front());
+  const auto dist_sweep = sp::opt::area_delay_sweep(nl, model, spec, sw);
+  std::printf("area-delay curve: %zu feasible points, fastest D_stat "
+              "%.4f ps\n",
+              dist_sweep.curve.points().size(), dist_sweep.min_stat_delay);
+  for (const auto& p : dist_sweep.curve.points())
+    std::printf("  delay %.4f ps  area %.2f\n", p.delay, p.area);
+
+  if (check_local) {
+    sp::opt::SweepOptions local_sw = sw;
+    local_sw.grid = {};  // the single-process SstaBatch reference
+    sp::netlist::Netlist nl2 = sp::netlist::iscas_like(names.front());
+    const auto local_sweep =
+        sp::opt::area_delay_sweep(nl2, model, spec, local_sw);
+    if (!sp::opt::bitwise_equal(dist_sweep, local_sweep)) {
+      std::printf("FAIL: distributed sweep diverges from the "
+                  "single-process SstaBatch run\n");
+      return EXIT_FAILURE;
+    }
+    std::printf("distributed sweep is bitwise-identical to the "
+                "single-process SstaBatch run\n");
+  }
+  return EXIT_SUCCESS;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   sp::dist::RunDescriptor desc;
-  sp::dist::CoordinatorOptions copt;
-  copt.verbose = true;
-  std::size_t spawn_n = 0;
-  std::string worker_bin = sibling_worker_bin(argv[0]);
+  sp::dist::ClusterOptions cl;
+  cl.coordinator.verbose = true;
+  cl.worker_bin = sibling_worker_bin(argv[0]);
+  // Port announcement is operational output, not verbosity: without
+  // --spawn, externally started workers need the (possibly ephemeral)
+  // port even under --quiet.
+  cl.on_listening = [](std::uint16_t port) {
+    std::printf("statpipe-run: listening on port %u\n",
+                static_cast<unsigned>(port));
+    std::fflush(stdout);
+  };
+  std::string task = "mc";
+  std::size_t points = 8;
   bool check_local = false;
   desc.seed = 90210;
   desc.samples_per_shard = 256;
@@ -103,77 +179,47 @@ int main(int argc, char** argv) {
         return argv[++i];
       };
       if (arg == "--workload") desc.workload = next();
+      else if (arg == "--task") task = next();
+      else if (arg == "--points") points = std::stoull(next());
       else if (arg == "--samples") desc.n_samples = std::stoull(next());
       else if (arg == "--seed") desc.seed = std::stoull(next());
       else if (arg == "--samples-per-shard")
         desc.samples_per_shard = std::stoull(next());
       else if (arg == "--block-width") desc.block_width = std::stoull(next());
-      else if (arg == "--port") copt.port = parse_port(next());
-      else if (arg == "--host") copt.bind_host = next();
-      else if (arg == "--shards-per-range")
-        copt.shards_per_range = std::stoull(next());
-      else if (arg == "--max-attempts") copt.max_attempts = std::stoi(next());
-      else if (arg == "--timeout-ms") copt.idle_timeout_ms = std::stoi(next());
-      else if (arg == "--spawn") spawn_n = std::stoull(next());
-      else if (arg == "--worker-bin") worker_bin = next();
+      else if (arg == "--port") cl.coordinator.port = parse_port(next());
+      else if (arg == "--host") cl.coordinator.bind_host = next();
+      else if (arg == "--units-per-range" || arg == "--shards-per-range")
+        cl.coordinator.units_per_range = std::stoull(next());
+      else if (arg == "--max-attempts")
+        cl.coordinator.max_attempts = std::stoi(next());
+      else if (arg == "--timeout-ms")
+        cl.coordinator.idle_timeout_ms = std::stoi(next());
+      else if (arg == "--spawn") cl.spawn_workers = std::stoull(next());
+      else if (arg == "--worker-bin") cl.worker_bin = next();
       else if (arg == "--check-local") check_local = true;
-      else if (arg == "--quiet") copt.verbose = false;
+      else if (arg == "--quiet") cl.coordinator.verbose = false;
       else usage(argv[0]);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "statpipe-run: bad argument: %s\n", e.what());
     usage(argv[0]);
   }
-  if (desc.workload.empty() || desc.n_samples == 0) usage(argv[0]);
+  if (desc.workload.empty()) usage(argv[0]);
+  if (task == "mc" && desc.n_samples == 0) usage(argv[0]);
+  if (task == "ssta-sweep" && points < 2) {
+    std::fprintf(stderr, "statpipe-run: --points must be >= 2\n");
+    return EXIT_FAILURE;
+  }
 
   try {
-    sp::dist::finalize_descriptor(desc);
-    sp::dist::Coordinator coord(desc, copt);
-    std::printf("statpipe-run: %s, %llu samples, seed %llu, port %u\n",
-                desc.workload.c_str(),
-                static_cast<unsigned long long>(desc.n_samples),
-                static_cast<unsigned long long>(desc.seed), coord.port());
-
-    std::vector<pid_t> kids;
-    for (std::size_t i = 0; i < spawn_n; ++i)
-      kids.push_back(spawn_worker(worker_bin, coord.port(), !copt.verbose));
-
-    const sp::mc::McResult dist_result = coord.run();
-
-    // Reap spawned workers while draining the listener: a worker slow
-    // enough to connect only after the run ended receives kShutdown from
-    // drain_backlog and exits cleanly instead of hanging in its setup
-    // read (and us in waitpid).
-    int exit_code = EXIT_SUCCESS;
-    for (pid_t pid : kids) {
-      int status = 0;
-      pid_t got;
-      while ((got = ::waitpid(pid, &status, WNOHANG)) == 0) {
-        coord.drain_backlog();
-        ::usleep(50 * 1000);
-      }
-      if (got < 0 || !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
-        std::fprintf(stderr, "statpipe-run: worker %d exited abnormally\n",
-                     static_cast<int>(pid));
-        exit_code = EXIT_FAILURE;
-      }
-    }
-
-    const sp::stats::Gaussian g = dist_result.tp_estimate();
-    std::printf("T_P estimate: mu %.4f ps, sigma %.4f ps over %zu samples\n",
-                g.mean, g.sigma, dist_result.tp_samples.size());
-
-    if (check_local) {
-      const sp::mc::McResult local = sp::dist::run_local(desc);
-      if (!sp::dist::bitwise_equal(dist_result, local)) {
-        std::printf("FAIL: distributed result diverges from the "
-                    "single-process run\n");
-        return EXIT_FAILURE;
-      }
-      std::printf("distributed result is bitwise-identical to the "
-                  "single-process run\n");
-    }
-    return exit_code;
+    if (task == "mc") return run_mc(desc, cl, check_local);
+    if (task == "ssta-sweep")
+      return run_ssta_sweep(desc, points, cl, check_local);
+    std::fprintf(stderr,
+                 "statpipe-run: unknown task '%s' (this build knows mc, "
+                 "ssta-sweep)\n",
+                 task.c_str());
+    return EXIT_FAILURE;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "statpipe-run: %s\n", e.what());
     return EXIT_FAILURE;

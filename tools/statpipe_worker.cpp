@@ -1,8 +1,11 @@
-// statpipe-worker — distributed Monte-Carlo worker daemon.
+// statpipe-worker — distributed task worker daemon.
 //
 // Dials a coordinator (statpipe-run, or an embedded dist::Coordinator),
 // rebuilds the advertised workload, verifies its structural hash, and
-// serves shard-range assignments on the local thread pool until shutdown.
+// serves unit-range assignments on the local thread pool until shutdown.
+// Serves every registered task kind — Monte-Carlo shard ranges and SSTA
+// grid lane ranges alike (dist/task.h); a setup frame carrying a task
+// kind this build does not know is rejected with a clear task-kind error.
 //
 //   statpipe-worker --port 4815 [--host 127.0.0.1] [--retry-ms 5000]
 //                   [--quiet]
@@ -23,7 +26,9 @@ namespace {
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --port P [--host H] [--retry-ms N] [--quiet]\n",
+               "usage: %s --port P [--host H] [--retry-ms N] [--quiet]\n"
+               "serves all registered task kinds (mc, ssta-grid) announced\n"
+               "by the coordinator's setup frame\n",
                argv0);
   std::exit(EXIT_FAILURE);
 }
