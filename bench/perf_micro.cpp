@@ -20,6 +20,8 @@
 #include "sta/ssta.h"
 #include "sta/sta.h"
 #include "stats/clark.h"
+#include "stats/lanes.h"
+#include "stats/simd.h"
 
 namespace sp = statpipe;
 
@@ -167,10 +169,22 @@ static void BM_StageLevelMcSharded(benchmark::State& state) {
 }
 BENCHMARK(BM_StageLevelMcSharded)->Arg(1)->Arg(2)->Arg(8)->UseRealTime();
 
-// Gate-level MC at block widths 1 / 8 / 16 (serial): the SoA block-kernel
-// speedup in isolation.  Same seed at every width — bitwise-identical
-// results by the block-path determinism contract; only wall-clock changes.
+// Gate-level MC at block widths 1 / 8 / 16 / 32 / 64 (serial): the SoA
+// block-kernel speedup in isolation.  Same seed at every width —
+// bitwise-identical results by the block-path determinism contract; only
+// wall-clock changes.  Widths beyond the active SIMD backend's max_width
+// are skipped (not errors): the sweep's Args are the superset so the same
+// benchmark names exist on every backend.
 static void BM_GateLevelMcBlockWidth(benchmark::State& state) {
+  const auto width = static_cast<std::size_t>(state.range(0));
+  if (width > sp::stats::lanes::max_width()) {
+    state.SkipWithError(("block width " + std::to_string(width) +
+                         " exceeds SIMD backend '" +
+                         std::string(sp::stats::simd::kernels().name) +
+                         "' max_width")
+                            .c_str());
+    return;
+  }
   static const auto stages = [] {
     std::vector<sp::netlist::Netlist> s;
     for (int i = 0; i < 5; ++i) s.push_back(sp::netlist::inverter_chain(24));
@@ -183,7 +197,7 @@ static void BM_GateLevelMcBlockWidth(benchmark::State& state) {
   sp::sim::ExecutionOptions exec;
   exec.threads = 1;
   exec.samples_per_shard = 256;
-  exec.block_width = static_cast<std::size_t>(state.range(0));
+  exec.block_width = width;
   constexpr std::size_t kSamples = 2048;
   sp::stats::Rng rng(3);
   for (auto _ : state)
@@ -194,6 +208,8 @@ BENCHMARK(BM_GateLevelMcBlockWidth)
     ->Arg(1)
     ->Arg(8)
     ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
     ->Unit(benchmark::kMillisecond);
 
 static void BM_SizerC432(benchmark::State& state) {
@@ -215,6 +231,18 @@ int main(int argc, char** argv) {
   std::string json_path;
   try {
     json_path = bench_util::take_json_arg(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "perf_micro: %s\n", e.what());
+    return 1;
+  }
+  // Record the active SIMD dispatch state in the benchmark context, so a
+  // perf delta can always be traced to (or blamed on) a backend change —
+  // the same role sample_sta_block's simd_backend JSON meta plays.
+  try {
+    const auto& kt = sp::stats::simd::kernels();
+    benchmark::AddCustomContext("simd_backend", kt.name);
+    benchmark::AddCustomContext("simd_max_width",
+                                std::to_string(kt.max_width));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "perf_micro: %s\n", e.what());
     return 1;

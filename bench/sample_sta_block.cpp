@@ -10,10 +10,15 @@
 // the field enabled).
 //
 // For each circuit the same run (same seed, same shard plan) executes at
-// block widths 1 (the scalar path), 8 and 16, single-threaded and on the
-// full pool; the bench reports the speedup of width-8/16 over width-1 and
-// verifies all runs are bitwise-identical — exec.block_width is a pure
-// throughput knob.
+// every block width in {1, 8, 16, 32, 64} the active SIMD backend accepts
+// (width 1 is the scalar path), single-threaded, plus the backend's
+// preferred width on the full pool; the bench reports each width's speedup
+// over width-1 and verifies all runs are bitwise-identical —
+// exec.block_width is a pure throughput knob.
+//
+// The JSON meta records the active SIMD backend and its width cap: timing
+// rows are only comparable across records taken on the same backend
+// (tools/bench_diff.py refuses to diff across a backend change).
 //
 // `--json <path>` writes the machine-readable BENCH record CI archives.
 #include <chrono>
@@ -26,6 +31,7 @@
 #include "netlist/generators.h"
 #include "sim/engine.h"
 #include "sim/thread_pool.h"
+#include "stats/simd.h"
 
 namespace sp = statpipe;
 using Clock = std::chrono::steady_clock;
@@ -78,9 +84,28 @@ int main(int argc, char** argv) {
     return EXIT_FAILURE;
   }
 
-  bench_util::banner("sample_sta_block",
-                     "Block (SoA DieBlock) vs scalar gate-level MC, widths "
-                     "{1,8,16}, bitwise-checked");
+  // Resolve the backend up front so a bad STATPIPE_SIMD fails loudly here,
+  // not mid-sweep inside the first MC run.
+  const sp::stats::simd::KernelTable* kt = nullptr;
+  try {
+    kt = &sp::stats::simd::kernels();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sample_sta_block: %s\n", e.what());
+    return EXIT_FAILURE;
+  }
+
+  // Width sweep: the canonical candidates clipped to the active backend.
+  std::vector<std::size_t> widths;
+  for (std::size_t w : {std::size_t{1}, std::size_t{8}, std::size_t{16},
+                        std::size_t{32}, std::size_t{64}})
+    if (w <= kt->max_width) widths.push_back(w);
+  const std::size_t pref = kt->default_width;
+
+  bench_util::banner(
+      "sample_sta_block",
+      "Block (SoA DieBlock) vs scalar gate-level MC on SIMD backend '" +
+          std::string(kt->name) + "', widths {1,8,16,32,64} clipped to " +
+          std::to_string(kt->max_width) + ", bitwise-checked");
 
   const sp::device::AlphaPowerModel model{sp::process::Technology{}};
   const sp::device::LatchModel latch{{}, model};
@@ -99,15 +124,31 @@ int main(int argc, char** argv) {
   // "lanes-poly" = the shared vectorized pow core of PR 4, replacing the
   // per-lane std::pow that dominated the block kernel.
   report.meta("varfactor", "lanes-poly");
+  // Active dispatch state: rows are only comparable between records whose
+  // simd_backend matches (bench_diff.py enforces this).
+  report.meta("simd_backend", std::string(kt->name));
+  report.meta("simd_max_width", static_cast<double>(kt->max_width));
 
-  bench_util::row({"circuit", "gates", "w1-1t", "w8-1t", "w16-1t", "w8-Nt",
-                   "speedup8", "speedup16", "bitwise"});
-  bench_util::csv_begin("sample_sta_block",
-                        "circuit,gates,w1_1t_ms,w8_1t_ms,w16_1t_ms,w8_nt_ms,"
-                        "speedup_w8,speedup_w16,bitwise_equal");
+  std::vector<std::string> head{"circuit", "gates"};
+  std::string csv_head = "circuit,gates";
+  for (std::size_t w : widths) {
+    head.push_back("w" + std::to_string(w) + "-1t");
+    csv_head += ",w" + std::to_string(w) + "_1t_ms";
+  }
+  head.push_back("w" + std::to_string(pref) + "-Nt");
+  csv_head += ",wpref_nt_ms";
+  for (std::size_t w : widths)
+    if (w != 1) {
+      head.push_back("speedup" + std::to_string(w));
+      csv_head += ",speedup_w" + std::to_string(w);
+    }
+  head.push_back("bitwise");
+  csv_head += ",bitwise_equal";
+  bench_util::row(head, 11);
+  bench_util::csv_begin("sample_sta_block", csv_head);
 
   bool all_equal = true;
-  double worst_speedup8 = 1e300;
+  double best_speedup = 0.0;
   for (const char* name : {"c432", "c3540"}) {
     const auto nl = sp::netlist::iscas_like(name);
     const std::vector<const sp::netlist::Netlist*> stages{&nl};
@@ -122,40 +163,47 @@ int main(int argc, char** argv) {
       return mc.run(kSamples, rng, exec);
     };
 
-    sp::mc::McResult r1, r8, r16, r8n;
-    const double w1_1t = best_of([&] { r1 = run_at(1, 1); });
-    const double w8_1t = best_of([&] { r8 = run_at(8, 1); });
-    const double w16_1t = best_of([&] { r16 = run_at(16, 1); });
-    const double w8_nt = best_of([&] { r8n = run_at(8, 0); });
+    std::vector<sp::mc::McResult> res(widths.size());
+    std::vector<double> ms(widths.size());
+    for (std::size_t i = 0; i < widths.size(); ++i)
+      ms[i] = best_of([&] { res[i] = run_at(widths[i], 1); });
+    sp::mc::McResult rpn;
+    const double pref_nt = best_of([&] { rpn = run_at(pref, 0); });
 
-    const bool equal =
-        bitwise_eq(r1, r8) && bitwise_eq(r1, r16) && bitwise_eq(r1, r8n);
+    bool equal = bitwise_eq(res[0], rpn);
+    for (std::size_t i = 1; i < widths.size(); ++i)
+      equal = equal && bitwise_eq(res[0], res[i]);
     all_equal = all_equal && equal;
-    const double speedup8 = w1_1t / w8_1t;
-    const double speedup16 = w1_1t / w16_1t;
-    worst_speedup8 = std::min(worst_speedup8, speedup8);
 
-    bench_util::row({name, std::to_string(nl.gate_count()),
-                     bench_util::fmt(w1_1t) + "ms",
-                     bench_util::fmt(w8_1t) + "ms",
-                     bench_util::fmt(w16_1t) + "ms",
-                     bench_util::fmt(w8_nt) + "ms",
-                     bench_util::fmt(speedup8) + "x",
-                     bench_util::fmt(speedup16) + "x", equal ? "yes" : "NO"});
-    std::printf("%s,%zu,%.3f,%.3f,%.3f,%.3f,%.2f,%.2f,%d\n", name,
-                nl.gate_count(), w1_1t, w8_1t, w16_1t, w8_nt, speedup8,
-                speedup16, equal ? 1 : 0);
+    std::vector<std::string> cells{name, std::to_string(nl.gate_count())};
+    std::string csv = std::string(name) + "," +
+                      std::to_string(nl.gate_count());
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      cells.push_back(bench_util::fmt(ms[i]) + "ms");
+      csv += "," + bench_util::fmt(ms[i], 3);
+    }
+    cells.push_back(bench_util::fmt(pref_nt) + "ms");
+    csv += "," + bench_util::fmt(pref_nt, 3);
 
     report.row();
     report.col("circuit", name);
     report.col("gates", static_cast<double>(nl.gate_count()));
-    report.col("w1_1t_ms", w1_1t);
-    report.col("w8_1t_ms", w8_1t);
-    report.col("w16_1t_ms", w16_1t);
-    report.col("w8_nt_ms", w8_nt);
-    report.col("speedup_w8", speedup8);
-    report.col("speedup_w16", speedup16);
+    for (std::size_t i = 0; i < widths.size(); ++i)
+      report.col("w" + std::to_string(widths[i]) + "_1t_ms", ms[i]);
+    report.col("wpref_nt_ms", pref_nt);
+    for (std::size_t i = 1; i < widths.size(); ++i) {
+      const double speedup = ms[0] / ms[i];
+      best_speedup = std::max(best_speedup, speedup);
+      cells.push_back(bench_util::fmt(speedup) + "x");
+      csv += "," + bench_util::fmt(speedup);
+      report.col("speedup_w" + std::to_string(widths[i]), speedup);
+    }
+    cells.push_back(equal ? "yes" : "NO");
+    csv += equal ? ",1" : ",0";
     report.col("bitwise_equal", equal ? 1.0 : 0.0);
+
+    bench_util::row(cells, 11);
+    std::printf("%s\n", csv.c_str());
   }
   bench_util::csv_end();
   try {
@@ -169,7 +217,7 @@ int main(int argc, char** argv) {
     std::printf("FAIL: block gate-level MC diverged from the scalar path\n");
     return EXIT_FAILURE;
   }
-  std::printf("block path is bitwise-identical to scalar; worst width-8 "
-              "speedup %.2fx\n", worst_speedup8);
+  std::printf("block path is bitwise-identical to scalar on backend '%s'; "
+              "best block speedup %.2fx\n", kt->name, best_speedup);
   return EXIT_SUCCESS;
 }

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "stats/lanes.h"
+#include "stats/simd.h"
 
 namespace statpipe::device {
 
@@ -46,15 +47,12 @@ double AlphaPowerModel::variation_factor(double dvth, double dl_rel) const {
   return stats::lanes::pow_pos(ratio, tech_.alpha) * lf * lf;
 }
 
-// SSE4.2 (2008-baseline, gated to x86-64 GNU-compatible compilers) supplies
-// the packed int64 compare/blend ops pow_pos's bit tricks need; the generic
-// x86-64 baseline lacks them and gcc falls back to scalar code.  FP
-// semantics are unchanged — -std=c++20 keeps -ffp-contract=off, so no FMA
-// fusion — which is what keeps the vector lanes bitwise-equal to the
-// scalar variation_factor path.
-#if defined(__x86_64__) && defined(__GNUC__)
-__attribute__((target("sse4.2")))
-#endif
+// The arithmetic loop is dispatched to the active SIMD backend's kernel
+// (stats/simd.h), which compiled the identical straight-line C++ under
+// that backend's -m flags.  FP semantics are unchanged across backends —
+// the project-wide -ffp-contract=off forbids fusion and no backend is
+// built with -mfma — which is what keeps the vector lanes bitwise-equal
+// to the scalar variation_factor path on every backend.
 void AlphaPowerModel::variation_factor_lanes(const double* dvth,
                                              const double* dl_rel,
                                              std::size_t n,
@@ -62,7 +60,7 @@ void AlphaPowerModel::variation_factor_lanes(const double* dvth,
   const double drive0 = tech_.vdd - tech_.vth0;
   const double alpha = tech_.alpha;
   // Domain checks hoisted out of the hot loop (and completed before any
-  // write) so the arithmetic below is straight-line vectorizable code.
+  // write) so the dispatched kernel is straight-line vectorizable code.
   for (std::size_t j = 0; j < n; ++j) {
     const double drive = drive0 - dvth[j];
     if (drive <= 0.0)
@@ -75,11 +73,14 @@ void AlphaPowerModel::variation_factor_lanes(const double* dvth,
       throw std::domain_error(
           "variation_factor: drive ratio beyond physical range");
   }
-  for (std::size_t j = 0; j < n; ++j) {
-    const double lf = 1.0 + dl_rel[j];
-    out[j] =
-        stats::lanes::pow_pos(drive0 / (drive0 - dvth[j]), alpha) * lf * lf;
-  }
+  stats::simd::kernels().variation_factor_lanes(drive0, alpha, dvth, dl_rel,
+                                                n, out);
+}
+
+AlphaPowerModel::VariationKernelParams
+AlphaPowerModel::variation_kernel_params() const noexcept {
+  return {tech_.vdd - tech_.vth0, tech_.alpha, kMinDriveRatio,
+          kMaxDriveRatio};
 }
 
 double AlphaPowerModel::nominal_delay(GateKind kind, double size,

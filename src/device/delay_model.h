@@ -51,12 +51,27 @@ class AlphaPowerModel {
 
   /// Lane form: out[j] = variation_factor(dvth[j], dl_rel[j]) for j < n,
   /// bitwise-equal to n scalar calls (same pow core, same operation order
-  /// per element) but laid out as one straight-line loop the compiler can
-  /// vectorize — this call is the hot kernel of the block sample STA.
-  /// Domain violations are checked for every lane up front and throw
-  /// std::domain_error before anything is written to `out`.
+  /// per element) but dispatched to the active SIMD backend's vectorized
+  /// kernel (stats/simd.h) — this call is the hot kernel of the block
+  /// sample STA.  Domain violations are checked for every lane up front
+  /// and throw std::domain_error before anything is written to `out`.
   void variation_factor_lanes(const double* dvth, const double* dl_rel,
                               std::size_t n, double* out) const;
+
+  /// The variation-factor arithmetic flattened to plain doubles, for
+  /// callers that inline the computation into a dispatched SIMD kernel
+  /// (the block sample-STA walk): factor = pow_pos(drive0 / (drive0 -
+  /// dvth), alpha) * (1 + dl_rel)^2, valid only while drive0 - dvth > 0,
+  /// 1 + dl_rel > 0 and the drive ratio stays within [min_ratio,
+  /// max_ratio] — outside that window the scalar variation_factor throws,
+  /// and kernel callers must reproduce the same rejection.
+  struct VariationKernelParams {
+    double drive0;     ///< Vdd - Vth0
+    double alpha;      ///< velocity-saturation index
+    double min_ratio;  ///< drive-ratio window accepted by the pow core
+    double max_ratio;
+  };
+  VariationKernelParams variation_kernel_params() const noexcept;
 
   /// Nominal (variation-free) delay of a cell instance [ps].
   /// `load_cap` in min-inverter-cap units; `size` >= minimum size.

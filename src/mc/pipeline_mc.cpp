@@ -240,7 +240,7 @@ std::vector<McResult> GateLevelMonteCarlo::run_shard_range(
     std::size_t shard_end, const sim::ExecutionOptions& exec) const {
   if (n_samples == 0)
     throw std::invalid_argument("GateLevelMonteCarlo: zero samples");
-  exec.validate(stats::lanes::kMaxWidth);
+  exec.validate(stats::lanes::max_width());
   // Materialize only the assigned subrange: a distributed worker must not
   // rebuild the full O(n_shards) plan for a two-shard assignment.
   const std::vector<sim::Shard> shards = sim::plan_shard_range(
@@ -258,7 +258,7 @@ McResult GateLevelMonteCarlo::run(std::size_t n_samples, stats::Rng& rng,
                                   const sim::ExecutionOptions& exec) const {
   if (n_samples == 0)
     throw std::invalid_argument("GateLevelMonteCarlo: zero samples");
-  exec.validate(stats::lanes::kMaxWidth);
+  exec.validate(stats::lanes::max_width());
   const stats::Rng root = rng.fork();
   const std::size_t n_shards =
       sim::shard_count(n_samples, exec.samples_per_shard);

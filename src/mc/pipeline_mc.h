@@ -108,7 +108,8 @@ class GateLevelMonteCarlo {
   /// for the block path: the result depends on (seed, n_samples,
   /// exec.samples_per_shard) but never on exec.threads or exec.block_width.
   /// Throws std::invalid_argument on exec.block_width outside
-  /// [1, stats::lanes::kMaxWidth] (validated up front, never clamped).
+  /// [1, stats::lanes::max_width()] of the active SIMD backend (validated
+  /// up front, never clamped).
   McResult run(std::size_t n_samples, stats::Rng& rng,
                const sim::ExecutionOptions& exec = {}) const;
 

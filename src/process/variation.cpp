@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "stats/simd.h"
+
 namespace statpipe::process {
 
 double Technology::sigma_vth_rdf(double width_mult) const {
@@ -146,11 +148,11 @@ void VariationSampler::sample_into(stats::Rng& rng, DieSample& d,
 void VariationSampler::sample_block_into(stats::Rng* lane_rngs,
                                          std::size_t width, DieBlock& d,
                                          BlockWorkspace& ws) const {
-  if (width == 0 || width > stats::lanes::kMaxWidth)
-    throw std::invalid_argument(
-        "sample_block_into: width must be in [1, lanes::kMaxWidth]");
+  // Single source of truth for the kernel width rule: throws on 0 or
+  // beyond the active SIMD backend's max_width() — validated, never
+  // clamped.
+  const std::size_t W = stats::lanes::validated_width(width);
   const std::size_t n = positions_.size();
-  const std::size_t W = width;
   d.width = W;
   d.sites = n;
   d.dvth_inter.resize(W);
@@ -161,9 +163,14 @@ void VariationSampler::sample_block_into(stats::Rng* lane_rngs,
   d.dl_systematic_rel.resize(sys_l ? n * W : 0);
   d.dvth_random.resize(spec_.enable_rdf ? n * W : 0);
 
-  // Lane-outer loop: lane j's draw sequence is exactly sample_into's on
-  // lane_rngs[j] (inter draws, one batched normal fill for the field, then
-  // per-site RDF), only the stores land site-major in the SoA block.
+  // Lane j's draw sequence is exactly sample_into's on lane_rngs[j] (inter
+  // draws, one batched normal fill for the field, then per-site RDF); each
+  // lane owns its Rng, so splitting the lane loop into phases reorders
+  // draws only *across* lanes, which no lane's stream can observe.
+  //
+  // Phase 1 — per-lane draws: inter shifts, then the lane's standard-normal
+  // field draws, transposed site-major into ws.zt so the field multiply
+  // below reads contiguous lane rows.
   for (std::size_t j = 0; j < W; ++j) {
     stats::Rng& rng = lane_rngs[j];
     d.dvth_inter[j] = spec_.sigma_vth_inter > 0.0
@@ -174,26 +181,34 @@ void VariationSampler::sample_block_into(stats::Rng* lane_rngs,
                             : 0.0;
     if (has_systematic_) {
       rng.normal_fill(ws.z, n);
-      ws.field.resize(n);
-      for (std::size_t i = 0; i < n; ++i) {
-        double s = 0.0;
-        for (std::size_t k = 0; k <= i; ++k)
-          s += systematic_chol_(i, k) * ws.z[k];
-        ws.field[i] = s;
-      }
-      if (sys_vth)
-        for (std::size_t i = 0; i < n; ++i)
-          d.dvth_systematic[i * W + j] =
-              spec_.sigma_vth_systematic * ws.field[i];
-      if (sys_l)
-        for (std::size_t i = 0; i < n; ++i)
-          d.dl_systematic_rel[i * W + j] =
-              spec_.sigma_l_systematic_rel * ws.field[i];
+      ws.zt.resize(n * W);
+      for (std::size_t i = 0; i < n; ++i) ws.zt[i * W + j] = ws.z[i];
     }
-    if (spec_.enable_rdf) {
-      const double s_rdf = tech_.sigma_vth_rdf(1.0);  // unit-width sigma
-      rng.normal_fill_scaled(s_rdf, d.dvth_random.data() + j, n, W);
-    }
+  }
+
+  // Phase 2 — one lane-batched lower-triangular multiply for all W fields
+  // (dispatched to the active SIMD backend; per lane the adds run k
+  // ascending, exactly sample_into's order), then the per-component sigma
+  // scaling as contiguous SoA sweeps.
+  if (has_systematic_) {
+    ws.fieldw.resize(n * W);
+    stats::simd::kernels().chol_field_lanes(systematic_chol_.data(), n,
+                                            systematic_chol_.size(),
+                                            ws.zt.data(), W,
+                                            ws.fieldw.data());
+    if (sys_vth)
+      for (std::size_t i = 0; i < n * W; ++i)
+        d.dvth_systematic[i] = spec_.sigma_vth_systematic * ws.fieldw[i];
+    if (sys_l)
+      for (std::size_t i = 0; i < n * W; ++i)
+        d.dl_systematic_rel[i] = spec_.sigma_l_systematic_rel * ws.fieldw[i];
+  }
+
+  // Phase 3 — per-lane RDF draws, strided site-major into the block.
+  if (spec_.enable_rdf) {
+    const double s_rdf = tech_.sigma_vth_rdf(1.0);  // unit-width sigma
+    for (std::size_t j = 0; j < W; ++j)
+      lane_rngs[j].normal_fill_scaled(s_rdf, d.dvth_random.data() + j, n, W);
   }
 }
 

@@ -101,7 +101,8 @@ struct DieWorkspace {
 /// floating-point sequence (same adds, same order) so per-die results are
 /// bitwise-identical to the scalar path.
 struct DieBlock {
-  std::size_t width = 0;  ///< lanes (dies) per block, <= stats::lanes::kMaxWidth
+  std::size_t width = 0;  ///< lanes (dies) per block, <= the active SIMD
+                          ///< backend's stats::lanes::max_width()
   std::size_t sites = 0;  ///< device sites per die
   std::vector<double> dvth_inter;         ///< [width] shared Vth shift [V]
   std::vector<double> dl_inter_rel;       ///< [width] shared relative L shift
@@ -120,10 +121,15 @@ struct DieBlock {
 };
 
 /// Reusable scratch for VariationSampler::sample_block_into — per-lane
-/// standard-normal and correlated-field buffers, one per Monte-Carlo shard.
+/// draw staging plus the SoA buffers the lane-batched field multiply
+/// (stats/simd.h's chol_field_lanes) reads and writes, one per Monte-Carlo
+/// shard.  Layout is backend-agnostic plain arrays: which SIMD backend
+/// consumes them never changes their shape.
 struct BlockWorkspace {
   std::vector<double> z;      ///< standard-normal draws for one lane's field
   std::vector<double> field;  ///< one lane's correlated systematic field
+  std::vector<double> zt;     ///< [sites*width] site-major transposed draws
+  std::vector<double> fieldw; ///< [sites*width] site-major correlated field
 };
 
 /// Generates correlated DieSamples for a fixed set of device sites.
@@ -150,12 +156,15 @@ class VariationSampler {
   void sample_into(stats::Rng& rng, DieSample& out, DieWorkspace& ws) const;
 
   /// Draw `width` correlated dies into an SoA block in one call: one batched
-  /// normal fill per lane drives the shared systematic field, RDF is drawn
-  /// per die per site.  Lane j consumes lane_rngs[j] with exactly the draw
-  /// sequence of sample_into, so lane j of the block is bitwise-identical to
-  /// a scalar sample_into call on the same Rng state — the equivalence the
-  /// block Monte-Carlo path's determinism rests on.  `out` and `ws` are
-  /// reused across calls; width must be in [1, stats::lanes::kMaxWidth].
+  /// normal fill per lane drives the shared systematic field (the
+  /// lower-triangular multiply runs lane-batched through the active SIMD
+  /// backend, per-lane add order unchanged), RDF is drawn per die per site.
+  /// Lane j consumes lane_rngs[j] with exactly the draw sequence of
+  /// sample_into, so lane j of the block is bitwise-identical to a scalar
+  /// sample_into call on the same Rng state — the equivalence the block
+  /// Monte-Carlo path's determinism rests on.  `out` and `ws` are reused
+  /// across calls; width must be in [1, stats::lanes::max_width()] for the
+  /// active backend (validated, never clamped).
   void sample_block_into(stats::Rng* lane_rngs, std::size_t width,
                          DieBlock& out, BlockWorkspace& ws) const;
 

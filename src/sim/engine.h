@@ -36,8 +36,10 @@ struct ExecutionOptions {
   /// SoA lane width for engines with a block-vectorized sample path: full
   /// blocks of this many samples go through the block kernels, the shard
   /// tail runs scalar.  1 = fully scalar.  Engines validate it against
-  /// their kernel cap (stats::lanes::kMaxWidth) via validate() below — a
-  /// value of 0 or beyond the cap throws, it is never silently clamped.
+  /// their kernel cap — the active SIMD backend's stats::lanes::max_width()
+  /// — via validate() below; a value of 0 or beyond the cap throws, it is
+  /// never silently clamped.  The default of 8 is valid on every backend;
+  /// stats::lanes::preferred_width() is the throughput-tuned choice.
   /// Like `threads` — and unlike `samples_per_shard` — results NEVER
   /// depend on this value: each sample's RNG stream is keyed on its
   /// shard-local index, and the block kernels are bitwise-identical per

@@ -72,7 +72,9 @@ void canonical_max_lanes(const CanonicalLanes& acc, const CanonicalLanes& other,
   // folding lane by lane.  No per-lane dispatch into the scalar operator:
   // the sigma/correlation prologue below and the Clark kernel itself are
   // straight-line loops over the canonical-form arrays.
-  constexpr std::size_t kChunk = 32;
+  constexpr std::size_t kChunk = stats::lanes::kMaxWidth;  // 64: widest
+  // block any SIMD backend accepts, so one chunk feeds even the AVX-512
+  // kernel full rows while the stack scratch stays at 4 KiB.
   double s1[kChunk], s2[kChunk], rho[kChunk];
   double cmean[kChunk], csigma[kChunk], calpha[kChunk], ca[kChunk],
       cphi[kChunk];

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "stats/simd.h"
+
 namespace statpipe::sta {
 
 namespace {
@@ -155,59 +157,56 @@ void critical_delay_sample_block(const netlist::Netlist& nl,
   ws.dvth.resize(W);
   ws.dl.resize(W);
   ws.vf.resize(W);
-  double* arrival = ws.arrival.data();
-  double* dvth = ws.dvth.data();
-  double* dl = ws.dl.data();
-  double* vf = ws.vf.data();
-  const double* sys = block.dvth_systematic.empty()
-                          ? nullptr
-                          : block.dvth_systematic.data();
-  const double* rnd =
+
+  // The whole walk — fanin max fold, SoA parameter gather, variation-factor
+  // pow sweep, output fold — runs as one dispatched kernel of the active
+  // SIMD backend (stats/simd.h; body in stats/lanes_kernels.inl).  Per die
+  // the operation order is the scalar path's, per gate the domain checks
+  // are the scalar variation_factor's in the same lane order, so results
+  // and rejections are unchanged from the pre-dispatch walk.
+  stats::simd::StaWalkArgs args;
+  args.width = W;
+  args.n_gates = ws.gate_ids.size();
+  args.gate_ids = ws.gate_ids.data();
+  args.site = ws.site.data();
+  args.nominal = ws.nominal.data();
+  args.sqrt_size = ws.sqrt_size.data();
+  args.fanin_begin = ws.fanin_begin.data();
+  args.fanins = ws.fanins.data();
+  args.dvth_inter = block.dvth_inter.data();
+  args.dl_inter = block.dl_inter_rel.data();
+  args.dvth_sys = block.dvth_systematic.empty()
+                      ? nullptr
+                      : block.dvth_systematic.data();
+  args.dvth_rnd =
       block.dvth_random.empty() ? nullptr : block.dvth_random.data();
-  const double* lsys = block.dl_systematic_rel.empty()
-                           ? nullptr
-                           : block.dl_systematic_rel.data();
+  args.dl_sys = block.dl_systematic_rel.empty()
+                    ? nullptr
+                    : block.dl_systematic_rel.data();
+  const auto vp = model.variation_kernel_params();
+  args.drive0 = vp.drive0;
+  args.alpha = vp.alpha;
+  args.min_ratio = vp.min_ratio;
+  args.max_ratio = vp.max_ratio;
+  args.arrival = ws.arrival.data();
+  args.dvth = ws.dvth.data();
+  args.dl = ws.dl.data();
+  args.vf = ws.vf.data();
+  args.outputs = nl.outputs().data();
+  args.n_outputs = nl.outputs().size();
+  args.critical = critical;
 
-  const std::size_t n_gates = ws.gate_ids.size();
-  for (std::size_t gi = 0; gi < n_gates; ++gi) {
-    double* out = arrival + ws.gate_ids[gi] * W;
-    // in_arr per lane: the scalar fanin fold with the lane loop innermost —
-    // same max sequence per die, contiguous lane rows.
-    for (std::size_t j = 0; j < W; ++j) out[j] = 0.0;
-    for (std::size_t fi = ws.fanin_begin[gi]; fi < ws.fanin_begin[gi + 1];
-         ++fi) {
-      const double* fa = arrival + ws.fanins[fi] * W;
-      for (std::size_t j = 0; j < W; ++j) out[j] = std::max(out[j], fa[j]);
-    }
-    const std::size_t site = ws.site[gi];
-    const double nominal = ws.nominal[gi];
-    const double sqrt_size = ws.sqrt_size[gi];
-    // Per-lane parameter shifts: the DieSample accessor sums, SoA-gathered.
-    for (std::size_t j = 0; j < W; ++j) dvth[j] = block.dvth_inter[j];
-    if (sys != nullptr) {
-      const double* row = sys + site * W;
-      for (std::size_t j = 0; j < W; ++j) dvth[j] += row[j];
-    }
-    if (rnd != nullptr) {
-      const double* row = rnd + site * W;
-      for (std::size_t j = 0; j < W; ++j) dvth[j] += row[j] / sqrt_size;
-    }
-    for (std::size_t j = 0; j < W; ++j) dl[j] = block.dl_inter_rel[j];
-    if (lsys != nullptr) {
-      const double* row = lsys + site * W;
-      for (std::size_t j = 0; j < W; ++j) dl[j] += row[j];
-    }
-    // One vectorized pow sweep over the lane row — the kernel that was
-    // ~80% of the block walk as W scalar std::pow calls.
-    model.variation_factor_lanes(dvth, dl, W, vf);
-    for (std::size_t j = 0; j < W; ++j) out[j] += nominal * vf[j];
-  }
-
-  for (std::size_t j = 0; j < W; ++j) critical[j] = 0.0;
-  for (netlist::GateId o : nl.outputs()) {
-    const double* oa = arrival + o * W;
+  const std::size_t fault = stats::simd::kernels().sta_block_walk(args);
+  if (fault != stats::simd::kNoFault) {
+    // The kernel stopped on the first gate whose lane row violates the
+    // variation-factor domain, leaving that row's shifts in ws.dvth/ws.dl.
+    // Regenerate the exact scalar exception (same message, same lane
+    // precedence) by replaying the scalar check on those shifts.
     for (std::size_t j = 0; j < W; ++j)
-      if (oa[j] >= critical[j]) critical[j] = oa[j];
+      (void)model.variation_factor(ws.dvth[j], ws.dl[j]);
+    throw std::logic_error(
+        "critical_delay_sample_block: walk kernel reported a domain fault "
+        "the scalar variation_factor does not reproduce");
   }
 }
 

@@ -105,12 +105,14 @@ struct StaBlockWorkspace {
 
 /// Block sample STA: evaluates the alpha-power delay model and the topo max
 /// for all `block.width` dies of one SoA DieBlock in a single walk, writing
-/// the per-die critical delays to critical[0 .. width).  Per die the
-/// operation order is unchanged from the scalar path — lane-invariant work
-/// (gate load, nominal delay, sqrt(size)) is hoisted out of the lane loop
-/// but produces the exact values the scalar path computes per call — so
-/// each die's delay is bitwise-identical to critical_delay_sample on that
-/// die.  Same reentrancy contract as critical_delay_sample.
+/// the per-die critical delays to critical[0 .. width).  The walk runs as
+/// one kernel of the active SIMD backend (stats/simd.h; width validated
+/// against the backend's max_width()).  Per die the operation order is
+/// unchanged from the scalar path — lane-invariant work (gate load,
+/// nominal delay, sqrt(size)) is hoisted out of the lane loop but produces
+/// the exact values the scalar path computes per call — so each die's
+/// delay is bitwise-identical to critical_delay_sample on that die under
+/// every backend.  Same reentrancy contract as critical_delay_sample.
 void critical_delay_sample_block(const netlist::Netlist& nl,
                                  const device::AlphaPowerModel& model,
                                  const process::DieBlock& block,

@@ -6,6 +6,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "stats/simd.h"
+
 namespace statpipe::stats {
 
 namespace {
@@ -60,49 +62,21 @@ double clark_correlation(const Gaussian& x1, const Gaussian& x2,
 void clark_max_lanes(const GaussianLanesView& x1, const GaussianLanesView& x2,
                      const double* rho, std::size_t lanes,
                      const ClarkLanes& out) {
-  // Validation pass first (same rejections as clark_max), so the main loop
-  // below is pure arithmetic with no data-dependent control flow.
+  // Validation pass first (same rejections as clark_max), so the dispatched
+  // kernel is pure arithmetic with no data-dependent control flow.  The
+  // degenerate-lane handling (X1 - X2 numerically constant: rho = ±1 with
+  // matching sigmas, or two zero-variance inputs) lives in the kernel as
+  // lane-wise selection on a sanitized divisor — see
+  // stats/lanes_kernels.inl for the body, stats/simd.h for dispatch.
   for (std::size_t k = 0; k < lanes; ++k) {
     if (x1.sigma[k] < 0.0 || x2.sigma[k] < 0.0)
       throw std::invalid_argument("clark_max: negative sigma");
     if (rho[k] < -1.0 - 1e-9 || rho[k] > 1.0 + 1e-9)
       throw std::invalid_argument("clark_max: |rho| > 1");
   }
-
-  constexpr double kInf = std::numeric_limits<double>::infinity();
-  for (std::size_t k = 0; k < lanes; ++k) {
-    const double mu1 = x1.mean[k], mu2 = x2.mean[k];
-    const double s1 = x1.sigma[k], s2 = x2.sigma[k];
-    const double r = std::clamp(rho[k], -1.0, 1.0);
-    const double a2 = std::max(s1 * s1 + s2 * s2 - 2.0 * r * s1 * s2, 0.0);
-    const double a = std::sqrt(a2);
-
-    // Degenerate lanes (X1 - X2 numerically constant: rho = ±1 with matching
-    // sigmas, or two zero-variance inputs) are handled by selection, not by a
-    // branch: the non-degenerate formulas run on a sanitized divisor and
-    // their results are discarded lane-wise.
-    const bool deg = a < kDegenerateA;
-    const bool first = mu1 >= mu2;
-    const double a_safe = lanes::select(deg, 1.0, a);
-
-    const double alpha = (mu1 - mu2) / a_safe;
-    const double cdf_a = normal_cdf(alpha);
-    const double cdf_ma = normal_cdf(-alpha);
-    const double pdf_a = normal_pdf(alpha);
-
-    const double m1 = mu1 * cdf_a + mu2 * cdf_ma + a * pdf_a;
-    const double m2 = (mu1 * mu1 + s1 * s1) * cdf_a +
-                      (mu2 * mu2 + s2 * s2) * cdf_ma + (mu1 + mu2) * a * pdf_a;
-    const double var = std::max(m2 - m1 * m1, 0.0);
-
-    out.mean[k] = lanes::select(deg, lanes::select(first, mu1, mu2), m1);
-    out.sigma[k] =
-        lanes::select(deg, lanes::select(first, s1, s2), std::sqrt(var));
-    out.alpha[k] =
-        lanes::select(deg, lanes::select(first, kInf, -kInf), alpha);
-    out.a[k] = a;
-    out.phi_a[k] = lanes::select(deg, lanes::select(first, 1.0, 0.0), cdf_a);
-  }
+  simd::kernels().clark_max_lanes(x1.mean, x1.sigma, x2.mean, x2.sigma, rho,
+                                  lanes, out.mean, out.sigma, out.alpha,
+                                  out.a, out.phi_a);
 }
 
 namespace {

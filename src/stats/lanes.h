@@ -5,11 +5,14 @@
 // operand) is stored as `width` consecutive doubles, one per lane, so the
 // hot kernels (block sample STA, the branch-free Clark operator, the
 // batched SSTA propagation) iterate contiguous memory the compiler can
-// auto-vectorize.  Widths are small powers of two — 8 by default, 16 at
-// most — chosen so one lane row of the four canonical-form arrays stays
-// within a pair of cache lines.
+// auto-vectorize.  Widths are small powers of two; how wide a block a
+// kernel accepts is a property of the active SIMD backend (stats/simd.h):
+// each backend publishes its own maximum (16 for the 2-double SSE4.2/NEON
+// backends up to the absolute cap of 64 for AVX-512), queried at runtime
+// via max_width() / preferred_width() below.
 //
-// Determinism contract shared by every lane kernel in the repository:
+// Determinism contract shared by every lane kernel in the repository
+// (per SIMD backend — see stats/simd.h and docs/DETERMINISM.md):
 // lane k executes exactly the scalar path's floating-point sequence, so a
 // width-W kernel is bitwise-identical to W independent scalar calls.
 // Data-dependent branches inside a kernel are expressed with lane_select
@@ -30,30 +33,48 @@ namespace statpipe::stats {
 
 namespace lanes {
 
-/// Default SoA block width for die-block sampling / block sample STA.
+/// Portable default SoA block width for die-block sampling / block sample
+/// STA — valid on every backend.  Backends that profit from wider blocks
+/// advertise it via preferred_width().
 inline constexpr std::size_t kWidth = 8;
 
-/// Upper bound accepted by the block kernels (workspace sizing).
-inline constexpr std::size_t kMaxWidth = 16;
+/// Absolute upper bound on block width across all SIMD backends
+/// (workspace sizing; eight 512-bit registers per lane row).  The width a
+/// given run actually accepts is the *active backend's* maximum,
+/// max_width() <= kMaxWidth.
+inline constexpr std::size_t kMaxWidth = 64;
 
-/// Validates a requested block width: returns w when 1 <= w <= kMaxWidth,
-/// throws std::invalid_argument otherwise.  A width of 0 or 64 is a caller
-/// bug — it fails loudly up front instead of being silently clamped into
-/// range (which would quietly change the run's RNG-stream grouping a user
-/// thought they had asked for).
-inline std::size_t validated_width(std::size_t w) {
-  if (w == 0 || w > kMaxWidth)
-    throw std::invalid_argument("block width " + std::to_string(w) +
-                                " outside [1, " + std::to_string(kMaxWidth) +
-                                "]");
-  return w;
-}
+/// Widest block the active SIMD backend accepts (e.g. 16 under sse42/neon,
+/// 32 under avx2, 64 under scalar/avx512).  Resolves the backend on first
+/// use; see stats/simd.h for selection and the STATPIPE_SIMD override.
+std::size_t max_width();
+
+/// Block width the active SIMD backend prefers — the width benches and
+/// CLIs should default to when the user did not pin one.  Never affects
+/// results (the determinism contract makes results width-invariant); only
+/// throughput.
+std::size_t preferred_width();
+
+/// Validates a requested block width: returns w when 1 <= w <= max_width()
+/// of the active SIMD backend, throws std::invalid_argument (naming the
+/// backend and its maximum) otherwise.  A width of 0, or beyond what the
+/// active backend accepts, is a caller bug — it fails loudly up front
+/// instead of being silently clamped into range (which would quietly
+/// change the run's RNG-stream grouping a user thought they had asked
+/// for).
+std::size_t validated_width(std::size_t w);
 
 /// Branch-free value select: take `a` when `cond`, else `b`.  Written as a
 /// ternary so compilers lower it to cmov/blend rather than a branch; the
 /// point is not the codegen per se but that both operands are always safe
 /// to evaluate (kernels pre-sanitize divisors before dividing).
-inline double select(bool cond, double a, double b) noexcept {
+/// always_inline: this helper and pow_pos are compiled into every per-ISA
+/// backend TU (stats/lanes_kernels.inl); if gcc ever emitted them
+/// out-of-line, the linker would deduplicate the comdat copies and could
+/// hand every backend one ISA's code — inlining removes the symbol
+/// entirely.
+__attribute__((always_inline)) inline double select(bool cond, double a,
+                                                    double b) noexcept {
   return cond ? a : b;
 }
 
@@ -77,12 +98,18 @@ inline double select(bool cond, double a, double b) noexcept {
 /// of the computation compile-time-constant, and gcc then specializes it
 /// into a real branch — killing vectorization of every lane loop over
 /// this function.
-inline double pow_pos(double x, double y) noexcept {
+/// always_inline for the same ODR reason as select above: every SIMD
+/// backend TU compiles this body under its own -m flags, and no
+/// deduplicatable out-of-line copy may exist.
+__attribute__((always_inline)) inline double pow_pos(double x,
+                                                     double y) noexcept {
   // Split x = 2^e * m, then re-center m into [sqrt(1/2), sqrt(2)) so the
   // atanh argument t stays within +-0.1716.  The exponent is read as a
   // double by splicing the 11 exponent bits into the mantissa of 2^52 and
-  // subtracting (2^52 + 1023) — exact, and free of the int64<->double
-  // converts that SSE2/AVX2 cannot vectorize.
+  // subtracting (2^52 + 1023) — exact, and free of int64<->double
+  // converts: those need AVX-512DQ to vectorize, and keeping the bit
+  // splices in pure integer/double ops lets every backend down to the
+  // SSE2 baseline vectorize this body.
   constexpr double kSqrt2 = 1.4142135623730951;
   const std::uint64_t bits = std::bit_cast<std::uint64_t>(x);
   const double eb =

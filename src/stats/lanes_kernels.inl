@@ -1,0 +1,194 @@
+// Lane-kernel bodies, compiled once per SIMD backend.
+//
+// This file is the single source of truth for the hot-loop arithmetic: each
+// simd_<backend>.cpp translation unit defines STATPIPE_SIMD_NS and includes
+// it, so the identical C++ compiles under different -m flags into
+// statpipe::stats::simd::<backend>::* symbols.  The bodies contain only
+// IEEE-preserving straight-line loops (no fast-math idioms, no manual
+// intrinsics), which is what keeps every backend on the repository's
+// bitwise determinism contract: lane j of any kernel executes exactly the
+// scalar path's floating-point sequence, whatever register width the
+// compiler picked.
+//
+// Rules for code in this file:
+//   * no file-scope state, no non-inline definitions outside the backend
+//     namespace (each TU would redefine them);
+//   * helpers called from the loops must be always_inline (lanes::pow_pos,
+//     lanes::select are) or extern default-target functions (normal_cdf /
+//     normal_pdf are) — an inline-but-not-inlined helper emitted as a
+//     comdat in several per-ISA TUs would let the linker pick one ISA's
+//     copy for all callers;
+//   * kernel signatures are raw pointers and PODs only (see simd.h).
+
+#ifndef STATPIPE_SIMD_NS
+#error "define STATPIPE_SIMD_NS before including lanes_kernels.inl"
+#endif
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+#include "stats/gaussian.h"
+#include "stats/lanes.h"
+#include "stats/simd.h"
+
+namespace statpipe::stats::simd {
+namespace STATPIPE_SIMD_NS {
+
+void pow_pos_lanes(const double* x, double y, std::size_t n, double* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = lanes::pow_pos(x[i], y);
+}
+
+void variation_factor_lanes(double drive0, double alpha, const double* dvth,
+                            const double* dl_rel, std::size_t n,
+                            double* out) {
+  for (std::size_t j = 0; j < n; ++j) {
+    const double lf = 1.0 + dl_rel[j];
+    out[j] =
+        lanes::pow_pos(drive0 / (drive0 - dvth[j]), alpha) * lf * lf;
+  }
+}
+
+void clark_max_lanes(const double* mu1v, const double* sg1, const double* mu2v,
+                     const double* sg2, const double* rho, std::size_t n,
+                     double* out_mean, double* out_sigma, double* out_alpha,
+                     double* out_a, double* out_phi) {
+  // Arithmetic half of stats::clark_max_lanes; inputs are pre-validated.
+  // Below kDegenerateA, X1 - X2 is treated as deterministic (stats/clark.cpp
+  // keeps the authoritative constant; the value is part of the per-lane
+  // scalar/lane equivalence and must match clark_max's).
+  constexpr double kDegenerateA = 1e-12;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < n; ++k) {
+    const double mu1 = mu1v[k], mu2 = mu2v[k];
+    const double s1 = sg1[k], s2 = sg2[k];
+    const double r = std::clamp(rho[k], -1.0, 1.0);
+    const double a2 = std::max(s1 * s1 + s2 * s2 - 2.0 * r * s1 * s2, 0.0);
+    const double a = std::sqrt(a2);
+
+    // Degenerate lanes are handled by selection, not by a branch: the
+    // non-degenerate formulas run on a sanitized divisor and their results
+    // are discarded lane-wise.
+    const bool deg = a < kDegenerateA;
+    const bool first = mu1 >= mu2;
+    const double a_safe = lanes::select(deg, 1.0, a);
+
+    const double alpha = (mu1 - mu2) / a_safe;
+    const double cdf_a = normal_cdf(alpha);
+    const double cdf_ma = normal_cdf(-alpha);
+    const double pdf_a = normal_pdf(alpha);
+
+    const double m1 = mu1 * cdf_a + mu2 * cdf_ma + a * pdf_a;
+    const double m2 = (mu1 * mu1 + s1 * s1) * cdf_a +
+                      (mu2 * mu2 + s2 * s2) * cdf_ma + (mu1 + mu2) * a * pdf_a;
+    const double var = std::max(m2 - m1 * m1, 0.0);
+
+    out_mean[k] = lanes::select(deg, lanes::select(first, mu1, mu2), m1);
+    out_sigma[k] =
+        lanes::select(deg, lanes::select(first, s1, s2), std::sqrt(var));
+    out_alpha[k] =
+        lanes::select(deg, lanes::select(first, kInf, -kInf), alpha);
+    out_a[k] = a;
+    out_phi[k] = lanes::select(deg, lanes::select(first, 1.0, 0.0), cdf_a);
+  }
+}
+
+void chol_field_lanes(const double* chol, std::size_t n, std::size_t stride,
+                      const double* zt, std::size_t w, double* field) {
+  // Lower-triangular multiply with the lane loop innermost: per lane j the
+  // adds run k ascending — exactly VariationSampler::sample_into's order —
+  // while the w contiguous lanes of each row vectorize.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* li = chol + i * stride;
+    double* fi = field + i * w;
+    for (std::size_t j = 0; j < w; ++j) fi[j] = 0.0;
+    for (std::size_t k = 0; k <= i; ++k) {
+      const double lik = li[k];
+      const double* zk = zt + k * w;
+      for (std::size_t j = 0; j < w; ++j) fi[j] += lik * zk[j];
+    }
+  }
+}
+
+std::size_t sta_block_walk(const StaWalkArgs& a) {
+  const std::size_t W = a.width;
+  // Hoist the scratch rows into __restrict locals: through the struct
+  // members gcc must assume every a.* pointer may alias every other and
+  // refuses to vectorize the lane loops ("latch block not empty" on the
+  // pow sweep); the caller (sta/sta.cpp) owns these as distinct vectors.
+  double* __restrict dvth = a.dvth;
+  double* __restrict dl = a.dl;
+  double* __restrict vf = a.vf;
+  const double drive0 = a.drive0;
+  const double alpha = a.alpha;
+  const double min_ratio = a.min_ratio;
+  const double max_ratio = a.max_ratio;
+  for (std::size_t gi = 0; gi < a.n_gates; ++gi) {
+    double* out = a.arrival + a.gate_ids[gi] * W;
+    // in_arr per lane: the scalar fanin fold with the lane loop innermost —
+    // same max sequence per die, contiguous lane rows.
+    for (std::size_t j = 0; j < W; ++j) out[j] = 0.0;
+    for (std::size_t fi = a.fanin_begin[gi]; fi < a.fanin_begin[gi + 1];
+         ++fi) {
+      const double* fa = a.arrival + a.fanins[fi] * W;
+      for (std::size_t j = 0; j < W; ++j) out[j] = std::max(out[j], fa[j]);
+    }
+    const std::size_t site = a.site[gi];
+    const double nominal = a.nominal[gi];
+    const double sqrt_size = a.sqrt_size[gi];
+    // Per-lane parameter shifts: the DieSample accessor sums, SoA-gathered.
+    for (std::size_t j = 0; j < W; ++j) dvth[j] = a.dvth_inter[j];
+    if (a.dvth_sys != nullptr) {
+      const double* row = a.dvth_sys + site * W;
+      for (std::size_t j = 0; j < W; ++j) dvth[j] += row[j];
+    }
+    if (a.dvth_rnd != nullptr) {
+      const double* row = a.dvth_rnd + site * W;
+      for (std::size_t j = 0; j < W; ++j) dvth[j] += row[j] / sqrt_size;
+    }
+    for (std::size_t j = 0; j < W; ++j) dl[j] = a.dl_inter[j];
+    if (a.dl_sys != nullptr) {
+      const double* row = a.dl_sys + site * W;
+      for (std::size_t j = 0; j < W; ++j) dl[j] += row[j];
+    }
+    // Domain checks for this gate's lane row, hoisted out of the pow sweep
+    // (and completed before it runs), matching the scalar variation_factor's
+    // per-lane check order: saturation, channel length, drive-ratio window.
+    // Branch-free accumulation — an early per-lane return would both keep
+    // the loop from vectorizing and leak which lane tripped, which the
+    // caller must not depend on (it rescans lane-ascending anyway).  On a
+    // violating row the walk stops; the caller rebuilds the exact scalar
+    // exception from the shifts left in a.dvth / a.dl.
+    int bad = 0;
+    for (std::size_t j = 0; j < W; ++j) {
+      const double drive = drive0 - dvth[j];
+      const double ratio = drive0 / drive;
+      // Single-& conjunction, not &&: short-circuit evaluation is control
+      // flow inside the lane loop and blocks vectorization.
+      const int in_window = static_cast<int>(ratio >= min_ratio) &
+                            static_cast<int>(ratio <= max_ratio);
+      bad |= static_cast<int>(drive <= 0.0) |
+             static_cast<int>(1.0 + dl[j] <= 0.0) | (1 - in_window);
+    }
+    if (bad != 0) return gi;
+    // One vectorized pow sweep over the lane row — the kernel that was
+    // ~80% of the block walk as W scalar std::pow calls.  Delegated to this
+    // backend's own variation_factor_lanes: identical arithmetic, and the
+    // clean pointer-argument loop is the shape gcc's vectorizer accepts.
+    variation_factor_lanes(drive0, alpha, dvth, dl, W, vf);
+    for (std::size_t j = 0; j < W; ++j) out[j] += nominal * vf[j];
+  }
+
+  double* __restrict critical = a.critical;
+  for (std::size_t j = 0; j < W; ++j) critical[j] = 0.0;
+  for (std::size_t o = 0; o < a.n_outputs; ++o) {
+    const double* oa = a.arrival + a.outputs[o] * W;
+    for (std::size_t j = 0; j < W; ++j)
+      critical[j] = lanes::select(oa[j] >= critical[j], oa[j], critical[j]);
+  }
+  return kNoFault;
+}
+
+}  // namespace STATPIPE_SIMD_NS
+}  // namespace statpipe::stats::simd

@@ -21,6 +21,10 @@ class Matrix {
   double& operator()(std::size_t i, std::size_t j) { return a_[i * n_ + j]; }
   double operator()(std::size_t i, std::size_t j) const { return a_[i * n_ + j]; }
 
+  /// Row-major storage (row stride == size()); for handing a factor to the
+  /// raw-pointer lane kernels (stats/simd.h) without copying.
+  const double* data() const noexcept { return a_.data(); }
+
   static Matrix identity(std::size_t n);
 
   /// y = A * x.

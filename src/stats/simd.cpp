@@ -1,0 +1,183 @@
+// Runtime backend selection for the SIMD lane-kernel layer (stats/simd.h).
+//
+// Selection policy, applied once on the first kernels() call:
+//   1. STATPIPE_SIMD set  -> that backend, or throw std::invalid_argument
+//      (unknown name, or named backend not runnable on this CPU) with a
+//      message listing what this machine detected — a forced backend that
+//      silently fell back would defeat the point of forcing it;
+//   2. otherwise          -> the most preferred detected backend
+//      (scalar < sse42 < avx2 < avx512 on x86-64; scalar < neon on arm64).
+//
+// Detection uses gcc/clang's __builtin_cpu_supports on x86-64 (CPUID under
+// the hood).  On AArch64 no probe is needed: Advanced SIMD is mandated by
+// the architecture, so the auxv hwcap check other projects do would be
+// read-and-ignore here.  The scalar reference backend is always present.
+#include "stats/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "stats/lanes.h"
+
+namespace statpipe::stats::simd {
+
+namespace {
+
+const KernelTable* table_of(Backend b) noexcept {
+  switch (b) {
+    case Backend::kScalar: return detail::scalar_table();
+    case Backend::kSse42: return detail::sse42_table();
+    case Backend::kAvx2: return detail::avx2_table();
+    case Backend::kAvx512: return detail::avx512_table();
+    case Backend::kNeon: return detail::neon_table();
+  }
+  return nullptr;
+}
+
+bool cpu_runs(Backend b) noexcept {
+  switch (b) {
+    case Backend::kScalar:
+      return true;
+#if defined(__x86_64__) && defined(__GNUC__)
+    case Backend::kSse42:
+      return __builtin_cpu_supports("sse4.2");
+    case Backend::kAvx2:
+      return __builtin_cpu_supports("avx2");
+    case Backend::kAvx512:
+      // The kernel TU is compiled with F+DQ+BW+VL; all four must be present.
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512dq") &&
+             __builtin_cpu_supports("avx512bw") &&
+             __builtin_cpu_supports("avx512vl");
+#endif
+#if defined(__aarch64__)
+    case Backend::kNeon:
+      return true;  // Advanced SIMD is architecturally mandatory on AArch64.
+#endif
+    default:
+      return false;
+  }
+}
+
+std::string detected_list() {
+  std::string s;
+  for (Backend d : detected_backends()) {
+    if (!s.empty()) s += ", ";
+    s += backend_name(d);
+  }
+  return s;
+}
+
+// kernels() resolution, run once under the magic-static lock.
+const KernelTable& resolve_active() {
+  if (const char* env = std::getenv("STATPIPE_SIMD"); env != nullptr)
+    return resolve_env(env);
+  const auto avail = detected_backends();
+  return *table_of(avail.back());  // most preferred; scalar at worst
+}
+
+// Test-only override; null means "use the env/CPU resolution".
+std::atomic<const KernelTable*> g_forced{nullptr};
+
+}  // namespace
+
+const char* backend_name(Backend b) noexcept {
+  switch (b) {
+    case Backend::kScalar: return "scalar";
+    case Backend::kSse42: return "sse42";
+    case Backend::kAvx2: return "avx2";
+    case Backend::kAvx512: return "avx512";
+    case Backend::kNeon: return "neon";
+  }
+  return "?";
+}
+
+std::vector<Backend> detected_backends() {
+#if defined(__x86_64__) && defined(__GNUC__)
+  __builtin_cpu_init();
+#endif
+  std::vector<Backend> v;
+  for (Backend b : {Backend::kScalar, Backend::kSse42, Backend::kAvx2,
+                    Backend::kAvx512, Backend::kNeon})
+    if (table_of(b) != nullptr && cpu_runs(b)) v.push_back(b);
+  return v;
+}
+
+Backend parse_backend(const char* name) {
+  const std::string s(name == nullptr ? "" : name);
+  if (s == "scalar") return Backend::kScalar;
+  if (s == "sse42") return Backend::kSse42;
+  if (s == "avx2") return Backend::kAvx2;
+  if (s == "avx512") return Backend::kAvx512;
+  if (s == "neon") return Backend::kNeon;
+  throw std::invalid_argument(
+      "unknown SIMD backend '" + s +
+      "' (valid: scalar, sse42, avx2, avx512, neon)");
+}
+
+const KernelTable* kernels_for(Backend b) noexcept {
+  const KernelTable* t = table_of(b);
+  return (t != nullptr && cpu_runs(b)) ? t : nullptr;
+}
+
+const KernelTable& kernels() {
+  if (const KernelTable* f = g_forced.load(std::memory_order_acquire))
+    return *f;
+  static const KernelTable& active = resolve_active();
+  return active;
+}
+
+const KernelTable& resolve_env(const char* value) {
+  Backend b;
+  try {
+    b = parse_backend(value);
+  } catch (const std::invalid_argument&) {
+    throw std::invalid_argument(
+        "STATPIPE_SIMD=" + std::string(value == nullptr ? "" : value) +
+        ": unknown SIMD backend (valid: scalar, sse42, avx2, avx512, neon);"
+        " detected on this machine: " +
+        detected_list());
+  }
+  const KernelTable* t = kernels_for(b);
+  if (t == nullptr)
+    throw std::invalid_argument(
+        "STATPIPE_SIMD=" + std::string(value) +
+        ": backend not usable on this machine; detected: " + detected_list());
+  return *t;
+}
+
+void force_backend_for_testing(Backend b) {
+  const KernelTable* t = kernels_for(b);
+  if (t == nullptr)
+    throw std::invalid_argument(
+        std::string("force_backend_for_testing: backend '") +
+        backend_name(b) + "' not usable on this machine");
+  g_forced.store(t, std::memory_order_release);
+}
+
+void clear_forced_backend_for_testing() noexcept {
+  g_forced.store(nullptr, std::memory_order_release);
+}
+
+}  // namespace statpipe::stats::simd
+
+namespace statpipe::stats::lanes {
+
+std::size_t max_width() { return simd::kernels().max_width; }
+
+std::size_t preferred_width() { return simd::kernels().default_width; }
+
+std::size_t validated_width(std::size_t w) {
+  const simd::KernelTable& t = simd::kernels();
+  if (w == 0 || w > t.max_width)
+    throw std::invalid_argument(
+        "block width " + std::to_string(w) + " outside [1, " +
+        std::to_string(t.max_width) + "] (SIMD backend '" +
+        std::string(t.name) + "'; absolute cap " + std::to_string(kMaxWidth) +
+        ")");
+  return w;
+}
+
+}  // namespace statpipe::stats::lanes

@@ -231,10 +231,10 @@ TEST(GateMc, BlockWidthAndThreadCountInvariant) {
 }
 
 TEST(GateMc, BadBlockWidthIsRejectedUpFront) {
-  // block_width outside [1, lanes::kMaxWidth] is a caller bug: it is
-  // rejected with a clear error before any sampling, never silently
-  // clamped into range (a clamp would quietly change the block grouping
-  // the caller thought they configured).
+  // block_width outside [1, lanes::max_width()] of the active SIMD backend
+  // is a caller bug: it is rejected with a clear error before any
+  // sampling, never silently clamped into range (a clamp would quietly
+  // change the block grouping the caller thought they configured).
   GateLevelFixture f(2, 4);
   const auto spec = sp::process::VariationSpec::intra_only();
   sp::mc::GateLevelMonteCarlo mc(f.views(), f.model, spec, f.latch);
@@ -242,13 +242,13 @@ TEST(GateMc, BadBlockWidthIsRejectedUpFront) {
   sp::sim::ExecutionOptions bad;
   bad.block_width = 4096;
   EXPECT_THROW(mc.run(300, rng, bad), std::invalid_argument);
-  bad.block_width = sp::stats::lanes::kMaxWidth + 1;
+  bad.block_width = sp::stats::lanes::max_width() + 1;
   EXPECT_THROW(mc.run(300, rng, bad), std::invalid_argument);
   bad.block_width = 0;
   EXPECT_THROW(mc.run(300, rng, bad), std::invalid_argument);
   // The full supported range is accepted and bitwise-equal to scalar.
   sp::sim::ExecutionOptions max_w, scalar;
-  max_w.block_width = sp::stats::lanes::kMaxWidth;
+  max_w.block_width = sp::stats::lanes::max_width();
   max_w.threads = 1;
   scalar.block_width = 1;
   scalar.threads = 1;

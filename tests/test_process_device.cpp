@@ -168,8 +168,8 @@ TEST(VariationBlock, ComponentPresenceMirrorsSpec) {
                std::invalid_argument);
   EXPECT_THROW(
       sampler.sample_block_into(lanes.data(),
-                                statpipe::stats::lanes::kMaxWidth + 1, block,
-                                ws),
+                                statpipe::stats::lanes::max_width() + 1,
+                                block, ws),
       std::invalid_argument);
 }
 

@@ -572,11 +572,18 @@ TEST(RunningStats, StateRoundTripIsIndistinguishable) {
 // ------------------------------------------------------------------ lanes
 
 TEST(Lanes, ValidatedWidthRejectsOutOfRange) {
+  // The accepted range is the *active SIMD backend's* [1, max_width()];
+  // kMaxWidth is only the absolute cap across backends.
   EXPECT_EQ(sp::lanes::validated_width(1), 1u);
   EXPECT_EQ(sp::lanes::validated_width(sp::lanes::kWidth), sp::lanes::kWidth);
-  EXPECT_EQ(sp::lanes::validated_width(sp::lanes::kMaxWidth),
-            sp::lanes::kMaxWidth);
+  EXPECT_LE(sp::lanes::max_width(), sp::lanes::kMaxWidth);
+  EXPECT_GE(sp::lanes::preferred_width(), 1u);
+  EXPECT_LE(sp::lanes::preferred_width(), sp::lanes::max_width());
+  EXPECT_EQ(sp::lanes::validated_width(sp::lanes::max_width()),
+            sp::lanes::max_width());
   EXPECT_THROW(sp::lanes::validated_width(0), std::invalid_argument);
+  EXPECT_THROW(sp::lanes::validated_width(sp::lanes::max_width() + 1),
+               std::invalid_argument);
   EXPECT_THROW(sp::lanes::validated_width(sp::lanes::kMaxWidth + 1),
                std::invalid_argument);
 }

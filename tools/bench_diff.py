@@ -18,6 +18,13 @@ for every shared numeric column:
 Rows are matched by their first string-valued column (e.g. "circuit" or
 "case"); rows present on only one side are reported but not flagged.
 
+Records carry the SIMD backend they ran on in meta.simd_backend (written
+by the benches since the runtime-dispatch layer landed).  Timings taken on
+different backends measure different code paths, so when the two records
+disagree — or exactly one record predates the field — the diff prints a
+prominent mismatch notice and skips regression flagging entirely instead
+of reporting bogus slowdowns/speedups.
+
 Exit status: 0 by default (the CI bench-smoke job *flags* regressions in
 the log without failing the build — bench machines are noisy); with
 --strict, exits 1 when any watched column regresses by more than
@@ -76,6 +83,13 @@ def classify(col):
     return "info"
 
 
+def simd_backend(rec):
+    """meta.simd_backend, or None for records that predate the field."""
+    meta = rec.get("meta", {})
+    v = meta.get("simd_backend")
+    return v if isinstance(v, str) else None
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("old", type=Path)
@@ -97,6 +111,17 @@ def main():
     print(f"bench_diff: {new['bench']} "
           f"({args.old.name} -> {args.new.name}, threshold "
           f"{args.threshold:.0%})")
+
+    # Backend gate: timings from different SIMD backends are not
+    # comparable.  A record without the field (pre-dispatch-layer) vs one
+    # with it counts as a mismatch too — the backend is unknown on one side.
+    ob, nb = simd_backend(old), simd_backend(new)
+    comparable = ob == nb
+    if not comparable:
+        print(f"  SIMD backend mismatch "
+              f"({ob or '<unrecorded>'} -> {nb or '<unrecorded>'}); "
+              f"timing columns not comparable, regression flagging skipped")
+
     regressions = []
     for key in new_rows:
         if key not in old_rows:
@@ -110,7 +135,9 @@ def main():
             rel = (nv - ov) / abs(ov)
             kind = classify(col)
             flag = ""
-            if kind == "time" and rel > args.threshold:
+            if not comparable and kind != "info":
+                flag = "  (backend mismatch: not flagged)"
+            elif kind == "time" and rel > args.threshold:
                 flag = "  <-- REGRESSION (slower)"
                 regressions.append((key, col, rel))
             elif kind == "ratio" and rel < -args.threshold:
@@ -123,6 +150,11 @@ def main():
         if key not in new_rows:
             print(f"  {key}: row disappeared")
 
+    if not comparable:
+        print(f"bench_diff: SIMD backend mismatch "
+              f"({ob or '<unrecorded>'} -> {nb or '<unrecorded>'}) — "
+              f"no regressions flagged; re-baseline on the new backend")
+        return 0
     if regressions:
         print(f"bench_diff: {len(regressions)} regression(s) flagged")
         return 1 if args.strict else 0
