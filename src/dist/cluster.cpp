@@ -20,13 +20,17 @@ extern char** environ;
 namespace statpipe::dist {
 
 pid_t spawn_worker_process(const std::string& worker_bin, std::uint16_t port,
-                           bool quiet) {
+                           bool quiet, const std::string& auth_key) {
   const std::string port_s = std::to_string(port);
   std::vector<char*> args;
   args.push_back(const_cast<char*>(worker_bin.c_str()));
   args.push_back(const_cast<char*>("--port"));
   args.push_back(const_cast<char*>(port_s.c_str()));
   if (quiet) args.push_back(const_cast<char*>("--quiet"));
+  if (!auth_key.empty()) {
+    args.push_back(const_cast<char*>("--key"));
+    args.push_back(const_cast<char*>(auth_key.c_str()));
+  }
   args.push_back(nullptr);
   pid_t pid = -1;
   const int rc = ::posix_spawn(&pid, worker_bin.c_str(), nullptr, nullptr,
@@ -49,7 +53,8 @@ TaskResult run_cluster(const RunDescriptor& desc, const ClusterOptions& opt) {
   try {
     for (std::size_t i = 0; i < opt.spawn_workers; ++i)
       kids.push_back(spawn_worker_process(opt.worker_bin, coord.port(),
-                                          !opt.coordinator.verbose));
+                                          !opt.coordinator.verbose,
+                                          opt.coordinator.auth_key));
     result = coord.run();
   } catch (...) {
     // A failed run (attempts exhausted, idle timeout) or a mid-fleet

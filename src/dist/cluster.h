@@ -43,10 +43,12 @@ struct ClusterOptions {
   std::function<void(std::uint16_t)> on_listening;
 };
 
-/// Forks one statpipe-worker process against `port` (posix_spawn).  Throws
-/// std::runtime_error when the binary cannot be spawned.
+/// Forks one statpipe-worker process against `port` (posix_spawn).  A
+/// non-empty `auth_key` travels as `--key` so spawned workers speak the
+/// coordinator's authenticated wire.  Throws std::runtime_error when the
+/// binary cannot be spawned.
 pid_t spawn_worker_process(const std::string& worker_bin, std::uint16_t port,
-                           bool quiet);
+                           bool quiet, const std::string& auth_key = "");
 
 /// One full coordinator session for a finalized descriptor: bind, spawn
 /// the requested local workers, serve until every unit arrived, then reap

@@ -21,6 +21,7 @@ void log_line(const CoordinatorOptions& opt, const std::string& msg) {
 Coordinator::Coordinator(RunDescriptor desc, CoordinatorOptions opt)
     : desc_(std::move(desc)),
       opt_(std::move(opt)),
+      auth_(FrameAuth::from_passphrase(opt_.auth_key)),
       listener_(opt_.bind_host, opt_.port) {
   // finalize_descriptor always sets a nonzero hash (FNV of a non-empty
   // stage list), and hash == 0 would additionally disable the worker-side
@@ -41,41 +42,32 @@ Coordinator::Coordinator(RunDescriptor desc, CoordinatorOptions opt)
         "Coordinator: units_per_range " +
         std::to_string(opt_.units_per_range) + " exceeds the plan's " +
         std::to_string(n_units_) + " unit(s)");
-  // Cut the unit space into contiguous ranges up front.  Range size is a
-  // pure scheduling knob — results are reassembled per unit, so it can
-  // never change the output, only load balance.  It IS bounded by the
-  // wire: a range's kResult frame carries ~task_unit_wire_bytes per unit
-  // (for MC, ~8 bytes per sample of tp_samples), so the range must fit
-  // kMaxFramePayload with margin — reject an explicit size that cannot,
-  // cap the auto size, and fail up front (not after a retry cascade) when
-  // even one unit is too big.
-  const std::size_t bytes_per_unit = task_unit_wire_bytes(desc_);
-  const std::size_t cap_units =
-      std::max<std::size_t>(1, (kMaxFramePayload / 2) / bytes_per_unit);
-  if (bytes_per_unit > kMaxFramePayload / 2)
+  // With streaming (wire v3) each kResult frame carries ONE unit, so the
+  // frame cap bounds the unit payload, not the range — range size is a
+  // pure scheduling knob with no wire ceiling.  Only a single unit too big
+  // for a frame (for MC, ~8 bytes per sample of tp_samples) is rejected,
+  // up front rather than after a retry cascade.
+  if (task_unit_wire_bytes(desc_) + 64 > kMaxFramePayload)
     throw std::invalid_argument(
         "Coordinator: samples_per_shard " +
         std::to_string(desc_.samples_per_shard) +
         " makes a single shard's result exceed the frame payload cap; "
         "use smaller shards");
-  if (opt_.units_per_range > cap_units)
-    throw std::invalid_argument(
-        "Coordinator: units_per_range " +
-        std::to_string(opt_.units_per_range) + " would exceed the " +
-        std::to_string(kMaxFramePayload) +
-        "-byte frame payload cap (max " + std::to_string(cap_units) +
-        " units per range)");
-  const std::size_t per =
-      opt_.units_per_range != 0
-          ? opt_.units_per_range
-          : std::min(cap_units, std::max<std::size_t>(1, n_units_ / 8));
+  const std::size_t per = opt_.units_per_range != 0
+                              ? opt_.units_per_range
+                              : std::max<std::size_t>(1, n_units_ / 8);
   for (std::size_t b = 0; b < n_units_; b += per)
     pending_.push_back({b, std::min(b + per, n_units_), 0});
+  if (desc_.task_kind == TaskKind::kSstaGrid) {
+    lanes_.resize(n_units_);
+    lane_got_.assign(n_units_, 0);
+  }
   log_line(opt_, std::string("listening on ") + opt_.bind_host + ":" +
                      std::to_string(listener_.port()) + ", " +
                      task_kind_name(desc_.task_kind) + " task, " +
                      std::to_string(n_units_) + " units in " +
-                     std::to_string(pending_.size()) + " ranges");
+                     std::to_string(pending_.size()) + " ranges" +
+                     (auth_.enabled ? ", authenticated wire" : ""));
 }
 
 Coordinator::~Coordinator() = default;
@@ -89,14 +81,18 @@ void Coordinator::admit_worker() {
   std::optional<Frame> hello;
   try {
     s.set_recv_timeout_ms(5000);
-    hello = recv_frame(s);
-    // From here on the idle timeout bounds every read from this worker: a
+    hello = recv_frame(s, auth_);
+    // From here on the read deadline bounds every read from this worker: a
     // peer that stalls MID-FRAME after poll() reported readability would
     // otherwise block run() forever, beyond idle_timeout_ms's reach (it
-    // only guards poll).  A timed-out read surfaces as a recv error ->
-    // requeue + drop, so the range is reassigned instead of wedging.
-    s.set_recv_timeout_ms(opt_.idle_timeout_ms > 0 ? opt_.idle_timeout_ms
-                                                   : 0);
+    // only guards poll), and a slow-loris drip would outlast any plain
+    // recv timeout.  A deadline trip surfaces as a recv error -> requeue +
+    // drop, so the range is reassigned instead of wedging.
+    if (opt_.read_deadline_ms > 0)
+      s.set_read_deadline_ms(opt_.read_deadline_ms);
+    else
+      s.set_recv_timeout_ms(opt_.idle_timeout_ms > 0 ? opt_.idle_timeout_ms
+                                                     : 0);
   } catch (const std::exception& e) {
     log_line(opt_, std::string("rejecting connection: ") + e.what());
     return;
@@ -110,7 +106,7 @@ void Coordinator::admit_worker() {
   WorkerState ws;
   ws.sock = std::move(s);
   try {
-    send_frame(ws.sock, MsgType::kSetup, w.bytes());
+    send_frame(ws.sock, MsgType::kSetup, w.bytes(), auth_);
   } catch (const std::exception& e) {
     log_line(opt_, std::string("setup failed: ") + e.what());
     return;
@@ -131,7 +127,7 @@ void Coordinator::assign_if_possible(WorkerState& w) {
   out.u64(r.begin);
   out.u64(r.end);
   try {
-    send_frame(w.sock, MsgType::kAssign, out.bytes());
+    send_frame(w.sock, MsgType::kAssign, out.bytes(), auth_);
   } catch (const std::exception&) {
     // Undo fully: the attempt never reached a worker, so it must not burn
     // the range's attempt budget.  Closing the socket marks the worker for
@@ -143,6 +139,8 @@ void Coordinator::assign_if_possible(WorkerState& w) {
   }
   w.has_range = true;
   w.range = r;
+  w.staged_mc.clear();
+  w.staged_lanes.clear();
   log_line(opt_, "assigned units [" + std::to_string(r.begin) + ", " +
                      std::to_string(r.end) + ") attempt " +
                      std::to_string(r.attempts));
@@ -150,8 +148,16 @@ void Coordinator::assign_if_possible(WorkerState& w) {
 
 void Coordinator::requeue(WorkerState& w, const std::string& why) {
   if (w.has_range) {
+    // The worker forfeits the whole range: staged units are part of an
+    // uncommitted stream and are discarded with it — a partially streamed
+    // range never contributes to the fold (docs/DETERMINISM.md).
     log_line(opt_, "range [" + std::to_string(w.range.begin) + ", " +
-                       std::to_string(w.range.end) + ") lost: " + why);
+                       std::to_string(w.range.end) + ") lost (" +
+                       std::to_string(w.staged_mc.size() +
+                                      w.staged_lanes.size()) +
+                       " staged unit(s) discarded): " + why);
+    w.staged_mc.clear();
+    w.staged_lanes.clear();
     if (w.range.attempts >= opt_.max_attempts)
       throw std::runtime_error(
           "dist: unit range [" + std::to_string(w.range.begin) + ", " +
@@ -163,51 +169,111 @@ void Coordinator::requeue(WorkerState& w, const std::string& why) {
   w.sock.close();
 }
 
-void Coordinator::handle_result(WorkerState& w, const Frame& f) {
+void Coordinator::handle_unit(WorkerState& w, const Frame& f) {
+  if (!w.has_range)
+    throw std::runtime_error("result frame from a worker with no assignment");
+  ByteReader r(f.payload);
+  const std::uint64_t unit = r.u64();
+  if (unit < w.range.begin || unit >= w.range.end)
+    throw std::runtime_error("unit " + std::to_string(unit) +
+                             " outside assigned range [" +
+                             std::to_string(w.range.begin) + ", " +
+                             std::to_string(w.range.end) + ")");
+  const bool dup = desc_.task_kind == TaskKind::kSstaGrid
+                       ? w.staged_lanes.count(unit) != 0
+                       : w.staged_mc.count(unit) != 0;
+  if (dup)
+    throw std::runtime_error("duplicate unit " + std::to_string(unit) +
+                             " in result stream");
+  // Decode on receipt, into the worker's staging area: a corrupt payload
+  // forfeits the range within its attempt budget instead of failing the
+  // final fold, and nothing touches the committed fold until kRangeDone.
+  if (desc_.task_kind == TaskKind::kSstaGrid)
+    w.staged_lanes.emplace(unit, read_stage_characterization(r));
+  else
+    w.staged_mc.emplace(unit, read_mc_result(r));
+  r.expect_done();
+}
+
+void Coordinator::handle_range_done(WorkerState& w, const Frame& f) {
+  if (!w.has_range)
+    throw std::runtime_error(
+        "range-done frame from a worker with no assignment");
   ByteReader r(f.payload);
   const std::uint64_t begin = r.u64();
   const std::uint64_t end = r.u64();
-  if (!w.has_range || begin != w.range.begin || end != w.range.end)
-    throw std::runtime_error("unexpected result range [" +
-                             std::to_string(begin) + ", " +
-                             std::to_string(end) + ")");
   const std::uint64_t count = r.u64();
-  if (count != end - begin)
-    throw std::runtime_error("result carries " + std::to_string(count) +
-                             " unit(s) for a range of " +
-                             std::to_string(end - begin));
-  // Decode into range-local staging first: a payload that turns corrupt
-  // halfway through must forfeit the whole range, not leave partial units
-  // behind.
-  std::map<std::size_t, mc::McResult> mc_parts;
-  std::map<std::size_t, sta::StageCharacterization> lane_parts;
-  for (std::uint64_t i = 0; i < count; ++i) {
-    const std::uint64_t unit = r.u64();
-    const bool dup = desc_.task_kind == TaskKind::kSstaGrid
-                         ? lane_parts.count(unit) != 0
-                         : mc_parts.count(unit) != 0;
-    if (unit < begin || unit >= end || dup)
-      throw std::runtime_error("bad unit index " + std::to_string(unit) +
-                               " in result range");
-    if (desc_.task_kind == TaskKind::kSstaGrid)
-      lane_parts.emplace(unit, read_stage_characterization(r));
-    else
-      mc_parts.emplace(unit, read_mc_result(r));
-  }
   r.expect_done();
-  for (auto& [unit, part] : mc_parts) mc_results_[unit] = std::move(part);
-  for (auto& [unit, part] : lane_parts) lane_results_[unit] = part;
+  if (begin != w.range.begin || end != w.range.end)
+    throw std::runtime_error("range-done echoes [" + std::to_string(begin) +
+                             ", " + std::to_string(end) +
+                             ") for assignment [" +
+                             std::to_string(w.range.begin) + ", " +
+                             std::to_string(w.range.end) + ")");
+  const std::size_t staged = desc_.task_kind == TaskKind::kSstaGrid
+                                 ? w.staged_lanes.size()
+                                 : w.staged_mc.size();
+  if (count != end - begin || staged != end - begin)
+    throw std::runtime_error(
+        "range-done claims " + std::to_string(count) + " unit(s), " +
+        std::to_string(staged) + " staged, for a range of " +
+        std::to_string(end - begin));
+  // Commit: every unit of the range is present exactly once (membership
+  // and duplicates were enforced at staging, so a full-size staging map
+  // IS the whole range).  MC units enter the pending map and the
+  // contiguous prefix folds immediately; grid lanes place positionally.
+  if (desc_.task_kind == TaskKind::kSstaGrid) {
+    for (auto& [unit, lane] : w.staged_lanes) {
+      if (lane_got_[unit])
+        throw std::runtime_error("lane " + std::to_string(unit) +
+                                 " committed twice");
+      lanes_[unit] = lane;
+      lane_got_[unit] = 1;
+      ++lanes_done_;
+    }
+    w.staged_lanes.clear();
+  } else {
+    for (auto& [unit, part] : w.staged_mc) {
+      if (unit < folded_prefix_ || mc_pending_.count(unit) != 0)
+        throw std::runtime_error("unit " + std::to_string(unit) +
+                                 " committed twice");
+      mc_pending_.emplace(unit, std::move(part));
+    }
+    w.staged_mc.clear();
+    advance_mc_fold();
+  }
   w.has_range = false;
   log_line(opt_, "range [" + std::to_string(begin) + ", " +
-                     std::to_string(end) + ") done; " +
+                     std::to_string(end) + ") committed; " +
                      std::to_string(done_units()) + "/" +
-                     std::to_string(n_units_) + " units");
+                     std::to_string(n_units_) + " units (folded prefix " +
+                     std::to_string(desc_.task_kind == TaskKind::kSstaGrid
+                                        ? lanes_done_
+                                        : folded_prefix_) +
+                     ")");
+}
+
+void Coordinator::advance_mc_fold() {
+  // Left fold in ascending unit order — the identical fold
+  // GateLevelMonteCarlo::run applies locally — consuming the pending map
+  // as long as it extends the contiguous prefix.  Memory stays bounded by
+  // the out-of-order window: a committed range can only wait while some
+  // earlier range is still in flight.
+  auto it = mc_pending_.begin();
+  while (it != mc_pending_.end() && it->first == folded_prefix_) {
+    if (folded_prefix_ == 0)
+      mc_acc_ = std::move(it->second);
+    else
+      mc_acc_.merge(std::move(it->second));
+    it = mc_pending_.erase(it);
+    ++folded_prefix_;
+  }
 }
 
 bool Coordinator::service_worker(WorkerState& w) {
   std::optional<Frame> f;
   try {
-    f = recv_frame(w.sock);
+    f = recv_frame(w.sock, auth_);
   } catch (const std::exception& e) {
     requeue(w, e.what());
     return false;
@@ -218,8 +284,12 @@ bool Coordinator::service_worker(WorkerState& w) {
   }
   switch (f->type) {
     case MsgType::kResult:
+    case MsgType::kRangeDone:
       try {
-        handle_result(w, *f);
+        if (f->type == MsgType::kResult)
+          handle_unit(w, *f);
+        else
+          handle_range_done(w, *f);
       } catch (const std::exception& e) {
         // std::exception, not just runtime_error: a corrupt frame can also
         // surface as length_error/bad_alloc from the deserializer, and any
@@ -228,7 +298,7 @@ bool Coordinator::service_worker(WorkerState& w) {
         requeue(w, e.what());
         return false;
       }
-      assign_if_possible(w);
+      if (!w.has_range) assign_if_possible(w);
       return true;
     case MsgType::kError: {
       ByteReader r(f->payload);
@@ -279,12 +349,13 @@ TaskResult Coordinator::run() {
     // last assignment opportunity; top everyone up.
     for (WorkerState& w : workers_) assign_if_possible(w);
   }
-  // Every unit arrived: shut workers down politely, then reassemble
-  // ascending — for MC the identical left fold GateLevelMonteCarlo::run
-  // applies locally, for grids positional lane placement.
+  // Every unit committed: shut workers down politely.  The fold already
+  // happened incrementally in ascending unit order (the same order the
+  // local engine folds), so the result is ready the moment the last range
+  // commits.
   for (WorkerState& w : workers_) {
     try {
-      send_frame(w.sock, MsgType::kShutdown, {});
+      send_frame(w.sock, MsgType::kShutdown, {}, auth_);
     } catch (const std::exception&) {
       // Worker already gone; shutdown is best-effort.
     }
@@ -300,15 +371,11 @@ TaskResult Coordinator::run() {
   TaskResult out;
   out.kind = desc_.task_kind;
   if (desc_.task_kind == TaskKind::kSstaGrid) {
-    out.lanes.resize(n_units_);
-    for (auto& [unit, lane] : lane_results_) out.lanes[unit] = lane;
+    out.lanes = std::move(lanes_);
     return out;
   }
-  auto it = mc_results_.begin();
-  mc::McResult acc = std::move(it->second);
-  for (++it; it != mc_results_.end(); ++it) acc.merge(std::move(it->second));
-  acc.label = "gate-level MC";
-  out.mc = std::move(acc);
+  mc_acc_.label = "gate-level MC";
+  out.mc = std::move(mc_acc_);
   return out;
 }
 
@@ -321,8 +388,8 @@ void Coordinator::drain_backlog() {
     try {
       Socket s = listener_.accept();
       s.set_recv_timeout_ms(5000);
-      if (recv_frame(s))  // their hello
-        send_frame(s, MsgType::kShutdown, {});
+      if (recv_frame(s, auth_))  // their hello
+        send_frame(s, MsgType::kShutdown, {}, auth_);
     } catch (const std::exception& e) {
       log_line(opt_, std::string("backlog drain: ") + e.what());
     }

@@ -1,6 +1,7 @@
 // Distributed run coordinator: plans the task's units, farms contiguous
 // unit ranges to TCP workers, reassigns ranges lost to worker failures,
-// and reassembles per-unit results in ascending unit order.
+// and folds streamed per-unit results in ascending unit order with
+// bounded memory.
 //
 // Units are task-kind-specific (dist/task.h): Monte-Carlo shards or SSTA
 // grid lanes.  Determinism invariant (extends the thread-count/block-width
@@ -13,15 +14,27 @@
 // lanes carry no random state and each lane executes the scalar path's
 // exact floating-point sequence, so positional reassembly is trivially
 // bitwise.  A run split across N workers (any N, any range sizes, any
-// retry history) is therefore bitwise-identical to the single-process run
-// (tests/test_dist.cpp enforces it for both kinds, including under
-// injected worker failures).
+// retry history, any frame interleaving across workers) is therefore
+// bitwise-identical to the single-process run (tests/test_dist.cpp
+// enforces it for both kinds, including under injected worker failures).
 //
-// Failure semantics: a worker that disconnects, errors, or sends an
-// invalid result forfeits its in-flight range; the range re-enters the
-// queue and is handed to the next idle worker.  Each range carries an
-// attempt budget (CoordinatorOptions::max_attempts); exhausting it fails
-// the run loudly.  Workers may connect at any time during the run.
+// Streaming fold (wire v3): workers stream one kResult frame per unit as
+// units complete; the coordinator STAGES them per worker and COMMITS a
+// range only on its kRangeDone marker.  Committed Monte-Carlo units merge
+// into a single running accumulator as soon as they extend the contiguous
+// folded prefix — out-of-order commits wait in a small pending map — so
+// coordinator memory is bounded by the out-of-order window plus in-flight
+// staging, never the whole run.  Grid lanes are placed positionally into
+// the preallocated output.  The fold order is ascending unit index in
+// every case, which is exactly the local engine's order.
+//
+// Failure semantics: a worker that disconnects, errors, stalls past the
+// read deadline, fails frame authentication or sends an invalid frame
+// forfeits its in-flight range INCLUDING everything it already streamed —
+// staged units are discarded, the whole range re-enters the queue and is
+// handed to the next idle worker.  Each range carries an attempt budget
+// (CoordinatorOptions::max_attempts); exhausting it fails the run loudly.
+// Workers may connect at any time during the run.
 //
 // Layer contract (src/dist, see docs/ARCHITECTURE.md): the distributed
 // execution layer sits on top of mc/sta/sim/stats and may depend on all of
@@ -35,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "dist/hmac.h"
 #include "dist/serialize.h"
 #include "dist/task.h"
 #include "dist/transport.h"
@@ -52,11 +66,20 @@ struct CoordinatorOptions {
   /// be <= the run's unit count to be satisfiable.
   std::size_t units_per_range = 0;
   int max_attempts = 3;                 ///< per range, >= 1
-  /// Progress bound, 0 = wait forever.  Caps both the event loop's poll
-  /// (no connect/result/error at all for this long aborts the run) and
-  /// every read from an admitted worker (a peer stalling mid-frame times
-  /// out, forfeits its range to reassignment and is dropped).
+  /// Progress bound, 0 = wait forever: no connect/result/error at all for
+  /// this long aborts the run (guards the event loop's poll).
   int idle_timeout_ms = 0;
+  /// Per-connection read deadline on every admitted worker (0 = none).  A
+  /// peer that goes silent — or drips bytes — mid-frame forfeits its range
+  /// after this long instead of wedging run() (Socket::set_read_deadline_ms
+  /// bounds even slow-loris drips).  Defaults to 30 s: long enough for any
+  /// legitimate frame on a LAN, short enough that a stalled peer cannot
+  /// hold a range hostage.
+  int read_deadline_ms = 30000;
+  /// Shared wire-key passphrase ("" = authentication disabled).  When set,
+  /// every frame in both directions carries an HMAC-SHA256 trailer
+  /// (dist/hmac.h) and unauthenticated or tampered peers are rejected.
+  std::string auth_key;
   bool verbose = false;                 ///< progress lines on stderr
 };
 
@@ -72,10 +95,10 @@ class Coordinator {
   std::uint16_t port() const noexcept { return listener_.port(); }
   const RunDescriptor& descriptor() const noexcept { return desc_; }
 
-  /// Serves workers until every unit's result arrived, then returns the
-  /// ascending-order reassembly (MC: left fold of shard results; grid:
-  /// positional lane placement).  Throws std::runtime_error when a range
-  /// exhausts its attempts or the idle timeout expires.
+  /// Serves workers until every unit's result arrived and committed, then
+  /// returns the ascending-order fold (MC: the running left fold of shard
+  /// results; grid: positional lane placement).  Throws std::runtime_error
+  /// when a range exhausts its attempts or the idle timeout expires.
   TaskResult run();
 
   /// Accepts and politely dismisses (kShutdown) every connection waiting
@@ -97,6 +120,11 @@ class Coordinator {
     bool ready = false;       ///< hello'd + setup sent
     bool has_range = false;
     Range range;
+    // Units streamed for the in-flight range, staged until its kRangeDone
+    // commits them; discarded wholesale when the worker is lost (exactly
+    // one map used, selected by task kind).
+    std::map<std::size_t, mc::McResult> staged_mc;
+    std::map<std::size_t, sta::StageCharacterization> staged_lanes;
   };
 
   void admit_worker();
@@ -104,25 +132,39 @@ class Coordinator {
   /// Handles one readable worker; returns false when the worker is gone
   /// (its range, if any, re-queued).
   bool service_worker(WorkerState& w);
-  void handle_result(WorkerState& w, const Frame& f);
+  /// Stages one streamed unit (validates range membership and duplicates;
+  /// throws on any violation — the caller requeues the range).
+  void handle_unit(WorkerState& w, const Frame& f);
+  /// Commits the in-flight range on a valid kRangeDone (echo + count must
+  /// match; throws otherwise).
+  void handle_range_done(WorkerState& w, const Frame& f);
   void requeue(WorkerState& w, const std::string& why);
+  /// Folds every pending committed MC unit that extends the contiguous
+  /// prefix into the running accumulator.
+  void advance_mc_fold();
   std::size_t done_units() const noexcept {
-    return desc_.task_kind == TaskKind::kSstaGrid ? lane_results_.size()
-                                                  : mc_results_.size();
+    return desc_.task_kind == TaskKind::kSstaGrid
+               ? lanes_done_
+               : folded_prefix_ + mc_pending_.size();
   }
 
   RunDescriptor desc_;
   CoordinatorOptions opt_;
+  FrameAuth auth_;
   Listener listener_;
   std::size_t n_units_ = 0;
   std::deque<Range> pending_;
   std::vector<WorkerState> workers_;
-  // Decoded per-unit results, exactly one map populated per run (selected
-  // by desc_.task_kind).  Decoding happens on receipt so a corrupt payload
-  // forfeits the range within its attempt budget instead of failing the
-  // final fold.
-  std::map<std::size_t, mc::McResult> mc_results_;
-  std::map<std::size_t, sta::StageCharacterization> lane_results_;
+  // Bounded-memory ascending fold state.  Monte-Carlo: units [0,
+  // folded_prefix_) live merged inside mc_acc_; committed units beyond the
+  // prefix wait in mc_pending_ until the gap fills.  Grid: lanes_ is the
+  // preallocated output, lane_got_ guards against double placement.
+  mc::McResult mc_acc_;
+  std::size_t folded_prefix_ = 0;
+  std::map<std::size_t, mc::McResult> mc_pending_;
+  std::vector<sta::StageCharacterization> lanes_;
+  std::vector<std::uint8_t> lane_got_;
+  std::size_t lanes_done_ = 0;
 };
 
 }  // namespace statpipe::dist

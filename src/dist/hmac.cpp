@@ -1,0 +1,166 @@
+#include "dist/hmac.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+namespace statpipe::dist {
+
+namespace {
+
+// FIPS 180-4 SHA-256: straightforward scalar implementation.  The wire
+// authenticates one MAC per frame, so digest throughput is irrelevant next
+// to the payloads themselves; clarity wins.
+
+constexpr std::uint32_t kInit[8] = {
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+    0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+};
+
+constexpr std::uint32_t kRound[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+};
+
+inline std::uint32_t rotr(std::uint32_t x, int n) {
+  return (x >> n) | (x << (32 - n));
+}
+
+void compress(std::uint32_t state[8], const std::uint8_t block[64]) {
+  std::uint32_t w[64];
+  for (int i = 0; i < 16; ++i)
+    w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
+           (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
+           static_cast<std::uint32_t>(block[4 * i + 3]);
+  for (int i = 16; i < 64; ++i) {
+    const std::uint32_t s0 =
+        rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    const std::uint32_t s1 =
+        rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+  std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+  std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+  for (int i = 0; i < 64; ++i) {
+    const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+    const std::uint32_t ch = (e & f) ^ (~e & g);
+    const std::uint32_t t1 = h + s1 + ch + kRound[i] + w[i];
+    const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const std::uint32_t t2 = s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+  state[0] += a;
+  state[1] += b;
+  state[2] += c;
+  state[3] += d;
+  state[4] += e;
+  state[5] += f;
+  state[6] += g;
+  state[7] += h;
+}
+
+}  // namespace
+
+Digest sha256(std::span<const std::uint8_t> data) {
+  std::uint32_t state[8];
+  std::memcpy(state, kInit, sizeof state);
+  std::size_t i = 0;
+  for (; i + 64 <= data.size(); i += 64) compress(state, data.data() + i);
+  // Final block(s): remainder, 0x80 pad, zeros, 64-bit big-endian bit count.
+  std::uint8_t block[64] = {};
+  const std::size_t rem = data.size() - i;
+  if (rem > 0) std::memcpy(block, data.data() + i, rem);
+  block[rem] = 0x80;
+  if (rem >= 56) {
+    compress(state, block);
+    std::memset(block, 0, sizeof block);
+  }
+  const std::uint64_t bits = static_cast<std::uint64_t>(data.size()) * 8;
+  for (int k = 0; k < 8; ++k)
+    block[56 + k] = static_cast<std::uint8_t>(bits >> (8 * (7 - k)));
+  compress(state, block);
+  Digest out;
+  for (int k = 0; k < 8; ++k) {
+    out[4 * k] = static_cast<std::uint8_t>(state[k] >> 24);
+    out[4 * k + 1] = static_cast<std::uint8_t>(state[k] >> 16);
+    out[4 * k + 2] = static_cast<std::uint8_t>(state[k] >> 8);
+    out[4 * k + 3] = static_cast<std::uint8_t>(state[k]);
+  }
+  return out;
+}
+
+Digest hmac_sha256(std::span<const std::uint8_t> key,
+                   std::span<const std::uint8_t> data) {
+  constexpr std::size_t kBlock = 64;
+  std::uint8_t k0[kBlock] = {};
+  if (key.size() > kBlock) {
+    const Digest kh = sha256(key);
+    std::memcpy(k0, kh.data(), kh.size());
+  } else if (!key.empty()) {
+    std::memcpy(k0, key.data(), key.size());
+  }
+  std::uint8_t inner[kBlock], outer[kBlock];
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    inner[i] = static_cast<std::uint8_t>(k0[i] ^ 0x36);
+    outer[i] = static_cast<std::uint8_t>(k0[i] ^ 0x5c);
+  }
+  std::vector<std::uint8_t> msg;
+  msg.reserve(kBlock + data.size());
+  msg.insert(msg.end(), inner, inner + kBlock);
+  msg.insert(msg.end(), data.begin(), data.end());
+  const Digest ih = sha256(msg);
+  std::vector<std::uint8_t> om;
+  om.reserve(kBlock + ih.size());
+  om.insert(om.end(), outer, outer + kBlock);
+  om.insert(om.end(), ih.begin(), ih.end());
+  return sha256(om);
+}
+
+bool digest_equal_consttime(const Digest& a, const Digest& b) noexcept {
+  // Accumulate the XOR of every byte pair; branch only on the final fold so
+  // the time taken is independent of where (or whether) the digests differ.
+  volatile std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < kDigestSize; ++i)
+    acc = static_cast<std::uint8_t>(acc | (a[i] ^ b[i]));
+  return acc == 0;
+}
+
+FrameAuth FrameAuth::from_passphrase(const std::string& passphrase) {
+  FrameAuth a;
+  if (passphrase.empty()) return a;
+  a.enabled = true;
+  a.key = sha256(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(passphrase.data()),
+      passphrase.size()));
+  return a;
+}
+
+FrameAuth FrameAuth::from_env() {
+  const char* v = std::getenv("STATPIPE_WIRE_KEY");
+  return from_passphrase(v ? std::string(v) : std::string());
+}
+
+Digest FrameAuth::mac(std::span<const std::uint8_t> data) const {
+  return hmac_sha256(std::span<const std::uint8_t>(key.data(), key.size()),
+                     data);
+}
+
+}  // namespace statpipe::dist

@@ -8,31 +8,43 @@
 //   kSstaGrid    unit = one sweep-config lane of an sta::SstaBatch grid;
 //                unit payload = one sta::StageCharacterization
 //
-// Every message is a frame:
+// Every message is a frame (wire v3):
 //
-//   { u32 magic, u16 version, u16 type, u64 payload_size } payload...
+//   { u32 magic, u16 version, u16 type, u32 flags, u64 payload_size }
+//   payload...  [ 32-byte HMAC-SHA256 trailer when kFrameFlagAuthenticated ]
 //
 // (all little-endian, payload layouts in dist/serialize.h and
 // docs/WIRE_FORMAT.md).  The exchange:
 //
-//   worker -> coordinator   kHello     { u16 proto_version, u64 threads }
-//   coordinator -> worker   kSetup     { RunDescriptor }
-//   coordinator -> worker   kAssign    { u64 unit_begin, u64 unit_end }
-//   worker -> coordinator   kResult    { u64 unit_begin, u64 unit_end,
-//                                        u64 count,
-//                                        count * (u64 unit_index,
-//                                                 unit payload) }
-//   worker -> coordinator   kError     { string message }
-//   coordinator -> worker   kShutdown  { }
+//   worker -> coordinator   kHello      { u16 proto_version, u64 threads }
+//   coordinator -> worker   kSetup      { RunDescriptor }
+//   coordinator -> worker   kAssign     { u64 unit_begin, u64 unit_end }
+//   worker -> coordinator   kResult     { u64 unit_index, unit payload }
+//                                       (one frame PER UNIT, streamed
+//                                       ascending as units complete)
+//   worker -> coordinator   kRangeDone  { u64 unit_begin, u64 unit_end,
+//                                         u64 count }  (commit marker)
+//   worker -> coordinator   kError      { string message }
+//   coordinator -> worker   kShutdown   { }
 //
-// A worker that disconnects or reports kError forfeits its in-flight
-// range; the coordinator re-queues the range for another worker (bounded
-// by CoordinatorOptions::max_attempts).  Results are per UNIT, not per
-// range: the coordinator folds every unit's result in ascending unit
-// index — for Monte-Carlo that is the same left fold the local engine
-// applies, for SSTA grids it is positional lane placement — so the merged
-// run is bitwise-identical to the single-process result no matter how
-// ranges were split, retried or reassigned (docs/DETERMINISM.md).
+// Streaming commit semantics: per-unit kResult frames are STAGED by the
+// coordinator and only committed when the range's kRangeDone arrives with
+// the right echo and count — a worker that dies, stalls or turns hostile
+// mid-range forfeits everything it streamed, and the whole range is
+// re-queued (bounded by CoordinatorOptions::max_attempts).  Committed
+// units fold in ascending unit index with bounded memory — for
+// Monte-Carlo the same left fold the local engine applies (a contiguous
+// prefix is folded into one accumulator as it completes), for SSTA grids
+// positional lane placement — so the merged run is bitwise-identical to
+// the single-process result no matter how ranges were split, streamed,
+// retried or reassigned (docs/DETERMINISM.md).
+//
+// Authentication: with a shared key configured (STATPIPE_WIRE_KEY / --key)
+// every frame in both directions carries an HMAC-SHA256 trailer over
+// header + payload (dist/hmac.h), verified constant-time before the
+// payload is parsed.  Tampered, unauthenticated-under-key and
+// authenticated-without-key frames are all rejected with a distinct
+// authentication error, never parsed.
 //
 // Layer contract (src/dist, see docs/ARCHITECTURE.md): the distributed
 // execution layer sits on top of mc/sta/sim/stats and may depend on all of
@@ -47,10 +59,16 @@ enum class MsgType : std::uint16_t {
   kHello = 1,
   kSetup = 2,
   kAssign = 3,
-  kResult = 4,
+  kResult = 4,     ///< v3: ONE unit per frame, streamed as units complete
   kError = 5,
   kShutdown = 6,
+  kRangeDone = 7,  ///< v3: commits the streamed units of one range
 };
+
+/// Frame-header flag bits (u32 `flags` field, v3).  Unknown bits are
+/// rejected — a future flag must bump the version, never ride silently.
+inline constexpr std::uint32_t kFrameFlagAuthenticated = 1u << 0;
+inline constexpr std::uint32_t kFrameFlagsKnown = kFrameFlagAuthenticated;
 
 /// Wire discriminator for what a RunDescriptor describes and what each
 /// result unit contains.  Serialized as u16; readers reject unknown values

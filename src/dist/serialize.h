@@ -39,9 +39,11 @@ namespace statpipe::dist {
 /// Wire format magic ("SPD1" little-endian) and version.  Bump the version
 /// on any layout change; readers reject mismatches.  v1 (PR 4) carried the
 /// Monte-Carlo-only descriptor; v2 added the task-kind discriminator and
-/// the SSTA grid payload.
+/// the SSTA grid payload; v3 (PR 7) added the frame-header flags field,
+/// the optional HMAC-SHA256 frame trailer, and streaming per-unit
+/// kResult frames with the kRangeDone commit marker.
 inline constexpr std::uint32_t kWireMagic = 0x31445053;
-inline constexpr std::uint16_t kWireVersion = 2;
+inline constexpr std::uint16_t kWireVersion = 3;
 
 /// Append-only little-endian byte sink.
 class ByteWriter {

@@ -1,5 +1,6 @@
 #include "dist/task.h"
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
 #include <utility>
@@ -7,6 +8,7 @@
 #include "dist/workload.h"
 #include "process/variation.h"
 #include "sim/engine.h"
+#include "sim/thread_pool.h"
 #include "sta/ssta_batch.h"
 
 namespace statpipe::dist {
@@ -32,18 +34,6 @@ struct GridWorkload {
         batch(nl, model, opt),
         size_grid(std::move(grid)) {}
 };
-
-std::vector<std::vector<std::uint8_t>> serialize_lane_units(
-    const std::vector<sta::StageCharacterization>& lanes) {
-  std::vector<std::vector<std::uint8_t>> units;
-  units.reserve(lanes.size());
-  for (const auto& c : lanes) {
-    ByteWriter w;
-    write_stage_characterization(w, c);
-    units.push_back(w.take());
-  }
-  return units;
-}
 
 }  // namespace
 
@@ -79,7 +69,8 @@ UnitRangeRunner make_unit_runner(const RunDescriptor& desc) {
                                              descriptor_technology(desc), opt,
                                              desc.size_grid);
     const process::VariationSpec spec = descriptor_spec(desc);
-    return [wl, spec](std::size_t begin, std::size_t end) {
+    return [wl, spec](std::size_t begin, std::size_t end,
+                      const UnitSink& emit) {
       sim::check_shard_range(wl->size_grid.size(), begin, end);
       // Characterize only the assigned lanes: lane results carry no random
       // state and execute the scalar path's exact floating-point sequence
@@ -88,22 +79,34 @@ UnitRangeRunner make_unit_runner(const RunDescriptor& desc) {
       std::vector<std::vector<double>> sub(
           wl->size_grid.begin() + static_cast<std::ptrdiff_t>(begin),
           wl->size_grid.begin() + static_cast<std::ptrdiff_t>(end));
-      return serialize_lane_units(
-          wl->batch.characterize(sta::make_configs(sub, spec)));
+      const std::vector<sta::StageCharacterization> lanes =
+          wl->batch.characterize(sta::make_configs(sub, spec));
+      for (std::size_t i = 0; i < lanes.size(); ++i) {
+        ByteWriter w;
+        write_stage_characterization(w, lanes[i]);
+        emit(begin + i, w.take());
+      }
     };
   }
   std::shared_ptr<Workload> wl = Workload::make(desc);
-  return [wl, desc](std::size_t begin, std::size_t end) {
-    const std::vector<mc::McResult> parts = wl->engine().run_shard_range(
-        desc.n_samples, desc.root_seed, begin, end, wl->exec(desc));
-    std::vector<std::vector<std::uint8_t>> units;
-    units.reserve(parts.size());
-    for (const auto& p : parts) {
-      ByteWriter w;
-      write_mc_result(w, p);
-      units.push_back(w.take());
+  return [wl, desc](std::size_t begin, std::size_t end, const UnitSink& emit) {
+    // Execute the range in chunks of a few shards each so completed units
+    // stream out while later ones still compute, keeping both worker and
+    // coordinator memory bounded by the chunk, not the range.  Chunking is
+    // pure scheduling: shard streams key on (root_seed, shard index) alone
+    // and emission stays ascending, so the bytes cannot depend on it.
+    const std::size_t chunk = std::max<std::size_t>(
+        2 * sim::ThreadPool::shared().thread_count(), 8);
+    for (std::size_t lo = begin; lo < end; lo += chunk) {
+      const std::size_t hi = std::min(end, lo + chunk);
+      const std::vector<mc::McResult> parts = wl->engine().run_shard_range(
+          desc.n_samples, desc.root_seed, lo, hi, wl->exec(desc));
+      for (std::size_t i = 0; i < parts.size(); ++i) {
+        ByteWriter w;
+        write_mc_result(w, parts[i]);
+        emit(lo + i, w.take());
+      }
     }
-    return units;
   };
 }
 

@@ -3,8 +3,9 @@
 //
 // A task is a sequence of n_units independent work units (Monte-Carlo
 // shards, SSTA grid lanes).  Workers execute contiguous unit ranges and
-// ship one serialized payload PER UNIT; the coordinator reassembles units
-// in ascending index, which reproduces the single-process result bit for
+// STREAM one serialized payload per unit, ascending, as units complete
+// (wire v3); the coordinator stages and then folds committed units in
+// ascending index, which reproduces the single-process result bit for
 // bit for every kind (docs/DETERMINISM.md).  This header is the one place
 // that knows how each TaskKind plans, runs and folds; the coordinator,
 // worker loop and transport stay kind-agnostic.
@@ -46,13 +47,23 @@ std::size_t task_unit_count(const RunDescriptor& desc);
 /// 48-byte StageCharacterization.
 std::size_t task_unit_wire_bytes(const RunDescriptor& desc);
 
-/// Executes units [unit_begin, unit_end) of the descriptor's task and
-/// returns one serialized unit payload per unit, ascending — what a worker
-/// ships inside a kResult frame.  The factory front half (workload
-/// construction, hash verification) happens in make_unit_runner; the
-/// returned runner only executes ranges.
-using UnitRangeRunner = std::function<std::vector<std::vector<std::uint8_t>>(
-    std::size_t unit_begin, std::size_t unit_end)>;
+/// Receives one serialized unit payload as it completes.  The runner calls
+/// the sink once per unit, STRICTLY ASCENDING in unit index over the
+/// assigned range — the contract that lets the worker stream each unit as
+/// its own kResult frame and the coordinator fold a contiguous prefix with
+/// bounded memory (docs/DETERMINISM.md).
+using UnitSink = std::function<void(std::size_t unit_index,
+                                    const std::vector<std::uint8_t>& payload)>;
+
+/// Executes units [unit_begin, unit_end) of the descriptor's task, emitting
+/// each unit's serialized payload through `emit` in ascending unit order.
+/// The factory front half (workload construction, hash verification)
+/// happens in make_unit_runner; the returned runner only executes ranges.
+/// Runners may batch execution internally (e.g. a few units per parallel
+/// chunk) — batching is pure scheduling and never changes the bytes,
+/// because units are independent and emitted in index order regardless.
+using UnitRangeRunner = std::function<void(
+    std::size_t unit_begin, std::size_t unit_end, const UnitSink& emit)>;
 
 /// Builds the descriptor's workload (rebuilding netlists from the registry
 /// and verifying the structural hash — mismatch throws, the worker reports

@@ -7,8 +7,10 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 #include <thread>
@@ -18,6 +20,9 @@
 namespace statpipe::dist {
 
 namespace {
+
+/// v3 frame header: u32 magic, u16 version, u16 type, u32 flags, u64 size.
+constexpr std::size_t kHeaderSize = 20;
 
 [[noreturn]] void throw_errno(const std::string& what) {
   throw std::runtime_error("dist: " + what + ": " + std::strerror(errno));
@@ -42,7 +47,10 @@ Socket& Socket::operator=(Socket&& o) noexcept {
   if (this != &o) {
     close();
     fd_ = o.fd_;
+    deadline_ms_ = o.deadline_ms_;
+    fault_ = o.fault_;
     o.fd_ = -1;
+    o.fault_ = nullptr;
   }
   return *this;
 }
@@ -62,14 +70,38 @@ void Socket::set_recv_timeout_ms(int ms) {
     throw_errno("setsockopt(SO_RCVTIMEO)");
 }
 
+void Socket::set_read_deadline_ms(int ms) {
+  deadline_ms_ = ms;
+  // Also arm SO_RCVTIMEO at the deadline so a fully silent peer (zero
+  // bytes) wakes the blocking recv; the absolute check in recv_all then
+  // bounds peers that drip bytes just often enough to keep resetting it.
+  if (ms > 0) set_recv_timeout_ms(ms);
+}
+
 void Socket::send_all(const void* data, std::size_t n) {
   const auto* p = static_cast<const std::uint8_t*>(data);
   while (n > 0) {
-    const ssize_t w = ::send(fd_, p, n, MSG_NOSIGNAL);
+    std::size_t chunk = n;
+    if (fault_ != nullptr) {
+      if (fault_->delay_us_per_chunk > 0)
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(fault_->delay_us_per_chunk));
+      chunk = std::min(chunk, fault_->max_chunk);
+      if (fault_->send_byte_budget == 0) {
+        // Budget exhausted: byte-exact mid-frame disconnect.
+        ::shutdown(fd_, SHUT_RDWR);
+        close();
+        throw std::runtime_error("dist: send budget exhausted (fault plan)");
+      }
+      chunk = std::min(chunk, fault_->send_byte_budget);
+    }
+    const ssize_t w = ::send(fd_, p, chunk, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
       throw_errno("send");
     }
+    if (fault_ != nullptr)
+      fault_->send_byte_budget -= static_cast<std::size_t>(w);
     p += w;
     n -= static_cast<std::size_t>(w);
   }
@@ -78,10 +110,24 @@ void Socket::send_all(const void* data, std::size_t n) {
 bool Socket::recv_all(void* data, std::size_t n) {
   auto* p = static_cast<std::uint8_t*>(data);
   std::size_t got = 0;
+  const bool deadline_armed = deadline_ms_ > 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(deadline_ms_);
   while (got < n) {
-    const ssize_t r = ::recv(fd_, p + got, n - got, 0);
+    std::size_t chunk = n - got;
+    if (fault_ != nullptr) {
+      if (fault_->delay_us_per_chunk > 0)
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(fault_->delay_us_per_chunk));
+      chunk = std::min(chunk, fault_->max_chunk);
+    }
+    const ssize_t r = ::recv(fd_, p + got, chunk, 0);
     if (r < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        throw std::runtime_error(
+            "dist: read deadline exceeded waiting for peer (" +
+            std::to_string(got) + "/" + std::to_string(n) + " bytes)");
       throw_errno("recv");
     }
     if (r == 0) {
@@ -91,6 +137,13 @@ bool Socket::recv_all(void* data, std::size_t n) {
                                " bytes)");
     }
     got += static_cast<std::size_t>(r);
+    // Absolute per-call bound: SO_RCVTIMEO restarts on every byte, so a
+    // slow-loris peer dripping one byte per period would never trip it.
+    if (deadline_armed && got < n &&
+        std::chrono::steady_clock::now() >= deadline)
+      throw std::runtime_error(
+          "dist: read deadline exceeded waiting for peer (" +
+          std::to_string(got) + "/" + std::to_string(n) + " bytes)");
   }
   return true;
 }
@@ -147,8 +200,9 @@ Socket connect_to(const std::string& host, std::uint16_t port, int retry_ms) {
 
 // ---------------------------------------------------------------- frames
 
-void send_frame(Socket& s, MsgType type,
-                const std::vector<std::uint8_t>& payload) {
+std::vector<std::uint8_t> encode_frame(MsgType type,
+                                       const std::vector<std::uint8_t>& payload,
+                                       const FrameAuth& auth) {
   if (payload.size() > kMaxFramePayload)
     throw std::runtime_error("dist: frame payload too large (" +
                              std::to_string(payload.size()) + " bytes)");
@@ -156,14 +210,29 @@ void send_frame(Socket& s, MsgType type,
   w.u32(kWireMagic);
   w.u16(kWireVersion);
   w.u16(static_cast<std::uint16_t>(type));
+  w.u32(auth.enabled ? kFrameFlagAuthenticated : 0u);
   w.u64(payload.size());
   std::vector<std::uint8_t> buf = w.take();
   buf.insert(buf.end(), payload.begin(), payload.end());
+  if (auth.enabled) {
+    // MAC over header + payload: length, type and flags are all covered,
+    // so truncating, retyping or de-authenticating a frame breaks the MAC.
+    const Digest tag =
+        auth.mac(std::span<const std::uint8_t>(buf.data(), buf.size()));
+    buf.insert(buf.end(), tag.begin(), tag.end());
+  }
+  return buf;
+}
+
+void send_frame(Socket& s, MsgType type,
+                const std::vector<std::uint8_t>& payload,
+                const FrameAuth& auth) {
+  const std::vector<std::uint8_t> buf = encode_frame(type, payload, auth);
   s.send_all(buf.data(), buf.size());
 }
 
-std::optional<Frame> recv_frame(Socket& s) {
-  std::uint8_t header[16];
+std::optional<Frame> recv_frame(Socket& s, const FrameAuth& auth) {
+  std::uint8_t header[kHeaderSize];
   if (!s.recv_all(header, sizeof header)) return std::nullopt;
   ByteReader r(std::span<const std::uint8_t>(header, sizeof header));
   const std::uint32_t magic = r.u32();
@@ -176,6 +245,27 @@ std::optional<Frame> recv_frame(Socket& s) {
                              std::to_string(kWireVersion));
   Frame f;
   f.type = static_cast<MsgType>(r.u16());
+  const std::uint32_t flags = r.u32();
+  if ((flags & ~kFrameFlagsKnown) != 0)
+    throw std::runtime_error("dist: unknown frame flag bits 0x" +
+                             [&] {
+                               char hex[16];
+                               std::snprintf(hex, sizeof hex, "%08x",
+                                             flags & ~kFrameFlagsKnown);
+                               return std::string(hex);
+                             }());
+  const bool authenticated = (flags & kFrameFlagAuthenticated) != 0;
+  // Auth policy is symmetric and strict: a configured key demands a MAC on
+  // every frame, and a frame claiming a MAC under no key is equally
+  // rejected — a peer on the wrong side of the key config never half-works.
+  if (auth.enabled && !authenticated)
+    throw std::runtime_error(
+        "dist: authentication required but peer sent an unauthenticated "
+        "frame");
+  if (!auth.enabled && authenticated)
+    throw std::runtime_error(
+        "dist: peer sent an authenticated frame but no wire key is "
+        "configured (set STATPIPE_WIRE_KEY / --key)");
   const std::uint64_t size = r.u64();
   if (size > kMaxFramePayload)
     throw std::runtime_error("dist: oversize frame payload (" +
@@ -183,6 +273,21 @@ std::optional<Frame> recv_frame(Socket& s) {
   f.payload.resize(size);
   if (size > 0 && !s.recv_all(f.payload.data(), size))
     throw std::runtime_error("dist: peer closed before frame payload");
+  if (authenticated) {
+    Digest claimed{};
+    if (!s.recv_all(claimed.data(), claimed.size()))
+      throw std::runtime_error("dist: peer closed before frame MAC");
+    std::vector<std::uint8_t> covered;
+    covered.reserve(kHeaderSize + f.payload.size());
+    covered.insert(covered.end(), header, header + kHeaderSize);
+    covered.insert(covered.end(), f.payload.begin(), f.payload.end());
+    const Digest expected = auth.mac(
+        std::span<const std::uint8_t>(covered.data(), covered.size()));
+    if (!digest_equal_consttime(claimed, expected))
+      throw std::runtime_error(
+          "dist: frame authentication failed (bad HMAC — tampered frame or "
+          "wrong wire key)");
+  }
   return f;
 }
 

@@ -1,5 +1,6 @@
-// Minimal TCP transport for the shard-range protocol: RAII sockets, a
-// listener, and length-prefixed frame send/receive (dist/protocol.h).
+// Minimal TCP transport for the unit-range protocol: RAII sockets, a
+// listener, and length-prefixed frame send/receive (dist/protocol.h) with
+// optional shared-key frame authentication (dist/hmac.h).
 //
 // Deliberately boring POSIX blocking sockets: the coordinator multiplexes
 // readiness with poll(2) and then reads one frame with blocking reads (a
@@ -9,19 +10,60 @@
 // from recv_frame, never as an exception — disconnection is an expected
 // event the coordinator handles, not a crash.
 //
+// Hardening seams on this layer:
+//   * a per-connection READ DEADLINE (set_read_deadline_ms) bounds the
+//     total wall-clock of any single recv_all, so a peer that stalls
+//     mid-frame — or drips one byte per timeout period — surfaces as a
+//     timeout error instead of wedging the caller forever;
+//   * frame AUTHENTICATION (FrameAuth): with a shared key configured,
+//     every frame carries an HMAC-SHA256 trailer over header + payload,
+//     verified constant-time before the payload is surfaced;
+//   * a FAULT-INJECTION seam (dist::testing::FaultPlan, attached per
+//     socket) that the adversarial tests and the statpipe-saboteur tool
+//     use to force short reads/writes, delayed bytes and byte-exact
+//     mid-frame disconnects on the live socket path.
+//
 // Layer contract (src/dist, see docs/ARCHITECTURE.md): the distributed
 // execution layer sits on top of mc/sim/stats and may depend on all of
 // them; nothing below src/dist may know it exists.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "dist/hmac.h"
 #include "dist/protocol.h"
 
 namespace statpipe::dist {
+
+namespace testing {
+
+/// Deterministic fault plan for one socket (attach with
+/// Socket::set_fault_plan; the socket borrows the plan, caller keeps it
+/// alive).  Budgets are mutable counters the socket decrements, so a test
+/// can cut a connection at an exact byte offset of the conversation —
+/// e.g. three bytes into the second frame's header — and chunk caps force
+/// the short-read/short-write paths that a loopback socket would
+/// otherwise never exercise.
+struct FaultPlan {
+  static constexpr std::size_t kUnlimited =
+      std::numeric_limits<std::size_t>::max();
+
+  /// Total bytes this socket may still send; the next send past the
+  /// budget shuts the connection down (a byte-exact mid-frame
+  /// disconnect), after first transmitting whatever the budget allows.
+  std::size_t send_byte_budget = kUnlimited;
+  /// Largest chunk handed to one ::send / ::recv call — forces the
+  /// partial-write / partial-read loops.
+  std::size_t max_chunk = kUnlimited;
+  /// Sleep inserted before every chunk (delayed/dribbled bytes).
+  int delay_us_per_chunk = 0;
+};
+
+}  // namespace testing
 
 /// Move-only owner of a connected socket fd.
 class Socket {
@@ -29,7 +71,11 @@ class Socket {
   Socket() = default;
   explicit Socket(int fd) : fd_(fd) {}
   ~Socket();
-  Socket(Socket&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Socket(Socket&& o) noexcept
+      : fd_(o.fd_), deadline_ms_(o.deadline_ms_), fault_(o.fault_) {
+    o.fd_ = -1;
+    o.fault_ = nullptr;
+  }
   Socket& operator=(Socket&& o) noexcept;
   Socket(const Socket&) = delete;
   Socket& operator=(const Socket&) = delete;
@@ -43,15 +89,31 @@ class Socket {
   /// bound the synchronous hello read from a freshly accepted peer.
   void set_recv_timeout_ms(int ms);
 
+  /// Hard wall-clock bound on any single recv_all (0 = none).  Unlike
+  /// set_recv_timeout_ms — which restarts on every byte received, so a
+  /// peer dripping one byte per period stays under it forever — the
+  /// deadline is absolute per call: a frame that has not fully arrived
+  /// within `ms` throws "read deadline exceeded", whatever the drip rate.
+  /// The coordinator arms this on every admitted worker so a stalled or
+  /// slow-loris peer forfeits its range instead of wedging run().
+  void set_read_deadline_ms(int ms);
+
+  /// dist::testing seam: all sends/recvs on this socket consult `plan`
+  /// (borrowed; nullptr detaches).  Production code never attaches one.
+  void set_fault_plan(testing::FaultPlan* plan) noexcept { fault_ = plan; }
+
   /// Writes exactly n bytes (MSG_NOSIGNAL; a dead peer throws, never
   /// SIGPIPEs the process).
   void send_all(const void* data, std::size_t n);
   /// Reads exactly n bytes; returns false on clean EOF at a frame
-  /// boundary (n unread bytes), throws on mid-read EOF or errors.
+  /// boundary (n unread bytes), throws on mid-read EOF, timeouts,
+  /// deadline expiry or errors.
   bool recv_all(void* data, std::size_t n);
 
  private:
   int fd_ = -1;
+  int deadline_ms_ = 0;
+  testing::FaultPlan* fault_ = nullptr;
 };
 
 /// Listening TCP socket bound to host:port (port 0 = ephemeral; port()
@@ -60,7 +122,7 @@ class Listener {
  public:
   Listener(const std::string& host, std::uint16_t port);
 
-  std::uint16_t port() const noexcept { return port_; }
+  std::uint16_t port() const noexcept { return sock_.fd() >= 0 ? port_ : 0; }
   int fd() const noexcept { return sock_.fd(); }
   Socket accept();
 
@@ -79,14 +141,26 @@ struct Frame {
   std::vector<std::uint8_t> payload;
 };
 
-/// Sends one framed message (header + payload in a single buffer, one
-/// write path — a frame is never interleaved).
+/// Serialized frame bytes (header + payload + HMAC trailer when auth is
+/// enabled) without sending — what send_frame writes, exposed so the
+/// saboteur tool and the mutation fuzz can corrupt real frames.
+std::vector<std::uint8_t> encode_frame(MsgType type,
+                                       const std::vector<std::uint8_t>& payload,
+                                       const FrameAuth& auth = {});
+
+/// Sends one framed message (header + payload + optional HMAC trailer in
+/// a single buffer, one write path — a frame is never interleaved).
 void send_frame(Socket& s, MsgType type,
-                const std::vector<std::uint8_t>& payload);
+                const std::vector<std::uint8_t>& payload,
+                const FrameAuth& auth = {});
 
 /// Receives one frame; std::nullopt on clean peer close before a header
 /// byte.  Throws std::runtime_error on bad magic, unsupported version,
-/// oversize payload or mid-frame EOF.
-std::optional<Frame> recv_frame(Socket& s);
+/// unknown flags, oversize payload, mid-frame EOF — and on every
+/// authentication failure: a tampered MAC, an unauthenticated frame while
+/// `auth` holds a key, or an authenticated frame while it does not.  The
+/// MAC is verified (constant-time) BEFORE the payload is handed to any
+/// parser.
+std::optional<Frame> recv_frame(Socket& s, const FrameAuth& auth = {});
 
 }  // namespace statpipe::dist

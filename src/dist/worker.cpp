@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "dist/hmac.h"
 #include "dist/transport.h"
 #include "sim/thread_pool.h"
 
@@ -16,10 +17,10 @@ void log_line(const WorkerOptions& opt, const std::string& msg) {
   if (opt.verbose) std::fprintf(stderr, "[worker] %s\n", msg.c_str());
 }
 
-void send_error(Socket& s, const std::string& msg) {
+void send_error(Socket& s, const std::string& msg, const FrameAuth& auth) {
   ByteWriter w;
   w.str(msg);
-  send_frame(s, MsgType::kError, w.bytes());
+  send_frame(s, MsgType::kError, w.bytes(), auth);
 }
 
 }  // namespace
@@ -30,18 +31,19 @@ WorkloadFactory default_workload_factory() {
 
 std::size_t run_worker(const WorkerOptions& opt,
                        const WorkloadFactory& make) {
+  const FrameAuth auth = FrameAuth::from_passphrase(opt.auth_key);
   Socket sock = connect_to(opt.host, opt.port, opt.connect_retry_ms);
   {
     ByteWriter hello;
     hello.u16(kWireVersion);
     hello.u64(sim::ThreadPool::shared().thread_count());
-    send_frame(sock, MsgType::kHello, hello.bytes());
+    send_frame(sock, MsgType::kHello, hello.bytes(), auth);
   }
   // The setup read is bounded: a worker admitted normally sees kSetup
   // within milliseconds, so a long silence means the run ended before this
   // worker was accepted — better to fail loudly than sit forever.
   sock.set_recv_timeout_ms(60000);
-  std::optional<Frame> setup = recv_frame(sock);
+  std::optional<Frame> setup = recv_frame(sock, auth);
   sock.set_recv_timeout_ms(0);
   if (setup && setup->type == MsgType::kShutdown) {
     // Run already complete (we were a backlogged straggler): clean exit.
@@ -66,13 +68,13 @@ std::size_t run_worker(const WorkerOptions& opt,
     runner = make(desc);
   } catch (const std::exception& e) {
     log_line(opt, std::string("workload rejected: ") + e.what());
-    send_error(sock, e.what());
+    send_error(sock, e.what(), auth);
     return 0;
   }
 
   std::size_t completed = 0;
   for (;;) {
-    std::optional<Frame> f = recv_frame(sock);
+    std::optional<Frame> f = recv_frame(sock, auth);
     if (!f) {
       log_line(opt, "coordinator closed; exiting");
       return completed;
@@ -91,25 +93,33 @@ std::size_t run_worker(const WorkerOptions& opt,
     r.expect_done();
     log_line(opt, "running units [" + std::to_string(begin) + ", " +
                       std::to_string(end) + ")");
-    std::vector<std::vector<std::uint8_t>> units;
+    std::uint64_t emitted = 0;
     try {
-      units = runner(begin, end);
+      // Stream each unit the moment it completes (ascending — the runner's
+      // contract): the coordinator stages the frames and commits the range
+      // on kRangeDone below, so memory on both ends is bounded by the
+      // runner's chunk, not the range.
+      runner(begin, end,
+             [&](std::size_t unit, const std::vector<std::uint8_t>& payload) {
+               ByteWriter out;
+               out.u64(unit);
+               out.append(payload);
+               send_frame(sock, MsgType::kResult, out.bytes(), auth);
+               emitted += 1;
+             });
     } catch (const std::exception& e) {
       // An engine failure on this range: report and bail out — the
-      // coordinator re-queues the range for a healthy worker.
+      // coordinator discards whatever was streamed and re-queues the
+      // range for a healthy worker.
       log_line(opt, std::string("range failed: ") + e.what());
-      send_error(sock, e.what());
+      send_error(sock, e.what(), auth);
       return completed;
     }
-    ByteWriter out;
-    out.u64(begin);
-    out.u64(end);
-    out.u64(units.size());
-    for (std::size_t i = 0; i < units.size(); ++i) {
-      out.u64(begin + i);
-      out.append(units[i]);
-    }
-    send_frame(sock, MsgType::kResult, out.bytes());
+    ByteWriter done;
+    done.u64(begin);
+    done.u64(end);
+    done.u64(emitted);
+    send_frame(sock, MsgType::kRangeDone, done.bytes(), auth);
     completed += 1;
   }
 }

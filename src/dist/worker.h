@@ -4,13 +4,19 @@
 // Per assignment the worker executes the contiguous unit range through the
 // task's UnitRangeRunner (dist/task.h) — Monte-Carlo shard ranges via
 // GateLevelMonteCarlo::run_shard_range, SSTA grid lane ranges via
-// sta::SstaBatch — and ships one serialized payload PER UNIT (unmerged,
-// ascending), so the coordinator can reassemble all units of the run in
-// ascending order regardless of how ranges were distributed.  Workload
-// construction failures (unknown circuit, netlist hash mismatch, invalid
-// grid) are reported as kError frames and end the session: a worker that
-// cannot prove it holds the coordinator's exact workload must not
-// contribute results.
+// sta::SstaBatch — and STREAMS one kResult frame per unit (unmerged,
+// ascending, as units complete; wire v3), finishing the range with a
+// kRangeDone commit marker.  The coordinator stages the stream and commits
+// it atomically on the marker, so a worker that dies mid-range forfeits
+// everything it streamed and the run stays bitwise-deterministic.
+// Workload construction failures (unknown circuit, netlist hash mismatch,
+// invalid grid) are reported as kError frames and end the session: a
+// worker that cannot prove it holds the coordinator's exact workload must
+// not contribute results.
+//
+// With a shared wire key configured (WorkerOptions::auth_key) every frame
+// in both directions carries an HMAC-SHA256 trailer; a coordinator on the
+// wrong side of the key config is rejected, not half-trusted.
 //
 // Layer contract (src/dist, see docs/ARCHITECTURE.md): the distributed
 // execution layer sits on top of mc/sta/sim/stats and may depend on all of
@@ -30,6 +36,10 @@ struct WorkerOptions {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
   int connect_retry_ms = 5000;  ///< keep dialing a not-yet-bound coordinator
+  /// Shared wire-key passphrase ("" = authentication disabled).  Must
+  /// match the coordinator's: mismatch or absence on either side is a
+  /// frame authentication error, never a silent downgrade.
+  std::string auth_key;
   bool verbose = false;         ///< progress lines on stderr
 };
 

@@ -38,7 +38,19 @@ void RunningStats::merge(const RunningStats& other) noexcept {
   n_ += other.n_;
 }
 
-RunningStats RunningStats::from_state(const State& s) noexcept {
+RunningStats RunningStats::from_state(const State& s) {
+  if (!std::isfinite(s.mean) || !std::isfinite(s.m2) ||
+      !std::isfinite(s.min) || !std::isfinite(s.max))
+    throw std::invalid_argument(
+        "RunningStats::from_state: non-finite field in state");
+  if (s.m2 < 0.0)
+    throw std::invalid_argument("RunningStats::from_state: negative m2");
+  if (s.n > 0 && s.min > s.max)
+    throw std::invalid_argument("RunningStats::from_state: min > max");
+  if (s.n == 0 &&
+      (s.mean != 0.0 || s.m2 != 0.0 || s.min != 0.0 || s.max != 0.0))
+    throw std::invalid_argument(
+        "RunningStats::from_state: empty state with nonzero moments");
   RunningStats r;
   r.n_ = s.n;
   r.mean_ = s.mean;

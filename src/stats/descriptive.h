@@ -27,7 +27,14 @@ class RunningStats {
   void merge(const RunningStats& other) noexcept;
 
   State state() const noexcept { return {n_, mean_, m2_, min_, max_}; }
-  static RunningStats from_state(const State& s) noexcept;
+  /// Rebuilds an accumulator from a state snapshot.  The state is
+  /// VALIDATED, not trusted: snapshots arrive off the distributed wire
+  /// (dist/serialize), so a hostile or corrupt peer can put arbitrary bit
+  /// patterns in every field.  Throws std::invalid_argument on anything no
+  /// add()/merge() sequence can produce — non-finite mean/m2/min/max,
+  /// negative m2, min > max, or n == 0 with nonzero moments — instead of
+  /// letting NaN/inf poison every later fold.
+  static RunningStats from_state(const State& s);
 
   std::size_t count() const noexcept { return n_; }
   double mean() const noexcept { return n_ ? mean_ : 0.0; }

@@ -1,6 +1,7 @@
 #include "stats/histogram.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 
@@ -9,6 +10,12 @@ namespace statpipe::stats {
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), counts_(bins, 0) {
   if (bins == 0) throw std::invalid_argument("Histogram: bins == 0");
+  // isfinite as well as the ordering check: hi > lo alone lets ±inf edges
+  // through (hi = +inf satisfies it), after which every bin width is
+  // inf/NaN and binning degenerates.  Bounds can arrive off the
+  // distributed wire, so they are adversarial input, not programmer error.
+  if (!std::isfinite(lo) || !std::isfinite(hi))
+    throw std::invalid_argument("Histogram: non-finite bounds");
   if (!(hi > lo)) throw std::invalid_argument("Histogram: need hi > lo");
 }
 
@@ -24,9 +31,14 @@ Histogram Histogram::from_samples(std::span<const double> xs, std::size_t bins) 
 
 Histogram Histogram::from_counts(double lo, double hi,
                                  std::vector<std::size_t> counts) {
-  Histogram h(lo, hi, counts.size());  // validates bins > 0 and hi > lo
+  Histogram h(lo, hi, counts.size());  // validates bins > 0, finite hi > lo
   h.counts_ = std::move(counts);
-  for (std::size_t c : h.counts_) h.total_ += c;
+  for (std::size_t c : h.counts_) {
+    // Hostile counts can be crafted to wrap the total (and with it every
+    // density) around SIZE_MAX; overflow is a validation error, not UB.
+    if (__builtin_add_overflow(h.total_, c, &h.total_))
+      throw std::invalid_argument("Histogram::from_counts: total overflows");
+  }
   return h;
 }
 

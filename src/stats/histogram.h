@@ -20,8 +20,10 @@ class Histogram {
   static Histogram from_samples(std::span<const double> xs, std::size_t bins);
 
   /// Rebuilds a histogram from its exact parts — the deserialization
-  /// counterpart of (lo, hi, counts).  Throws std::invalid_argument on an
-  /// empty counts vector or hi <= lo.
+  /// counterpart of (lo, hi, counts).  Inputs are treated as adversarial
+  /// (they can arrive off the distributed wire): throws
+  /// std::invalid_argument on an empty counts vector, non-finite or
+  /// unordered bounds, or counts whose sum overflows std::size_t.
   static Histogram from_counts(double lo, double hi,
                                std::vector<std::size_t> counts);
 

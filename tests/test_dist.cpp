@@ -1,24 +1,30 @@
 // Distributed execution subsystem tests: serialization round-trips (byte
 // stability, version gating, truncation/hostile-length fuzz — including
 // the v2 task-kind discriminator and the SSTA grid payload), protocol/
-// transport behavior, and the acceptance contract — a c3540-class
-// gate-level MC run AND an SSTA sweep grid sharded across real worker
-// PROCESSES over localhost TCP are bitwise-identical to the
-// single-process runs, including under injected worker failures and
-// reassignment (docs/DETERMINISM.md).
+// transport behavior (v3 streaming results, HMAC frame authentication,
+// fault-injected sockets, the hostile-peer saboteur matrix), and the
+// acceptance contract — a c3540-class gate-level MC run AND an SSTA sweep
+// grid sharded across real worker PROCESSES over localhost TCP are
+// bitwise-identical to the single-process runs, including under injected
+// worker failures, hostile peers and reassignment (docs/DETERMINISM.md).
 #include <gtest/gtest.h>
+#include <signal.h>
 #include <spawn.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <random>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "dist/cluster.h"
 #include "dist/coordinator.h"
+#include "dist/hmac.h"
 #include "dist/serialize.h"
 #include "dist/task.h"
 #include "dist/transport.h"
@@ -56,13 +62,41 @@ sp::dist::RunDescriptor small_descriptor(
   return d;
 }
 
-pid_t spawn_worker_process(std::uint16_t port) {
+pid_t spawn_worker_process(std::uint16_t port, const std::string& key = "") {
   const char* bin = STATPIPE_WORKER_BIN;
   const std::string port_s = std::to_string(port);
   std::vector<char*> args{const_cast<char*>(bin),
                           const_cast<char*>("--port"),
+                          const_cast<char*>(port_s.c_str())};
+  if (!key.empty()) {
+    args.push_back(const_cast<char*>("--key"));
+    args.push_back(const_cast<char*>(key.c_str()));
+  }
+  args.push_back(const_cast<char*>("--quiet"));
+  args.push_back(nullptr);
+  pid_t pid = -1;
+  const int rc = ::posix_spawn(&pid, bin, nullptr, nullptr, args.data(),
+                               environ);
+  EXPECT_EQ(rc, 0) << "posix_spawn " << bin;
+  return rc == 0 ? pid : -1;
+}
+
+// One hostile peer, one attack (tools/statpipe_saboteur.cpp): the chaos
+// matrix spawns these against live coordinators.
+pid_t spawn_saboteur_process(std::uint16_t port, const std::string& mode,
+                             const std::string& key = "") {
+  const char* bin = STATPIPE_SABOTEUR_BIN;
+  const std::string port_s = std::to_string(port);
+  std::vector<char*> args{const_cast<char*>(bin),
+                          const_cast<char*>("--port"),
                           const_cast<char*>(port_s.c_str()),
-                          const_cast<char*>("--quiet"), nullptr};
+                          const_cast<char*>("--mode"),
+                          const_cast<char*>(mode.c_str())};
+  if (!key.empty()) {
+    args.push_back(const_cast<char*>("--key"));
+    args.push_back(const_cast<char*>(key.c_str()));
+  }
+  args.push_back(nullptr);
   pid_t pid = -1;
   const int rc = ::posix_spawn(&pid, bin, nullptr, nullptr, args.data(),
                                environ);
@@ -73,7 +107,7 @@ pid_t spawn_worker_process(std::uint16_t port) {
 // Reaps a spawned worker while draining the coordinator's listener
 // backlog, so a worker that connected only after the run completed is
 // dismissed with kShutdown instead of hanging in its setup read.
-void reap(sp::dist::Coordinator& coord, pid_t pid) {
+void reap(sp::dist::Coordinator& coord, pid_t pid, int expect_status = 0) {
   if (pid < 0) return;
   int status = 0;
   pid_t got;
@@ -83,7 +117,7 @@ void reap(sp::dist::Coordinator& coord, pid_t pid) {
   }
   ASSERT_EQ(got, pid);
   EXPECT_TRUE(WIFEXITED(status));
-  EXPECT_EQ(WEXITSTATUS(status), 0);
+  EXPECT_EQ(WEXITSTATUS(status), expect_status);
 }
 
 // A small SSTA sweep-grid descriptor: `lanes` uniformly scaled copies of
@@ -754,6 +788,599 @@ TEST(DistEndToEnd, ClusterGridCharacterizerMatchesLocalSweep) {
   const auto dist_sweep = sp::opt::area_delay_sweep(nl_dist, model, spec, sw);
 
   EXPECT_TRUE(sp::opt::bitwise_equal(dist_sweep, local));
+}
+
+// ------------------------------------------------------- hmac primitives
+
+sp::dist::Digest hex_digest(const std::string& hex) {
+  sp::dist::Digest d{};
+  for (std::size_t i = 0; i < d.size(); ++i)
+    d[i] = static_cast<std::uint8_t>(
+        std::stoul(hex.substr(2 * i, 2), nullptr, 16));
+  return d;
+}
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(DistHmac, Sha256KnownAnswerVectors) {
+  // FIPS 180-4 / NIST CAVP vectors: empty, one block, two blocks, and a
+  // long input that crosses many block boundaries.
+  EXPECT_EQ(sp::dist::sha256(bytes_of("")),
+            hex_digest("e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934c"
+                       "a495991b7852b855"));
+  EXPECT_EQ(sp::dist::sha256(bytes_of("abc")),
+            hex_digest("ba7816bf8f01cfea414140de5dae2223b00361a396177a9c"
+                       "b410ff61f20015ad"));
+  EXPECT_EQ(
+      sp::dist::sha256(bytes_of(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+      hex_digest("248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd4"
+                 "19db06c1"));
+  const std::vector<std::uint8_t> million(1000000, 'a');
+  EXPECT_EQ(sp::dist::sha256(million),
+            hex_digest("cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e"
+                       "046d39ccc7112cd0"));
+}
+
+TEST(DistHmac, HmacSha256Rfc4231Vectors) {
+  // RFC 4231 test cases 1-3 (short keys) and 6-7 (keys longer than the
+  // 64-byte block, which must be hashed first per RFC 2104).
+  EXPECT_EQ(sp::dist::hmac_sha256(std::vector<std::uint8_t>(20, 0x0b),
+                                  bytes_of("Hi There")),
+            hex_digest("b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da7"
+                       "26e9376c2e32cff7"));
+  EXPECT_EQ(sp::dist::hmac_sha256(bytes_of("Jefe"),
+                                  bytes_of("what do ya want for nothing?")),
+            hex_digest("5bdcc146bf60754e6a042426089575c75a003f089d273983"
+                       "9dec58b964ec3843"));
+  EXPECT_EQ(sp::dist::hmac_sha256(std::vector<std::uint8_t>(20, 0xaa),
+                                  std::vector<std::uint8_t>(50, 0xdd)),
+            hex_digest("773ea91e36800e46854db8ebd09181a72959098b3ef8c122"
+                       "d9635514ced565fe"));
+  EXPECT_EQ(
+      sp::dist::hmac_sha256(
+          std::vector<std::uint8_t>(131, 0xaa),
+          bytes_of("Test Using Larger Than Block-Size Key - Hash Key First")),
+      hex_digest("60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f"
+                 "0ee37f54"));
+  EXPECT_EQ(
+      sp::dist::hmac_sha256(
+          std::vector<std::uint8_t>(131, 0xaa),
+          bytes_of("This is a test using a larger than block-size key and a "
+                   "larger than block-size data. The key needs to be hashed "
+                   "before being used by the HMAC algorithm.")),
+      hex_digest("9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f5153"
+                 "5c3a35e2"));
+}
+
+TEST(DistHmac, ConstantTimeCompareExaminesEveryByte) {
+  const sp::dist::Digest a = sp::dist::sha256(bytes_of("left"));
+  EXPECT_TRUE(sp::dist::digest_equal_consttime(a, a));
+  // A single flipped bit at ANY position must be detected.
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sp::dist::Digest b = a;
+    b[i] ^= 0x01;
+    EXPECT_FALSE(sp::dist::digest_equal_consttime(a, b)) << "byte " << i;
+  }
+}
+
+TEST(DistHmac, FrameAuthDerivesKeyFromPassphrase) {
+  EXPECT_FALSE(sp::dist::FrameAuth::from_passphrase("").enabled);
+  const auto auth = sp::dist::FrameAuth::from_passphrase("open sesame");
+  EXPECT_TRUE(auth.enabled);
+  // The wire key is the SHA-256 of the passphrase, not its raw bytes.
+  EXPECT_EQ(auth.key, sp::dist::sha256(bytes_of("open sesame")));
+  // MACs are deterministic per key and differ across keys.
+  const auto other = sp::dist::FrameAuth::from_passphrase("different");
+  const auto data = bytes_of("frame bytes");
+  EXPECT_EQ(auth.mac(data), auth.mac(data));
+  EXPECT_NE(auth.mac(data), other.mac(data));
+}
+
+// --------------------------------------------- transport authentication
+
+std::pair<sp::dist::Socket, sp::dist::Socket> socket_pair() {
+  int fds[2] = {-1, -1};
+  EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  return {sp::dist::Socket(fds[0]), sp::dist::Socket(fds[1])};
+}
+
+TEST(DistAuthTransport, AuthenticatedFrameRoundTrips) {
+  const auto auth = sp::dist::FrameAuth::from_passphrase("round-trip");
+  ByteWriter payload;
+  payload.u64(42);
+  payload.str("unit body");
+  // The trailer costs exactly one digest on the wire.
+  EXPECT_EQ(sp::dist::encode_frame(sp::dist::MsgType::kResult,
+                                   payload.bytes(), auth)
+                .size(),
+            sp::dist::encode_frame(sp::dist::MsgType::kResult,
+                                   payload.bytes())
+                    .size() +
+                sp::dist::kDigestSize);
+  auto [a, b] = socket_pair();
+  sp::dist::send_frame(a, sp::dist::MsgType::kResult, payload.bytes(), auth);
+  const auto f = sp::dist::recv_frame(b, auth);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->type, sp::dist::MsgType::kResult);
+  EXPECT_EQ(f->payload, payload.bytes());
+}
+
+// The strong tamper property: with authentication on, EVERY single-bit
+// flip anywhere in the frame — header, payload, or MAC trailer — must be
+// rejected, because the MAC covers header + payload and the trailer
+// itself is compared constant-time.
+TEST(DistAuthTransport, EveryBitFlipOnAuthenticatedFrameIsRejected) {
+  const auto auth = sp::dist::FrameAuth::from_passphrase("flip-key");
+  ByteWriter payload;
+  payload.u64(3);
+  payload.str("streamed unit");
+  const std::vector<std::uint8_t> frame = sp::dist::encode_frame(
+      sp::dist::MsgType::kResult, payload.bytes(), auth);
+  for (std::size_t byte = 0; byte < frame.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto [a, b] = socket_pair();
+      std::vector<std::uint8_t> mutated = frame;
+      mutated[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      a.send_all(mutated.data(), mutated.size());
+      a.close();  // a size-inflating flip must hit EOF, not block
+      EXPECT_THROW((void)sp::dist::recv_frame(b, auth), std::runtime_error)
+          << "flip of bit " << bit << " in byte " << byte << " was accepted";
+    }
+  }
+}
+
+TEST(DistAuthTransport, MissingOrUnexpectedAuthIsRejectedBothWays) {
+  const auto key = sp::dist::FrameAuth::from_passphrase("strict");
+  {
+    // Unauthenticated frame at a keyed receiver: no silent downgrade.
+    auto [a, b] = socket_pair();
+    sp::dist::send_frame(a, sp::dist::MsgType::kHello, {});
+    try {
+      (void)sp::dist::recv_frame(b, key);
+      FAIL() << "unauthenticated frame accepted under a wire key";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("unauthenticated"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+  {
+    // Authenticated frame at a keyless receiver: a loud config mismatch,
+    // not an ignored trailer.
+    auto [a, b] = socket_pair();
+    sp::dist::send_frame(a, sp::dist::MsgType::kHello, {}, key);
+    try {
+      (void)sp::dist::recv_frame(b);
+      FAIL() << "authenticated frame accepted without a wire key";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("no wire key"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(DistAuthTransport, WrongKeyFailsVerification) {
+  const auto alpha = sp::dist::FrameAuth::from_passphrase("alpha");
+  const auto beta = sp::dist::FrameAuth::from_passphrase("beta");
+  auto [a, b] = socket_pair();
+  sp::dist::send_frame(a, sp::dist::MsgType::kHello, {}, alpha);
+  EXPECT_THROW((void)sp::dist::recv_frame(b, beta), std::runtime_error);
+}
+
+// ----------------------------------------------- transport hardening
+
+TEST(DistTransportHardening, UnknownFlagBitsAreRejected) {
+  auto [a, b] = socket_pair();
+  std::vector<std::uint8_t> frame =
+      sp::dist::encode_frame(sp::dist::MsgType::kHello, {});
+  frame[8] |= 0x02;  // flags field, an undefined bit
+  a.send_all(frame.data(), frame.size());
+  a.close();
+  try {
+    (void)sp::dist::recv_frame(b);
+    FAIL() << "unknown flag bits accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("flag"), std::string::npos)
+        << e.what();
+  }
+}
+
+// Mutation fuzz over an unauthenticated frame: any single-bit corruption
+// either still parses at the frame layer (payload bits — upper layers
+// validate content) or throws std::runtime_error.  Nothing may crash,
+// hang, or throw anything untyped.
+TEST(DistTransportHardening, FrameMutationFuzzParsesOrThrows) {
+  ByteWriter payload;
+  payload.u16(sp::dist::kWireVersion);
+  payload.u64(4);
+  const std::vector<std::uint8_t> frame =
+      sp::dist::encode_frame(sp::dist::MsgType::kHello, payload.bytes());
+  std::size_t parsed = 0;
+  std::size_t rejected = 0;
+  for (std::size_t byte = 0; byte < frame.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto [a, b] = socket_pair();
+      std::vector<std::uint8_t> mutated = frame;
+      mutated[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      a.send_all(mutated.data(), mutated.size());
+      a.close();
+      try {
+        if (sp::dist::recv_frame(b))
+          ++parsed;
+        else
+          ++rejected;  // clean-EOF reading (possible for a header flip)
+      } catch (const std::runtime_error&) {
+        ++rejected;
+      }
+    }
+  }
+  // Both populations must exist: header corruption is caught, payload
+  // corruption is the upper layers' job.
+  EXPECT_GT(rejected, 0u);
+  EXPECT_GT(parsed, 0u);
+}
+
+TEST(DistTransportHardening, ReadDeadlineUnwedgesSilentMidFramePeer) {
+  auto [a, b] = socket_pair();
+  const std::uint32_t magic = sp::dist::kWireMagic;
+  a.send_all(&magic, sizeof magic);  // 4 plausible bytes, then silence
+  b.set_read_deadline_ms(300);
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    (void)sp::dist::recv_frame(b);
+    FAIL() << "read of a stalled frame returned";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("deadline"), std::string::npos)
+        << e.what();
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            5000);
+}
+
+// A slow-loris drip defeats plain receive timeouts (every byte restarts
+// them) but not the absolute deadline.
+TEST(DistTransportHardening, ReadDeadlineBoundsSlowLorisDrip) {
+  auto [a, b] = socket_pair();
+  std::atomic<bool> stop{false};
+  std::thread drip([&] {
+    const std::uint8_t byte = 0x53;
+    try {
+      for (int i = 0; i < 100 && !stop.load(); ++i) {
+        a.send_all(&byte, 1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(80));
+      }
+    } catch (const std::exception&) {
+    }
+  });
+  b.set_read_deadline_ms(400);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW((void)sp::dist::recv_frame(b), std::runtime_error);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            5000);
+  stop = true;
+  drip.join();
+}
+
+TEST(DistTransportHardening, FaultPlanChunksAndBudgetsAreByteExact) {
+  // Chunked + delayed delivery still reassembles the exact frame.
+  {
+    auto [a, b] = socket_pair();
+    sp::dist::testing::FaultPlan plan;
+    plan.max_chunk = 3;
+    plan.delay_us_per_chunk = 100;
+    a.set_fault_plan(&plan);
+    ByteWriter payload;
+    for (std::uint64_t i = 0; i < 40; ++i) payload.u64(i);
+    sp::dist::send_frame(a, sp::dist::MsgType::kResult, payload.bytes());
+    const auto f = sp::dist::recv_frame(b);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->payload, payload.bytes());
+  }
+  // Budget 0: the connection dies before the first byte — a clean EOF at
+  // a frame boundary for the receiver (nullopt, not a throw).
+  {
+    auto [a, b] = socket_pair();
+    sp::dist::testing::FaultPlan plan;
+    plan.send_byte_budget = 0;
+    a.set_fault_plan(&plan);
+    try {
+      sp::dist::send_frame(a, sp::dist::MsgType::kHello, {});
+      FAIL() << "send past an exhausted budget succeeded";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("budget"), std::string::npos)
+          << e.what();
+    }
+    EXPECT_FALSE(sp::dist::recv_frame(b).has_value());
+  }
+  // Budget 10: ten header bytes cross, then the cut — a mid-frame EOF the
+  // receiver must surface as an error, never a short parse.
+  {
+    auto [a, b] = socket_pair();
+    sp::dist::testing::FaultPlan plan;
+    plan.send_byte_budget = 10;
+    a.set_fault_plan(&plan);
+    EXPECT_THROW(sp::dist::send_frame(a, sp::dist::MsgType::kHello, {}),
+                 std::runtime_error);
+    EXPECT_THROW((void)sp::dist::recv_frame(b), std::runtime_error);
+  }
+}
+
+// --------------------------------------------- deterministic fault matrix
+
+// An inline protocol-honest worker whose socket runs through a
+// dist::testing::FaultPlan.  With a byte-exact send budget the
+// conversation cuts at a chosen offset (before hello, mid-hello, at the
+// hello/result boundary, mid-result ...); with chunk caps and delays it
+// exercises the partial-IO paths end to end while staying honest.
+void faulty_worker(std::uint16_t port, sp::dist::testing::FaultPlan plan) {
+  try {
+    sp::dist::Socket sock = sp::dist::connect_to("127.0.0.1", port);
+    sock.set_fault_plan(&plan);
+    sock.set_recv_timeout_ms(60000);
+    {
+      ByteWriter hello;
+      hello.u16(sp::dist::kWireVersion);
+      hello.u64(1);
+      sp::dist::send_frame(sock, sp::dist::MsgType::kHello, hello.bytes());
+    }
+    const auto setup = sp::dist::recv_frame(sock);
+    if (!setup || setup->type != sp::dist::MsgType::kSetup) return;
+    sp::dist::RunDescriptor desc;
+    {
+      ByteReader r(setup->payload);
+      desc = sp::dist::read_run_descriptor(r);
+      r.expect_done();
+    }
+    const sp::dist::UnitRangeRunner runner = sp::dist::make_unit_runner(desc);
+    for (;;) {
+      const auto f = sp::dist::recv_frame(sock);
+      if (!f || f->type != sp::dist::MsgType::kAssign) return;  // shutdown
+      ByteReader r(f->payload);
+      const std::uint64_t begin = r.u64();
+      const std::uint64_t end = r.u64();
+      std::uint64_t emitted = 0;
+      runner(begin, end,
+             [&](std::size_t unit, const std::vector<std::uint8_t>& payload) {
+               ByteWriter out;
+               out.u64(unit);
+               out.append(payload);
+               sp::dist::send_frame(sock, sp::dist::MsgType::kResult,
+                                    out.bytes());
+               emitted += 1;
+             });
+      ByteWriter done;
+      done.u64(begin);
+      done.u64(end);
+      done.u64(emitted);
+      sp::dist::send_frame(sock, sp::dist::MsgType::kRangeDone, done.bytes());
+    }
+  } catch (const std::exception&) {
+    // Budget exhaustion, or the coordinator dropping us after the cut:
+    // both are the matrix's expected outcomes.
+  }
+}
+
+// The satellite matrix: deterministic byte-exact disconnects at each
+// stage of the conversation — before hello, inside the hello header,
+// exactly at the hello/result frame boundary, inside the first result's
+// header, and inside its payload.  Every case must end with the range
+// reassigned to the healthy worker and the bitwise-identical result.
+TEST(DistFaultMatrix, ByteExactDisconnectsAlwaysReassign) {
+  const auto desc = small_descriptor();  // 8 units
+  ByteWriter hello;
+  hello.u16(sp::dist::kWireVersion);
+  hello.u64(1);
+  const std::size_t hello_bytes =
+      sp::dist::encode_frame(sp::dist::MsgType::kHello, hello.bytes()).size();
+  const sp::dist::TaskResult local = sp::dist::run_local_task(desc);
+  const std::size_t budgets[] = {0, 7, hello_bytes, hello_bytes + 7,
+                                 hello_bytes + 120};
+  for (const std::size_t budget : budgets) {
+    SCOPED_TRACE("send budget " + std::to_string(budget));
+    sp::dist::CoordinatorOptions opt;
+    opt.units_per_range = 2;
+    opt.idle_timeout_ms = 120000;
+    sp::dist::Coordinator coord(desc, opt);
+    sp::dist::TaskResult dist_result;
+    std::thread serving([&] { dist_result = coord.run(); });
+    sp::dist::testing::FaultPlan plan;
+    plan.send_byte_budget = budget;
+    std::thread faulty([&, port = coord.port()] { faulty_worker(port, plan); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    const pid_t w = spawn_worker_process(coord.port());
+    serving.join();
+    faulty.join();
+    reap(coord, w);
+    EXPECT_TRUE(sp::dist::bitwise_equal(dist_result, local));
+  }
+}
+
+// Short reads, short writes and delayed bytes on an HONEST worker change
+// nothing: the run completes bitwise-identical through 3-byte chunks.
+TEST(DistFaultMatrix, ChunkedAndDelayedIoStaysBitwise) {
+  const auto desc = small_descriptor();
+  sp::dist::CoordinatorOptions opt;
+  opt.units_per_range = 3;
+  opt.idle_timeout_ms = 120000;
+  sp::dist::Coordinator coord(desc, opt);
+  sp::dist::TaskResult dist_result;
+  std::thread serving([&] { dist_result = coord.run(); });
+  sp::dist::testing::FaultPlan plan;
+  plan.max_chunk = 3;
+  plan.delay_us_per_chunk = 50;
+  std::thread chunked([&, port = coord.port()] { faulty_worker(port, plan); });
+  serving.join();
+  chunked.join();
+  EXPECT_TRUE(
+      sp::dist::bitwise_equal(dist_result, sp::dist::run_local_task(desc)));
+}
+
+// ------------------------------------------------- authenticated cluster
+
+TEST(DistEndToEnd, AuthenticatedTwoWorkerRunMatchesLocalBitwise) {
+  const std::string key = "e2e-wire-key";
+  const auto desc = small_descriptor();
+  sp::dist::CoordinatorOptions opt;
+  opt.units_per_range = 2;
+  opt.idle_timeout_ms = 120000;
+  opt.auth_key = key;
+  sp::dist::Coordinator coord(desc, opt);
+  const pid_t w1 = spawn_worker_process(coord.port(), key);
+  const pid_t w2 = spawn_worker_process(coord.port(), key);
+  const sp::dist::TaskResult dist_result = coord.run();
+  reap(coord, w1);
+  reap(coord, w2);
+  EXPECT_TRUE(
+      sp::dist::bitwise_equal(dist_result, sp::dist::run_local_task(desc)));
+}
+
+TEST(DistEndToEnd, MismatchedKeyWorkerIsRejectedAndRunStillCompletes) {
+  const auto desc = small_descriptor();
+  sp::dist::CoordinatorOptions opt;
+  opt.units_per_range = 2;
+  opt.idle_timeout_ms = 120000;
+  opt.auth_key = "right-key";
+  sp::dist::Coordinator coord(desc, opt);
+  // The wrong-key worker's hello fails MAC verification at admission; it
+  // sees the connection close and exits 1 ("coordinator sent no setup").
+  const pid_t bad = spawn_worker_process(coord.port(), "wrong-key");
+  const pid_t good = spawn_worker_process(coord.port(), "right-key");
+  const sp::dist::TaskResult dist_result = coord.run();
+  reap(coord, bad, 1);
+  reap(coord, good);
+  EXPECT_TRUE(
+      sp::dist::bitwise_equal(dist_result, sp::dist::run_local_task(desc)));
+}
+
+TEST(DistEndToEnd, AuthenticatedWorkerAgainstPlainCoordinatorIsRejected) {
+  const auto desc = small_descriptor();
+  sp::dist::CoordinatorOptions opt;
+  opt.units_per_range = 2;
+  opt.idle_timeout_ms = 120000;  // no auth_key: plain wire
+  sp::dist::Coordinator coord(desc, opt);
+  // Symmetric strictness: an authenticated hello at a keyless coordinator
+  // is a loud config mismatch, not an ignored trailer.
+  const pid_t keyed = spawn_worker_process(coord.port(), "stray-key");
+  const pid_t plain = spawn_worker_process(coord.port());
+  const sp::dist::TaskResult dist_result = coord.run();
+  reap(coord, keyed, 1);
+  reap(coord, plain);
+  EXPECT_TRUE(
+      sp::dist::bitwise_equal(dist_result, sp::dist::run_local_task(desc)));
+}
+
+// ----------------------------------------------- streaming (wire v3)
+
+// One assignment far larger than the worker's streaming chunk: 64 units
+// stream over the same connection as many kResult frames and fold into
+// the bounded accumulator — bitwise-identical to the local run.
+TEST(DistEndToEnd, LargeStreamedRangeSingleWorkerMatchesLocalBitwise) {
+  const auto desc = small_descriptor("c432", 4096, 64);  // 64 units
+  sp::dist::CoordinatorOptions opt;
+  opt.units_per_range = 64;  // a single streamed assignment
+  opt.idle_timeout_ms = 120000;
+  sp::dist::Coordinator coord(desc, opt);
+  const pid_t w = spawn_worker_process(coord.port());
+  const sp::dist::TaskResult dist_result = coord.run();
+  reap(coord, w);
+  EXPECT_TRUE(
+      sp::dist::bitwise_equal(dist_result, sp::dist::run_local_task(desc)));
+}
+
+// -------------------------------------------------- hostile-peer matrix
+
+// Each saboteur mode attacks a live coordinator that also serves one
+// honest worker.  Contract (docs/WIRE_FORMAT.md threat model): the
+// coordinator never crashes or hangs, never folds a poisoned unit, the
+// saboteur's range is reassigned, and the result stays bitwise-identical.
+// The saboteur process itself exits 0 — it verifies its own expectations
+// (e.g. that the coordinator actually dropped it).
+TEST(DistChaos, SaboteurMatrixOnPlainWireNeverPoisonsTheRun) {
+  const auto desc = small_descriptor();  // 8 units, 4 ranges below
+  const sp::dist::TaskResult local = sp::dist::run_local_task(desc);
+  const char* modes[] = {"truncate", "midframe", "oversize",
+                         "garbage",  "dup-unit", "replay"};
+  for (const char* mode : modes) {
+    SCOPED_TRACE(mode);
+    sp::dist::CoordinatorOptions opt;
+    opt.units_per_range = 2;
+    opt.idle_timeout_ms = 120000;
+    sp::dist::Coordinator coord(desc, opt);
+    sp::dist::TaskResult dist_result;
+    std::thread serving([&] { dist_result = coord.run(); });
+    // Saboteur first, so it wins a range assignment to attack with.
+    const pid_t sab = spawn_saboteur_process(coord.port(), mode);
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    const pid_t w = spawn_worker_process(coord.port());
+    serving.join();
+    reap(coord, sab);
+    reap(coord, w);
+    EXPECT_TRUE(sp::dist::bitwise_equal(dist_result, local));
+  }
+}
+
+TEST(DistChaos, AuthenticatedWireRejectsTamperedAndUnauthenticatedPeers) {
+  const auto desc = small_descriptor();
+  const sp::dist::TaskResult local = sp::dist::run_local_task(desc);
+  const std::string key = "chaos-wire-key";
+  const char* modes[] = {"tampered-hmac", "unauthenticated"};
+  for (const char* mode : modes) {
+    SCOPED_TRACE(mode);
+    sp::dist::CoordinatorOptions opt;
+    opt.units_per_range = 2;
+    opt.idle_timeout_ms = 120000;
+    opt.auth_key = key;
+    sp::dist::Coordinator coord(desc, opt);
+    sp::dist::TaskResult dist_result;
+    std::thread serving([&] { dist_result = coord.run(); });
+    const bool sab_has_key = std::string(mode) == "tampered-hmac";
+    const pid_t sab = spawn_saboteur_process(coord.port(), mode,
+                                             sab_has_key ? key : "");
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    const pid_t w = spawn_worker_process(coord.port(), key);
+    serving.join();
+    reap(coord, sab);
+    reap(coord, w);
+    EXPECT_TRUE(sp::dist::bitwise_equal(dist_result, local));
+  }
+}
+
+// The read-deadline regression test (satellite): a peer that takes a
+// range, sends four bytes and then stalls forever must forfeit the range
+// after read_deadline_ms — run() completes with the correct result
+// instead of wedging on the silent connection.
+TEST(DistChaos, StalledPeerForfeitsRangeViaReadDeadline) {
+  const auto desc = small_descriptor();
+  sp::dist::CoordinatorOptions opt;
+  opt.units_per_range = 2;
+  opt.idle_timeout_ms = 120000;
+  opt.read_deadline_ms = 1500;
+  sp::dist::Coordinator coord(desc, opt);
+  sp::dist::TaskResult dist_result;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::thread serving([&] { dist_result = coord.run(); });
+  const pid_t sab = spawn_saboteur_process(coord.port(), "stall");
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  const pid_t w = spawn_worker_process(coord.port());
+  serving.join();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  reap(coord, w);
+  // The stalled saboteur holds its connection open until killed.
+  ::kill(sab, SIGKILL);
+  int status = 0;
+  ASSERT_EQ(::waitpid(sab, &status, 0), sab);
+  EXPECT_TRUE(WIFSIGNALED(status));
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+            60);
+  EXPECT_TRUE(
+      sp::dist::bitwise_equal(dist_result, sp::dist::run_local_task(desc)));
 }
 
 }  // namespace

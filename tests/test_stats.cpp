@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "stats/clark.h"
@@ -567,6 +568,91 @@ TEST(RunningStats, StateRoundTripIsIndistinguishable) {
   orig.add(123.456);
   EXPECT_EQ(cont.mean(), orig.mean());
   EXPECT_EQ(cont.variance(), orig.variance());
+}
+
+// State snapshots arrive off the distributed wire (dist/serialize), so
+// from_state treats every field as adversarial: any bit pattern no
+// add()/merge() sequence can produce must be rejected loudly, never
+// folded into an accumulator where a single NaN poisons every later
+// merge.
+TEST(RunningStats, FromStateRejectsAdversarialFields) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  sp::RunningStats good;
+  good.add(1.5);
+  good.add(4.5);
+  const auto s = good.state();
+
+  // Non-finite contamination of every floating field, individually.
+  for (const double bad : {nan, inf, -inf}) {
+    auto t = s;
+    t.mean = bad;
+    EXPECT_THROW((void)sp::RunningStats::from_state(t), std::invalid_argument);
+    t = s;
+    t.m2 = bad;
+    EXPECT_THROW((void)sp::RunningStats::from_state(t), std::invalid_argument);
+    t = s;
+    t.min = bad;
+    EXPECT_THROW((void)sp::RunningStats::from_state(t), std::invalid_argument);
+    t = s;
+    t.max = bad;
+    EXPECT_THROW((void)sp::RunningStats::from_state(t), std::invalid_argument);
+  }
+  // Welford's m2 is a sum of squares: it can never go negative.
+  {
+    auto t = s;
+    t.m2 = -1.0;
+    EXPECT_THROW((void)sp::RunningStats::from_state(t), std::invalid_argument);
+  }
+  // An inverted extremum pair with samples present.
+  {
+    auto t = s;
+    t.min = 10.0;
+    t.max = 2.0;
+    EXPECT_THROW((void)sp::RunningStats::from_state(t), std::invalid_argument);
+  }
+  // Zero samples with nonzero moments is unreachable by construction.
+  {
+    sp::RunningStats::State t{};
+    t.mean = 1.0;
+    EXPECT_THROW((void)sp::RunningStats::from_state(t), std::invalid_argument);
+  }
+  // The valid snapshots still pass: the populated one and the empty one.
+  EXPECT_NO_THROW((void)sp::RunningStats::from_state(s));
+  EXPECT_NO_THROW((void)sp::RunningStats::from_state(sp::RunningStats::State{}));
+}
+
+TEST(Histogram, RejectsNonFiniteOrUnorderedBounds) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  // +inf hi satisfies `hi > lo`, which is exactly why isfinite is checked
+  // too: every bin width would be inf and binning degenerates.
+  EXPECT_THROW(sp::Histogram(0.0, inf, 4), std::invalid_argument);
+  EXPECT_THROW(sp::Histogram(-inf, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(sp::Histogram(nan, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(sp::Histogram(0.0, nan, 4), std::invalid_argument);
+  EXPECT_THROW(sp::Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(sp::Histogram(2.0, 1.0, 4), std::invalid_argument);
+  // The same gate guards the wire-deserialization path.
+  EXPECT_THROW(sp::Histogram::from_counts(0.0, inf, {1, 2}),
+               std::invalid_argument);
+  EXPECT_THROW(sp::Histogram::from_counts(nan, 1.0, {1, 2}),
+               std::invalid_argument);
+  EXPECT_THROW(sp::Histogram::from_counts(2.0, 1.0, {1, 2}),
+               std::invalid_argument);
+}
+
+TEST(Histogram, FromCountsRejectsOverflowingTotal) {
+  const std::size_t big = std::numeric_limits<std::size_t>::max();
+  // Hostile counts crafted to wrap total() (and with it every density)
+  // around SIZE_MAX: overflow is a validation error, not UB.
+  EXPECT_THROW(sp::Histogram::from_counts(0.0, 1.0, {big, 2}),
+               std::invalid_argument);
+  EXPECT_THROW(sp::Histogram::from_counts(0.0, 1.0, {big / 2, big / 2, 3}),
+               std::invalid_argument);
+  // The exact ceiling itself still works.
+  const auto h = sp::Histogram::from_counts(0.0, 1.0, {big - 1, 1});
+  EXPECT_EQ(h.total(), big);
 }
 
 // ------------------------------------------------------------------ lanes

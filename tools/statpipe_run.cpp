@@ -21,7 +21,11 @@
 //                [--samples-per-shard 256] [--block-width 8]
 //                [--units-per-range N] [--max-attempts 3]
 //                [--spawn N --worker-bin PATH] [--timeout-ms N]
-//                [--check-local] [--quiet]
+//                [--key PASSPHRASE] [--check-local] [--quiet]
+//
+// --key (or the STATPIPE_WIRE_KEY environment variable; the flag wins)
+// enables the HMAC-SHA256 frame trailer on every wire frame; workers must
+// hold the same key (spawned workers inherit it automatically).
 //
 // --spawn N forks N local statpipe-worker processes pointed at the bound
 // port (default worker binary: ./statpipe-worker next to this one) — the
@@ -52,7 +56,8 @@ namespace sp = statpipe;
       "          [--task mc|ssta-sweep] [--points N] [--host H]\n"
       "          [--samples-per-shard N] [--block-width W]\n"
       "          [--units-per-range N] [--max-attempts N] [--timeout-ms N]\n"
-      "          [--spawn N] [--worker-bin PATH] [--check-local] [--quiet]\n"
+      "          [--spawn N] [--worker-bin PATH] [--key K] [--check-local]\n"
+      "          [--quiet]\n"
       "\n"
       "task kinds (docs/WIRE_FORMAT.md):\n"
       "  mc          gate-level Monte-Carlo; units are sim shards\n"
@@ -170,6 +175,8 @@ int main(int argc, char** argv) {
   bool check_local = false;
   desc.seed = 90210;
   desc.samples_per_shard = 256;
+  if (const char* env_key = std::getenv("STATPIPE_WIRE_KEY"))
+    cl.coordinator.auth_key = env_key;
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -196,6 +203,7 @@ int main(int argc, char** argv) {
         cl.coordinator.idle_timeout_ms = std::stoi(next());
       else if (arg == "--spawn") cl.spawn_workers = std::stoull(next());
       else if (arg == "--worker-bin") cl.worker_bin = next();
+      else if (arg == "--key") cl.coordinator.auth_key = next();
       else if (arg == "--check-local") check_local = true;
       else if (arg == "--quiet") cl.coordinator.verbose = false;
       else usage(argv[0]);

@@ -8,7 +8,12 @@
 // kind this build does not know is rejected with a clear task-kind error.
 //
 //   statpipe-worker --port 4815 [--host 127.0.0.1] [--retry-ms 5000]
-//                   [--quiet]
+//                   [--key PASSPHRASE] [--quiet]
+//
+// Wire authentication: --key (or the STATPIPE_WIRE_KEY environment
+// variable; the flag wins) enables the HMAC-SHA256 frame trailer and must
+// match the coordinator's key — a mismatch is a frame authentication
+// error, never a silent downgrade (docs/WIRE_FORMAT.md).
 //
 // Thread count follows STATPIPE_THREADS / hardware, like every other
 // binary; it never affects results.  Exits 0 on clean shutdown (including
@@ -26,9 +31,11 @@ namespace {
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --port P [--host H] [--retry-ms N] [--quiet]\n"
+               "usage: %s --port P [--host H] [--retry-ms N] [--key K]\n"
+               "          [--quiet]\n"
                "serves all registered task kinds (mc, ssta-grid) announced\n"
-               "by the coordinator's setup frame\n",
+               "by the coordinator's setup frame; --key (or the\n"
+               "STATPIPE_WIRE_KEY env var) enables frame authentication\n",
                argv0);
   std::exit(EXIT_FAILURE);
 }
@@ -38,6 +45,8 @@ namespace {
 int main(int argc, char** argv) {
   statpipe::dist::WorkerOptions opt;
   opt.verbose = true;
+  if (const char* env_key = std::getenv("STATPIPE_WIRE_KEY"))
+    opt.auth_key = env_key;
   try {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -54,6 +63,8 @@ int main(int argc, char** argv) {
         opt.host = next();
       } else if (arg == "--retry-ms") {
         opt.connect_retry_ms = std::stoi(next());
+      } else if (arg == "--key") {
+        opt.auth_key = next();
       } else if (arg == "--quiet") {
         opt.verbose = false;
       } else {
