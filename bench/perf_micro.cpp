@@ -212,6 +212,72 @@ BENCHMARK(BM_GateLevelMcBlockWidth)
     ->Arg(64)
     ->Unit(benchmark::kMillisecond);
 
+// The lane-batched ziggurat draw kernel in isolation, at the block widths
+// the MC sweep uses.  Compare items/sec against BM_NormalFillScalarRef at
+// the same width for the draw-phase speedup (sample_sta_block reports the
+// same ratio in-situ as speedup_draw).  Widths beyond the active backend's
+// max_width are skipped, not errors, so every backend sees the same
+// benchmark names.
+static void BM_NormalFillLanes(benchmark::State& state) {
+  const auto width = static_cast<std::size_t>(state.range(0));
+  if (width > sp::stats::lanes::max_width()) {
+    state.SkipWithError(("block width " + std::to_string(width) +
+                         " exceeds SIMD backend '" +
+                         std::string(sp::stats::simd::kernels().name) +
+                         "' max_width")
+                            .c_str());
+    return;
+  }
+  constexpr std::size_t kRows = 2048;
+  sp::stats::Rng root(90210);
+  std::vector<sp::stats::Rng> lanes;
+  for (std::size_t j = 0; j < width; ++j) lanes.push_back(root.fork(j));
+  std::vector<double> out(kRows * width);
+  sp::stats::RngBlock block;
+  block.pack(lanes.data(), width);
+  for (auto _ : state) {
+    block.normal_fill(1.0, out.data(), kRows, width);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * kRows * width));
+}
+BENCHMARK(BM_NormalFillLanes)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+// The per-lane scalar path the block kernel replaced: W independent Rngs
+// each filling its own stride-W column — exactly VariationSampler's
+// pre-block draw loop.  Runs at every width (no SIMD involved).
+static void BM_NormalFillScalarRef(benchmark::State& state) {
+  const auto width = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kRows = 2048;
+  sp::stats::Rng root(90210);
+  std::vector<sp::stats::Rng> lanes;
+  for (std::size_t j = 0; j < width; ++j) lanes.push_back(root.fork(j));
+  std::vector<double> out(kRows * width);
+  for (auto _ : state) {
+    for (std::size_t j = 0; j < width; ++j)
+      lanes[j].normal_fill_scaled(1.0, out.data() + j, kRows, width);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * kRows * width));
+}
+BENCHMARK(BM_NormalFillScalarRef)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
 static void BM_SizerC432(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();

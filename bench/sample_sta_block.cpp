@@ -31,6 +31,8 @@
 #include "netlist/generators.h"
 #include "sim/engine.h"
 #include "sim/thread_pool.h"
+#include "sta/sta.h"
+#include "stats/matrix.h"
 #include "stats/simd.h"
 
 namespace sp = statpipe;
@@ -71,6 +73,109 @@ bool bitwise_eq(const sp::mc::McResult& a, const sp::mc::McResult& b) {
       return false;
   }
   return true;
+}
+
+/// Per-phase wall-clock of one full run's worth of work at block width W,
+/// isolating the four kernels a gate-level MC block pass is made of:
+///   draw — lane-batched RngBlock draws (inter + RDF), the PR's new path;
+///   draw_scalar — the pre-batching reference: identical draw volume via
+///                 per-lane strided normal_fill_scaled on the same streams;
+///   chol — the dispatched lower-triangular field multiply (timed with a
+///          systematic factor over this circuit's sites; the sweep spec
+///          above disables the field, so it is measured separately here);
+///   walk — critical_delay_sample_block over the bound stage;
+///   fold — the per-lane stats fold + pipeline max.
+struct PhaseTimes {
+  double draw_ms = 0.0;
+  double draw_scalar_ms = 0.0;
+  double chol_ms = 0.0;
+  double walk_ms = 0.0;
+  double fold_ms = 0.0;
+};
+
+PhaseTimes phase_breakdown(const sp::netlist::Netlist& nl,
+                           const sp::device::AlphaPowerModel& model,
+                           const sp::process::VariationSpec& spec,
+                           std::size_t W) {
+  PhaseTimes pt;
+  // One site per netlist node (pseudo inputs included, matching the MC
+  // engine's layout) plus the stage latch.
+  const std::size_t n_sites = nl.size() + 1;
+  const std::size_t n_blocks = kSamples / W;
+  const auto positions = sp::process::linear_sites(n_sites);
+  sp::stats::Rng root(90210);
+  std::vector<sp::stats::Rng> lanes(W, sp::stats::Rng(0));
+  sp::stats::RngBlock rb;
+  std::vector<double> inter(W), rdf(n_sites * W);
+
+  // draw: the lane-batched path exactly as sample_block_into issues it —
+  // pack, one width-1 inter fill, one site-major RDF fill, unpack.
+  pt.draw_ms = best_of([&] {
+    for (std::size_t b = 0; b < n_blocks; ++b) {
+      for (std::size_t j = 0; j < W; ++j) lanes[j] = root.fork(b * W + j);
+      rb.pack(lanes.data(), W);
+      rb.normal_fill(spec.sigma_vth_inter, inter.data(), 1, W);
+      rb.normal_fill(1.0, rdf.data(), n_sites, W);
+      rb.unpack(lanes.data());
+    }
+  });
+
+  // draw_scalar: the pre-PR reference — same streams, same draw volume,
+  // per-lane strided fills through the scalar ziggurat.
+  pt.draw_scalar_ms = best_of([&] {
+    for (std::size_t b = 0; b < n_blocks; ++b) {
+      for (std::size_t j = 0; j < W; ++j) lanes[j] = root.fork(b * W + j);
+      for (std::size_t j = 0; j < W; ++j) {
+        lanes[j].normal_fill_scaled(spec.sigma_vth_inter, inter.data() + j, 1);
+        lanes[j].normal_fill_scaled(1.0, rdf.data() + j, n_sites, W);
+      }
+    }
+  });
+
+  // chol: dispatched triangular multiply with a real factor for this
+  // circuit's site layout (PSD-jittered spatial correlation).
+  const sp::stats::Matrix corr =
+      sp::stats::spatial_correlation(positions, spec.correlation_length);
+  const sp::stats::Matrix chol = sp::stats::cholesky_psd(corr);
+  std::vector<double> fieldw(n_sites * W);
+  pt.chol_ms = best_of([&] {
+    for (std::size_t b = 0; b < n_blocks; ++b)
+      sp::stats::simd::kernels().chol_field_lanes(chol.data(), n_sites,
+                                                  chol.size(), rdf.data(), W,
+                                                  fieldw.data());
+  });
+
+  // walk: the dispatched block STA over one sampled DieBlock.
+  const sp::process::VariationSampler sampler(sp::process::Technology{}, spec,
+                                              positions);
+  sp::process::DieBlock block;
+  sp::process::BlockWorkspace bws;
+  for (std::size_t j = 0; j < W; ++j) lanes[j] = root.fork(j);
+  sampler.sample_block_into(lanes.data(), W, block, bws);
+  std::vector<std::size_t> site_map(nl.size());
+  for (std::size_t g = 0; g < nl.size(); ++g) site_map[g] = g;
+  sp::sta::StaOptions sta_opt;
+  sp::sta::StaBlockWorkspace sws;
+  std::vector<double> crit(W);
+  pt.walk_ms = best_of([&] {
+    for (std::size_t b = 0; b < n_blocks; ++b)
+      sp::sta::critical_delay_sample_block(nl, model, block, site_map,
+                                           sta_opt, sws, crit.data());
+  });
+
+  // fold: per-lane stats accumulation + pipeline max, one stage.
+  pt.fold_ms = best_of([&] {
+    sp::stats::RunningStats rs;
+    std::vector<double> tp;
+    tp.reserve(n_blocks * W);
+    for (std::size_t b = 0; b < n_blocks; ++b)
+      for (std::size_t j = 0; j < W; ++j) {
+        const double sd = crit[j];
+        rs.add(sd);
+        tp.push_back(sd);
+      }
+  });
+  return pt;
 }
 
 }  // namespace
@@ -124,6 +229,13 @@ int main(int argc, char** argv) {
   // "lanes-poly" = the shared vectorized pow core of PR 4, replacing the
   // per-lane std::pow that dominated the block kernel.
   report.meta("varfactor", "lanes-poly");
+  // "lane-batched-ziggurat" = draws issued through the dispatched SoA
+  // xoshiro256** + masked-ziggurat kernel (normal_fill_lanes) instead of
+  // per-lane scalar fills; the phase columns below quantify it.
+  report.meta("rng", "lane-batched-ziggurat");
+  // Width the phase-breakdown columns were measured at (the backend's
+  // preferred width, single-threaded).
+  report.meta("phase_block_width", static_cast<double>(pref));
   // Active dispatch state: rows are only comparable between records whose
   // simd_backend matches (bench_diff.py enforces this).
   report.meta("simd_backend", std::string(kt->name));
@@ -202,8 +314,24 @@ int main(int argc, char** argv) {
     csv += equal ? ",1" : ",0";
     report.col("bitwise_equal", equal ? 1.0 : 0.0);
 
+    // Per-phase breakdown at the preferred width (same row, extra columns:
+    // the _ms columns ride bench_diff's lower-is-better tracking, the
+    // draw speedup its higher-is-better one).
+    const PhaseTimes pt = phase_breakdown(nl, model, spec, pref);
+    const double draw_speedup = pt.draw_scalar_ms / pt.draw_ms;
+    report.col("draw_ms", pt.draw_ms);
+    report.col("draw_scalar_ms", pt.draw_scalar_ms);
+    report.col("speedup_draw", draw_speedup);
+    report.col("chol_ms", pt.chol_ms);
+    report.col("walk_ms", pt.walk_ms);
+    report.col("fold_ms", pt.fold_ms);
+
     bench_util::row(cells, 11);
     std::printf("%s\n", csv.c_str());
+    std::printf("  phases[%s, w%zu]: draw %.2fms (scalar %.2fms, %.2fx), "
+                "chol %.2fms, walk %.2fms, fold %.2fms\n",
+                name, pref, pt.draw_ms, pt.draw_scalar_ms, draw_speedup,
+                pt.chol_ms, pt.walk_ms, pt.fold_ms);
   }
   bench_util::csv_end();
   try {

@@ -1,6 +1,7 @@
 #include "device/latch.h"
 
 #include <cmath>
+#include <stdexcept>
 
 namespace statpipe::device {
 
@@ -12,6 +13,22 @@ double LatchModel::sample_overhead(double dvth, stats::Rng& rng) const {
   const double nominal = overhead_at(dvth);
   const double sigma = timing_.nominal_overhead() * timing_.random_sigma_rel;
   return nominal + rng.normal(0.0, sigma);
+}
+
+void LatchModel::sample_overhead_lanes(const double* dvth, std::size_t w,
+                                       stats::RngBlock& rngs,
+                                       double* out) const {
+  if (w != rngs.width())
+    throw std::invalid_argument(
+        "LatchModel::sample_overhead_lanes: width mismatch");
+  const double sigma = timing_.nominal_overhead() * timing_.random_sigma_rel;
+  // Draws first (out holds sigma * z_j), then the deterministic part per
+  // lane.  Bitwise vs sample_overhead: IEEE addition commutes, and the
+  // scalar path's `0.0 +` inside normal(0.0, sigma) can only flush a -0.0
+  // draw to +0.0, which the outer add onto the (non-negative) nominal
+  // erases again — identical sums in every case.
+  rngs.normal_fill(sigma, out, 1, w);
+  for (std::size_t j = 0; j < w; ++j) out[j] = overhead_at(dvth[j]) + out[j];
 }
 
 stats::Gaussian LatchModel::overhead_distribution(

@@ -32,6 +32,15 @@ class LatchModel {
   /// local systematic at the latch site), plus an independent random draw.
   double sample_overhead(double dvth, stats::Rng& rng) const;
 
+  /// Lane-batched sample_overhead: out[j] = overhead_at(dvth[j]) + lane j's
+  /// random draw, with the draws batched through `rngs` (one normal per
+  /// lane, states advanced in place).  The random sigma is lane-invariant,
+  /// so lane j's value is bitwise what sample_overhead(dvth[j], rng_j)
+  /// returns when rng_j holds lane j's stream — the block Monte-Carlo
+  /// fold's per-stage form.  `w` must equal rngs.width().
+  void sample_overhead_lanes(const double* dvth, std::size_t w,
+                             stats::RngBlock& rngs, double* out) const;
+
   /// Analytic overhead distribution given the variation spec: mean and the
   /// (inter-die-correlated, random) sigma split.
   stats::Gaussian overhead_distribution(

@@ -188,6 +188,8 @@ McResult GateLevelMonteCarlo::run_shard(const sim::Shard& shard,
   auto ws = scratch_.acquire();
   const std::size_t W = block_width;
   ws->lane_rngs.resize(W);
+  ws->latch_dvth.resize(W);
+  ws->latch_overhead.resize(W);
   ws->stage_delay.resize(n_stages * W);
   ws->sta_block.resize(n_stages);
 
@@ -202,15 +204,26 @@ McResult GateLevelMonteCarlo::run_shard(const sim::Shard& shard,
                                        site_maps_[s], sta_opt_,
                                        ws->sta_block[s],
                                        ws->stage_delay.data() + s * W);
+    // Latch overheads, lane-batched per stage.  Per lane the draw order is
+    // unchanged (stage 0, 1, ... — one normal each, after the die draws);
+    // going stage-major merely interleaves the lanes, which no lane's
+    // stream can observe.  Latch sees the shared shifts only; its internal
+    // RDF is already in LatchTiming::random_sigma_rel (keeps MC consistent
+    // with LatchModel::overhead_distribution on the analytical side).
+    ws->rng_block.pack(ws->lane_rngs.data(), W);
+    for (std::size_t s = 0; s < n_stages; ++s) {
+      for (std::size_t j = 0; j < W; ++j)
+        ws->latch_dvth[j] = ws->block.dvth_shared_at(latch_sites_[s], j);
+      latch_.sample_overhead_lanes(ws->latch_dvth.data(), W, ws->rng_block,
+                                   ws->latch_overhead.data());
+      double* row = ws->stage_delay.data() + s * W;
+      for (std::size_t j = 0; j < W; ++j) row[j] += ws->latch_overhead[j];
+    }
+    ws->rng_block.unpack(ws->lane_rngs.data());
     for (std::size_t j = 0; j < W; ++j) {
       double tp = 0.0;
       for (std::size_t s = 0; s < n_stages; ++s) {
-        // Latch sees the shared shifts only; its internal RDF is already in
-        // LatchTiming::random_sigma_rel (keeps MC consistent with
-        // LatchModel::overhead_distribution on the analytical side).
-        const double dvth_latch = ws->block.dvth_shared_at(latch_sites_[s], j);
-        const double sd = ws->stage_delay[s * W + j] +
-                          latch_.sample_overhead(dvth_latch, ws->lane_rngs[j]);
+        const double sd = ws->stage_delay[s * W + j];
         r.stage_stats[s].add(sd);
         tp = std::max(tp, sd);
       }

@@ -137,6 +137,9 @@ class GateLevelMonteCarlo {
   /// SoA STA arena, per-lane RNG streams and the stage-major delay block.
   struct ShardScratch {
     std::vector<stats::Rng> lane_rngs;
+    stats::RngBlock rng_block;          // SoA lane streams for latch draws
+    std::vector<double> latch_dvth;     // [width] per-lane latch-site shift
+    std::vector<double> latch_overhead; // [width] per-lane latch overhead
     process::DieBlock block;
     process::BlockWorkspace block_ws;
     std::vector<sta::StaBlockWorkspace> sta_block;  // one per stage, so each

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "sim/engine.h"
+#include "sim/thread_pool.h"
 #include "sta/ssta.h"
 #include "sta/sta.h"
 
@@ -15,6 +17,54 @@ namespace {
 
 using netlist::GateId;
 using netlist::Netlist;
+
+/// Below this gate count the per-gate loops stay serial even when
+/// SizerOptions::threads allows more: a level of a small stage holds a
+/// handful of gates, and handing each level to the pool costs more than
+/// the arithmetic it parallelizes.
+constexpr std::size_t kParallelMinGates = 256;
+
+/// Level-synchronous schedule of the per-gate LR loops: the topological
+/// order bucketed by logic level (netlist::Netlist::levels()), preserving
+/// topo order within each bucket.  A gate's update reads fanins (strictly
+/// earlier levels — already updated, the Gauss-Seidel half) and fanout
+/// loads (strictly later levels — not yet updated), never a same-level
+/// gate, so running one bucket's gates concurrently computes exactly what
+/// the serial in-topo-order loop computes.
+struct LevelSchedule {
+  std::vector<std::vector<GateId>> buckets;
+  bool parallel = false;      ///< whether to fan buckets out to the pool
+  std::size_t threads = 1;    ///< worker cap when parallel
+
+  LevelSchedule(const Netlist& nl, std::size_t opt_threads) {
+    const auto& topo = nl.topological_order();  // materialized before any
+                                                // parallel region (the one
+                                                // mutable Netlist cache)
+    const std::vector<std::size_t> level = nl.levels();
+    std::size_t n_levels = 0;
+    for (GateId id : topo) n_levels = std::max(n_levels, level[id] + 1);
+    buckets.resize(n_levels);
+    for (GateId id : topo) buckets[level[id]].push_back(id);
+    threads = sim::resolve_threads(opt_threads);
+    parallel = threads > 1 && nl.size() >= kParallelMinGates;
+  }
+
+  /// Runs fn(id) for every gate, level by level; gates of one level run
+  /// concurrently when the schedule is parallel.  fn must touch only
+  /// per-gate state (see class comment) — that is what makes the result
+  /// thread-count-invariant bitwise.
+  template <class Fn>
+  void for_each_gate(const Fn& fn) const {
+    for (const auto& bucket : buckets) {
+      if (parallel && bucket.size() > 1) {
+        sim::parallel_for(
+            bucket.size(), [&](std::size_t i) { fn(bucket[i]); }, threads);
+      } else {
+        for (GateId id : bucket) fn(id);
+      }
+    }
+  }
+};
 
 /// Flow-conserving criticality multipliers: seed every primary output with
 /// weight softmax(arrival), then push each gate's weight back onto its
@@ -106,22 +156,28 @@ SizerResult size_stage(Netlist& nl, const device::AlphaPowerModel& model,
     }
   };
 
+  // Structure-dependent schedule and padding divisor, fixed across
+  // iterations (only sizes change inside the loop).
+  const LevelSchedule sched(nl, opt.threads);
+  const double sqrt_depth = std::sqrt(
+      static_cast<double>(std::max<std::size_t>(nl.depth(), 1)));
+
   for (std::size_t iter = 0; iter < opt.max_iterations; ++iter) {
     // --- timing at current sizes: deterministic arrivals padded per gate
     //     with its z*sigma contribution (statistical effect of [3]).
+    //     Level-parallel: a gate reads only fanin arrivals (earlier
+    //     levels) and gate sizes, which this loop never writes.
     std::vector<double> arrival(nl.size(), 0.0);
-    for (GateId id : nl.topological_order()) {
+    sched.for_each_gate([&](GateId id) {
       const auto& g = nl.gate(id);
-      if (g.is_pseudo()) continue;
+      if (g.is_pseudo()) return;
       double in_arr = 0.0;
       for (GateId f : g.fanins) in_arr = std::max(in_arr, arrival[f]);
       const double load = nl.load_of(id, opt.output_load);
       const auto sig = model.delay_sigmas(g.kind, g.size, load, spec);
       arrival[id] = in_arr + model.nominal_delay(g.kind, g.size, load) +
-                    z * sig.total() /
-                        std::sqrt(static_cast<double>(std::max<std::size_t>(
-                            nl.depth(), 1)));
-    }
+                    z * sig.total() / sqrt_depth;
+    });
 
     const double ds = stat_delay(nl, model, spec, opt.yield_target,
                                  opt.output_load);
@@ -137,10 +193,13 @@ SizerResult size_stage(Netlist& nl, const device::AlphaPowerModel& model,
     // --- LR projection: flow-conserving criticality weights.
     const auto w = criticality_weights(nl, arrival, opt.softmax_theta_ps);
 
-    // --- closed-form coordinate update of every size.
-    for (GateId id : nl.topological_order()) {
+    // --- closed-form coordinate update of every size.  Level-parallel
+    //     Gauss-Seidel: a gate reads updated fanin sizes (earlier levels,
+    //     finished buckets) and pre-update fanout sizes via load_of (later
+    //     levels, untouched buckets) — the exact serial-loop visibility.
+    sched.for_each_gate([&](GateId id) {
       auto& g = nl.gate(id);
-      if (g.is_pseudo()) continue;
+      if (g.is_pseudo()) return;
       const auto& t = device::traits(g.kind);
       const double load = nl.load_of(id, opt.output_load);
       const double lam_g = lambda_scale * w[id];
@@ -159,7 +218,7 @@ SizerResult size_stage(Netlist& nl, const device::AlphaPowerModel& model,
           std::max(lam_g * tau * std::max(load, 1e-6) / denom, 1e-12));
       const double x_new = std::clamp(x_star, opt.min_size, opt.max_size);
       g.size = g.size * (1.0 - opt.damping) + x_new * opt.damping;
-    }
+    });
   }
 
   // Restore the best sizes seen.

@@ -1,5 +1,6 @@
 #include "process/variation.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -105,12 +106,17 @@ DieSample VariationSampler::sample(stats::Rng& rng) const {
 void VariationSampler::sample_into(stats::Rng& rng, DieSample& d,
                                    DieWorkspace& ws) const {
   const std::size_t n = positions_.size();
-  d.dvth_inter = spec_.sigma_vth_inter > 0.0
-                     ? rng.normal(0.0, spec_.sigma_vth_inter)
-                     : 0.0;
-  d.dl_inter_rel = spec_.sigma_l_inter_rel > 0.0
-                       ? rng.normal(0.0, spec_.sigma_l_inter_rel)
-                       : 0.0;
+  // Inter draws as sigma * normal() — phrased through the strided core so
+  // the scalar path computes the exact expression the lane-batched kernel
+  // writes (a literal normal(0.0, sigma) would prepend `0.0 +`, which
+  // flushes a -0.0 draw to +0.0 and silently breaks the bitwise contract
+  // in that one-in-2^55 corner).
+  d.dvth_inter = 0.0;
+  if (spec_.sigma_vth_inter > 0.0)
+    rng.normal_fill_scaled(spec_.sigma_vth_inter, &d.dvth_inter, 1);
+  d.dl_inter_rel = 0.0;
+  if (spec_.sigma_l_inter_rel > 0.0)
+    rng.normal_fill_scaled(spec_.sigma_l_inter_rel, &d.dl_inter_rel, 1);
   d.dvth_systematic.clear();
   d.dl_systematic_rel.clear();
   d.dvth_random.clear();
@@ -164,26 +170,30 @@ void VariationSampler::sample_block_into(stats::Rng* lane_rngs,
   d.dvth_random.resize(spec_.enable_rdf ? n * W : 0);
 
   // Lane j's draw sequence is exactly sample_into's on lane_rngs[j] (inter
-  // draws, one batched normal fill for the field, then per-site RDF); each
-  // lane owns its Rng, so splitting the lane loop into phases reorders
-  // draws only *across* lanes, which no lane's stream can observe.
+  // draws, the field's standard normals, then per-site RDF); each lane owns
+  // its stream, so batching the draws reorders them only *across* lanes,
+  // which no lane's stream can observe.  All draws below run through one
+  // RngBlock — W interleaved engine states advanced by the active SIMD
+  // backend's draw kernels (stats/simd.h normal_fill_lanes), each lane
+  // bitwise on its own stream — and the advanced states are written back
+  // to lane_rngs at the end for the consumers that follow (latch draws).
   //
-  // Phase 1 — per-lane draws: inter shifts, then the lane's standard-normal
-  // field draws, transposed site-major into ws.zt so the field multiply
-  // below reads contiguous lane rows.
-  for (std::size_t j = 0; j < W; ++j) {
-    stats::Rng& rng = lane_rngs[j];
-    d.dvth_inter[j] = spec_.sigma_vth_inter > 0.0
-                          ? rng.normal(0.0, spec_.sigma_vth_inter)
-                          : 0.0;
-    d.dl_inter_rel[j] = spec_.sigma_l_inter_rel > 0.0
-                            ? rng.normal(0.0, spec_.sigma_l_inter_rel)
-                            : 0.0;
-    if (has_systematic_) {
-      rng.normal_fill(ws.z, n);
-      ws.zt.resize(n * W);
-      for (std::size_t i = 0; i < n; ++i) ws.zt[i * W + j] = ws.z[i];
-    }
+  // Phase 1 — inter shifts, then the field's standard normals drawn
+  // site-major straight into ws.zt (lane j at [i*W + j]): the layout the
+  // field multiply wants, with no per-lane transpose pass.
+  stats::RngBlock rb;
+  rb.pack(lane_rngs, W);
+  if (spec_.sigma_vth_inter > 0.0)
+    rb.normal_fill(spec_.sigma_vth_inter, d.dvth_inter.data(), 1, W);
+  else
+    std::fill(d.dvth_inter.begin(), d.dvth_inter.end(), 0.0);
+  if (spec_.sigma_l_inter_rel > 0.0)
+    rb.normal_fill(spec_.sigma_l_inter_rel, d.dl_inter_rel.data(), 1, W);
+  else
+    std::fill(d.dl_inter_rel.begin(), d.dl_inter_rel.end(), 0.0);
+  if (has_systematic_) {
+    ws.zt.resize(n * W);
+    rb.normal_fill(1.0, ws.zt.data(), n, W);
   }
 
   // Phase 2 — one lane-batched lower-triangular multiply for all W fields
@@ -204,12 +214,13 @@ void VariationSampler::sample_block_into(stats::Rng* lane_rngs,
         d.dl_systematic_rel[i] = spec_.sigma_l_systematic_rel * ws.fieldw[i];
   }
 
-  // Phase 3 — per-lane RDF draws, strided site-major into the block.
+  // Phase 3 — RDF draws, batched site-major into the block (the target is
+  // already [i*W + j], exactly the kernel's output layout).
   if (spec_.enable_rdf) {
     const double s_rdf = tech_.sigma_vth_rdf(1.0);  // unit-width sigma
-    for (std::size_t j = 0; j < W; ++j)
-      lane_rngs[j].normal_fill_scaled(s_rdf, d.dvth_random.data() + j, n, W);
+    rb.normal_fill(s_rdf, d.dvth_random.data(), n, W);
   }
+  rb.unpack(lane_rngs);
 }
 
 double VariationSampler::implied_correlation(double sigma_shared,

@@ -120,15 +120,13 @@ struct DieBlock {
   double dl_rel_at(std::size_t i, std::size_t j) const;
 };
 
-/// Reusable scratch for VariationSampler::sample_block_into — per-lane
-/// draw staging plus the SoA buffers the lane-batched field multiply
-/// (stats/simd.h's chol_field_lanes) reads and writes, one per Monte-Carlo
-/// shard.  Layout is backend-agnostic plain arrays: which SIMD backend
-/// consumes them never changes their shape.
+/// Reusable scratch for VariationSampler::sample_block_into — the SoA
+/// buffers the lane-batched draw kernel writes and the field multiply
+/// (stats/simd.h's chol_field_lanes) reads, one per Monte-Carlo shard.
+/// Layout is backend-agnostic plain arrays: which SIMD backend consumes
+/// them never changes their shape.
 struct BlockWorkspace {
-  std::vector<double> z;      ///< standard-normal draws for one lane's field
-  std::vector<double> field;  ///< one lane's correlated systematic field
-  std::vector<double> zt;     ///< [sites*width] site-major transposed draws
+  std::vector<double> zt;     ///< [sites*width] site-major field draws
   std::vector<double> fieldw; ///< [sites*width] site-major correlated field
 };
 
@@ -155,16 +153,19 @@ class VariationSampler {
   /// sample()); `out` and `ws` are reused across calls.
   void sample_into(stats::Rng& rng, DieSample& out, DieWorkspace& ws) const;
 
-  /// Draw `width` correlated dies into an SoA block in one call: one batched
-  /// normal fill per lane drives the shared systematic field (the
-  /// lower-triangular multiply runs lane-batched through the active SIMD
-  /// backend, per-lane add order unchanged), RDF is drawn per die per site.
-  /// Lane j consumes lane_rngs[j] with exactly the draw sequence of
-  /// sample_into, so lane j of the block is bitwise-identical to a scalar
-  /// sample_into call on the same Rng state — the equivalence the block
-  /// Monte-Carlo path's determinism rests on.  `out` and `ws` are reused
-  /// across calls; width must be in [1, stats::lanes::max_width()] for the
-  /// active backend (validated, never clamped).
+  /// Draw `width` correlated dies into an SoA block in one call: every draw
+  /// — inter shifts, the systematic field's standard normals (written
+  /// site-major directly, no transpose pass) and RDF — runs lane-batched
+  /// through the active SIMD backend's draw kernels (stats::RngBlock over
+  /// stats/simd.h's normal_fill_lanes), and the field's lower-triangular
+  /// multiply lane-batched through chol_field_lanes, per-lane add order
+  /// unchanged.  Lane j consumes lane_rngs[j] with exactly the draw
+  /// sequence of sample_into (lane_rngs[j] is left advanced accordingly),
+  /// so lane j of the block is bitwise-identical to a scalar sample_into
+  /// call on the same Rng state — the equivalence the block Monte-Carlo
+  /// path's determinism rests on.  `out` and `ws` are reused across calls;
+  /// width must be in [1, stats::lanes::max_width()] for the active backend
+  /// (validated, never clamped).
   void sample_block_into(stats::Rng* lane_rngs, std::size_t width,
                          DieBlock& out, BlockWorkspace& ws) const;
 

@@ -4,18 +4,23 @@
 // simd_<backend>.cpp translation unit defines STATPIPE_SIMD_NS and includes
 // it, so the identical C++ compiles under different -m flags into
 // statpipe::stats::simd::<backend>::* symbols.  The bodies contain only
-// IEEE-preserving straight-line loops (no fast-math idioms, no manual
-// intrinsics), which is what keeps every backend on the repository's
-// bitwise determinism contract: lane j of any kernel executes exactly the
-// scalar path's floating-point sequence, whatever register width the
-// compiler picked.
+// IEEE-preserving straight-line loops (no fast-math idioms, and no manual
+// intrinsics in any arithmetic), which is what keeps every backend on the
+// repository's bitwise determinism contract: lane j of any kernel executes
+// exactly the scalar path's floating-point sequence, whatever register
+// width the compiler picked.  The one sanctioned intrinsic use is pure
+// DATA MOVEMENT: the ziggurat table-gather pass uses hardware gather loads
+// where the TU's -m flags provide them (__AVX2__ / __AVX512F__ blocks
+// below) — a load returns the stored bits either way, so the contract is
+// untouched.
 //
 // Rules for code in this file:
 //   * no file-scope state, no non-inline definitions outside the backend
 //     namespace (each TU would redefine them);
 //   * helpers called from the loops must be always_inline (lanes::pow_pos,
 //     lanes::select are) or extern default-target functions (normal_cdf /
-//     normal_pdf are) — an inline-but-not-inlined helper emitted as a
+//     normal_pdf, ziggurat::tables / ziggurat::normal_slow are) — an
+//     inline-but-not-inlined helper emitted as a
 //     comdat in several per-ISA TUs would let the linker pick one ISA's
 //     copy for all callers;
 //   * kernel signatures are raw pointers and PODs only (see simd.h).
@@ -25,16 +30,45 @@
 #endif
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <limits>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
 
 #include "stats/gaussian.h"
 #include "stats/lanes.h"
+#include "stats/rng.h"
 #include "stats/simd.h"
 
 namespace statpipe::stats::simd {
 namespace STATPIPE_SIMD_NS {
+
+// One xoshiro256** step on SoA lane state — Xoshiro256::operator()'s exact
+// recurrence with the four state words passed by reference.  Lives inside
+// the backend namespace (a distinct symbol per TU, no comdat to
+// deduplicate) and always_inline so each backend's draw loops compile it
+// under their own -m flags.
+__attribute__((always_inline)) inline std::uint64_t xoshiro_step(
+    std::uint64_t& e0, std::uint64_t& e1, std::uint64_t& e2,
+    std::uint64_t& e3) noexcept {
+  const auto rotl = [](std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  };
+  const std::uint64_t result = rotl(e1 * 5, 7) * 9;
+  const std::uint64_t t = e1 << 17;
+  e2 ^= e0;
+  e3 ^= e1;
+  e1 ^= e2;
+  e0 ^= e3;
+  e2 ^= t;
+  e3 = rotl(e3, 45);
+  return result;
+}
 
 void pow_pos_lanes(const double* x, double y, std::size_t n, double* out) {
   for (std::size_t i = 0; i < n; ++i) out[i] = lanes::pow_pos(x[i], y);
@@ -107,6 +141,270 @@ void chol_field_lanes(const double* chol, std::size_t n, std::size_t stride,
       const double lik = li[k];
       const double* zk = zt + k * w;
       for (std::size_t j = 0; j < w; ++j) fi[j] += lik * zk[j];
+    }
+  }
+}
+
+// Row-chunk geometry for the RNG kernels.  A straight row-major loop
+// reloads and rewrites the 4 SoA state words of every lane on every row —
+// 8 memory ops per ~10-op xoshiro step, leaving pass A memory-bound — so
+// the generate pass is unrolled kRngUnroll rows deep: state words are
+// loaded into (vector) registers once per unrolled group and stored once,
+// cutting state traffic 8x.  The ziggurat math then runs as separate flat
+// SoA passes over a kRngRows x w chunk (long contiguous trip counts that
+// every backend vectorizes; a fused per-row loop would be serialized by
+// the table gathers in its middle).  Work is reordered only ACROSS lanes —
+// each lane's draw sequence stays row-ascending, so the per-lane bitwise
+// contract is unaffected.
+constexpr std::size_t kRngRows = 8;
+constexpr std::size_t kRngUnroll = 8;
+static_assert(kRngRows % kRngUnroll == 0);
+
+// Pass A: step every lane's engine rows times, bits laid out row-major
+// [rows x w] (contiguous, stride w).  The t-loop is the vector loop; the
+// unrolled steps inside it keep a0..a3 live in registers across
+// kRngUnroll rows.  Two things gcc needs spelled out for the t-loop to
+// actually vectorize: the 8 steps unrolled BY HAND (the loop-vectorizer
+// only looks at innermost loops, and `#pragma GCC unroll` fires after it),
+// and W as a COMPILE-TIME constant — with runtime w the 8 store streams
+// base[k*w + t] cost 28 pairwise alias checks, past the versioning budget,
+// and the loop silently stays scalar.  rng_generate_chunk below dispatches
+// the power-of-two widths onto these instantiations.
+template <std::size_t W>
+inline void rng_generate_chunk_w(std::uint64_t* __restrict s0,
+                                 std::uint64_t* __restrict s1,
+                                 std::uint64_t* __restrict s2,
+                                 std::uint64_t* __restrict s3,
+                                 std::size_t rows,
+                                 std::uint64_t* __restrict bits) {
+  std::size_t r = 0;
+  for (; r + kRngUnroll <= rows; r += kRngUnroll) {
+    std::uint64_t* base = bits + r * W;
+    for (std::size_t t = 0; t < W; ++t) {
+      std::uint64_t a0 = s0[t], a1 = s1[t], a2 = s2[t], a3 = s3[t];
+      base[0 * W + t] = xoshiro_step(a0, a1, a2, a3);
+      base[1 * W + t] = xoshiro_step(a0, a1, a2, a3);
+      base[2 * W + t] = xoshiro_step(a0, a1, a2, a3);
+      base[3 * W + t] = xoshiro_step(a0, a1, a2, a3);
+      base[4 * W + t] = xoshiro_step(a0, a1, a2, a3);
+      base[5 * W + t] = xoshiro_step(a0, a1, a2, a3);
+      base[6 * W + t] = xoshiro_step(a0, a1, a2, a3);
+      base[7 * W + t] = xoshiro_step(a0, a1, a2, a3);
+      s0[t] = a0;
+      s1[t] = a1;
+      s2[t] = a2;
+      s3[t] = a3;
+    }
+  }
+  for (; r < rows; ++r) {
+    std::uint64_t* brow = bits + r * W;
+    for (std::size_t t = 0; t < W; ++t)
+      brow[t] = xoshiro_step(s0[t], s1[t], s2[t], s3[t]);
+  }
+}
+
+inline void rng_generate_chunk(std::uint64_t* __restrict s0,
+                               std::uint64_t* __restrict s1,
+                               std::uint64_t* __restrict s2,
+                               std::uint64_t* __restrict s3, std::size_t w,
+                               std::size_t rows,
+                               std::uint64_t* __restrict bits) {
+  switch (w) {
+    case 8:
+      return rng_generate_chunk_w<8>(s0, s1, s2, s3, rows, bits);
+    case 16:
+      return rng_generate_chunk_w<16>(s0, s1, s2, s3, rows, bits);
+    case 32:
+      return rng_generate_chunk_w<32>(s0, s1, s2, s3, rows, bits);
+    case 64:
+      return rng_generate_chunk_w<64>(s0, s1, s2, s3, rows, bits);
+    default:
+      break;
+  }
+  // Odd widths (w=1 and test-only sizes): plain row-major stepping — the
+  // same per-lane draw sequence, just without the unrolled state reuse.
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::uint64_t* brow = bits + r * w;
+    for (std::size_t t = 0; t < w; ++t)
+      brow[t] = xoshiro_step(s0[t], s1[t], s2[t], s3[t]);
+  }
+}
+
+void uniform_u64_lanes(std::uint64_t* s0, std::uint64_t* s1, std::uint64_t* s2,
+                       std::uint64_t* s3, std::size_t w, std::size_t n,
+                       std::size_t stride, std::uint64_t* out) {
+  if (stride == w) {
+    // Contiguous output: generate straight into it, amortizing state
+    // traffic over kRngUnroll rows per load/store.
+    rng_generate_chunk(s0, s1, s2, s3, w, n, out);
+    return;
+  }
+  std::uint64_t bits[kRngRows * lanes::kMaxWidth];
+  for (std::size_t c = 0; c < n; c += kRngRows) {
+    const std::size_t rows = std::min(kRngRows, n - c);
+    rng_generate_chunk(s0, s1, s2, s3, w, rows, bits);
+    for (std::size_t r = 0; r < rows; ++r) {
+      std::uint64_t* row = out + (c + r) * stride;
+      const std::uint64_t* brow = bits + r * w;
+      for (std::size_t t = 0; t < w; ++t) row[t] = brow[t];
+    }
+  }
+}
+
+void normal_fill_lanes(std::uint64_t* s0, std::uint64_t* s1, std::uint64_t* s2,
+                       std::uint64_t* s3, std::size_t w, double sigma,
+                       std::size_t n, std::size_t stride, double* out) {
+  // One ziggurat draw per lane per row, one kRngRows x w chunk at a time:
+  //  A  generate the chunk's raw draws (rng_generate_chunk above);
+  //  B1 split each draw — layer index low 8 bits, sign bit 8 shifted onto
+  //     bit 63, magnitude bits the top 55 converted to double;
+  //  B2 gather the layer's rectangle bounds from the ziggurat table (the
+  //     one serial pass; kept out of the others' way);
+  //  B3 the branch-free rectangle fast path: mag = u * x[i], the sign bit
+  //     XORed straight into the double's bit pattern (exactly the scalar
+  //     `neg ? -mag : mag`), accept iff mag < x[i+1];
+  //  B4 scatter values to the strided output rows, folding accept flags
+  //     per lane;
+  //  C  only for lanes with >=1 rejected row in the chunk: REPLAY the lane
+  //     from its chunk-entry state scalar-side.  Accepted rows just
+  //     re-step the engine (their stored value is already bitwise right);
+  //     rejected rows re-enter the scalar rejection loop via
+  //     ziggurat::normal_slow (extern default-target, shared with
+  //     Rng::normal).  The replay consumes the lane's engine in exactly
+  //     the scalar draw order, so lane j's values and stream position stay
+  //     bitwise those of scalar draws on lane j's Rng, whatever the
+  //     backend (~98.8% of draws accept; a 16-row lane replays with
+  //     probability ~17%, at one int step per accepted row).
+  const double* zx = ziggurat::tables().x;
+  std::uint64_t bits[kRngRows * lanes::kMaxWidth];
+  double xi[kRngRows * lanes::kMaxWidth];
+  double xi1[kRngRows * lanes::kMaxWidth];
+  std::uint64_t rej[kRngRows * lanes::kMaxWidth];
+  std::uint64_t save0[lanes::kMaxWidth], save1[lanes::kMaxWidth],
+      save2[lanes::kMaxWidth], save3[lanes::kMaxWidth];
+  std::uint64_t lane_rej[lanes::kMaxWidth];
+  for (std::size_t c = 0; c < n; c += kRngRows) {
+    const std::size_t rows = std::min(kRngRows, n - c);
+    const std::size_t n_el = rows * w;
+    for (std::size_t t = 0; t < w; ++t) {
+      save0[t] = s0[t];
+      save1[t] = s1[t];
+      save2[t] = s2[t];
+      save3[t] = s3[t];
+      lane_rej[t] = 0;
+    }
+    rng_generate_chunk(s0, s1, s2, s3, w, rows, bits);
+    // Rectangle-bound gather pass.  The indexed loads are the one part gcc
+    // will not vectorize on its own; where the TU's ISA has hardware
+    // gathers they are used explicitly — gathers are loads, not
+    // arithmetic, so every backend still reads the identical table bits.
+    {
+      std::size_t e = 0;
+#if defined(__AVX512F__)
+      const __m512i lmask = _mm512_set1_epi64(0xFF);
+      for (; e + 8 <= n_el; e += 8) {
+        const __m512i b =
+            _mm512_loadu_si512(reinterpret_cast<const void*>(bits + e));
+        const __m512i idx = _mm512_and_epi64(b, lmask);
+        _mm512_storeu_pd(xi + e, _mm512_i64gather_pd(idx, zx, 8));
+        _mm512_storeu_pd(xi1 + e, _mm512_i64gather_pd(idx, zx + 1, 8));
+      }
+#elif defined(__AVX2__)
+      const __m256i lmask = _mm256_set1_epi64x(0xFF);
+      for (; e + 4 <= n_el; e += 4) {
+        const __m256i b =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bits + e));
+        const __m256i idx = _mm256_and_si256(b, lmask);
+        _mm256_storeu_pd(xi + e, _mm256_i64gather_pd(zx, idx, 8));
+        _mm256_storeu_pd(xi1 + e, _mm256_i64gather_pd(zx + 1, idx, 8));
+      }
+#endif
+      for (; e < n_el; ++e) {
+        const double* zp = zx + (bits[e] & 0xFF);
+        xi[e] = zp[0];
+        xi1[e] = zp[1];
+      }
+    }
+    for (std::size_t r = 0; r < rows; ++r) {
+      double* row = out + (c + r) * stride;
+      const std::uint64_t* brow = bits + r * w;
+      const double* xrow = xi + r * w;
+      const double* x1row = xi1 + r * w;
+      std::uint64_t* rrow = rej + r * w;
+      for (std::size_t t = 0; t < w; ++t) {
+        const std::uint64_t b = brow[t];
+        const std::uint64_t sgn = (b & 0x100ULL) << 55;
+        // double(b >> 9) without the u64->f64 instruction (no vector form
+        // before AVX-512): the 55-bit value split at bit 32, each half
+        // made exact via the 2^52 mantissa-injection trick, recombined
+        // with ONE rounding add — by uniqueness of round-to-nearest this
+        // is bitwise the correctly-rounded conversion the scalar path
+        // gets from the hardware instruction.
+        const std::uint64_t v = b >> 9;
+        const double hi =
+            std::bit_cast<double>((v >> 32) | 0x4330000000000000ULL) -
+            0x1.0p52;
+        const double lo =
+            std::bit_cast<double>((v & 0xffffffffULL) |
+                                  0x4330000000000000ULL) -
+            0x1.0p52;
+        // Same rounding sequence as the scalar path: u = double(bits>>9)
+        // * 2^-55 is exact (power-of-two scale), the one rounding is the
+        // multiply by x[i].
+        const double u = hi * 0x1.0p32 + lo;
+        const double mag = (u * 0x1.0p-55) * xrow[t];
+        row[t] = sigma * std::bit_cast<double>(
+                             std::bit_cast<std::uint64_t>(mag) ^ sgn);
+        // Single-! on the accept test (not a branch): reject when the
+        // magnitude is NOT strictly inside the next layer's rectangle.
+        const std::uint64_t rj =
+            static_cast<std::uint64_t>(!(mag < x1row[t]));
+        rrow[t] = rj;
+        lane_rej[t] |= rj;
+      }
+    }
+    std::uint64_t any = 0;
+    for (std::size_t t = 0; t < w; ++t) any |= lane_rej[t];
+    if (any != 0) {
+      for (std::size_t t = 0; t < w; ++t) {
+        if (lane_rej[t] == 0) continue;
+        // Up to the lane's FIRST rejection the chunk's bits match the
+        // scalar stream, so those rows' stored values are already right
+        // and the warmup below only re-steps the engine (a pure int
+        // dependency chain, no branches).  normal_slow consumes extra
+        // draws, so from the rejection on the stream has diverged from
+        // pass A's bits: every later row is recomputed as a full scalar
+        // draw.  Its accept path uses the same sign-XOR form as the
+        // vector pass (bitwise the scalar `neg ? -mag : mag`) — the sign
+        // bit is a coin flip no branch predictor can learn.
+        std::size_t r_first = 0;
+        while (rej[r_first * w + t] == 0) ++r_first;
+        std::uint64_t s[4] = {save0[t], save1[t], save2[t], save3[t]};
+        for (std::size_t r = 0; r < r_first; ++r)
+          (void)xoshiro_step(s[0], s[1], s[2], s[3]);
+        {
+          const std::uint64_t b = xoshiro_step(s[0], s[1], s[2], s[3]);
+          out[(c + r_first) * stride + t] =
+              sigma * ziggurat::normal_slow(b, s);
+        }
+        for (std::size_t r = r_first + 1; r < rows; ++r) {
+          const std::uint64_t b = xoshiro_step(s[0], s[1], s[2], s[3]);
+          const std::size_t idx = static_cast<std::size_t>(b & 0xFF);
+          const double u = static_cast<double>(b >> 9) * 0x1.0p-55;
+          const double mag = u * zx[idx];
+          double* slot = out + (c + r) * stride + t;
+          if (mag < zx[idx + 1])
+            *slot = sigma *
+                    std::bit_cast<double>(std::bit_cast<std::uint64_t>(mag) ^
+                                          ((b & 0x100ULL) << 55));
+          else
+            *slot = sigma * ziggurat::normal_slow(b, s);
+        }
+        s0[t] = s[0];
+        s1[t] = s[1];
+        s2[t] = s[2];
+        s3[t] = s[3];
+      }
     }
   }
 }

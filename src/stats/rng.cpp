@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
+
+#include "stats/simd.h"
 
 namespace statpipe::stats {
 
@@ -16,49 +19,99 @@ std::uint64_t splitmix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
-// 256-layer ziggurat tables for the standard normal (Marsaglia & Tsang,
-// "The Ziggurat Method for Generating Random Variables", JSS 2000).  The
-// density is covered by 255 equal-area horizontal strips plus a base strip
-// of the same area v whose overhang past x = r is the exact Gaussian tail.
-// x[i] is the right edge of layer i (x[1] = r, descending to x[256] = 0);
-// x[0] = v/f(r) is the virtual base edge that makes layer 0's rectangle
-// area equal v too.  y[i] = f(x[i]) are the strip boundaries for the wedge
-// test.  Standard constants for N = 256 layers.
-struct ZigguratTables {
-  static constexpr int kLayers = 256;
-  static constexpr double kR = 3.6541528853610088;      // tail cut
-  static constexpr double kV = 4.92867323399e-3;        // area per strip
-  double x[kLayers + 1];
-  double y[kLayers + 1];
+// One xoshiro256** step on a raw 4-word state — the exact recurrence of
+// Xoshiro256::operator(), for the slow path that advances a state the
+// caller handed over by pointer.
+std::uint64_t raw_next(std::uint64_t s[4]) noexcept {
+  const auto rotl = [](std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  };
+  const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+  const std::uint64_t t = s[1] << 17;
+  s[2] ^= s[0];
+  s[3] ^= s[1];
+  s[1] ^= s[2];
+  s[0] ^= s[3];
+  s[2] ^= t;
+  s[3] = rotl(s[3], 45);
+  return result;
+}
 
-  ZigguratTables() {
-    const double f_r = std::exp(-0.5 * kR * kR);
-    x[0] = kV / f_r;
-    x[1] = kR;
-    y[0] = 0.0;  // base strip's lower bound (never used in a wedge test)
-    y[1] = f_r;
-    for (int i = 1; i < kLayers; ++i) {
-      // Equal-area recurrence: f(x[i+1]) = v/x[i] + f(x[i]).
-      const double fy = kV / x[i] + std::exp(-0.5 * x[i] * x[i]);
-      if (fy >= 1.0) {
-        x[i + 1] = 0.0;
-        y[i + 1] = 1.0;
-      } else {
-        x[i + 1] = std::sqrt(-2.0 * std::log(fy));
-        y[i + 1] = fy;
-      }
-    }
-    x[kLayers] = 0.0;
-    y[kLayers] = 1.0;
-  }
-};
-
-const ZigguratTables& ziggurat() {
-  static const ZigguratTables tables;
-  return tables;
+// The [0,1) / (0,1] conversions of Rng::unit / Rng::unit_pos on a raw
+// draw — duplicated formulas would be a resequencing bug waiting to happen,
+// so both normal paths share these.
+double raw_unit(std::uint64_t w) noexcept {
+  return static_cast<double>(w >> 11) * 0x1.0p-53;
+}
+double raw_unit_pos(std::uint64_t w) noexcept {
+  return static_cast<double>((w >> 11) + 1) * 0x1.0p-53;
 }
 
 }  // namespace
+
+namespace ziggurat {
+
+namespace {
+
+// The density is covered by 255 equal-area horizontal strips plus a base
+// strip of the same area v whose overhang past x = r is the exact Gaussian
+// tail.  Standard constants for N = 256 layers (kR/kV in rng.h).
+Tables build_tables() {
+  Tables t;
+  const double f_r = std::exp(-0.5 * kR * kR);
+  t.x[0] = kV / f_r;
+  t.x[1] = kR;
+  t.y[0] = 0.0;  // base strip's lower bound (never used in a wedge test)
+  t.y[1] = f_r;
+  for (int i = 1; i < kLayers; ++i) {
+    // Equal-area recurrence: f(x[i+1]) = v/x[i] + f(x[i]).
+    const double fy = kV / t.x[i] + std::exp(-0.5 * t.x[i] * t.x[i]);
+    if (fy >= 1.0) {
+      t.x[i + 1] = 0.0;
+      t.y[i + 1] = 1.0;
+    } else {
+      t.x[i + 1] = std::sqrt(-2.0 * std::log(fy));
+      t.y[i + 1] = fy;
+    }
+  }
+  t.x[kLayers] = 0.0;
+  t.y[kLayers] = 1.0;
+  return t;
+}
+
+}  // namespace
+
+const Tables& tables() noexcept {
+  static const Tables t = build_tables();
+  return t;
+}
+
+double normal_slow(std::uint64_t bits, std::uint64_t s[4]) noexcept {
+  const Tables& t = tables();
+  for (;;) {
+    const int i = static_cast<int>(bits & 0xFF);  // layer
+    const bool neg = (bits >> 8) & 1;             // sign
+    // Magnitude: 55 uniform bits scaled into [0, x[i]).
+    const double u = static_cast<double>(bits >> 9) * 0x1.0p-55;
+    const double mag = u * t.x[i];
+    if (mag < t.x[i + 1]) return neg ? -mag : mag;  // fully inside the layer
+    if (i == 0) {
+      // Base-strip overhang: the exact Gaussian tail beyond r (Marsaglia's
+      // exponential-rejection tail sampler).
+      for (;;) {
+        const double xx = -std::log(raw_unit_pos(raw_next(s))) / kR;
+        const double yy = -std::log(raw_unit_pos(raw_next(s)));
+        if (yy + yy > xx * xx) return neg ? -(kR + xx) : kR + xx;
+      }
+    }
+    // Wedge: uniform height within the strip vs the true density.
+    const double yv = t.y[i] + raw_unit(raw_next(s)) * (t.y[i + 1] - t.y[i]);
+    if (yv < std::exp(-0.5 * mag * mag)) return neg ? -mag : mag;
+    bits = raw_next(s);
+  }
+}
+
+}  // namespace ziggurat
 
 void Xoshiro256::reseed(std::uint64_t seed) noexcept {
   // Four independent splitmix64 steps, the seeding Blackman/Vigna recommend;
@@ -79,29 +132,18 @@ void Xoshiro256::reseed(std::uint64_t seed) noexcept {
 }
 
 double Rng::normal() {
-  const ZigguratTables& t = ziggurat();
-  for (;;) {
-    const std::uint64_t bits = gen_();
-    const int i = static_cast<int>(bits & 0xFF);  // layer
-    const bool neg = (bits >> 8) & 1;             // sign
-    // Magnitude: 55 uniform bits scaled into [0, x[i]).
-    const double u = static_cast<double>(bits >> 9) * 0x1.0p-55;
-    const double mag = u * t.x[i];
-    if (mag < t.x[i + 1]) return neg ? -mag : mag;  // fully inside the layer
-    if (i == 0) {
-      // Base-strip overhang: the exact Gaussian tail beyond r (Marsaglia's
-      // exponential-rejection tail sampler).
-      for (;;) {
-        const double xx = -std::log(unit_pos()) / ZigguratTables::kR;
-        const double yy = -std::log(unit_pos());
-        if (yy + yy > xx * xx)
-          return neg ? -(ZigguratTables::kR + xx) : ZigguratTables::kR + xx;
-      }
-    }
-    // Wedge: uniform height within the strip vs the true density.
-    const double yv = t.y[i] + unit() * (t.y[i + 1] - t.y[i]);
-    if (yv < std::exp(-0.5 * mag * mag)) return neg ? -mag : mag;
-  }
+  // Rectangle fast path inline (~98.8% of draws); everything rarer — wedge,
+  // tail, re-draws — lives in ziggurat::normal_slow, the one implementation
+  // the lane-batched kernels also fall back to.  The first engine draw and
+  // the rectangle test here are exactly normal_slow's first iteration, so
+  // handing the failed draw over changes nothing in the sequence.
+  const ziggurat::Tables& t = ziggurat::tables();
+  const std::uint64_t bits = gen_();
+  const std::size_t i = static_cast<std::size_t>(bits & 0xFF);
+  const double u = static_cast<double>(bits >> 9) * 0x1.0p-55;
+  const double mag = u * t.x[i];
+  if (mag < t.x[i + 1]) return (bits >> 8) & 1 ? -mag : mag;
+  return ziggurat::normal_slow(bits, gen_.state());
 }
 
 Rng Rng::fork(std::uint64_t stream_id) const {
@@ -113,18 +155,58 @@ Rng Rng::fork(std::uint64_t stream_id) const {
 
 std::vector<double> Rng::normal_vector(std::size_t n) {
   std::vector<double> v(n);
-  for (auto& x : v) x = normal();
+  normal_fill_scaled(1.0, v.data(), n);
   return v;
 }
 
 void Rng::normal_fill(std::vector<double>& out, std::size_t n) {
   out.resize(n);
-  for (auto& x : out) x = normal();
+  normal_fill_scaled(1.0, out.data(), n);
 }
 
 void Rng::normal_fill_scaled(double sigma, double* out, std::size_t n,
                              std::size_t stride) {
   for (std::size_t i = 0; i < n; ++i) out[i * stride] = sigma * normal();
+}
+
+void RngBlock::pack(const Rng* lane_rngs, std::size_t width) {
+  if (width == 0 || width > lanes::kMaxWidth)
+    throw std::invalid_argument(
+        "RngBlock::pack: width " + std::to_string(width) +
+        " outside [1, " + std::to_string(lanes::kMaxWidth) + "]");
+  width_ = width;
+  for (std::size_t j = 0; j < width; ++j) {
+    const std::uint64_t* s = lane_rngs[j].engine().state();
+    for (std::size_t k = 0; k < 4; ++k) s_[k][j] = s[k];
+  }
+}
+
+void RngBlock::unpack(Rng* lane_rngs) const {
+  require_packed("unpack");
+  for (std::size_t j = 0; j < width_; ++j) {
+    std::uint64_t* s = lane_rngs[j].engine().state();
+    for (std::size_t k = 0; k < 4; ++k) s[k] = s_[k][j];
+  }
+}
+
+void RngBlock::normal_fill(double sigma, double* out, std::size_t n,
+                           std::size_t stride) {
+  require_packed("normal_fill");
+  simd::kernels().normal_fill_lanes(s_[0], s_[1], s_[2], s_[3], width_, sigma,
+                                    n, stride, out);
+}
+
+void RngBlock::uniform_u64(std::uint64_t* out, std::size_t n,
+                           std::size_t stride) {
+  require_packed("uniform_u64");
+  simd::kernels().uniform_u64_lanes(s_[0], s_[1], s_[2], s_[3], width_, n,
+                                    stride, out);
+}
+
+void RngBlock::require_packed(const char* fn) const {
+  if (width_ == 0)
+    throw std::logic_error(std::string("RngBlock::") + fn +
+                           ": no lanes packed");
 }
 
 CorrelatedNormalSampler::CorrelatedNormalSampler(std::vector<double> means,

@@ -13,12 +13,20 @@
 // sampler (~1 engine draw per deviate) instead of the much slower
 // std::normal_distribution — the gate-level engines spend a per-site RDF
 // draw per die, so deviate cost is hot-path cost.
+//
+// For the block Monte-Carlo path, RngBlock holds W lane streams in SoA
+// form and batches their draws through the active SIMD backend
+// (stats/simd.h's uniform_u64_lanes / normal_fill_lanes): lane j still
+// consumes exactly its own stream's u64 sequence, so batching reorders
+// draws only across lanes — unobservable per stream — and every lane stays
+// bitwise-identical to the same draws issued one by one on that lane's Rng.
 #pragma once
 
 #include <cstdint>
 #include <random>
 #include <vector>
 
+#include "stats/lanes.h"
 #include "stats/matrix.h"
 
 namespace statpipe::stats {
@@ -48,12 +56,58 @@ class Xoshiro256 {
     return result;
   }
 
+  /// Raw 4-word state, for SoA pack/unpack (RngBlock) and the external
+  /// ziggurat slow path.  Mutating it repositions the stream: only code
+  /// that replays the exact engine recurrence (ziggurat::normal_slow, the
+  /// lane-batched draw kernels) may write here.
+  std::uint64_t* state() noexcept { return s_; }
+  const std::uint64_t* state() const noexcept { return s_; }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));
   }
   std::uint64_t s_[4];
 };
+
+/// The 256-layer ziggurat for the standard normal (Marsaglia & Tsang, "The
+/// Ziggurat Method for Generating Random Variables", JSS 2000), split so
+/// the scalar Rng::normal() and the lane-batched normal_fill_lanes kernels
+/// share one table set and ONE implementation of the rare slow path — the
+/// rejection tail/wedge logic both paths must execute identically for the
+/// per-lane bitwise contract to hold.
+namespace ziggurat {
+
+inline constexpr int kLayers = 256;
+inline constexpr double kR = 3.6541528853610088;  ///< tail cut
+inline constexpr double kV = 4.92867323399e-3;    ///< area per strip
+
+/// x[i] is the right edge of layer i (x[1] = r, descending to x[256] = 0);
+/// x[0] = v/f(r) is the virtual base edge that makes layer 0's rectangle
+/// area equal v too.  y[i] = f(x[i]) are the strip boundaries for the
+/// wedge test.
+struct Tables {
+  double x[kLayers + 1];
+  double y[kLayers + 1];
+};
+
+/// The process-wide tables, built once on first use.  Extern (one
+/// default-target definition in rng.cpp) so every per-ISA kernel TU reads
+/// the same construction — the lanes_kernels.inl rules forbid file-scope
+/// state in the backend TUs.
+const Tables& tables() noexcept;
+
+/// Slow path of one ziggurat draw: `bits` is the engine draw whose
+/// rectangle test failed (re-tested here — it fails again deterministically
+/// — so the function replays Rng::normal()'s loop verbatim from that
+/// draw), `s` the raw xoshiro256** state positioned just after `bits` was
+/// produced, advanced in place by however many extra draws the tail /
+/// wedge rejection consumes.  Returns exactly what Rng::normal() returns
+/// from the same state — the shared fallback of the scalar fast path and
+/// every backend's normal_fill_lanes.
+double normal_slow(std::uint64_t bits, std::uint64_t s[4]) noexcept;
+
+}  // namespace ziggurat
 
 /// Seeded generator with the convenience draws the samplers use.
 class Rng {
@@ -86,7 +140,9 @@ class Rng {
 
   /// Writes n iid N(0, sigma^2) draws to out[0], out[stride], ... — one
   /// batched call for strided SoA targets (a DieBlock lane) and contiguous
-  /// arrays alike.  Draw k equals normal(0.0, sigma) issued k-th, so scalar
+  /// arrays alike.  This is the single strided core every other normal
+  /// batch form (normal_vector, normal_fill, CorrelatedNormalSampler)
+  /// routes through; draw k equals sigma * normal() issued k-th, so scalar
   /// and lane-block samplers consuming the same stream stay bitwise-equal.
   void normal_fill_scaled(double sigma, double* out, std::size_t n,
                           std::size_t stride = 1);
@@ -107,6 +163,7 @@ class Rng {
   std::uint64_t seed() const noexcept { return seed_; }
 
   Xoshiro256& engine() noexcept { return gen_; }
+  const Xoshiro256& engine() const noexcept { return gen_; }
 
  private:
   /// Uniform double in [0, 1): the top 53 bits of one engine draw.
@@ -118,6 +175,54 @@ class Rng {
 
   std::uint64_t seed_;
   Xoshiro256 gen_;
+};
+
+/// SoA block of up to lanes::kMaxWidth xoshiro256** lane streams — the
+/// draw-side twin of process::DieBlock.  pack() transposes W Rng engines
+/// into four word-planes (s_[k][j] = word k of lane j); the batched fills
+/// then advance all lanes through the active SIMD backend's draw kernels,
+/// and unpack() writes the advanced states back so the caller's Rng array
+/// continues exactly where scalar draws would have left it.
+///
+/// Per-lane stream identity: lane j's state evolves by the same recurrence,
+/// and its draws are consumed by the same consumers in the same per-lane
+/// order, as if lane j's Rng had issued them one by one — batching reorders
+/// draws only across lanes.  Rare ziggurat rejections drop the affected
+/// lane into ziggurat::normal_slow, the same code the scalar path runs, so
+/// the equality is exact, not approximate (the backend×width matrix in
+/// tests/test_simd.cpp pins it).
+///
+/// Fixed-capacity (2 KB inline, no heap): cheap to keep in per-shard
+/// workspaces or on the stack.
+class RngBlock {
+ public:
+  /// Captures lane_rngs[0..width) into SoA form.  Throws
+  /// std::invalid_argument when width is 0 or exceeds lanes::kMaxWidth.
+  void pack(const Rng* lane_rngs, std::size_t width);
+
+  /// Writes the (advanced) lane states back onto lane_rngs[0..width()) —
+  /// engine state only; each Rng keeps its own seed/stream key.
+  void unpack(Rng* lane_rngs) const;
+
+  std::size_t width() const noexcept { return width_; }
+
+  /// Batched strided normal fill: out[i*stride + j] = sigma * (the i-th
+  /// standard-normal deviate of lane j), for i < n, j < width().  Lane j's
+  /// i-th value is bitwise-equal to the i-th call of
+  /// lane_j.normal_fill_scaled(sigma, ...) on the same state.  Dispatched
+  /// to the active SIMD backend; stride must be >= width().
+  void normal_fill(double sigma, double* out, std::size_t n,
+                   std::size_t stride);
+
+  /// Batched strided raw engine draws: out[i*stride + j] = the i-th u64 of
+  /// lane j.  Same layout and stride rule as normal_fill.
+  void uniform_u64(std::uint64_t* out, std::size_t n, std::size_t stride);
+
+ private:
+  void require_packed(const char* fn) const;
+
+  std::size_t width_ = 0;
+  std::uint64_t s_[4][lanes::kMaxWidth];
 };
 
 /// Draws from a multivariate normal with given means, sigmas and correlation

@@ -137,6 +137,28 @@ struct KernelTable {
                            std::size_t stride, const double* zt,
                            std::size_t w, double* field);
 
+  /// Advance w interleaved xoshiro256** streams by n steps each:
+  /// out[i*stride + j] = the i-th raw u64 of lane j, states (four SoA word
+  /// planes s0..s3, lane j at index j) advanced in place.  Lane j's output
+  /// sequence is exactly Xoshiro256::operator()'s from the same state —
+  /// pure integer ops, so "bitwise per lane" here is unconditional.
+  void (*uniform_u64_lanes)(std::uint64_t* s0, std::uint64_t* s1,
+                            std::uint64_t* s2, std::uint64_t* s3,
+                            std::size_t w, std::size_t n, std::size_t stride,
+                            std::uint64_t* out);
+
+  /// Lane-batched ziggurat normal fill: out[i*stride + j] = sigma * (the
+  /// i-th standard-normal deviate of lane j's stream), states advanced in
+  /// place as in uniform_u64_lanes.  The ~98.8% rectangle-accept fast path
+  /// runs branch-free across the lane row; a rejected lane replays the
+  /// identical tail/wedge logic through ziggurat::normal_slow (stats/rng.h)
+  /// on its own state, so lane j is bitwise-equal to the same draws issued
+  /// one by one on lane j's Rng — on every backend.
+  void (*normal_fill_lanes)(std::uint64_t* s0, std::uint64_t* s1,
+                            std::uint64_t* s2, std::uint64_t* s3,
+                            std::size_t w, double sigma, std::size_t n,
+                            std::size_t stride, double* out);
+
   /// The full block sample-STA walk (see sta/sta.cpp for the scalar
   /// equivalence argument).  Returns kNoFault, or the index (into
   /// gate_ids/site/...) of the first gate whose lane row violates the

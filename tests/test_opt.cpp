@@ -108,6 +108,32 @@ TEST(Sizer, HigherYieldTargetNeedsMoreArea) {
   EXPECT_GT(r99.area, r80.area * 0.98);  // allow noise; typically strictly >
 }
 
+TEST(Sizer, ThreadCountInvariantBitwise) {
+  // The level-synchronous parallel schedule must compute exactly the serial
+  // loop's sizes: run the same sizing at 1 thread and at 8 and compare
+  // every output bitwise.  iscas_like("c3540") is well above the internal
+  // parallel threshold, so the 8-thread run really fans out.
+  const auto m = model();
+  const auto spec = VariationSpec::inter_intra(0.020, 0.010, 0.5);
+  auto nl1 = sp::netlist::iscas_like("c3540", 7);
+  auto nl8 = nl1;
+  ASSERT_GE(nl1.size(), 256u);  // parallel path actually engages
+
+  sp::opt::SizerOptions so;
+  so.t_target = stat_delay_of(nl1, m, spec, 0.95) * 0.9;
+  so.max_iterations = 12;
+  so.threads = 1;
+  const auto r1 = sp::opt::size_stage(nl1, m, spec, so);
+  so.threads = 8;
+  const auto r8 = sp::opt::size_stage(nl8, m, spec, so);
+
+  EXPECT_EQ(r1.iterations, r8.iterations);
+  EXPECT_EQ(r1.area, r8.area);
+  EXPECT_EQ(r1.stat_delay, r8.stat_delay);
+  for (std::size_t i = 0; i < nl1.size(); ++i)
+    ASSERT_EQ(nl1.gate(i).size, nl8.gate(i).size) << "gate " << i;
+}
+
 TEST(Sizer, RejectsBadOptions) {
   auto nl = sp::netlist::inverter_chain(4);
   const auto m = model();

@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -272,6 +273,102 @@ TEST(SimdMatrix, GateLevelMcBlockRunIsBackendAndWidthInvariantBitwise) {
       exec.block_width = w;
       sp::stats::Rng rng(31337);
       const auto r = mc.run(500, rng, exec);
+      ASSERT_EQ(r.tp_samples.size(), ref.size());
+      for (std::size_t i = 0; i < ref.size(); ++i)
+        ASSERT_EQ(r.tp_samples[i], ref[i])
+            << simd::backend_name(b) << " w=" << w << " sample " << i;
+    }
+  }
+}
+
+TEST(SimdMatrix, RngDrawKernelsMatchScalarReferenceBitwise) {
+  // The lane-batched draw kernels (uniform_u64_lanes / normal_fill_lanes)
+  // must reproduce each lane's scalar stream bitwise on every backend at
+  // every width — including through the masked ziggurat fast path and the
+  // per-lane rejection fallback.  n is big enough that the ~1.2% slow path
+  // (tail + wedge) fires on every (backend, width) cell.
+  const std::size_t n = 2048;
+  std::size_t tail_draws = 0;
+  for (simd::Backend b : simd::detected_backends()) {
+    BackendGuard guard(b);
+    for (std::size_t w : matrix_widths(simd::kernels().max_width)) {
+      sp::stats::Rng root(424242);
+      std::vector<sp::stats::Rng> lanes, ref;
+      for (std::size_t j = 0; j < w; ++j) lanes.push_back(root.fork(j));
+      ref = lanes;
+      std::vector<sp::stats::Xoshiro256> engines;
+      for (std::size_t j = 0; j < w; ++j) engines.push_back(ref[j].engine());
+
+      sp::stats::RngBlock rb;
+      rb.pack(lanes.data(), w);
+      std::vector<std::uint64_t> words(n * w);
+      rb.uniform_u64(words.data(), n, w);
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < w; ++j)
+          ASSERT_EQ(words[i * w + j], engines[j]())
+              << simd::backend_name(b) << " w=" << w << " lane " << j;
+
+      // Re-pack fresh streams for the normal kernel (the uniform pass above
+      // advanced the block's states).
+      for (std::size_t j = 0; j < w; ++j) lanes[j] = root.fork(j);
+      ref = lanes;
+      rb.pack(lanes.data(), w);
+      std::vector<double> got(n * w);
+      rb.normal_fill(0.35, got.data(), n, w);
+      for (std::size_t j = 0; j < w; ++j) {
+        std::vector<double> want(n);
+        ref[j].normal_fill_scaled(0.35, want.data(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(got[i * w + j], want[i])
+              << simd::backend_name(b) << " w=" << w << " lane " << j
+              << " draw " << i;
+          if (std::abs(want[i]) > 0.35 * sp::stats::ziggurat::kR)
+            ++tail_draws;
+        }
+      }
+    }
+  }
+  // The matrix must actually have exercised the rejection fallback.
+  EXPECT_GT(tail_draws, 0u);
+}
+
+TEST(SimdMatrix, GateLevelMcBlockRunTailHeavySeedInvariant) {
+  // Second end-to-end seed for the block-run matrix, sized so the ziggurat
+  // slow path fires hundreds of times per run (~1.2% of draws; one die
+  // draws one normal per site plus latch overheads): the lanes that hit
+  // rejection re-enter the scalar path mid-block, and the equality below
+  // proves they rejoin their streams bit for bit on every backend x width.
+  std::vector<sp::netlist::Netlist> stages;
+  for (std::size_t i = 0; i < 2; ++i) {
+    stages.push_back(sp::netlist::inverter_chain(12));
+    stages.back().set_name("tail_stage" + std::to_string(i));
+  }
+  std::vector<const sp::netlist::Netlist*> views;
+  for (const auto& s : stages) views.push_back(&s);
+  const sp::device::AlphaPowerModel model{sp::process::Technology{}};
+  const sp::device::LatchModel latch{{}, model};
+  const auto spec = sp::process::VariationSpec::inter_intra(0.030, 0.015);
+  const sp::mc::GateLevelMonteCarlo mc(views, model, spec, latch);
+
+  std::vector<double> ref;  // scalar backend, width 1
+  {
+    BackendGuard guard(simd::Backend::kScalar);
+    sp::sim::ExecutionOptions exec;
+    exec.threads = 1;
+    exec.block_width = 1;
+    sp::stats::Rng rng(0xD1CEBA11);
+    ref = mc.run(1000, rng, exec).tp_samples;
+  }
+  ASSERT_EQ(ref.size(), 1000u);
+
+  for (simd::Backend b : simd::detected_backends()) {
+    BackendGuard guard(b);
+    for (std::size_t w : matrix_widths(simd::kernels().max_width)) {
+      sp::sim::ExecutionOptions exec;
+      exec.threads = 2;
+      exec.block_width = w;
+      sp::stats::Rng rng(0xD1CEBA11);
+      const auto r = mc.run(1000, rng, exec);
       ASSERT_EQ(r.tp_samples.size(), ref.size());
       for (std::size_t i = 0; i < ref.size(); ++i)
         ASSERT_EQ(r.tp_samples[i], ref[i])

@@ -2,8 +2,11 @@
 // operator, matrices, samplers, histograms, KS distance.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <stdexcept>
 #include <vector>
 
 #include "stats/clark.h"
@@ -221,6 +224,197 @@ TEST(Rng, ZigguratNormalMomentsAndTails) {
   // P(|X| > 4) = 6.334e-5 -> expect ~12.7 of 200k.
   EXPECT_GT(beyond4, 0u);
   EXPECT_LT(beyond4, 40u);
+}
+
+// Golden pins: the first 64 raw engine words and the first 64 ziggurat
+// normals for seed 42, captured from this implementation.  These freeze the
+// bit-exact stream contract every reproducibility guarantee in the library
+// rests on — any change to splitmix64 seeding, the xoshiro256** recurrence,
+// the ziggurat tables, or the accept/reject structure trips them.
+TEST(Rng, GoldenXoshiroStream) {
+  static constexpr std::uint64_t kExpected[64] = {
+      0x15780b2e0c2ec716ULL, 0x6104d9866d113a7eULL, 0xae17533239e499a1ULL,
+      0xecb8ad4703b360a1ULL, 0xfde6dc7fe2ec5e64ULL, 0xc50da53101795238ULL,
+      0xb82154855a65ddb2ULL, 0xd99a2743ebe60087ULL, 0xc2e96e726e97647eULL,
+      0x9556615f775fbc3dULL, 0xaeb53b340c103971ULL, 0x4a69db9873af8965ULL,
+      0xcd0feda93006c6b6ULL, 0x52480865a4b42742ULL, 0xb60dec3bf2d887cdULL,
+      0xe0b55a68b96677faULL, 0x9de4159eda9cef95ULL, 0xd9f4b354ec3844d4ULL,
+      0xb5215f43ed431a77ULL, 0xb5344cbe421f4f3aULL, 0x17c5ad539dbb98d9ULL,
+      0x2dd4705aaba5de2bULL, 0x6faa904a94c529bdULL, 0x9a1da25458817417ULL,
+      0x5061938da99c7af0ULL, 0x7d3babc0d1e23440ULL, 0x6624536f5ad584d4ULL,
+      0xca03e50015c044b8ULL, 0xa293144f4f3bd3faULL, 0x3b38bd77133b0bdaULL,
+      0x6a0da881492d3bfdULL, 0x9f6b51d30d502b3aULL, 0xdcf83ab9a2b09168ULL,
+      0xf1dbbb3e7caf8512ULL, 0xd06fa2c515268d8aULL, 0xbf3b601241d6460cULL,
+      0xc8dac160a4cf65b7ULL, 0x0b79e57de69e68a1ULL, 0x77ffe08aaffca9f2ULL,
+      0xf8dae1deeb08090bULL, 0x896c10e1f50e7c45ULL, 0xb35f3c33364236adULL,
+      0xcdb713a2484aba0dULL, 0xd17557ee842fc622ULL, 0xe5fa6d9f51a65be7ULL,
+      0x202a8f768818eb71ULL, 0x90a2b65696578132ULL, 0x8de344cfe2c7f797ULL,
+      0xdb73c7b4d941a5a9ULL, 0xd3e1718bf28e10a9ULL, 0x850b3263a0953dbbULL,
+      0x51466fd43f32a0ecULL, 0x3130eb9b89d02158ULL, 0xa4d4d91162b2d044ULL,
+      0x0752374ea697b934ULL, 0x5bb7058b670da327ULL, 0x91be7d3d72cec5d7ULL,
+      0xc687f6037de59e9cULL, 0x81dbd737ae287209ULL, 0x9eb080fc911ead60ULL,
+      0xf3759893228a56ecULL, 0xf18b1a75d5c9a1abULL, 0x3818ca12dc164711ULL,
+      0xc990d448a6cc309eULL};
+  sp::Xoshiro256 eng(42);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(eng(), kExpected[i]) << "word " << i;
+}
+
+TEST(Rng, GoldenZigguratNormals) {
+  static constexpr double kExpected[64] = {
+      -0x1.b93c3f928ef82p-3, 0x1.2c8cd6d008acep-1,  -0x1.c978a68362547p-1,
+      0x1.37064cee8dd3dp+0,  0x1.b7b487499e928p+0,  0x1.9e7f1b2747d3p+0,
+      -0x1.b8dda3d900f8dp-1, 0x1.43d0e95e533bp+0,   0x1.2de7621c8bf97p+0,
+      0x1.32c153d93c17cp+0,  -0x1.1e470a857fe1p+0,  -0x1.00a57e28ab7f8p-1,
+      0x1.df62de591627fp-1,  -0x1.4a512c63322p-1,   -0x1.6a586baaecae7p-1,
+      -0x1.89419a36e23ffp-2, -0x1.b8545a2543115p-1, 0x1.983355bc5c7efp-1,
+      0x1.213e09041428dp+0,  -0x1.79855e9ba9dd5p+0, 0x1.5338abcb97cp-4,
+      0x1.9bfcc2c9a88p-2,    -0x1.f38117e4e1f87p-2, 0x1.88e00de5a01f2p+0,
+      0x1.96741e2684a4p-3,   0x1.fb5f71ef3673fp-1,  0x1.7e983d04d49acp-2,
+      0x1.d27c6ccee03a2p-1,  -0x1.1c8473ce2e1c2p-2, -0x1.a229a65a9ee4bp-3,
+      -0x1.1cd9456c79112p-3, -0x1.4c224a734b622p+0, -0x1.783bb7c5bce79p+0,
+      -0x1.4138da836e374p+1, -0x1.31facbc2ea8bcp+0, 0x1.0de982db9c8c3p+1,
+      -0x1.d2aef3117872bp-1, 0x1.e281d3ed61958p-5,  -0x1.208770a18024bp-2,
+      -0x1.6381b34f86e91p+1, 0x1.101e1ede56192p+0,  0x1.b9f8213c28dd6p-1,
+      0x1.1f113f778e4b9p+1,  0x1.efa0cf5ae83ffp+0,  -0x1.588890bab2fa5p-1,
+      -0x1.a5a99d168048fp-3, -0x1.39619957c0f6dp+0, -0x1.87e76d273e94p-1,
+      -0x1.146761b6c74cbp+0, 0x1.0ade0399c3eccp+0,  -0x1.2d73f54bb73cap-1,
+      0x1.bf2ffe65455c1p-3,  -0x1.66991b598fcfbp-2, 0x1.47de00f2b0b96p+0,
+      -0x1.f68b3487b2b7bp-5, -0x1.a57897b13283bp-1, -0x1.094031034395p-1,
+      0x1.0b871c4d07dcdp+0,  0x1.7d0d9fea54817p+0,  -0x1.17857a792721cp+0,
+      0x1.4ee316702013p-1,   -0x1.2ce966078583bp+0, -0x1.2cbc9cbeb70d5p-1,
+      0x1.0ce8922c11833p+0};
+  sp::Rng rng(42);
+  for (int i = 0; i < 64; ++i) {
+    const double v = rng.normal();
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(v),
+              std::bit_cast<std::uint64_t>(kExpected[i]))
+        << "draw " << i;
+  }
+}
+
+// ---------------------------------------------------------------- RngBlock
+
+TEST(RngBlock, PackUnpackRoundTripsEngineState) {
+  const std::size_t w = 8;
+  std::vector<sp::Rng> lanes;
+  sp::Rng root(1234);
+  for (std::size_t j = 0; j < w; ++j) lanes.push_back(root.fork(j));
+
+  sp::RngBlock rb;
+  rb.pack(lanes.data(), w);
+  ASSERT_EQ(rb.width(), w);
+
+  // Unpack into fresh Rngs: they must continue each lane's stream exactly.
+  std::vector<sp::Rng> out(w, sp::Rng(0));
+  rb.unpack(out.data());
+  for (std::size_t j = 0; j < w; ++j) {
+    sp::Rng ref = root.fork(j);
+    for (int i = 0; i < 16; ++i)
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(out[j].normal()),
+                std::bit_cast<std::uint64_t>(ref.normal()))
+          << "lane " << j << " draw " << i;
+  }
+}
+
+TEST(RngBlock, PackRejectsBadWidths) {
+  sp::Rng one(1);
+  sp::RngBlock rb;
+  EXPECT_THROW(rb.pack(&one, 0), std::invalid_argument);
+  EXPECT_THROW(rb.pack(&one, sp::lanes::kMaxWidth + 1), std::invalid_argument);
+  // Unpacked block refuses to draw.
+  double x = 0.0;
+  EXPECT_THROW(rb.normal_fill(1.0, &x, 1, 1), std::logic_error);
+}
+
+TEST(RngBlock, NormalFillMatchesPerLaneScalarBitwise) {
+  // Per-lane stream identity: lane j of the block draw must be bitwise the
+  // sequence Rng lane j produces scalar-side.  n*w large enough that the
+  // ~1.2% ziggurat slow path (tail + wedge) fires many times per lane.
+  for (std::size_t w : {std::size_t{1}, std::size_t{8}, std::size_t{16}}) {
+    const std::size_t n = 4096;
+    sp::Rng root(777);
+    std::vector<sp::Rng> lanes, ref;
+    for (std::size_t j = 0; j < w; ++j) lanes.push_back(root.fork(j));
+    ref = lanes;
+
+    sp::RngBlock rb;
+    rb.pack(lanes.data(), w);
+    std::vector<double> got(n * w);
+    rb.normal_fill(1.75, got.data(), n, w);
+    rb.unpack(lanes.data());
+
+    std::size_t tail_draws = 0;
+    for (std::size_t j = 0; j < w; ++j) {
+      std::vector<double> want(n);
+      ref[j].normal_fill_scaled(1.75, want.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(got[i * w + j]),
+                  std::bit_cast<std::uint64_t>(want[i]))
+            << "w=" << w << " lane " << j << " draw " << i;
+        if (std::abs(want[i]) > 1.75 * sp::ziggurat::kR) ++tail_draws;
+      }
+      // The advanced lane states must agree too: next draws line up.
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(lanes[j].normal()),
+                std::bit_cast<std::uint64_t>(ref[j].normal()));
+    }
+    // Make sure this test actually exercised the rejection fallback.
+    if (w * n >= 4096) EXPECT_GT(tail_draws, 0u);
+  }
+}
+
+TEST(RngBlock, NormalFillStridedLeavesGapsUntouched) {
+  const std::size_t w = 8, n = 32, stride = 13;  // stride > width
+  sp::Rng root(31337);
+  std::vector<sp::Rng> lanes;
+  for (std::size_t j = 0; j < w; ++j) lanes.push_back(root.fork(j));
+  auto ref = lanes;
+
+  sp::RngBlock rb;
+  rb.pack(lanes.data(), w);
+  std::vector<double> got(n * stride, -99.0);
+  rb.normal_fill(1.0, got.data(), n, stride);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < w; ++j)
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(got[i * stride + j]),
+                std::bit_cast<std::uint64_t>(ref[j].normal()));
+    for (std::size_t j = w; j < stride; ++j)
+      EXPECT_EQ(got[i * stride + j], -99.0);  // padding untouched
+  }
+}
+
+TEST(RngBlock, UniformU64MatchesPerLaneEngine) {
+  const std::size_t w = 8, n = 64;
+  sp::Rng root(99);
+  std::vector<sp::Rng> lanes;
+  for (std::size_t j = 0; j < w; ++j) lanes.push_back(root.fork(j));
+  std::vector<sp::Xoshiro256> engines;
+  for (std::size_t j = 0; j < w; ++j) engines.push_back(lanes[j].engine());
+
+  sp::RngBlock rb;
+  rb.pack(lanes.data(), w);
+  std::vector<std::uint64_t> got(n * w);
+  rb.uniform_u64(got.data(), n, w);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < w; ++j)
+      EXPECT_EQ(got[i * w + j], engines[j]()) << "lane " << j << " row " << i;
+}
+
+TEST(Rng, NormalFillVariantsShareOneCore) {
+  // normal_vector / normal_fill / normal_fill_scaled(1.0, ...) are one
+  // strided core: identical draws from identical states.
+  sp::Rng a(5), b(5), c(5);
+  const std::size_t n = 512;
+  const auto v = a.normal_vector(n);
+  std::vector<double> f, s(n);
+  b.normal_fill(f, n);
+  c.normal_fill_scaled(1.0, s.data(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(v[i]),
+              std::bit_cast<std::uint64_t>(f[i]));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(f[i]),
+              std::bit_cast<std::uint64_t>(s[i]));
+  }
 }
 
 TEST(Clark, NWayMatchesPairwiseForTwo) {
