@@ -87,6 +87,14 @@ class JsonReport {
   }
   void meta(const std::string& key, double v) { meta_.emplace_back(key, num(v)); }
 
+  /// Embeds a pre-serialized JSON value verbatim as a top-level key of the
+  /// record, after "rows" — e.g. the obs metrics snapshot from
+  /// statpipe::obs::metrics_json().  The caller guarantees the value is
+  /// well-formed JSON; nothing is escaped.
+  void raw(const std::string& key, std::string json) {
+    raw_.emplace_back(key, std::move(json));
+  }
+
   /// Starts a new row; subsequent col() calls fill it.
   void row() { rows_.emplace_back(); }
   void col(const std::string& key, const std::string& v) {
@@ -110,7 +118,9 @@ class JsonReport {
       if (i + 1 < rows_.size()) out += ",";
       out += "\n";
     }
-    out += " ]\n}\n";
+    out += " ]";
+    for (const auto& r : raw_) out += ",\n " + quote(r.first) + ": " + r.second;
+    out += "\n}\n";
     const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
     std::fclose(f);
     if (!ok) throw std::runtime_error("JsonReport: short write to " + path);
@@ -161,6 +171,7 @@ class JsonReport {
   std::string bench_;
   Fields meta_;
   std::vector<Fields> rows_;
+  Fields raw_;
 };
 
 }  // namespace bench_util

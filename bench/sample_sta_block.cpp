@@ -29,10 +29,9 @@
 #include "bench_util.h"
 #include "mc/pipeline_mc.h"
 #include "netlist/generators.h"
+#include "obs/telemetry.h"
 #include "sim/engine.h"
 #include "sim/thread_pool.h"
-#include "sta/sta.h"
-#include "stats/matrix.h"
 #include "stats/simd.h"
 
 namespace sp = statpipe;
@@ -75,16 +74,24 @@ bool bitwise_eq(const sp::mc::McResult& a, const sp::mc::McResult& b) {
   return true;
 }
 
-/// Per-phase wall-clock of one full run's worth of work at block width W,
-/// isolating the four kernels a gate-level MC block pass is made of:
-///   draw — lane-batched RngBlock draws (inter + RDF), the PR's new path;
-///   draw_scalar — the pre-batching reference: identical draw volume via
-///                 per-lane strided normal_fill_scaled on the same streams;
-///   chol — the dispatched lower-triangular field multiply (timed with a
-///          systematic factor over this circuit's sites; the sweep spec
-///          above disables the field, so it is measured separately here);
-///   walk — critical_delay_sample_block over the bound stage;
-///   fold — the per-lane stats fold + pipeline max.
+/// Per-phase time of one full engine run at block width W, read from the
+/// span aggregates the engine itself records (src/obs/telemetry.h) instead
+/// of harness-side reconstructions of each kernel — the numbers here are
+/// the same ones STATPIPE_TRACE / --metrics report in production runs:
+///   draw — mc.draw: lane-batched RngBlock draws (inter + field normals +
+///          RDF) inside VariationSampler::sample_block_into;
+///   draw_scalar — the pre-batching reference (the engine no longer has a
+///                 scalar draw path): identical draw volume via per-lane
+///                 strided normal_fill_scaled on the same streams, wrapped
+///                 in a bench-local span so it reads back through the same
+///                 aggregate plumbing;
+///   chol — mc.chol: the dispatched lower-triangular field multiply, from
+///          a field-enabled clone of the spec (the sweep spec above
+///          disables the field on purpose);
+///   walk — mc.walk: critical_delay_sample_block over the bound stage;
+///   fold — mc.fold: the per-lane stats fold + pipeline max.
+/// Each number is the best (minimum) total over kReps instrumented runs,
+/// obs::reset() between reps so aggregates never mix repetitions.
 struct PhaseTimes {
   double draw_ms = 0.0;
   double draw_scalar_ms = 0.0;
@@ -96,85 +103,79 @@ struct PhaseTimes {
 PhaseTimes phase_breakdown(const sp::netlist::Netlist& nl,
                            const sp::device::AlphaPowerModel& model,
                            const sp::process::VariationSpec& spec,
+                           const sp::device::LatchModel& latch,
                            std::size_t W) {
   PhaseTimes pt;
-  // One site per netlist node (pseudo inputs included, matching the MC
-  // engine's layout) plus the stage latch.
+  // Instrumented runs: telemetry on for the duration, restored after (the
+  // sweep runs in main() keep it in its disabled single-branch state so
+  // the timing columns are untouched).
+  const bool was_enabled = sp::obs::enabled();
+  sp::obs::set_enabled(true);
+
+  // draw_scalar first: a bench-local span around the reference loop, so
+  // the aggregates left behind at return come from real engine runs only.
   const std::size_t n_sites = nl.size() + 1;
   const std::size_t n_blocks = kSamples / W;
-  const auto positions = sp::process::linear_sites(n_sites);
   sp::stats::Rng root(90210);
   std::vector<sp::stats::Rng> lanes(W, sp::stats::Rng(0));
-  sp::stats::RngBlock rb;
   std::vector<double> inter(W), rdf(n_sites * W);
-
-  // draw: the lane-batched path exactly as sample_block_into issues it —
-  // pack, one width-1 inter fill, one site-major RDF fill, unpack.
-  pt.draw_ms = best_of([&] {
-    for (std::size_t b = 0; b < n_blocks; ++b) {
-      for (std::size_t j = 0; j < W; ++j) lanes[j] = root.fork(b * W + j);
-      rb.pack(lanes.data(), W);
-      rb.normal_fill(spec.sigma_vth_inter, inter.data(), 1, W);
-      rb.normal_fill(1.0, rdf.data(), n_sites, W);
-      rb.unpack(lanes.data());
-    }
-  });
-
-  // draw_scalar: the pre-PR reference — same streams, same draw volume,
-  // per-lane strided fills through the scalar ziggurat.
-  pt.draw_scalar_ms = best_of([&] {
-    for (std::size_t b = 0; b < n_blocks; ++b) {
-      for (std::size_t j = 0; j < W; ++j) lanes[j] = root.fork(b * W + j);
-      for (std::size_t j = 0; j < W; ++j) {
-        lanes[j].normal_fill_scaled(spec.sigma_vth_inter, inter.data() + j, 1);
-        lanes[j].normal_fill_scaled(1.0, rdf.data() + j, n_sites, W);
+  static const sp::obs::SpanId kDrawScalar("bench.draw_scalar");
+  pt.draw_scalar_ms = 1e300;
+  for (int r = 0; r < kReps; ++r) {
+    sp::obs::reset();
+    {
+      sp::obs::ScopedSpan span(kDrawScalar, static_cast<std::int64_t>(W));
+      for (std::size_t b = 0; b < n_blocks; ++b) {
+        for (std::size_t j = 0; j < W; ++j) lanes[j] = root.fork(b * W + j);
+        for (std::size_t j = 0; j < W; ++j) {
+          lanes[j].normal_fill_scaled(spec.sigma_vth_inter, inter.data() + j,
+                                      1);
+          lanes[j].normal_fill_scaled(1.0, rdf.data() + j, n_sites, W);
+        }
       }
     }
-  });
+    pt.draw_scalar_ms = std::min(
+        pt.draw_scalar_ms,
+        sp::obs::snapshot().span("bench.draw_scalar").total_ns / 1e6);
+  }
 
-  // chol: dispatched triangular multiply with a real factor for this
-  // circuit's site layout (PSD-jittered spatial correlation).
-  const sp::stats::Matrix corr =
-      sp::stats::spatial_correlation(positions, spec.correlation_length);
-  const sp::stats::Matrix chol = sp::stats::cholesky_psd(corr);
-  std::vector<double> fieldw(n_sites * W);
-  pt.chol_ms = best_of([&] {
-    for (std::size_t b = 0; b < n_blocks; ++b)
-      sp::stats::simd::kernels().chol_field_lanes(chol.data(), n_sites,
-                                                  chol.size(), rdf.data(), W,
-                                                  fieldw.data());
-  });
+  // draw / walk / fold from the sweep-spec engine (no field, like the
+  // width-sweep rows above).
+  const std::vector<const sp::netlist::Netlist*> stages{&nl};
+  sp::sim::ExecutionOptions exec;
+  exec.threads = 1;
+  exec.samples_per_shard = 256;
+  exec.block_width = W;
+  const sp::mc::GateLevelMonteCarlo mc(stages, model, spec, latch);
+  pt.draw_ms = pt.walk_ms = pt.fold_ms = 1e300;
+  for (int r = 0; r < kReps; ++r) {
+    sp::obs::reset();
+    sp::stats::Rng rng(90210);
+    mc.run(kSamples, rng, exec);
+    const sp::obs::MetricsSnapshot snap = sp::obs::snapshot();
+    pt.draw_ms = std::min(pt.draw_ms, snap.span("mc.draw").total_ns / 1e6);
+    pt.walk_ms = std::min(pt.walk_ms, snap.span("mc.walk").total_ns / 1e6);
+    pt.fold_ms = std::min(pt.fold_ms, snap.span("mc.fold").total_ns / 1e6);
+  }
 
-  // walk: the dispatched block STA over one sampled DieBlock.
-  const sp::process::VariationSampler sampler(sp::process::Technology{}, spec,
-                                              positions);
-  sp::process::DieBlock block;
-  sp::process::BlockWorkspace bws;
-  for (std::size_t j = 0; j < W; ++j) lanes[j] = root.fork(j);
-  sampler.sample_block_into(lanes.data(), W, block, bws);
-  std::vector<std::size_t> site_map(nl.size());
-  for (std::size_t g = 0; g < nl.size(); ++g) site_map[g] = g;
-  sp::sta::StaOptions sta_opt;
-  sp::sta::StaBlockWorkspace sws;
-  std::vector<double> crit(W);
-  pt.walk_ms = best_of([&] {
-    for (std::size_t b = 0; b < n_blocks; ++b)
-      sp::sta::critical_delay_sample_block(nl, model, block, site_map,
-                                           sta_opt, sws, crit.data());
-  });
+  // chol from a field-enabled clone of the spec.  This loop runs last on
+  // purpose: the aggregates it leaves behind are a full-vocabulary engine
+  // snapshot (draw + chol + walk + fold) that main() embeds into the JSON
+  // record after the final circuit.
+  sp::process::VariationSpec field_spec = spec;
+  field_spec.sigma_vth_systematic = 0.010;
+  const sp::mc::GateLevelMonteCarlo mc_field(stages, model, field_spec,
+                                             latch);
+  pt.chol_ms = 1e300;
+  for (int r = 0; r < kReps; ++r) {
+    sp::obs::reset();
+    sp::stats::Rng rng(90210);
+    mc_field.run(kSamples, rng, exec);
+    pt.chol_ms = std::min(
+        pt.chol_ms, sp::obs::snapshot().span("mc.chol").total_ns / 1e6);
+  }
 
-  // fold: per-lane stats accumulation + pipeline max, one stage.
-  pt.fold_ms = best_of([&] {
-    sp::stats::RunningStats rs;
-    std::vector<double> tp;
-    tp.reserve(n_blocks * W);
-    for (std::size_t b = 0; b < n_blocks; ++b)
-      for (std::size_t j = 0; j < W; ++j) {
-        const double sd = crit[j];
-        rs.add(sd);
-        tp.push_back(sd);
-      }
-  });
+  sp::obs::set_enabled(was_enabled);
   return pt;
 }
 
@@ -236,6 +237,9 @@ int main(int argc, char** argv) {
   // Width the phase-breakdown columns were measured at (the backend's
   // preferred width, single-threaded).
   report.meta("phase_block_width", static_cast<double>(pref));
+  // "obs-spans" = phase columns read from the engine's own telemetry span
+  // aggregates (src/obs) instead of harness-side kernel reconstructions.
+  report.meta("phase_source", "obs-spans");
   // Active dispatch state: rows are only comparable between records whose
   // simd_backend matches (bench_diff.py enforces this).
   report.meta("simd_backend", std::string(kt->name));
@@ -317,7 +321,7 @@ int main(int argc, char** argv) {
     // Per-phase breakdown at the preferred width (same row, extra columns:
     // the _ms columns ride bench_diff's lower-is-better tracking, the
     // draw speedup its higher-is-better one).
-    const PhaseTimes pt = phase_breakdown(nl, model, spec, pref);
+    const PhaseTimes pt = phase_breakdown(nl, model, spec, latch, pref);
     const double draw_speedup = pt.draw_scalar_ms / pt.draw_ms;
     report.col("draw_ms", pt.draw_ms);
     report.col("draw_scalar_ms", pt.draw_scalar_ms);
@@ -334,6 +338,11 @@ int main(int argc, char** argv) {
                 pt.chol_ms, pt.walk_ms, pt.fold_ms);
   }
   bench_util::csv_end();
+  // Embed the metrics snapshot the last phase_breakdown left behind (its
+  // final instrumented rep: a field-enabled engine run over the last
+  // circuit), so the BENCH record carries the stable counter/span schema
+  // end-to-end — the same names --metrics and STATPIPE_TRACE report.
+  report.raw("metrics", sp::obs::metrics_json(sp::obs::snapshot()));
   try {
     report.write(json_path);
   } catch (const std::exception& e) {

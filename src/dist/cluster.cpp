@@ -14,6 +14,7 @@
 
 #include "dist/workload.h"
 #include "netlist/generators.h"
+#include "obs/log.h"
 
 extern char** environ;
 
@@ -41,7 +42,8 @@ pid_t spawn_worker_process(const std::string& worker_bin, std::uint16_t port,
   return pid;
 }
 
-TaskResult run_cluster(const RunDescriptor& desc, const ClusterOptions& opt) {
+TaskResult run_cluster(const RunDescriptor& desc, const ClusterOptions& opt,
+                       RunMetrics* metrics) {
   if (opt.spawn_workers > 0 && opt.worker_bin.empty())
     throw std::invalid_argument(
         "dist: run_cluster with spawn_workers > 0 needs a worker_bin path");
@@ -51,10 +53,14 @@ TaskResult run_cluster(const RunDescriptor& desc, const ClusterOptions& opt) {
   kids.reserve(opt.spawn_workers);
   TaskResult result;
   try {
-    for (std::size_t i = 0; i < opt.spawn_workers; ++i)
+    for (std::size_t i = 0; i < opt.spawn_workers; ++i) {
       kids.push_back(spawn_worker_process(opt.worker_bin, coord.port(),
                                           !opt.coordinator.verbose,
                                           opt.coordinator.auth_key));
+      obs::log_info("cluster",
+                    "spawned worker pid " + std::to_string(kids.back()),
+                    opt.coordinator.verbose);
+    }
     result = coord.run();
   } catch (...) {
     // A failed run (attempts exhausted, idle timeout) or a mid-fleet
@@ -84,11 +90,16 @@ TaskResult run_cluster(const RunDescriptor& desc, const ClusterOptions& opt) {
       ::usleep(20 * 1000);
     }
     if (got < 0 || !WIFEXITED(status) || WEXITSTATUS(status) != 0)
-      std::fprintf(stderr,
-                   "[cluster] warning: spawned worker %d exited abnormally "
-                   "after the run completed (result unaffected)\n",
-                   static_cast<int>(pid));
+      obs::log_warn("cluster",
+                    "spawned worker " + std::to_string(pid) +
+                        " exited abnormally after the run completed "
+                        "(result unaffected)");
+    else
+      obs::log_info("cluster", "reaped worker pid " + std::to_string(pid),
+                    opt.coordinator.verbose);
   }
+  if (metrics != nullptr) *metrics = coord.metrics();
+  if (opt.on_metrics) opt.on_metrics(coord.metrics());
   return result;
 }
 

@@ -41,6 +41,12 @@ struct ClusterOptions {
   /// the run blocks — how a caller with spawn_workers == 0 learns the
   /// ephemeral port to announce to externally started workers.
   std::function<void(std::uint16_t)> on_listening;
+  /// Called once per completed coordinator session with that session's
+  /// RunMetrics.  Callers that submit many sessions through one
+  /// ClusterOptions (grid_characterizer makes one session per grid) use
+  /// this to aggregate what run_cluster's out-param can only report for a
+  /// single call.
+  std::function<void(const RunMetrics&)> on_metrics;
 };
 
 /// Forks one statpipe-worker process against `port` (posix_spawn).  A
@@ -58,7 +64,11 @@ pid_t spawn_worker_process(const std::string& worker_bin, std::uint16_t port,
 /// before the rethrow.  A worker that exits abnormally AFTER the run
 /// completed does not discard the result (every unit was already
 /// validated and reassembled); it is reported on stderr instead.
-TaskResult run_cluster(const RunDescriptor& desc, const ClusterOptions& opt);
+/// A non-null `metrics` receives the session's RunMetrics (ranges,
+/// retries, forfeits, staging high-water, wall time) on success — how
+/// statpipe-run prints its per-run dist block without obs being enabled.
+TaskResult run_cluster(const RunDescriptor& desc, const ClusterOptions& opt,
+                       RunMetrics* metrics = nullptr);
 
 /// The registry workload name for a netlist the cluster can rebuild:
 /// strips the generator's "_like" suffix from nl.name(), re-synthesizes

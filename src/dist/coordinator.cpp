@@ -4,16 +4,26 @@
 
 #include <algorithm>
 #include <cerrno>
-#include <cstdio>
 #include <stdexcept>
 #include <utility>
+
+#include "obs/log.h"
+#include "obs/telemetry.h"
 
 namespace statpipe::dist {
 
 namespace {
 
+// Structured logger (obs/log.h): `verbose` is purely the console-sink
+// toggle; with telemetry enabled every line also lands in the Chrome trace
+// as an instant event regardless of verbosity.
 void log_line(const CoordinatorOptions& opt, const std::string& msg) {
-  if (opt.verbose) std::fprintf(stderr, "[coordinator] %s\n", msg.c_str());
+  obs::log_info("coordinator", msg, opt.verbose);
+}
+
+const obs::SpanId& span_range() {
+  static const obs::SpanId s("dist.range");
+  return s;
 }
 
 }  // namespace
@@ -62,6 +72,8 @@ Coordinator::Coordinator(RunDescriptor desc, CoordinatorOptions opt)
     lanes_.resize(n_units_);
     lane_got_.assign(n_units_, 0);
   }
+  metrics_.units = n_units_;
+  metrics_.ranges = pending_.size();
   log_line(opt_, std::string("listening on ") + opt_.bind_host + ":" +
                      std::to_string(listener_.port()) + ", " +
                      task_kind_name(desc_.task_kind) + " task, " +
@@ -112,6 +124,9 @@ void Coordinator::admit_worker() {
     return;
   }
   ws.ready = true;
+  ++metrics_.workers_admitted;
+  static obs::Counter c_admitted("dist.workers_admitted");
+  c_admitted.add();
   assign_if_possible(ws);
   workers_.push_back(std::move(ws));
   log_line(opt_, "worker connected (" + std::to_string(workers_.size()) +
@@ -141,6 +156,11 @@ void Coordinator::assign_if_possible(WorkerState& w) {
   w.range = r;
   w.staged_mc.clear();
   w.staged_lanes.clear();
+  w.assign_ns = obs::enabled() ? obs::now_ns() : 0;
+  ++metrics_.assigns;
+  if (r.attempts > 1) ++metrics_.retries;
+  static obs::Counter c_assigns("dist.assigns");
+  c_assigns.add();
   log_line(opt_, "assigned units [" + std::to_string(r.begin) + ", " +
                      std::to_string(r.end) + ") attempt " +
                      std::to_string(r.attempts));
@@ -151,11 +171,21 @@ void Coordinator::requeue(WorkerState& w, const std::string& why) {
     // The worker forfeits the whole range: staged units are part of an
     // uncommitted stream and are discarded with it — a partially streamed
     // range never contributes to the fold (docs/DETERMINISM.md).
+    // Info, not warn: forfeits are routine under fault injection (the chaos
+    // harness triggers them by the dozen) and the run recovers by design;
+    // only exhausting the attempt budget is an error, and that throws.
+    const std::size_t staged = w.staged_mc.size() + w.staged_lanes.size();
     log_line(opt_, "range [" + std::to_string(w.range.begin) + ", " +
                        std::to_string(w.range.end) + ") lost (" +
-                       std::to_string(w.staged_mc.size() +
-                                      w.staged_lanes.size()) +
+                       std::to_string(staged) +
                        " staged unit(s) discarded): " + why);
+    ++metrics_.forfeits;
+    metrics_.units_discarded += staged;
+    staged_now_ -= staged;
+    static obs::Counter c_requeues("dist.requeues");
+    c_requeues.add();
+    static obs::Counter c_discarded("dist.units_discarded");
+    c_discarded.add(staged);
     w.staged_mc.clear();
     w.staged_lanes.clear();
     if (w.range.attempts >= opt_.max_attempts)
@@ -193,6 +223,10 @@ void Coordinator::handle_unit(WorkerState& w, const Frame& f) {
   else
     w.staged_mc.emplace(unit, read_mc_result(r));
   r.expect_done();
+  ++staged_now_;
+  metrics_.peak_staged_units = std::max(metrics_.peak_staged_units, staged_now_);
+  static obs::Counter c_staged("dist.units_staged");
+  c_staged.add();
 }
 
 void Coordinator::handle_range_done(WorkerState& w, const Frame& f) {
@@ -243,6 +277,18 @@ void Coordinator::handle_range_done(WorkerState& w, const Frame& f) {
     advance_mc_fold();
   }
   w.has_range = false;
+  staged_now_ -= end - begin;
+  ++metrics_.commits;
+  static obs::Counter c_commits("dist.commits");
+  c_commits.add();
+  static obs::Counter c_units("dist.units_committed");
+  c_units.add(end - begin);
+  // Assign→commit latency for this range, closed across call sites via
+  // record_span (the RAII form cannot straddle the event loop).
+  if (w.assign_ns > 0 && obs::enabled())
+    obs::record_span(span_range(), w.assign_ns, obs::now_ns(),
+                     static_cast<std::int64_t>(begin));
+  w.assign_ns = 0;
   log_line(opt_, "range [" + std::to_string(begin) + ", " +
                      std::to_string(end) + ") committed; " +
                      std::to_string(done_units()) + "/" +
@@ -313,6 +359,7 @@ bool Coordinator::service_worker(WorkerState& w) {
 }
 
 TaskResult Coordinator::run() {
+  const std::int64_t run_t0 = obs::now_ns();
   while (done_units() < n_units_) {
     // Drop workers whose sockets died outside service_worker (e.g. a
     // failed kAssign send) — a closed-socket entry must not linger as a
@@ -368,6 +415,8 @@ TaskResult Coordinator::run() {
   // while reaping them, closing the residual window where a slow-starting
   // worker connects only after this first drain.
   drain_backlog();
+  metrics_.wall_ms =
+      static_cast<double>(obs::now_ns() - run_t0) / 1e6;
   TaskResult out;
   out.kind = desc_.task_kind;
   if (desc_.task_kind == TaskKind::kSstaGrid) {

@@ -83,6 +83,25 @@ struct CoordinatorOptions {
   bool verbose = false;                 ///< progress lines on stderr
 };
 
+/// Always-on per-run coordinator accounting, surfaced by Coordinator::
+/// metrics() after run() returns (and by run_cluster's out-param).  Plain
+/// counters on the event-loop control path — deterministic, no clocks per
+/// event (wall_ms is one clock pair around the whole run) — so they are
+/// safe to report unconditionally, unlike the obs counters which only
+/// accumulate while telemetry is enabled.
+struct RunMetrics {
+  std::size_t units = 0;            ///< plan size (task units)
+  std::size_t ranges = 0;           ///< ranges the plan was cut into
+  std::size_t assigns = 0;          ///< kAssign frames sent
+  std::size_t commits = 0;          ///< ranges committed via kRangeDone
+  std::size_t retries = 0;          ///< assignments beyond a range's first
+  std::size_t forfeits = 0;         ///< in-flight ranges lost to dead peers
+  std::size_t units_discarded = 0;  ///< staged units thrown away on forfeit
+  std::size_t peak_staged_units = 0;  ///< high-water uncommitted staging
+  std::size_t workers_admitted = 0;   ///< connections that completed setup
+  double wall_ms = 0.0;             ///< run() entry to last commit
+};
+
 class Coordinator {
  public:
   /// Binds the listener immediately (so port() is valid before run());
@@ -94,6 +113,10 @@ class Coordinator {
 
   std::uint16_t port() const noexcept { return listener_.port(); }
   const RunDescriptor& descriptor() const noexcept { return desc_; }
+
+  /// Per-run accounting (complete once run() has returned; readable midway
+  /// from the same thread, e.g. after a thrown run for post-mortems).
+  const RunMetrics& metrics() const noexcept { return metrics_; }
 
   /// Serves workers until every unit's result arrived and committed, then
   /// returns the ascending-order fold (MC: the running left fold of shard
@@ -120,6 +143,9 @@ class Coordinator {
     bool ready = false;       ///< hello'd + setup sent
     bool has_range = false;
     Range range;
+    /// obs timestamp of the range's kAssign send (0 = telemetry off);
+    /// closed into a dist.range span at commit.
+    std::int64_t assign_ns = 0;
     // Units streamed for the in-flight range, staged until its kRangeDone
     // commits them; discarded wholesale when the worker is lost (exactly
     // one map used, selected by task kind).
@@ -165,6 +191,8 @@ class Coordinator {
   std::vector<sta::StageCharacterization> lanes_;
   std::vector<std::uint8_t> lane_got_;
   std::size_t lanes_done_ = 0;
+  RunMetrics metrics_;
+  std::size_t staged_now_ = 0;  ///< uncommitted staged units, all workers
 };
 
 }  // namespace statpipe::dist

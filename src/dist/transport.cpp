@@ -16,10 +16,39 @@
 #include <thread>
 
 #include "dist/serialize.h"
+#include "obs/telemetry.h"
 
 namespace statpipe::dist {
 
 namespace {
+
+// Wire-level obs counters (docs/OBSERVABILITY.md): frames/bytes both
+// directions plus the two hostile-peer rejection classes.  Cheap enough to
+// live on every frame: one relaxed load when telemetry is off.
+obs::Counter& c_tx_frames() {
+  static obs::Counter c("dist.tx_frames");
+  return c;
+}
+obs::Counter& c_tx_bytes() {
+  static obs::Counter c("dist.tx_bytes");
+  return c;
+}
+obs::Counter& c_rx_frames() {
+  static obs::Counter c("dist.rx_frames");
+  return c;
+}
+obs::Counter& c_rx_bytes() {
+  static obs::Counter c("dist.rx_bytes");
+  return c;
+}
+obs::Counter& c_auth_rejects() {
+  static obs::Counter c("dist.auth_rejects");
+  return c;
+}
+obs::Counter& c_deadline_trips() {
+  static obs::Counter c("dist.deadline_trips");
+  return c;
+}
 
 /// v3 frame header: u32 magic, u16 version, u16 type, u32 flags, u64 size.
 constexpr std::size_t kHeaderSize = 20;
@@ -124,10 +153,12 @@ bool Socket::recv_all(void* data, std::size_t n) {
     const ssize_t r = ::recv(fd_, p + got, chunk, 0);
     if (r < 0) {
       if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK)
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        c_deadline_trips().add();
         throw std::runtime_error(
             "dist: read deadline exceeded waiting for peer (" +
             std::to_string(got) + "/" + std::to_string(n) + " bytes)");
+      }
       throw_errno("recv");
     }
     if (r == 0) {
@@ -140,10 +171,12 @@ bool Socket::recv_all(void* data, std::size_t n) {
     // Absolute per-call bound: SO_RCVTIMEO restarts on every byte, so a
     // slow-loris peer dripping one byte per period would never trip it.
     if (deadline_armed && got < n &&
-        std::chrono::steady_clock::now() >= deadline)
+        std::chrono::steady_clock::now() >= deadline) {
+      c_deadline_trips().add();
       throw std::runtime_error(
           "dist: read deadline exceeded waiting for peer (" +
           std::to_string(got) + "/" + std::to_string(n) + " bytes)");
+    }
   }
   return true;
 }
@@ -229,6 +262,8 @@ void send_frame(Socket& s, MsgType type,
                 const FrameAuth& auth) {
   const std::vector<std::uint8_t> buf = encode_frame(type, payload, auth);
   s.send_all(buf.data(), buf.size());
+  c_tx_frames().add();
+  c_tx_bytes().add(buf.size());
 }
 
 std::optional<Frame> recv_frame(Socket& s, const FrameAuth& auth) {
@@ -258,14 +293,18 @@ std::optional<Frame> recv_frame(Socket& s, const FrameAuth& auth) {
   // Auth policy is symmetric and strict: a configured key demands a MAC on
   // every frame, and a frame claiming a MAC under no key is equally
   // rejected — a peer on the wrong side of the key config never half-works.
-  if (auth.enabled && !authenticated)
+  if (auth.enabled && !authenticated) {
+    c_auth_rejects().add();
     throw std::runtime_error(
         "dist: authentication required but peer sent an unauthenticated "
         "frame");
-  if (!auth.enabled && authenticated)
+  }
+  if (!auth.enabled && authenticated) {
+    c_auth_rejects().add();
     throw std::runtime_error(
         "dist: peer sent an authenticated frame but no wire key is "
         "configured (set STATPIPE_WIRE_KEY / --key)");
+  }
   const std::uint64_t size = r.u64();
   if (size > kMaxFramePayload)
     throw std::runtime_error("dist: oversize frame payload (" +
@@ -283,11 +322,16 @@ std::optional<Frame> recv_frame(Socket& s, const FrameAuth& auth) {
     covered.insert(covered.end(), f.payload.begin(), f.payload.end());
     const Digest expected = auth.mac(
         std::span<const std::uint8_t>(covered.data(), covered.size()));
-    if (!digest_equal_consttime(claimed, expected))
+    if (!digest_equal_consttime(claimed, expected)) {
+      c_auth_rejects().add();
       throw std::runtime_error(
           "dist: frame authentication failed (bad HMAC — tampered frame or "
           "wrong wire key)");
+    }
   }
+  c_rx_frames().add();
+  c_rx_bytes().add(kHeaderSize + f.payload.size() +
+                   (authenticated ? kDigestSize : 0));
   return f;
 }
 

@@ -1,20 +1,23 @@
 #include "dist/worker.h"
 
-#include <cstdio>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
 #include "dist/hmac.h"
 #include "dist/transport.h"
+#include "obs/log.h"
+#include "obs/telemetry.h"
 #include "sim/thread_pool.h"
 
 namespace statpipe::dist {
 
 namespace {
 
+// Structured logger (obs/log.h): `verbose` toggles the console sink only;
+// with telemetry enabled every line also becomes a trace instant event.
 void log_line(const WorkerOptions& opt, const std::string& msg) {
-  if (opt.verbose) std::fprintf(stderr, "[worker] %s\n", msg.c_str());
+  obs::log_info("worker", msg, opt.verbose);
 }
 
 void send_error(Socket& s, const std::string& msg, const FrameAuth& auth) {
@@ -93,6 +96,8 @@ std::size_t run_worker(const WorkerOptions& opt,
     r.expect_done();
     log_line(opt, "running units [" + std::to_string(begin) + ", " +
                       std::to_string(end) + ")");
+    static const obs::SpanId kRangeSpan("dist.worker.range");
+    obs::ScopedSpan range_span(kRangeSpan, static_cast<std::int64_t>(begin));
     std::uint64_t emitted = 0;
     try {
       // Stream each unit the moment it completes (ascending — the runner's
@@ -121,6 +126,10 @@ std::size_t run_worker(const WorkerOptions& opt,
     done.u64(emitted);
     send_frame(sock, MsgType::kRangeDone, done.bytes(), auth);
     completed += 1;
+    static obs::Counter c_ranges("dist.worker.ranges");
+    c_ranges.add();
+    static obs::Counter c_units("dist.worker.units");
+    c_units.add(emitted);
   }
 }
 

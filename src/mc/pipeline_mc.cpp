@@ -4,7 +4,35 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/telemetry.h"
+
 namespace statpipe::mc {
+
+namespace {
+
+// Block-MC phase instrumentation (docs/OBSERVABILITY.md): mc.walk / mc.latch
+// / mc.fold bracket the per-block phases below; mc.draw / mc.chol live in
+// process::VariationSampler::sample_block_into.  bench/sample_sta_block.cpp
+// reads its per-phase numbers from these same spans — one clock, no
+// bench-local timers.
+const obs::SpanId& span_shard() {
+  static const obs::SpanId s("mc.shard");
+  return s;
+}
+const obs::SpanId& span_walk() {
+  static const obs::SpanId s("mc.walk");
+  return s;
+}
+const obs::SpanId& span_latch() {
+  static const obs::SpanId s("mc.latch");
+  return s;
+}
+const obs::SpanId& span_fold() {
+  static const obs::SpanId s("mc.fold");
+  return s;
+}
+
+}  // namespace
 
 namespace {
 
@@ -178,6 +206,12 @@ McResult GateLevelMonteCarlo::run_shard(const sim::Shard& shard,
   // how samples are grouped into blocks.  That plus the per-lane bitwise
   // equality of the block kernels makes the run block-width-invariant.
   const stats::Rng shard_rng = root.fork(shard.index);
+  obs::ScopedSpan shard_span(span_shard(),
+                             static_cast<std::int64_t>(shard.index));
+  static obs::Counter c_samples("mc.samples");
+  static obs::Counter c_blocks("mc.blocks");
+  static obs::Counter c_tail("mc.scalar_tail_samples");
+  c_samples.add(shard.count);
   const std::size_t n_stages = stages_.size();
   McResult r;
   r.tp_samples.reserve(shard.count);
@@ -195,42 +229,53 @@ McResult GateLevelMonteCarlo::run_shard(const sim::Shard& shard,
 
   std::size_t k = 0;
   for (; W > 1 && k + W <= shard.count; k += W) {
+    c_blocks.add();
     for (std::size_t j = 0; j < W; ++j)
       ws->lane_rngs[j] = shard_rng.fork(k + j);
     sampler_.sample_block_into(ws->lane_rngs.data(), W, ws->block,
                                ws->block_ws);
-    for (std::size_t s = 0; s < n_stages; ++s)
-      sta::critical_delay_sample_block(*stages_[s], *model_, ws->block,
-                                       site_maps_[s], sta_opt_,
-                                       ws->sta_block[s],
-                                       ws->stage_delay.data() + s * W);
+    {
+      obs::ScopedSpan walk_span(span_walk(), static_cast<std::int64_t>(W));
+      for (std::size_t s = 0; s < n_stages; ++s)
+        sta::critical_delay_sample_block(*stages_[s], *model_, ws->block,
+                                         site_maps_[s], sta_opt_,
+                                         ws->sta_block[s],
+                                         ws->stage_delay.data() + s * W);
+    }
     // Latch overheads, lane-batched per stage.  Per lane the draw order is
     // unchanged (stage 0, 1, ... — one normal each, after the die draws);
     // going stage-major merely interleaves the lanes, which no lane's
     // stream can observe.  Latch sees the shared shifts only; its internal
     // RDF is already in LatchTiming::random_sigma_rel (keeps MC consistent
     // with LatchModel::overhead_distribution on the analytical side).
-    ws->rng_block.pack(ws->lane_rngs.data(), W);
-    for (std::size_t s = 0; s < n_stages; ++s) {
-      for (std::size_t j = 0; j < W; ++j)
-        ws->latch_dvth[j] = ws->block.dvth_shared_at(latch_sites_[s], j);
-      latch_.sample_overhead_lanes(ws->latch_dvth.data(), W, ws->rng_block,
-                                   ws->latch_overhead.data());
-      double* row = ws->stage_delay.data() + s * W;
-      for (std::size_t j = 0; j < W; ++j) row[j] += ws->latch_overhead[j];
-    }
-    ws->rng_block.unpack(ws->lane_rngs.data());
-    for (std::size_t j = 0; j < W; ++j) {
-      double tp = 0.0;
+    {
+      obs::ScopedSpan latch_span(span_latch(), static_cast<std::int64_t>(W));
+      ws->rng_block.pack(ws->lane_rngs.data(), W);
       for (std::size_t s = 0; s < n_stages; ++s) {
-        const double sd = ws->stage_delay[s * W + j];
-        r.stage_stats[s].add(sd);
-        tp = std::max(tp, sd);
+        for (std::size_t j = 0; j < W; ++j)
+          ws->latch_dvth[j] = ws->block.dvth_shared_at(latch_sites_[s], j);
+        latch_.sample_overhead_lanes(ws->latch_dvth.data(), W, ws->rng_block,
+                                     ws->latch_overhead.data());
+        double* row = ws->stage_delay.data() + s * W;
+        for (std::size_t j = 0; j < W; ++j) row[j] += ws->latch_overhead[j];
       }
-      r.tp_samples.push_back(tp);
+      ws->rng_block.unpack(ws->lane_rngs.data());
+    }
+    {
+      obs::ScopedSpan fold_span(span_fold(), static_cast<std::int64_t>(W));
+      for (std::size_t j = 0; j < W; ++j) {
+        double tp = 0.0;
+        for (std::size_t s = 0; s < n_stages; ++s) {
+          const double sd = ws->stage_delay[s * W + j];
+          r.stage_stats[s].add(sd);
+          tp = std::max(tp, sd);
+        }
+        r.tp_samples.push_back(tp);
+      }
     }
   }
   // Scalar tail (and the whole shard when block_width == 1).
+  if (k < shard.count) c_tail.add(shard.count - k);
   for (; k < shard.count; ++k) {
     stats::Rng rng = shard_rng.fork(k);
     sampler_.sample_into(rng, ws->die, ws->die_ws);

@@ -1,0 +1,46 @@
+#include "obs/log.h"
+
+#include <cstdio>
+
+#include "obs/telemetry.h"
+
+namespace statpipe::obs {
+
+namespace {
+
+const char* severity_tag(Severity sev) {
+  switch (sev) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarn: return "warn";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void log_event(Severity sev, const char* subsystem, const std::string& message,
+               bool console) {
+  const bool print = sev != Severity::kInfo || console;
+  if (!print && !enabled()) return;
+
+  const std::int64_t ts = now_ns();
+  if (print) {
+    std::fprintf(stderr, "[%12.3fms] [%s] [%s] %s\n",
+                 static_cast<double>(ts) / 1e6, severity_tag(sev), subsystem,
+                 message.c_str());
+  }
+  if (enabled()) {
+    static Counter c_info("obs.log.info");
+    static Counter c_warn("obs.log.warn");
+    static Counter c_error("obs.log.error");
+    switch (sev) {
+      case Severity::kInfo: c_info.add(); break;
+      case Severity::kWarn: c_warn.add(); break;
+      case Severity::kError: c_error.add(); break;
+    }
+    record_instant(subsystem, std::string(severity_tag(sev)) + ": " + message);
+  }
+}
+
+}  // namespace statpipe::obs

@@ -1,0 +1,40 @@
+// Structured logging on top of the telemetry layer (obs/telemetry.h).
+//
+// Every record carries a monotonic timestamp (obs::now_ns), a severity and
+// a subsystem tag.  A record goes to two sinks:
+//  * console (stderr): severity kInfo is gated by the caller's `console`
+//    flag (the old `verbose` toggles in src/dist map straight onto it);
+//    kWarn and kError always print — they replace the previously
+//    unconditional stderr warnings (e.g. abnormal worker exits).
+//  * trace: when telemetry is enabled, an instant event lands in the
+//    Chrome trace under the subsystem's name, and per-severity counters
+//    (obs.log.info / obs.log.warn / obs.log.error) are bumped.
+//
+// Like all of obs, logging is out-of-band: it never alters results, and
+// with telemetry disabled and console off a call costs one relaxed load
+// plus a branch.  `subsystem` must be a string literal.
+#pragma once
+
+#include <string>
+
+namespace statpipe::obs {
+
+enum class Severity { kInfo, kWarn, kError };
+
+/// Emits one structured log record.  `console` gates only kInfo; see above.
+void log_event(Severity sev, const char* subsystem, const std::string& message,
+               bool console);
+
+/// Convenience wrappers.
+inline void log_info(const char* subsystem, const std::string& message,
+                     bool console) {
+  log_event(Severity::kInfo, subsystem, message, console);
+}
+inline void log_warn(const char* subsystem, const std::string& message) {
+  log_event(Severity::kWarn, subsystem, message, /*console=*/true);
+}
+inline void log_error(const char* subsystem, const std::string& message) {
+  log_event(Severity::kError, subsystem, message, /*console=*/true);
+}
+
+}  // namespace statpipe::obs

@@ -1,0 +1,424 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string_view>
+#include <unordered_map>
+
+#include <unistd.h>
+
+namespace statpipe::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::int64_t now_ns() noexcept {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+namespace {
+
+// Registry slot budgets.  Instrumentation sites are function-local statics,
+// so these bound the *vocabulary*, not the event volume; exceeding them is
+// a programming error surfaced loudly at registration.
+constexpr std::size_t kMaxCounters = 256;
+constexpr std::size_t kMaxSpans = 256;
+// Per-thread trace-event cap.  Overflow increments obs.trace.dropped
+// (aggregates stay exact); the buffer is never grown past this.
+constexpr std::size_t kMaxTraceEvents = 1u << 16;
+
+struct SpanAgg {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t min_ns = UINT64_MAX;
+  std::uint64_t max_ns = 0;
+};
+
+struct TraceEvent {
+  const char* name = nullptr;  // registered literal — stable for process life
+  std::int64_t ts_ns = 0;
+  std::int64_t dur_ns = 0;  // ignored for instants
+  std::int64_t lane = -1;
+  bool instant = false;
+  std::string message;  // instants only
+};
+
+// All telemetry a single thread ever produced.  Counter cells are
+// single-writer (the owning thread) relaxed atomics so snapshots can read
+// them without stopping the world; span aggregates and trace events are
+// colder (one clock-bracketed event at a time) and take the per-thread
+// mutex, which is uncontended except against a concurrent snapshot.
+struct ThreadState {
+  std::atomic<std::uint64_t> cells[kMaxCounters];
+  std::mutex mu;
+  SpanAgg aggs[kMaxSpans];
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped = 0;
+  std::uint64_t tid = 0;
+
+  ThreadState() {
+    for (auto& c : cells) c.store(0, std::memory_order_relaxed);
+  }
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<const char*> counter_names;
+  std::vector<const char*> span_names;
+  std::unordered_map<std::string_view, std::uint32_t> counter_ids;
+  std::unordered_map<std::string_view, std::uint32_t> span_ids;
+  // Owns every thread's state for the life of the process — threads are
+  // never "forgotten", so exited workers' counts keep contributing to
+  // snapshots and the final trace.  Bounded by total threads ever created.
+  std::vector<std::unique_ptr<ThreadState>> threads;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+// Reserved counter ids, registered before any user counter.
+std::uint32_t dropped_counter_id() {
+  static const std::uint32_t id = [] {
+    auto& r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    r.counter_names.push_back("obs.trace.dropped");
+    r.counter_ids.emplace("obs.trace.dropped", 0u);
+    return 0u;
+  }();
+  return id;
+}
+
+ThreadState* tls_state() {
+  thread_local ThreadState* s = [] {
+    auto st = std::make_unique<ThreadState>();
+    auto& r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    st->tid = r.threads.size();
+    r.threads.push_back(std::move(st));
+    return r.threads.back().get();
+  }();
+  return s;
+}
+
+std::uint32_t register_name(std::vector<const char*>& names,
+                            std::unordered_map<std::string_view, std::uint32_t>& ids,
+                            std::size_t budget, const char* name,
+                            const char* kind) {
+  dropped_counter_id();  // reserve id 0 before any user registration
+  auto& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  auto it = ids.find(name);
+  if (it != ids.end()) return it->second;
+  if (names.size() >= budget)
+    throw std::length_error(std::string("obs: ") + kind +
+                            " registry budget exhausted at \"" + name + "\"");
+  const auto id = static_cast<std::uint32_t>(names.size());
+  names.push_back(name);
+  ids.emplace(name, id);
+  return id;
+}
+
+void push_event(ThreadState* s, TraceEvent ev) {
+  // Caller holds s->mu.
+  if (s->events.size() >= kMaxTraceEvents) {
+    ++s->dropped;
+    return;
+  }
+  if (s->events.capacity() == 0) s->events.reserve(1024);
+  s->events.push_back(std::move(ev));
+}
+
+std::string& trace_path_storage() {
+  static std::string path;
+  return path;
+}
+
+std::string json_escape(std::string_view in) {
+  std::string out;
+  out.reserve(in.size() + 8);
+  for (char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_file_or_throw(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) throw std::runtime_error("obs: cannot open \"" + path + "\" for write");
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  if (std::fclose(f) != 0 || !ok)
+    throw std::runtime_error("obs: short write to \"" + path + "\"");
+}
+
+}  // namespace
+
+Counter::Counter(const char* name)
+    : id_(register_name(registry().counter_names, registry().counter_ids,
+                        kMaxCounters, name, "counter")) {}
+
+void Counter::add_slow(std::uint32_t id, std::uint64_t n) noexcept {
+  ThreadState* s = tls_state();
+  auto& cell = s->cells[id];
+  cell.store(cell.load(std::memory_order_relaxed) + n,
+             std::memory_order_relaxed);
+}
+
+SpanId::SpanId(const char* name)
+    : id_(register_name(registry().span_names, registry().span_ids, kMaxSpans,
+                        name, "span")),
+      name_(name) {}
+
+void record_span(const SpanId& id, std::int64_t t0_ns, std::int64_t t1_ns,
+                 std::int64_t lane, bool trace_event) noexcept {
+  const std::int64_t dur = t1_ns > t0_ns ? t1_ns - t0_ns : 0;
+  ThreadState* s = tls_state();
+  std::lock_guard<std::mutex> lk(s->mu);
+  SpanAgg& a = s->aggs[id.id()];
+  ++a.count;
+  a.total_ns += static_cast<std::uint64_t>(dur);
+  a.min_ns = std::min(a.min_ns, static_cast<std::uint64_t>(dur));
+  a.max_ns = std::max(a.max_ns, static_cast<std::uint64_t>(dur));
+  if (trace_event) {
+    TraceEvent ev;
+    ev.name = id.name();
+    ev.ts_ns = t0_ns;
+    ev.dur_ns = dur;
+    ev.lane = lane;
+    push_event(s, std::move(ev));
+  }
+}
+
+void record_instant(const char* name, const std::string& message) noexcept {
+  if (!enabled()) return;
+  ThreadState* s = tls_state();
+  std::lock_guard<std::mutex> lk(s->mu);
+  TraceEvent ev;
+  ev.name = name;
+  ev.ts_ns = now_ns();
+  ev.instant = true;
+  ev.message = message;
+  push_event(s, std::move(ev));
+}
+
+std::uint64_t MetricsSnapshot::counter(const std::string& name) const noexcept {
+  for (const auto& c : counters)
+    if (c.name == name) return c.value;
+  return 0;
+}
+
+SpanStat MetricsSnapshot::span(const std::string& name) const noexcept {
+  for (const auto& s : spans)
+    if (s.name == name) return s;
+  SpanStat zero;
+  zero.name = name;
+  return zero;
+}
+
+MetricsSnapshot snapshot() {
+  dropped_counter_id();
+  auto& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+
+  std::vector<std::uint64_t> counter_totals(r.counter_names.size(), 0);
+  std::vector<SpanAgg> span_totals(r.span_names.size());
+  for (const auto& t : r.threads) {
+    for (std::size_t i = 0; i < counter_totals.size(); ++i)
+      counter_totals[i] += t->cells[i].load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> tlk(t->mu);
+    counter_totals[dropped_counter_id()] += t->dropped;
+    for (std::size_t i = 0; i < span_totals.size(); ++i) {
+      const SpanAgg& a = t->aggs[i];
+      if (a.count == 0) continue;
+      SpanAgg& out = span_totals[i];
+      out.count += a.count;
+      out.total_ns += a.total_ns;
+      out.min_ns = std::min(out.min_ns, a.min_ns);
+      out.max_ns = std::max(out.max_ns, a.max_ns);
+    }
+  }
+
+  MetricsSnapshot snap;
+  snap.counters.reserve(counter_totals.size());
+  for (std::size_t i = 0; i < counter_totals.size(); ++i)
+    snap.counters.push_back({r.counter_names[i], counter_totals[i]});
+  snap.spans.reserve(span_totals.size());
+  for (std::size_t i = 0; i < span_totals.size(); ++i) {
+    const SpanAgg& a = span_totals[i];
+    SpanStat st;
+    st.name = r.span_names[i];
+    st.count = a.count;
+    st.total_ns = a.total_ns;
+    st.min_ns = a.count ? a.min_ns : 0;
+    st.max_ns = a.max_ns;
+    snap.spans.push_back(std::move(st));
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.spans.begin(), snap.spans.end(), by_name);
+  return snap;
+}
+
+std::string metrics_json(const MetricsSnapshot& snap) {
+  std::string out = "{\"schema\":\"statpipe-metrics-v1\",\"counters\":{";
+  bool first = true;
+  for (const auto& c : snap.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(c.name) + "\":" + std::to_string(c.value);
+  }
+  out += "},\"spans\":{";
+  first = true;
+  for (const auto& s : snap.spans) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(s.name) + "\":{\"count\":" +
+           std::to_string(s.count) + ",\"total_ns\":" +
+           std::to_string(s.total_ns) + ",\"min_ns\":" +
+           std::to_string(s.min_ns) + ",\"max_ns\":" +
+           std::to_string(s.max_ns) + '}';
+  }
+  out += "}}";
+  return out;
+}
+
+void write_metrics_json(const std::string& path) {
+  write_file_or_throw(path, metrics_json(snapshot()) + "\n");
+}
+
+void write_chrome_trace(const std::string& path) {
+  const long pid = static_cast<long>(::getpid());
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& obj) {
+    if (!first) out += ',';
+    first = false;
+    out += '\n';
+    out += obj;
+  };
+
+  auto& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  for (const auto& t : r.threads) {
+    std::lock_guard<std::mutex> tlk(t->mu);
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "{\"ph\":\"M\",\"pid\":%ld,\"tid\":%llu,"
+                  "\"name\":\"thread_name\",\"args\":{\"name\":\"statpipe-%llu\"}}",
+                  pid, static_cast<unsigned long long>(t->tid),
+                  static_cast<unsigned long long>(t->tid));
+    emit(buf);
+    for (const TraceEvent& ev : t->events) {
+      std::string obj;
+      char head[320];
+      if (ev.instant) {
+        std::snprintf(head, sizeof head,
+                      "{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%.3f,"
+                      "\"pid\":%ld,\"tid\":%llu,\"s\":\"t\",\"args\":{\"message\":\"",
+                      ev.name, static_cast<double>(ev.ts_ns) / 1000.0, pid,
+                      static_cast<unsigned long long>(t->tid));
+        obj = head;
+        obj += json_escape(ev.message);
+        obj += "\"}}";
+      } else {
+        std::snprintf(head, sizeof head,
+                      "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+                      "\"pid\":%ld,\"tid\":%llu",
+                      ev.name, static_cast<double>(ev.ts_ns) / 1000.0,
+                      static_cast<double>(ev.dur_ns) / 1000.0, pid,
+                      static_cast<unsigned long long>(t->tid));
+        obj = head;
+        if (ev.lane >= 0) {
+          obj += ",\"args\":{\"lane\":";
+          obj += std::to_string(ev.lane);
+          obj += '}';
+        }
+        obj += '}';
+      }
+      emit(obj);
+    }
+  }
+  out += "\n]}\n";
+  write_file_or_throw(path, out);
+}
+
+void reset() {
+  auto& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  for (const auto& t : r.threads) {
+    for (auto& c : t->cells) c.store(0, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> tlk(t->mu);
+    for (auto& a : t->aggs) a = SpanAgg{};
+    t->events.clear();
+    t->dropped = 0;
+  }
+}
+
+const std::string& trace_env_path() { return trace_path_storage(); }
+
+namespace {
+
+// Dynamic-init hook: resolves STATPIPE_TRACE before main().  Construction
+// order matters for shutdown safety — registry() and the path storage are
+// forced into existence BEFORE std::atexit registers the trace writer, so
+// their destructors run after it; any thread pool created later (all pools
+// are function-local statics) is destroyed — workers joined — before the
+// writer runs.
+struct EnvInit {
+  EnvInit() {
+    now_ns();                // pin the telemetry epoch early
+    dropped_counter_id();    // force registry construction
+    std::string& path = trace_path_storage();
+    const char* p = std::getenv("STATPIPE_TRACE");
+    if (!p || !*p) return;
+    path = p;
+    // "%p" → pid, so coordinator + spawned workers (which inherit the
+    // environment) each write their own file instead of clobbering one.
+    const auto pos = path.find("%p");
+    if (pos != std::string::npos)
+      path.replace(pos, 2, std::to_string(::getpid()));
+    detail::g_enabled.store(true, std::memory_order_relaxed);
+    std::atexit(+[] {
+      try {
+        write_chrome_trace(trace_env_path());
+      } catch (...) {
+        std::fprintf(stderr, "[obs] failed to write trace to %s\n",
+                     trace_env_path().c_str());
+      }
+    });
+  }
+};
+EnvInit g_env_init;
+
+}  // namespace
+
+}  // namespace statpipe::obs

@@ -1,0 +1,191 @@
+// Runtime telemetry: process-wide named counters, span timers and two
+// exporters (JSON metrics snapshot, Chrome trace-event file) — strictly
+// OUT-OF-BAND of the bitwise contract.
+//
+// Design constraints (docs/OBSERVABILITY.md):
+//  * Compile-always, runtime-toggled.  Every instrumentation site costs one
+//    relaxed atomic load + a predictable branch while telemetry is disabled
+//    — no allocation, no clock read, no lock.  Toggle with set_enabled()
+//    or by setting STATPIPE_TRACE=<path> in the environment (which also
+//    arranges a Chrome trace dump at process exit; "%p" in the path is
+//    replaced by the pid so spawned worker fleets don't clobber one file).
+//  * Determinism: telemetry reads clocks and bumps counters but NEVER
+//    feeds anything back into computation — results are bitwise-identical
+//    with telemetry enabled and disabled at every thread count, block
+//    width and process count (tests/test_obs.cpp enforces this).
+//  * Counters are lock-free in steady state: each thread owns a cell per
+//    counter (single-writer relaxed atomics), folded across threads —
+//    live and exited — only when a snapshot is taken.
+//  * Spans aggregate per thread (count/total/min/max ns, exact even when
+//    the trace buffer saturates) and, when a trace is being collected,
+//    append one bounded trace event per span; overflow is counted in
+//    `obs.trace.dropped`, never reallocated without bound.
+//
+// Naming scheme: dotted lower-case paths, subsystem first — `mc.draw`,
+// `sta.grid_block`, `sim.pool.tasks`, `dist.tx_frames` (see
+// docs/OBSERVABILITY.md for the full vocabulary).  Counter and span names
+// must be string literals (the registry stores pointers into them).
+//
+// Layer contract (src/obs, see docs/ARCHITECTURE.md): a cross-cutting LEAF
+// subsystem — it includes nothing from src/ and every other layer may
+// include it.  Nothing in obs may influence results.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace statpipe::obs {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// One relaxed load: the gate every instrumentation site checks first.
+inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Master switch.  Enabling starts accepting events; disabling stops them
+/// (already-recorded data stays until reset()).  Never affects results.
+void set_enabled(bool on) noexcept;
+
+/// Monotonic nanoseconds since process telemetry start (steady clock).
+/// Valid whether or not telemetry is enabled.
+std::int64_t now_ns() noexcept;
+
+/// Registered named counter.  Registration is process-wide and permanent
+/// (names are never recycled); construct once per site, typically as a
+/// function-local static:
+///   static obs::Counter c("dist.tx_frames");
+///   c.add(1);
+/// `name` must be a string literal (or otherwise outlive the process).
+/// Throws std::length_error when the registry slot budget is exhausted.
+class Counter {
+ public:
+  explicit Counter(const char* name);
+  /// Adds n to this thread's cell.  No-op (one relaxed load + branch)
+  /// while telemetry is disabled.
+  void add(std::uint64_t n = 1) const noexcept {
+    if (enabled()) add_slow(id_, n);
+  }
+
+ private:
+  static void add_slow(std::uint32_t id, std::uint64_t n) noexcept;
+  std::uint32_t id_;
+};
+
+/// Registered span name — the span analogue of Counter.  Same rules:
+/// function-local static, literal name, permanent registration.
+class SpanId {
+ public:
+  explicit SpanId(const char* name);
+  std::uint32_t id() const noexcept { return id_; }
+  const char* name() const noexcept { return name_; }
+
+ private:
+  std::uint32_t id_;
+  const char* name_;
+};
+
+/// Records one completed span [t0_ns, t1_ns) against `id`: folds into the
+/// per-thread aggregate and, when `trace_event` is true, appends one trace
+/// event (bounded; overflow counted, not grown).  `lane` is free context
+/// (< 0 = none) shown as args.lane in the trace.  Call only when enabled()
+/// — ScopedSpan does this for you; use record_span directly for spans
+/// whose start and end live in different scopes (e.g. the coordinator's
+/// assign→commit range latency).
+void record_span(const SpanId& id, std::int64_t t0_ns, std::int64_t t1_ns,
+                 std::int64_t lane = -1, bool trace_event = true) noexcept;
+
+/// RAII span timer.  Disabled telemetry costs the enabled() check in the
+/// constructor and a dead-branch in the destructor — no clock reads.
+///   static const obs::SpanId kDraw("mc.draw");
+///   obs::ScopedSpan span(kDraw, /*lane=*/W);
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const SpanId& id, std::int64_t lane = -1,
+                      bool trace_event = true) noexcept
+      : id_(&id), lane_(lane), trace_(trace_event),
+        t0_(enabled() ? now_ns() : kInactive) {}
+  ~ScopedSpan() {
+    if (t0_ != kInactive) record_span(*id_, t0_, now_ns(), lane_, trace_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  static constexpr std::int64_t kInactive = -1;
+  const SpanId* id_;
+  std::int64_t lane_;
+  bool trace_;
+  std::int64_t t0_;
+};
+
+/// Appends an instant event (Chrome "i" phase) with a freeform message —
+/// the trace face of the structured logger (obs/log.h).  No-op while
+/// disabled.  `name` must be a string literal.
+void record_instant(const char* name, const std::string& message) noexcept;
+
+// ------------------------------------------------------------- snapshots
+
+struct CounterValue {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct SpanStat {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t min_ns = 0;
+  std::uint64_t max_ns = 0;
+};
+
+/// Folded process-wide view: every live thread's cells plus everything
+/// retired by exited threads, both sorted by name.  Counters and span
+/// aggregates are exact; zero-count registered names are included (value
+/// 0), so a snapshot always carries the full registered vocabulary.
+struct MetricsSnapshot {
+  std::vector<CounterValue> counters;
+  std::vector<SpanStat> spans;
+
+  /// Value of a counter by name (0 when absent).
+  std::uint64_t counter(const std::string& name) const noexcept;
+  /// Aggregate for a span name (zeroed stat when absent).
+  SpanStat span(const std::string& name) const noexcept;
+};
+
+MetricsSnapshot snapshot();
+
+/// Stable machine-readable schema (pinned by tests/test_obs.cpp):
+///   {"schema": "statpipe-metrics-v1",
+///    "counters": {"<name>": <u64>, ...},            // name-sorted
+///    "spans": {"<name>": {"count": <u64>, "total_ns": <u64>,
+///                          "min_ns": <u64>, "max_ns": <u64>}, ...}}
+std::string metrics_json(const MetricsSnapshot& snap);
+
+/// snapshot() + metrics_json() to a file.  Throws std::runtime_error when
+/// the file cannot be written.
+void write_metrics_json(const std::string& path);
+
+/// Writes every collected trace event (spans, instants, thread-name
+/// metadata) as a Chrome trace-event JSON object — loadable by
+/// chrome://tracing and Perfetto, validated by tools/trace_check.py.
+/// Timestamps are microseconds since telemetry start; "pid" is the real
+/// process id so multi-process traces stay distinguishable.  Throws
+/// std::runtime_error when the file cannot be written.
+void write_chrome_trace(const std::string& path);
+
+/// Zeroes every counter cell, span aggregate and trace buffer (live and
+/// retired) without unregistering names.  Test/bench support — production
+/// code never resets.
+void reset();
+
+/// The trace path from STATPIPE_TRACE after %p substitution ("" when the
+/// variable is unset).  When non-empty, telemetry was auto-enabled at
+/// startup and write_chrome_trace(trace_env_path()) runs at process exit.
+const std::string& trace_env_path();
+
+}  // namespace statpipe::obs

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "core/characterized_pipeline.h"
+#include "obs/telemetry.h"
 #include "sim/engine.h"
 #include "sta/ssta_batch.h"
 
@@ -239,6 +240,8 @@ GlobalOptimizerResult GlobalPipelineOptimizer::optimize(
       const double lo = comb_target * 0.3;  // aggressive end
       const double hi = comb_target * 1.5;  // relaxed end
       const std::size_t probes = std::max<std::size_t>(opt.budget_probes, 1);
+      static obs::Counter c_probes("opt.global.probes");
+      c_probes.add(probes);
       std::vector<std::vector<double>> grid_sizes(probes);
       (void)nl.topological_order();
       sim::parallel_for(probes, [&](std::size_t p) {

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/characterized_pipeline.h"
+#include "obs/telemetry.h"
 #include "sta/ssta.h"
 
 namespace statpipe::opt {
@@ -85,6 +86,8 @@ SimultaneousResult size_pipeline_simultaneous(
     const double y = pipe.yield(opt.t_target);
     const double t_req = pipe.target_delay_for_yield(opt.yield_target);
     ++result.iterations;
+    static obs::Counter c_iters("opt.simultaneous.iterations");
+    c_iters.add();
 
     // Track the best design seen: feasibility first, then area.
     {

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/telemetry.h"
 #include "sim/engine.h"
 #include "sim/thread_pool.h"
 #include "sta/ssta.h"
@@ -182,6 +183,8 @@ SizerResult size_stage(Netlist& nl, const device::AlphaPowerModel& model,
     const double ds = stat_delay(nl, model, spec, opt.yield_target,
                                  opt.output_load);
     ++result.iterations;
+    static obs::Counter c_iters("opt.sizer.iterations");
+    c_iters.add();
     record_if_best(ds);
     if (std::abs(ds - opt.t_target) <= opt.tolerance_ps) break;
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/telemetry.h"
 #include "stats/simd.h"
 
 namespace statpipe::process {
@@ -181,19 +182,27 @@ void VariationSampler::sample_block_into(stats::Rng* lane_rngs,
   // Phase 1 — inter shifts, then the field's standard normals drawn
   // site-major straight into ws.zt (lane j at [i*W + j]): the layout the
   // field multiply wants, with no per-lane transpose pass.
+  // mc.draw / mc.chol spans: the block-MC phase breakdown the bench harness
+  // and the Chrome trace both read (docs/OBSERVABILITY.md).  Phases 1 and 3
+  // fold into one mc.draw aggregate; the field multiply is mc.chol.
+  static const obs::SpanId kDraw("mc.draw");
+  static const obs::SpanId kChol("mc.chol");
   stats::RngBlock rb;
   rb.pack(lane_rngs, W);
-  if (spec_.sigma_vth_inter > 0.0)
-    rb.normal_fill(spec_.sigma_vth_inter, d.dvth_inter.data(), 1, W);
-  else
-    std::fill(d.dvth_inter.begin(), d.dvth_inter.end(), 0.0);
-  if (spec_.sigma_l_inter_rel > 0.0)
-    rb.normal_fill(spec_.sigma_l_inter_rel, d.dl_inter_rel.data(), 1, W);
-  else
-    std::fill(d.dl_inter_rel.begin(), d.dl_inter_rel.end(), 0.0);
-  if (has_systematic_) {
-    ws.zt.resize(n * W);
-    rb.normal_fill(1.0, ws.zt.data(), n, W);
+  {
+    obs::ScopedSpan draw_span(kDraw, static_cast<std::int64_t>(W));
+    if (spec_.sigma_vth_inter > 0.0)
+      rb.normal_fill(spec_.sigma_vth_inter, d.dvth_inter.data(), 1, W);
+    else
+      std::fill(d.dvth_inter.begin(), d.dvth_inter.end(), 0.0);
+    if (spec_.sigma_l_inter_rel > 0.0)
+      rb.normal_fill(spec_.sigma_l_inter_rel, d.dl_inter_rel.data(), 1, W);
+    else
+      std::fill(d.dl_inter_rel.begin(), d.dl_inter_rel.end(), 0.0);
+    if (has_systematic_) {
+      ws.zt.resize(n * W);
+      rb.normal_fill(1.0, ws.zt.data(), n, W);
+    }
   }
 
   // Phase 2 — one lane-batched lower-triangular multiply for all W fields
@@ -201,6 +210,7 @@ void VariationSampler::sample_block_into(stats::Rng* lane_rngs,
   // ascending, exactly sample_into's order), then the per-component sigma
   // scaling as contiguous SoA sweeps.
   if (has_systematic_) {
+    obs::ScopedSpan chol_span(kChol, static_cast<std::int64_t>(W));
     ws.fieldw.resize(n * W);
     stats::simd::kernels().chol_field_lanes(systematic_chol_.data(), n,
                                             systematic_chol_.size(),
@@ -217,6 +227,7 @@ void VariationSampler::sample_block_into(stats::Rng* lane_rngs,
   // Phase 3 — RDF draws, batched site-major into the block (the target is
   // already [i*W + j], exactly the kernel's output layout).
   if (spec_.enable_rdf) {
+    obs::ScopedSpan draw_span(kDraw, static_cast<std::int64_t>(W));
     const double s_rdf = tech_.sigma_vth_rdf(1.0);  // unit-width sigma
     rb.normal_fill(s_rdf, d.dvth_random.data(), n, W);
   }

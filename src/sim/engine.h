@@ -11,7 +11,9 @@
 // Layer contract (src/sim, see docs/ARCHITECTURE.md): owns execution only —
 // the shared thread pool, shard planning and deterministic reductions.  It
 // schedules work for every layer above it but must know nothing about what
-// it schedules: no include of any other src/ subsystem, ever.
+// it schedules: no include of any other src/ subsystem, ever — with one
+// deliberate exception, src/obs, the cross-cutting telemetry leaf that
+// depends on nothing and influences nothing.
 #pragma once
 
 #include <cstddef>

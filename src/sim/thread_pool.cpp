@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/telemetry.h"
+
 namespace statpipe::sim {
 
 namespace {
@@ -61,6 +63,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run_indices() {
+  static obs::Counter c_tasks("sim.pool.tasks");
   for (;;) {
     const std::function<void(std::size_t)>* fn = nullptr;
     std::size_t i = 0;
@@ -70,6 +73,7 @@ void ThreadPool::run_indices() {
       i = next_++;
       fn = job_fn_;
     }
+    c_tasks.add();
     try {
       (*fn)(i);
     } catch (...) {
@@ -93,8 +97,21 @@ void ThreadPool::worker_main() {
     seen = generation_;
     if (running_ >= job_cap_ || next_ >= job_n_) continue;
     ++running_;
+    const std::int64_t publish_ns = job_publish_ns_;
     lk.unlock();
-    run_indices();
+    // Queue wait: batch publication → this worker joining it.  Aggregate
+    // only (no trace event) — one record per worker per batch is still a
+    // lot under fine-grained optimizer fan-out.
+    if (publish_ns > 0 && obs::enabled()) {
+      static const obs::SpanId kQueueWait("sim.pool.queue_wait");
+      obs::record_span(kQueueWait, publish_ns, obs::now_ns(), -1,
+                       /*trace_event=*/false);
+    }
+    {
+      static const obs::SpanId kWorkerRun("sim.pool.worker_run");
+      obs::ScopedSpan run_span(kWorkerRun);
+      run_indices();
+    }
     lk.lock();
     --running_;
     cv_done_.notify_all();
@@ -105,13 +122,21 @@ void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn,
                               std::size_t max_threads) {
   if (n == 0) return;
+  static obs::Counter c_batches("sim.pool.batches");
+  static obs::Counter c_serial("sim.pool.serial_batches");
+  static const obs::SpanId kBatch("sim.pool.batch");
   const bool serial =
       n == 1 || workers_.empty() || max_threads == 1 || t_in_worker;
   std::unique_lock<std::mutex> run_lk(run_m_, std::defer_lock);
   if (serial || !run_lk.try_lock()) {
+    c_serial.add();
+    static obs::Counter c_tasks("sim.pool.tasks");
+    c_tasks.add(n);
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  c_batches.add();
+  obs::ScopedSpan batch_span(kBatch, static_cast<std::int64_t>(n));
   {
     std::lock_guard<std::mutex> lk(m_);
     job_n_ = n;
@@ -120,6 +145,7 @@ void ThreadPool::parallel_for(std::size_t n,
     done_ = 0;
     job_cap_ = max_threads == 0 ? workers_.size()
                                 : std::min(workers_.size(), max_threads - 1);
+    job_publish_ns_ = obs::enabled() ? obs::now_ns() : 0;
     ++generation_;
   }
   cv_work_.notify_all();
@@ -128,7 +154,11 @@ void ThreadPool::parallel_for(std::size_t n,
   // touch run_m_, which this thread already owns (try_lock on an owned
   // std::mutex is undefined behavior).
   t_in_worker = true;
-  run_indices();
+  {
+    static const obs::SpanId kWorkerRun("sim.pool.worker_run");
+    obs::ScopedSpan run_span(kWorkerRun);
+    run_indices();
+  }
   t_in_worker = false;
   {
     std::unique_lock<std::mutex> lk(m_);

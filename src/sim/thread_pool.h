@@ -60,6 +60,8 @@ class ThreadPool {
   std::size_t job_n_ = 0;
   std::size_t job_cap_ = 0;  // max helper workers for the current batch
   const std::function<void(std::size_t)>* job_fn_ = nullptr;
+  std::int64_t job_publish_ns_ = 0;  // obs timestamp of batch publication
+                                     // (0 = telemetry off; guarded by m_)
   std::size_t next_ = 0;     // next unclaimed index (guarded by m_)
   std::size_t done_ = 0;     // completed indices (guarded by m_)
   std::size_t running_ = 0;  // helper workers inside the current batch

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "device/gate_library.h"
+#include "obs/telemetry.h"
 #include "sim/thread_pool.h"
 
 namespace statpipe::sta {
@@ -102,6 +103,11 @@ void SstaBatch::run_block(const std::vector<SstaConfig>& configs,
                           std::size_t lane_begin, std::size_t lane_count,
                           CanonicalDelay* out,
                           StageCharacterization* chars) const {
+  static const obs::SpanId kGridBlock("sta.grid_block");
+  obs::ScopedSpan block_span(kGridBlock,
+                             static_cast<std::int64_t>(lane_count));
+  static obs::Counter c_lanes("sta.grid_lanes");
+  c_lanes.add(lane_count);
   const std::size_t n = gates_.size();
   const std::size_t L = lane_count;
   auto size_of = [&](netlist::GateId id, std::size_t k) {

@@ -6,9 +6,9 @@ Two checks, both enforced by the CI docs job (.github/workflows/ci.yml):
 1. Every relative link in the repo's *.md files must resolve to an existing
    file or directory (anchors are stripped; http/https/mailto and bare
    anchors are skipped).
-2. Every public header under the lint-scoped subsystems (src/dist, src/sta,
-   src/sim) must open with a file-level '//' doc comment of at least
-   MIN_DOC_LINES lines before any code, and contain '#pragma once'.
+2. Every public header under the lint-scoped subsystems (src/dist, src/obs,
+   src/sta, src/sim) must open with a file-level '//' doc comment of at
+   least MIN_DOC_LINES lines before any code, and contain '#pragma once'.
 
 Exit status: 0 when clean, 1 with one finding per line otherwise.
 """
@@ -21,7 +21,7 @@ SKIP_DIRS = {"build", ".git", ".claude"}
 # Ingested reference material (retrieved paper/code digests), not repo docs:
 # their figure links point at assets that were never part of this repo.
 SKIP_FILES = {"PAPERS.md", "SNIPPETS.md"}
-HEADER_LINT_DIRS = ["src/dist", "src/sta", "src/sim"]
+HEADER_LINT_DIRS = ["src/dist", "src/obs", "src/sta", "src/sim"]
 MIN_DOC_LINES = 2
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")

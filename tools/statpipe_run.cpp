@@ -32,6 +32,7 @@
 // one-command localhost cluster.  Without --spawn, start workers yourself
 // against the printed port.  Wire format: docs/WIRE_FORMAT.md; bitwise
 // contract: docs/DETERMINISM.md.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
@@ -42,6 +43,7 @@
 #include "dist/task.h"
 #include "dist/workload.h"
 #include "netlist/generators.h"
+#include "obs/telemetry.h"
 #include "opt/sweep.h"
 #include "stats/gaussian.h"
 
@@ -49,15 +51,48 @@ namespace {
 
 namespace sp = statpipe;
 
+// Per-run dist accounting, printed unconditionally after every completed
+// run: RunMetrics is always-on coordinator state, so the block costs
+// nothing extra and needs no telemetry (obs counters stay disabled unless
+// --metrics / STATPIPE_TRACE turned them on).
+void print_dist_metrics(const sp::dist::RunMetrics& m, std::size_t sessions) {
+  std::printf(
+      "dist metrics%s: %zu unit(s) in %zu range(s), %zu assign(s) "
+      "(%zu retried), %zu commit(s), %zu forfeit(s) (%zu unit(s) "
+      "discarded), peak staged %zu, %zu worker(s), wall %.1f ms\n",
+      sessions > 1 ? (" (" + std::to_string(sessions) + " sessions)").c_str()
+                   : "",
+      m.units, m.ranges, m.assigns, m.retries, m.commits, m.forfeits,
+      m.units_discarded, m.peak_staged_units, m.workers_admitted, m.wall_ms);
+}
+
+void accumulate(sp::dist::RunMetrics& acc, const sp::dist::RunMetrics& m) {
+  acc.units += m.units;
+  acc.ranges += m.ranges;
+  acc.assigns += m.assigns;
+  acc.commits += m.commits;
+  acc.retries += m.retries;
+  acc.forfeits += m.forfeits;
+  acc.units_discarded += m.units_discarded;
+  acc.peak_staged_units = std::max(acc.peak_staged_units, m.peak_staged_units);
+  acc.workers_admitted += m.workers_admitted;
+  acc.wall_ms += m.wall_ms;
+}
+
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --workload NAMES --samples N [--seed S] [--port P]\n"
       "          [--task mc|ssta-sweep] [--points N] [--host H]\n"
       "          [--samples-per-shard N] [--block-width W]\n"
+      "          [--sigma-systematic V]\n"
       "          [--units-per-range N] [--max-attempts N] [--timeout-ms N]\n"
       "          [--spawn N] [--worker-bin PATH] [--key K] [--check-local]\n"
-      "          [--quiet]\n"
+      "          [--metrics PATH] [--quiet]\n"
+      "\n"
+      "--metrics PATH enables runtime telemetry (src/obs) and dumps the\n"
+      "JSON metrics snapshot to PATH on success; STATPIPE_TRACE=PATH\n"
+      "additionally writes a Chrome trace at exit (docs/OBSERVABILITY.md).\n"
       "\n"
       "task kinds (docs/WIRE_FORMAT.md):\n"
       "  mc          gate-level Monte-Carlo; units are sim shards\n"
@@ -91,11 +126,13 @@ int run_mc(sp::dist::RunDescriptor& desc, const sp::dist::ClusterOptions& cl,
               desc.workload.c_str(),
               static_cast<unsigned long long>(desc.n_samples),
               static_cast<unsigned long long>(desc.seed));
-  const sp::dist::TaskResult dist_result = sp::dist::run_cluster(desc, cl);
+  sp::dist::RunMetrics rm;
+  const sp::dist::TaskResult dist_result = sp::dist::run_cluster(desc, cl, &rm);
 
   const sp::stats::Gaussian g = dist_result.mc.tp_estimate();
   std::printf("T_P estimate: mu %.4f ps, sigma %.4f ps over %zu samples\n",
               g.mean, g.sigma, dist_result.mc.tp_samples.size());
+  print_dist_metrics(rm, 1);
 
   if (check_local) {
     const sp::dist::TaskResult local = sp::dist::run_local_task(desc);
@@ -111,7 +148,7 @@ int run_mc(sp::dist::RunDescriptor& desc, const sp::dist::ClusterOptions& cl,
 }
 
 int run_ssta_sweep(const sp::dist::RunDescriptor& desc, std::size_t points,
-                   const sp::dist::ClusterOptions& cl, bool check_local) {
+                   sp::dist::ClusterOptions cl, bool check_local) {
   const auto names = sp::dist::split_workload_names(desc.workload);
   if (names.size() != 1) {
     std::fprintf(stderr,
@@ -122,6 +159,15 @@ int run_ssta_sweep(const sp::dist::RunDescriptor& desc, std::size_t points,
   }
   const sp::device::AlphaPowerModel model{sp::process::Technology{}};
   const sp::process::VariationSpec spec = sp::dist::descriptor_spec(desc);
+
+  // One coordinator session per grid submission: aggregate their metrics
+  // so the final block covers the whole sweep.
+  sp::dist::RunMetrics agg;
+  std::size_t sessions = 0;
+  cl.on_metrics = [&](const sp::dist::RunMetrics& m) {
+    accumulate(agg, m);
+    ++sessions;
+  };
 
   sp::opt::SweepOptions sw;
   sw.points = points;
@@ -137,6 +183,7 @@ int run_ssta_sweep(const sp::dist::RunDescriptor& desc, std::size_t points,
               dist_sweep.curve.points().size(), dist_sweep.min_stat_delay);
   for (const auto& p : dist_sweep.curve.points())
     std::printf("  delay %.4f ps  area %.2f\n", p.delay, p.area);
+  print_dist_metrics(agg, sessions);
 
   if (check_local) {
     sp::opt::SweepOptions local_sw = sw;
@@ -173,6 +220,7 @@ int main(int argc, char** argv) {
   std::string task = "mc";
   std::size_t points = 8;
   bool check_local = false;
+  std::string metrics_path;
   desc.seed = 90210;
   desc.samples_per_shard = 256;
   if (const char* env_key = std::getenv("STATPIPE_WIRE_KEY"))
@@ -193,6 +241,8 @@ int main(int argc, char** argv) {
       else if (arg == "--samples-per-shard")
         desc.samples_per_shard = std::stoull(next());
       else if (arg == "--block-width") desc.block_width = std::stoull(next());
+      else if (arg == "--sigma-systematic")
+        desc.sigma_vth_systematic = std::stod(next());
       else if (arg == "--port") cl.coordinator.port = parse_port(next());
       else if (arg == "--host") cl.coordinator.bind_host = next();
       else if (arg == "--units-per-range" || arg == "--shards-per-range")
@@ -204,6 +254,7 @@ int main(int argc, char** argv) {
       else if (arg == "--spawn") cl.spawn_workers = std::stoull(next());
       else if (arg == "--worker-bin") cl.worker_bin = next();
       else if (arg == "--key") cl.coordinator.auth_key = next();
+      else if (arg == "--metrics") metrics_path = next();
       else if (arg == "--check-local") check_local = true;
       else if (arg == "--quiet") cl.coordinator.verbose = false;
       else usage(argv[0]);
@@ -219,15 +270,29 @@ int main(int argc, char** argv) {
     return EXIT_FAILURE;
   }
 
+  // --metrics implies telemetry: counters/spans only accumulate while
+  // enabled (STATPIPE_TRACE enables it at startup too).  Out-of-band by
+  // design — results are bitwise-identical either way.
+  if (!metrics_path.empty()) sp::obs::set_enabled(true);
+
   try {
-    if (task == "mc") return run_mc(desc, cl, check_local);
-    if (task == "ssta-sweep")
-      return run_ssta_sweep(desc, points, cl, check_local);
-    std::fprintf(stderr,
-                 "statpipe-run: unknown task '%s' (this build knows mc, "
-                 "ssta-sweep)\n",
-                 task.c_str());
-    return EXIT_FAILURE;
+    int rc = EXIT_FAILURE;
+    if (task == "mc") {
+      rc = run_mc(desc, cl, check_local);
+    } else if (task == "ssta-sweep") {
+      rc = run_ssta_sweep(desc, points, cl, check_local);
+    } else {
+      std::fprintf(stderr,
+                   "statpipe-run: unknown task '%s' (this build knows mc, "
+                   "ssta-sweep)\n",
+                   task.c_str());
+      return EXIT_FAILURE;
+    }
+    if (!metrics_path.empty()) {
+      sp::obs::write_metrics_json(metrics_path);
+      std::printf("metrics snapshot written to %s\n", metrics_path.c_str());
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "statpipe-run: %s\n", e.what());
     return EXIT_FAILURE;
