@@ -21,13 +21,15 @@ extern char** environ;
 namespace statpipe::dist {
 
 pid_t spawn_worker_process(const std::string& worker_bin, std::uint16_t port,
-                           bool quiet, const std::string& auth_key) {
+                           bool quiet, const std::string& auth_key,
+                           bool serve) {
   const std::string port_s = std::to_string(port);
   std::vector<char*> args;
   args.push_back(const_cast<char*>(worker_bin.c_str()));
   args.push_back(const_cast<char*>("--port"));
   args.push_back(const_cast<char*>(port_s.c_str()));
   if (quiet) args.push_back(const_cast<char*>("--quiet"));
+  if (serve) args.push_back(const_cast<char*>("--serve"));
   if (!auth_key.empty()) {
     args.push_back(const_cast<char*>("--key"));
     args.push_back(const_cast<char*>(auth_key.c_str()));
@@ -103,6 +105,115 @@ TaskResult run_cluster(const RunDescriptor& desc, const ClusterOptions& opt,
   return result;
 }
 
+namespace {
+
+ServiceOptions handle_service_options(const ClusterOptions& opt) {
+  ServiceOptions s;
+  s.bind_host = opt.coordinator.bind_host;
+  s.port = opt.coordinator.port;
+  s.units_per_range = opt.coordinator.units_per_range;
+  s.max_attempts = opt.coordinator.max_attempts;
+  s.idle_timeout_ms = opt.coordinator.idle_timeout_ms;
+  s.read_deadline_ms = opt.coordinator.read_deadline_ms;
+  s.auth_key = opt.coordinator.auth_key;
+  s.cache_max_bytes = opt.cache_max_bytes;
+  s.verbose = opt.coordinator.verbose;
+  return s;
+}
+
+}  // namespace
+
+ClusterHandle::ClusterHandle(ClusterOptions opt)
+    : opt_(std::move(opt)), svc_(handle_service_options(opt_)) {
+  if (opt_.spawn_workers > 0 && opt_.worker_bin.empty())
+    throw std::invalid_argument(
+        "dist: ClusterHandle with spawn_workers > 0 needs a worker_bin path");
+  if (opt_.on_listening) opt_.on_listening(svc_.port());
+  try {
+    for (std::size_t i = 0; i < opt_.spawn_workers; ++i) {
+      kids_.push_back(spawn_worker_process(opt_.worker_bin, svc_.port(),
+                                           !opt_.coordinator.verbose,
+                                           opt_.coordinator.auth_key));
+      obs::log_info("cluster",
+                    "spawned resident worker pid " +
+                        std::to_string(kids_.back()),
+                    opt_.coordinator.verbose);
+    }
+  } catch (...) {
+    for (pid_t pid : kids_) ::kill(pid, SIGKILL);
+    for (pid_t pid : kids_) {
+      int status = 0;
+      while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+      }
+    }
+    throw;
+  }
+}
+
+ClusterHandle::~ClusterHandle() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor: reap what we can, never throw.
+    for (pid_t pid : kids_) ::kill(pid, SIGKILL);
+    for (pid_t pid : kids_) {
+      int status = 0;
+      while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+      }
+    }
+    kids_.clear();
+  }
+}
+
+TaskResult ClusterHandle::submit(const RunDescriptor& desc,
+                                 std::uint32_t priority, RunMetrics* metrics) {
+  if (closed_)
+    throw std::logic_error("dist: submit on a closed ClusterHandle");
+  const std::uint64_t rid = svc_.submit_local(desc, priority);
+  svc_.run([&] { return svc_.local_done(rid); });
+  // Snapshot before take: taking (or rethrowing a failure) consumes the
+  // request, and the caller gets its accounting either way.
+  const RunMetrics m = svc_.local_metrics(rid);
+  if (metrics != nullptr) *metrics = m;
+  if (opt_.on_metrics) opt_.on_metrics(m);
+  return svc_.take_local_result(rid);
+}
+
+void ClusterHandle::close() {
+  if (closed_) return;
+  closed_ = true;
+  svc_.shutdown_workers();
+  // Reap with a grace period: a worker mid-range finishes its current
+  // units before it reads the kShutdown, so give it a few seconds before
+  // escalating to SIGKILL.  drain_backlog keeps dismissing stragglers
+  // that only connect now.
+  for (pid_t pid : kids_) {
+    int status = 0;
+    pid_t got = 0;
+    for (int waited_ms = 0; waited_ms < 5000; waited_ms += 20) {
+      got = ::waitpid(pid, &status, WNOHANG);
+      if (got != 0) break;
+      svc_.drain_backlog();
+      ::usleep(20 * 1000);
+    }
+    if (got == 0) {
+      ::kill(pid, SIGKILL);
+      while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+      }
+      obs::log_warn("cluster", "resident worker " + std::to_string(pid) +
+                                   " ignored shutdown; killed");
+    } else if (got < 0 || !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      obs::log_warn("cluster",
+                    "resident worker " + std::to_string(pid) +
+                        " exited abnormally (completed results unaffected)");
+    } else {
+      obs::log_info("cluster", "reaped worker pid " + std::to_string(pid),
+                    opt_.coordinator.verbose);
+    }
+  }
+  kids_.clear();
+}
+
 std::string workload_name_for(const netlist::Netlist& nl) {
   std::string name = nl.name();
   constexpr const char* kSuffix = "_like";
@@ -129,21 +240,61 @@ std::string workload_name_for(const netlist::Netlist& nl) {
   return name;
 }
 
+namespace {
+
+RunDescriptor grid_descriptor_for(const netlist::Netlist& nl,
+                                  const device::AlphaPowerModel& model,
+                                  const std::vector<std::vector<double>>& grid,
+                                  const process::VariationSpec& spec,
+                                  const sta::SstaOptions& sopt) {
+  RunDescriptor desc;
+  desc.task_kind = TaskKind::kSstaGrid;
+  desc.workload = workload_name_for(nl);
+  desc.size_grid = grid;
+  set_descriptor_technology(desc, model.technology());
+  set_descriptor_spec(desc, spec);
+  desc.output_load = sopt.output_load;
+  finalize_descriptor(desc);
+  return desc;
+}
+
+}  // namespace
+
 sta::GridCharacterizer grid_characterizer(ClusterOptions opt) {
   return [opt = std::move(opt)](
              const netlist::Netlist& nl, const device::AlphaPowerModel& model,
              const std::vector<std::vector<double>>& size_grid,
              const process::VariationSpec& spec, const sta::SstaOptions& sopt)
              -> std::vector<sta::StageCharacterization> {
-    RunDescriptor desc;
-    desc.task_kind = TaskKind::kSstaGrid;
-    desc.workload = workload_name_for(nl);
-    desc.size_grid = size_grid;
-    set_descriptor_technology(desc, model.technology());
-    set_descriptor_spec(desc, spec);
-    desc.output_load = sopt.output_load;
-    finalize_descriptor(desc);
-    TaskResult r = run_cluster(desc, opt);
+    TaskResult r = run_cluster(
+        grid_descriptor_for(nl, model, size_grid, spec, sopt), opt);
+    return std::move(r.lanes);
+  };
+}
+
+sta::GridCharacterizer grid_characterizer(
+    std::shared_ptr<ClusterHandle> handle) {
+  return [handle = std::move(handle)](
+             const netlist::Netlist& nl, const device::AlphaPowerModel& model,
+             const std::vector<std::vector<double>>& size_grid,
+             const process::VariationSpec& spec, const sta::SstaOptions& sopt)
+             -> std::vector<sta::StageCharacterization> {
+    TaskResult r =
+        handle->submit(grid_descriptor_for(nl, model, size_grid, spec, sopt));
+    return std::move(r.lanes);
+  };
+}
+
+sta::GridCharacterizer grid_characterizer(
+    std::shared_ptr<ServiceClient> client) {
+  return [client = std::move(client)](
+             const netlist::Netlist& nl, const device::AlphaPowerModel& model,
+             const std::vector<std::vector<double>>& size_grid,
+             const process::VariationSpec& spec, const sta::SstaOptions& sopt)
+             -> std::vector<sta::StageCharacterization> {
+    const std::uint64_t id = client->submit(
+        grid_descriptor_for(nl, model, size_grid, spec, sopt));
+    TaskResult r = client->wait(id);
     return std::move(r.lanes);
   };
 }

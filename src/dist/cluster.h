@@ -21,9 +21,12 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "dist/coordinator.h"
+#include "dist/service.h"
 #include "dist/task.h"
 #include "netlist/netlist.h"
 #include "sta/ssta_batch.h"
@@ -37,6 +40,11 @@ struct ClusterOptions {
   /// coordinator.port().
   std::size_t spawn_workers = 0;
   std::string worker_bin;          ///< required when spawn_workers > 0
+  /// Result-cache byte bound for ClusterHandle fleets (0 disables; the
+  /// one-shot run_cluster path never caches).  An identical resubmission
+  /// — same canonical descriptor bytes, same root_seed — is answered from
+  /// memory, byte-identical to a recompute.
+  std::size_t cache_max_bytes = std::size_t{64} << 20;
   /// Called with the bound port right after the listener binds and before
   /// the run blocks — how a caller with spawn_workers == 0 learns the
   /// ephemeral port to announce to externally started workers.
@@ -51,10 +59,55 @@ struct ClusterOptions {
 
 /// Forks one statpipe-worker process against `port` (posix_spawn).  A
 /// non-empty `auth_key` travels as `--key` so spawned workers speak the
-/// coordinator's authenticated wire.  Throws std::runtime_error when the
+/// coordinator's authenticated wire; `serve` adds `--serve`, making the
+/// worker reconnect and serve again after the service drops it (the
+/// resident-fleet daemon mode).  Throws std::runtime_error when the
 /// binary cannot be spawned.
 pid_t spawn_worker_process(const std::string& worker_bin, std::uint16_t port,
-                           bool quiet, const std::string& auth_key = "");
+                           bool quiet, const std::string& auth_key = "",
+                           bool serve = false);
+
+/// A RESIDENT cluster: one Service and one spawned worker fleet that stay
+/// up across any number of submit() calls — what the optimizer's probe
+/// grids use so they stop paying spawn/reap (and workload re-setup) per
+/// grid.  submit() drives the service event loop on the CALLING thread
+/// until that descriptor completes, so the handle adds no threads of its
+/// own; it is not safe for concurrent submit() from multiple threads.
+/// close() winds the fleet down (kShutdown, then reap — SIGKILL after a
+/// grace period); the destructor closes if the caller did not.  The
+/// one-shot run_cluster below is the spawn-per-submission wrapper kept
+/// for single runs.
+class ClusterHandle {
+ public:
+  /// Binds, spawns the fleet, returns immediately (workers connect in the
+  /// background — the first submit() admits them).
+  explicit ClusterHandle(ClusterOptions opt);
+  ~ClusterHandle();
+  ClusterHandle(const ClusterHandle&) = delete;
+  ClusterHandle& operator=(const ClusterHandle&) = delete;
+
+  std::uint16_t port() const noexcept { return svc_.port(); }
+
+  /// One full submission: validate, schedule over the resident fleet (or
+  /// answer from the result cache), return the bitwise-deterministic
+  /// result.  Throws std::invalid_argument on descriptor/option
+  /// validation and std::runtime_error on a failed run.  A non-null
+  /// `metrics` receives the request's RunMetrics even when the run throws.
+  TaskResult submit(const RunDescriptor& desc, std::uint32_t priority = 0,
+                    RunMetrics* metrics = nullptr);
+
+  /// Service-wide totals (cache hits, per-session fair-share units, ...).
+  ServiceStats stats() const { return svc_.stats(); }
+
+  /// Shuts the fleet down and reaps it; idempotent.
+  void close();
+
+ private:
+  ClusterOptions opt_;
+  Service svc_;
+  std::vector<pid_t> kids_;
+  bool closed_ = false;
+};
 
 /// One full coordinator session for a finalized descriptor: bind, spawn
 /// the requested local workers, serve until every unit arrived, then reap
@@ -86,5 +139,19 @@ std::string workload_name_for(const netlist::Netlist& nl);
 /// candidate grids out; results are bitwise-identical to leaving the hook
 /// empty.
 sta::GridCharacterizer grid_characterizer(ClusterOptions opt);
+
+/// Same contract, but every grid rides the RESIDENT fleet behind `handle`
+/// instead of binding/spawning/reaping per invocation — repeated probe
+/// grids also hit the handle's result cache.  The handle is shared
+/// because sta::GridCharacterizer must be copyable.
+sta::GridCharacterizer grid_characterizer(
+    std::shared_ptr<ClusterHandle> handle);
+
+/// Same contract against a REMOTE service this process does not host:
+/// each grid becomes one kSubmit on the client's session and blocks until
+/// its kRequestDone.  (ServiceClient is not thread-safe; callers fanning
+/// out across threads need one client each.)
+sta::GridCharacterizer grid_characterizer(
+    std::shared_ptr<ServiceClient> client);
 
 }  // namespace statpipe::dist

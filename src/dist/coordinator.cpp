@@ -1,448 +1,48 @@
 #include "dist/coordinator.h"
 
-#include <poll.h>
-
-#include <algorithm>
-#include <cerrno>
-#include <stdexcept>
 #include <utility>
-
-#include "obs/log.h"
-#include "obs/telemetry.h"
 
 namespace statpipe::dist {
 
 namespace {
 
-// Structured logger (obs/log.h): `verbose` is purely the console-sink
-// toggle; with telemetry enabled every line also lands in the Chrome trace
-// as an instant event regardless of verbosity.
-void log_line(const CoordinatorOptions& opt, const std::string& msg) {
-  obs::log_info("coordinator", msg, opt.verbose);
-}
-
-const obs::SpanId& span_range() {
-  static const obs::SpanId s("dist.range");
+ServiceOptions to_service_options(const CoordinatorOptions& opt) {
+  ServiceOptions s;
+  s.bind_host = opt.bind_host;
+  s.port = opt.port;
+  s.units_per_range = opt.units_per_range;
+  s.max_attempts = opt.max_attempts;
+  s.idle_timeout_ms = opt.idle_timeout_ms;
+  s.read_deadline_ms = opt.read_deadline_ms;
+  s.auth_key = opt.auth_key;
+  // The one-shot path has no resubmission to hit a cache with, and the v3
+  // semantics it preserves predate the cache — keep it out of the loop.
+  s.cache_max_bytes = 0;
+  s.verbose = opt.verbose;
   return s;
 }
 
 }  // namespace
 
 Coordinator::Coordinator(RunDescriptor desc, CoordinatorOptions opt)
-    : desc_(std::move(desc)),
-      opt_(std::move(opt)),
-      auth_(FrameAuth::from_passphrase(opt_.auth_key)),
-      listener_(opt_.bind_host, opt_.port) {
-  // finalize_descriptor always sets a nonzero hash (FNV of a non-empty
-  // stage list), and hash == 0 would additionally disable the worker-side
-  // workload verification — so a zero hash means an unfinalized
-  // descriptor, regardless of what seed the user picked.
-  if (desc_.netlist_hash == 0)
-    throw std::invalid_argument(
-        "Coordinator: descriptor not finalized (netlist_hash unset; call "
-        "finalize_descriptor)");
-  if (opt_.max_attempts < 1)
-    throw std::invalid_argument("Coordinator: max_attempts must be >= 1");
-  // Validate the plan inputs with the task layer's own planner: throws on
-  // zero samples / an empty grid, and gives us the unit count ranges are
-  // cut from.
-  n_units_ = task_unit_count(desc_);
-  if (opt_.units_per_range > n_units_)
-    throw std::invalid_argument(
-        "Coordinator: units_per_range " +
-        std::to_string(opt_.units_per_range) + " exceeds the plan's " +
-        std::to_string(n_units_) + " unit(s)");
-  // With streaming (wire v3) each kResult frame carries ONE unit, so the
-  // frame cap bounds the unit payload, not the range — range size is a
-  // pure scheduling knob with no wire ceiling.  Only a single unit too big
-  // for a frame (for MC, ~8 bytes per sample of tp_samples) is rejected,
-  // up front rather than after a retry cascade.
-  if (task_unit_wire_bytes(desc_) + 64 > kMaxFramePayload)
-    throw std::invalid_argument(
-        "Coordinator: samples_per_shard " +
-        std::to_string(desc_.samples_per_shard) +
-        " makes a single shard's result exceed the frame payload cap; "
-        "use smaller shards");
-  const std::size_t per = opt_.units_per_range != 0
-                              ? opt_.units_per_range
-                              : std::max<std::size_t>(1, n_units_ / 8);
-  for (std::size_t b = 0; b < n_units_; b += per)
-    pending_.push_back({b, std::min(b + per, n_units_), 0});
-  if (desc_.task_kind == TaskKind::kSstaGrid) {
-    lanes_.resize(n_units_);
-    lane_got_.assign(n_units_, 0);
-  }
-  metrics_.units = n_units_;
-  metrics_.ranges = pending_.size();
-  log_line(opt_, std::string("listening on ") + opt_.bind_host + ":" +
-                     std::to_string(listener_.port()) + ", " +
-                     task_kind_name(desc_.task_kind) + " task, " +
-                     std::to_string(n_units_) + " units in " +
-                     std::to_string(pending_.size()) + " ranges" +
-                     (auth_.enabled ? ", authenticated wire" : ""));
+    : desc_(std::move(desc)), svc_(to_service_options(opt)) {
+  // Submitting here (not in run()) keeps the v3 contract that every
+  // descriptor/options validation throws std::invalid_argument from the
+  // CONSTRUCTOR, before any worker is spawned against the port.
+  rid_ = svc_.submit_local(desc_);
 }
 
 Coordinator::~Coordinator() = default;
 
-void Coordinator::admit_worker() {
-  Socket s = listener_.accept();
-  // Hello is read synchronously — it is the first thing a real worker
-  // writes — but under a timeout: a peer that connects and stays silent (a
-  // port scanner, a health probe on a 0.0.0.0 bind) must not wedge the
-  // event loop.
-  std::optional<Frame> hello;
-  try {
-    s.set_recv_timeout_ms(5000);
-    hello = recv_frame(s, auth_);
-    // From here on the read deadline bounds every read from this worker: a
-    // peer that stalls MID-FRAME after poll() reported readability would
-    // otherwise block run() forever, beyond idle_timeout_ms's reach (it
-    // only guards poll), and a slow-loris drip would outlast any plain
-    // recv timeout.  A deadline trip surfaces as a recv error -> requeue +
-    // drop, so the range is reassigned instead of wedging.
-    if (opt_.read_deadline_ms > 0)
-      s.set_read_deadline_ms(opt_.read_deadline_ms);
-    else
-      s.set_recv_timeout_ms(opt_.idle_timeout_ms > 0 ? opt_.idle_timeout_ms
-                                                     : 0);
-  } catch (const std::exception& e) {
-    log_line(opt_, std::string("rejecting connection: ") + e.what());
-    return;
-  }
-  if (!hello || hello->type != MsgType::kHello) {
-    log_line(opt_, "rejecting connection: no hello");
-    return;
-  }
-  ByteWriter w;
-  write_run_descriptor(w, desc_);
-  WorkerState ws;
-  ws.sock = std::move(s);
-  try {
-    send_frame(ws.sock, MsgType::kSetup, w.bytes(), auth_);
-  } catch (const std::exception& e) {
-    log_line(opt_, std::string("setup failed: ") + e.what());
-    return;
-  }
-  ws.ready = true;
-  ++metrics_.workers_admitted;
-  static obs::Counter c_admitted("dist.workers_admitted");
-  c_admitted.add();
-  assign_if_possible(ws);
-  workers_.push_back(std::move(ws));
-  log_line(opt_, "worker connected (" + std::to_string(workers_.size()) +
-                     " total)");
-}
-
-void Coordinator::assign_if_possible(WorkerState& w) {
-  if (!w.sock.valid() || !w.ready || w.has_range || pending_.empty()) return;
-  Range r = pending_.front();
-  pending_.pop_front();
-  r.attempts += 1;
-  ByteWriter out;
-  out.u64(r.begin);
-  out.u64(r.end);
-  try {
-    send_frame(w.sock, MsgType::kAssign, out.bytes(), auth_);
-  } catch (const std::exception&) {
-    // Undo fully: the attempt never reached a worker, so it must not burn
-    // the range's attempt budget.  Closing the socket marks the worker for
-    // removal at the top of the next event-loop iteration.
-    r.attempts -= 1;
-    pending_.push_front(r);
-    w.sock.close();
-    return;
-  }
-  w.has_range = true;
-  w.range = r;
-  w.staged_mc.clear();
-  w.staged_lanes.clear();
-  w.assign_ns = obs::enabled() ? obs::now_ns() : 0;
-  ++metrics_.assigns;
-  if (r.attempts > 1) ++metrics_.retries;
-  static obs::Counter c_assigns("dist.assigns");
-  c_assigns.add();
-  log_line(opt_, "assigned units [" + std::to_string(r.begin) + ", " +
-                     std::to_string(r.end) + ") attempt " +
-                     std::to_string(r.attempts));
-}
-
-void Coordinator::requeue(WorkerState& w, const std::string& why) {
-  if (w.has_range) {
-    // The worker forfeits the whole range: staged units are part of an
-    // uncommitted stream and are discarded with it — a partially streamed
-    // range never contributes to the fold (docs/DETERMINISM.md).
-    // Info, not warn: forfeits are routine under fault injection (the chaos
-    // harness triggers them by the dozen) and the run recovers by design;
-    // only exhausting the attempt budget is an error, and that throws.
-    const std::size_t staged = w.staged_mc.size() + w.staged_lanes.size();
-    log_line(opt_, "range [" + std::to_string(w.range.begin) + ", " +
-                       std::to_string(w.range.end) + ") lost (" +
-                       std::to_string(staged) +
-                       " staged unit(s) discarded): " + why);
-    ++metrics_.forfeits;
-    metrics_.units_discarded += staged;
-    staged_now_ -= staged;
-    static obs::Counter c_requeues("dist.requeues");
-    c_requeues.add();
-    static obs::Counter c_discarded("dist.units_discarded");
-    c_discarded.add(staged);
-    w.staged_mc.clear();
-    w.staged_lanes.clear();
-    if (w.range.attempts >= opt_.max_attempts)
-      throw std::runtime_error(
-          "dist: unit range [" + std::to_string(w.range.begin) + ", " +
-          std::to_string(w.range.end) + ") failed " +
-          std::to_string(w.range.attempts) + " attempt(s); last: " + why);
-    pending_.push_front(w.range);
-    w.has_range = false;
-  }
-  w.sock.close();
-}
-
-void Coordinator::handle_unit(WorkerState& w, const Frame& f) {
-  if (!w.has_range)
-    throw std::runtime_error("result frame from a worker with no assignment");
-  ByteReader r(f.payload);
-  const std::uint64_t unit = r.u64();
-  if (unit < w.range.begin || unit >= w.range.end)
-    throw std::runtime_error("unit " + std::to_string(unit) +
-                             " outside assigned range [" +
-                             std::to_string(w.range.begin) + ", " +
-                             std::to_string(w.range.end) + ")");
-  const bool dup = desc_.task_kind == TaskKind::kSstaGrid
-                       ? w.staged_lanes.count(unit) != 0
-                       : w.staged_mc.count(unit) != 0;
-  if (dup)
-    throw std::runtime_error("duplicate unit " + std::to_string(unit) +
-                             " in result stream");
-  // Decode on receipt, into the worker's staging area: a corrupt payload
-  // forfeits the range within its attempt budget instead of failing the
-  // final fold, and nothing touches the committed fold until kRangeDone.
-  if (desc_.task_kind == TaskKind::kSstaGrid)
-    w.staged_lanes.emplace(unit, read_stage_characterization(r));
-  else
-    w.staged_mc.emplace(unit, read_mc_result(r));
-  r.expect_done();
-  ++staged_now_;
-  metrics_.peak_staged_units = std::max(metrics_.peak_staged_units, staged_now_);
-  static obs::Counter c_staged("dist.units_staged");
-  c_staged.add();
-}
-
-void Coordinator::handle_range_done(WorkerState& w, const Frame& f) {
-  if (!w.has_range)
-    throw std::runtime_error(
-        "range-done frame from a worker with no assignment");
-  ByteReader r(f.payload);
-  const std::uint64_t begin = r.u64();
-  const std::uint64_t end = r.u64();
-  const std::uint64_t count = r.u64();
-  r.expect_done();
-  if (begin != w.range.begin || end != w.range.end)
-    throw std::runtime_error("range-done echoes [" + std::to_string(begin) +
-                             ", " + std::to_string(end) +
-                             ") for assignment [" +
-                             std::to_string(w.range.begin) + ", " +
-                             std::to_string(w.range.end) + ")");
-  const std::size_t staged = desc_.task_kind == TaskKind::kSstaGrid
-                                 ? w.staged_lanes.size()
-                                 : w.staged_mc.size();
-  if (count != end - begin || staged != end - begin)
-    throw std::runtime_error(
-        "range-done claims " + std::to_string(count) + " unit(s), " +
-        std::to_string(staged) + " staged, for a range of " +
-        std::to_string(end - begin));
-  // Commit: every unit of the range is present exactly once (membership
-  // and duplicates were enforced at staging, so a full-size staging map
-  // IS the whole range).  MC units enter the pending map and the
-  // contiguous prefix folds immediately; grid lanes place positionally.
-  if (desc_.task_kind == TaskKind::kSstaGrid) {
-    for (auto& [unit, lane] : w.staged_lanes) {
-      if (lane_got_[unit])
-        throw std::runtime_error("lane " + std::to_string(unit) +
-                                 " committed twice");
-      lanes_[unit] = lane;
-      lane_got_[unit] = 1;
-      ++lanes_done_;
-    }
-    w.staged_lanes.clear();
-  } else {
-    for (auto& [unit, part] : w.staged_mc) {
-      if (unit < folded_prefix_ || mc_pending_.count(unit) != 0)
-        throw std::runtime_error("unit " + std::to_string(unit) +
-                                 " committed twice");
-      mc_pending_.emplace(unit, std::move(part));
-    }
-    w.staged_mc.clear();
-    advance_mc_fold();
-  }
-  w.has_range = false;
-  staged_now_ -= end - begin;
-  ++metrics_.commits;
-  static obs::Counter c_commits("dist.commits");
-  c_commits.add();
-  static obs::Counter c_units("dist.units_committed");
-  c_units.add(end - begin);
-  // Assign→commit latency for this range, closed across call sites via
-  // record_span (the RAII form cannot straddle the event loop).
-  if (w.assign_ns > 0 && obs::enabled())
-    obs::record_span(span_range(), w.assign_ns, obs::now_ns(),
-                     static_cast<std::int64_t>(begin));
-  w.assign_ns = 0;
-  log_line(opt_, "range [" + std::to_string(begin) + ", " +
-                     std::to_string(end) + ") committed; " +
-                     std::to_string(done_units()) + "/" +
-                     std::to_string(n_units_) + " units (folded prefix " +
-                     std::to_string(desc_.task_kind == TaskKind::kSstaGrid
-                                        ? lanes_done_
-                                        : folded_prefix_) +
-                     ")");
-}
-
-void Coordinator::advance_mc_fold() {
-  // Left fold in ascending unit order — the identical fold
-  // GateLevelMonteCarlo::run applies locally — consuming the pending map
-  // as long as it extends the contiguous prefix.  Memory stays bounded by
-  // the out-of-order window: a committed range can only wait while some
-  // earlier range is still in flight.
-  auto it = mc_pending_.begin();
-  while (it != mc_pending_.end() && it->first == folded_prefix_) {
-    if (folded_prefix_ == 0)
-      mc_acc_ = std::move(it->second);
-    else
-      mc_acc_.merge(std::move(it->second));
-    it = mc_pending_.erase(it);
-    ++folded_prefix_;
-  }
-}
-
-bool Coordinator::service_worker(WorkerState& w) {
-  std::optional<Frame> f;
-  try {
-    f = recv_frame(w.sock, auth_);
-  } catch (const std::exception& e) {
-    requeue(w, e.what());
-    return false;
-  }
-  if (!f) {
-    requeue(w, "worker disconnected");
-    return false;
-  }
-  switch (f->type) {
-    case MsgType::kResult:
-    case MsgType::kRangeDone:
-      try {
-        if (f->type == MsgType::kResult)
-          handle_unit(w, *f);
-        else
-          handle_range_done(w, *f);
-      } catch (const std::exception& e) {
-        // std::exception, not just runtime_error: a corrupt frame can also
-        // surface as length_error/bad_alloc from the deserializer, and any
-        // of those must forfeit the range (bounded by its attempt budget),
-        // not abort the run.
-        requeue(w, e.what());
-        return false;
-      }
-      if (!w.has_range) assign_if_possible(w);
-      return true;
-    case MsgType::kError: {
-      ByteReader r(f->payload);
-      requeue(w, "worker error: " + r.str());
-      return false;
-    }
-    default:
-      requeue(w, "unexpected frame type " +
-                     std::to_string(static_cast<int>(f->type)));
-      return false;
-  }
-}
-
 TaskResult Coordinator::run() {
-  const std::int64_t run_t0 = obs::now_ns();
-  while (done_units() < n_units_) {
-    // Drop workers whose sockets died outside service_worker (e.g. a
-    // failed kAssign send) — a closed-socket entry must not linger as a
-    // zombie the assignment loop keeps visiting.
-    std::erase_if(workers_,
-                  [](const WorkerState& w) { return !w.sock.valid(); });
-    std::vector<pollfd> fds;
-    fds.push_back({listener_.fd(), POLLIN, 0});
-    for (const WorkerState& w : workers_)
-      fds.push_back({w.sock.fd(), POLLIN, 0});
-    const int timeout = opt_.idle_timeout_ms > 0 ? opt_.idle_timeout_ms : -1;
-    const int rc = ::poll(fds.data(), fds.size(), timeout);
-    if (rc < 0) {
-      if (errno == EINTR) continue;
-      throw std::runtime_error("dist: poll failed");
-    }
-    if (rc == 0)
-      throw std::runtime_error(
-          "dist: no worker progress for " +
-          std::to_string(opt_.idle_timeout_ms) + " ms (" +
-          std::to_string(done_units()) + "/" + std::to_string(n_units_) +
-          " units done)");
-    if (fds[0].revents & POLLIN) admit_worker();
-    // Service in reverse so erasing a dead worker never shifts an entry we
-    // have yet to visit (fds[i+1] belongs to workers_[i] of this snapshot;
-    // admit_worker only appends).
-    for (std::size_t i = workers_.size(); i-- > 0;) {
-      if (i + 1 >= fds.size()) continue;  // connected this iteration
-      if ((fds[i + 1].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
-      if (!service_worker(workers_[i]))
-        workers_.erase(workers_.begin() + static_cast<std::ptrdiff_t>(i));
-    }
-    // A result may have freed a worker while the queue was empty at its
-    // last assignment opportunity; top everyone up.
-    for (WorkerState& w : workers_) assign_if_possible(w);
-  }
-  // Every unit committed: shut workers down politely.  The fold already
-  // happened incrementally in ascending unit order (the same order the
-  // local engine folds), so the result is ready the moment the last range
-  // commits.
-  for (WorkerState& w : workers_) {
-    try {
-      send_frame(w.sock, MsgType::kShutdown, {}, auth_);
-    } catch (const std::exception&) {
-      // Worker already gone; shutdown is best-effort.
-    }
-  }
-  // Drain the accept backlog: a worker whose connect landed after the last
-  // result would otherwise sit blocked waiting for kSetup forever while
-  // its parent waits in waitpid.  Each straggler gets a kShutdown (which
-  // run_worker treats as a clean no-work session) instead of silence.
-  // Callers that spawned worker processes keep calling drain_backlog()
-  // while reaping them, closing the residual window where a slow-starting
-  // worker connects only after this first drain.
-  drain_backlog();
-  metrics_.wall_ms =
-      static_cast<double>(obs::now_ns() - run_t0) / 1e6;
-  TaskResult out;
-  out.kind = desc_.task_kind;
-  if (desc_.task_kind == TaskKind::kSstaGrid) {
-    out.lanes = std::move(lanes_);
-    return out;
-  }
-  mc_acc_.label = "gate-level MC";
-  out.mc = std::move(mc_acc_);
-  return out;
-}
-
-void Coordinator::drain_backlog() {
-  for (;;) {
-    pollfd lfd{listener_.fd(), POLLIN, 0};
-    const int rc = ::poll(&lfd, 1, 0);
-    if (rc < 0 && errno == EINTR) continue;
-    if (rc <= 0 || (lfd.revents & POLLIN) == 0) break;
-    try {
-      Socket s = listener_.accept();
-      s.set_recv_timeout_ms(5000);
-      if (recv_frame(s, auth_))  // their hello
-        send_frame(s, MsgType::kShutdown, {}, auth_);
-    } catch (const std::exception& e) {
-      log_line(opt_, std::string("backlog drain: ") + e.what());
-    }
-  }
+  svc_.run([this] { return svc_.local_done(rid_); });
+  svc_.shutdown_workers();
+  svc_.drain_backlog();
+  // Snapshot before take_local_result: taking (or rethrowing a failure)
+  // consumes the request, and metrics() must stay readable afterwards —
+  // including for post-mortems on a thrown run.
+  metrics_ = svc_.local_metrics(rid_);
+  return svc_.take_local_result(rid_);
 }
 
 }  // namespace statpipe::dist

@@ -1,38 +1,32 @@
-// Distributed run coordinator: plans the task's units, farms contiguous
-// unit ranges to TCP workers, reassigns ranges lost to worker failures,
-// and folds streamed per-unit results in ascending unit order with
-// bounded memory.
+// Single-run distributed coordinator: the one-shot facade over the
+// persistent Service (dist/service.h).
 //
-// Units are task-kind-specific (dist/task.h): Monte-Carlo shards or SSTA
-// grid lanes.  Determinism invariant (extends the thread-count/block-width
-// invariants of src/sim and src/mc to the PROCESS count, and to
-// distributed lane ranges — docs/DETERMINISM.md): for Monte-Carlo, shard
-// boundaries and RNG stream ids depend only on (root_seed, n_samples,
-// samples_per_shard) — workers receive those in the RunDescriptor and
-// replay the exact streams — and the coordinator folds shard results with
-// the same ascending left fold the local engine uses.  For SSTA grids the
-// lanes carry no random state and each lane executes the scalar path's
-// exact floating-point sequence, so positional reassembly is trivially
-// bitwise.  A run split across N workers (any N, any range sizes, any
-// retry history, any frame interleaving across workers) is therefore
-// bitwise-identical to the single-process run (tests/test_dist.cpp
-// enforces it for both kinds, including under injected worker failures).
+// Historically (wire v1–v3) the Coordinator WAS the engine — it owned the
+// listener, the range queue and the fold.  Since wire v4 all of that lives
+// in the multi-request Service; the Coordinator submits exactly one local
+// request at construction and run() drives the Service's event loop until
+// that request completes, preserving the original one-descriptor API and
+// its validation/error contract for callers (run_cluster, statpipe-run,
+// the optimizer's probe path and the adversarial tests).
 //
-// Streaming fold (wire v3): workers stream one kResult frame per unit as
-// units complete; the coordinator STAGES them per worker and COMMITS a
-// range only on its kRangeDone marker.  Committed Monte-Carlo units merge
-// into a single running accumulator as soon as they extend the contiguous
-// folded prefix — out-of-order commits wait in a small pending map — so
-// coordinator memory is bounded by the out-of-order window plus in-flight
-// staging, never the whole run.  Grid lanes are placed positionally into
-// the preallocated output.  The fold order is ascending unit index in
-// every case, which is exactly the local engine's order.
+// Determinism invariant (extends the thread-count/block-width invariants
+// of src/sim and src/mc to the PROCESS count, and to distributed lane
+// ranges — docs/DETERMINISM.md): for Monte-Carlo, shard boundaries and RNG
+// stream ids depend only on (root_seed, n_samples, samples_per_shard) —
+// workers receive those in the RunDescriptor and replay the exact streams
+// — and the fold is the same ascending left fold the local engine uses.
+// For SSTA grids the lanes carry no random state and each lane executes
+// the scalar path's exact floating-point sequence, so positional
+// reassembly is trivially bitwise.  A run split across N workers (any N,
+// any range sizes, any retry history, any frame interleaving) is
+// therefore bitwise-identical to the single-process run
+// (tests/test_dist.cpp enforces it for both kinds, including under
+// injected worker failures).
 //
 // Failure semantics: a worker that disconnects, errors, stalls past the
 // read deadline, fails frame authentication or sends an invalid frame
-// forfeits its in-flight range INCLUDING everything it already streamed —
-// staged units are discarded, the whole range re-enters the queue and is
-// handed to the next idle worker.  Each range carries an attempt budget
+// forfeits its in-flight range INCLUDING everything it already streamed;
+// the range re-enters the queue front with a per-range attempt budget
 // (CoordinatorOptions::max_attempts); exhausting it fails the run loudly.
 // Workers may connect at any time during the run.
 //
@@ -41,18 +35,12 @@
 // them; nothing below src/dist may know it exists.
 #pragma once
 
-#include <cstddef>
 #include <cstdint>
-#include <deque>
-#include <map>
 #include <string>
-#include <vector>
 
-#include "dist/hmac.h"
 #include "dist/serialize.h"
+#include "dist/service.h"
 #include "dist/task.h"
-#include "dist/transport.h"
-#include "mc/pipeline_mc.h"
 
 namespace statpipe::dist {
 
@@ -60,7 +48,7 @@ struct CoordinatorOptions {
   std::string bind_host = "127.0.0.1";  ///< 0.0.0.0 for multi-machine runs
   std::uint16_t port = 0;               ///< 0 = ephemeral, see port()
   /// Units per assignment; 0 = auto (n_units / 8, min 1 — i.e. ~8
-  /// assignments total, cut once at construction).  A pure scheduling
+  /// assignments total, cut once at submission).  A pure scheduling
   /// knob: results are reassembled per unit, so this can never change the
   /// output, only load balance.  Validated up front: a nonzero value must
   /// be <= the run's unit count to be satisfiable.
@@ -83,25 +71,6 @@ struct CoordinatorOptions {
   bool verbose = false;                 ///< progress lines on stderr
 };
 
-/// Always-on per-run coordinator accounting, surfaced by Coordinator::
-/// metrics() after run() returns (and by run_cluster's out-param).  Plain
-/// counters on the event-loop control path — deterministic, no clocks per
-/// event (wall_ms is one clock pair around the whole run) — so they are
-/// safe to report unconditionally, unlike the obs counters which only
-/// accumulate while telemetry is enabled.
-struct RunMetrics {
-  std::size_t units = 0;            ///< plan size (task units)
-  std::size_t ranges = 0;           ///< ranges the plan was cut into
-  std::size_t assigns = 0;          ///< kAssign frames sent
-  std::size_t commits = 0;          ///< ranges committed via kRangeDone
-  std::size_t retries = 0;          ///< assignments beyond a range's first
-  std::size_t forfeits = 0;         ///< in-flight ranges lost to dead peers
-  std::size_t units_discarded = 0;  ///< staged units thrown away on forfeit
-  std::size_t peak_staged_units = 0;  ///< high-water uncommitted staging
-  std::size_t workers_admitted = 0;   ///< connections that completed setup
-  double wall_ms = 0.0;             ///< run() entry to last commit
-};
-
 class Coordinator {
  public:
   /// Binds the listener immediately (so port() is valid before run());
@@ -111,7 +80,7 @@ class Coordinator {
   Coordinator(RunDescriptor desc, CoordinatorOptions opt = {});
   ~Coordinator();
 
-  std::uint16_t port() const noexcept { return listener_.port(); }
+  std::uint16_t port() const noexcept { return svc_.port(); }
   const RunDescriptor& descriptor() const noexcept { return desc_; }
 
   /// Per-run accounting (complete once run() has returned; readable midway
@@ -130,69 +99,13 @@ class Coordinator {
   /// calling this while reaping them, so a worker slow enough to connect
   /// only after the run ended is turned away instead of hanging in its
   /// setup read.
-  void drain_backlog();
+  void drain_backlog() { svc_.drain_backlog(); }
 
  private:
-  struct Range {
-    std::size_t begin = 0;  ///< first unit index
-    std::size_t end = 0;    ///< one past last unit index
-    int attempts = 0;
-  };
-  struct WorkerState {
-    Socket sock;
-    bool ready = false;       ///< hello'd + setup sent
-    bool has_range = false;
-    Range range;
-    /// obs timestamp of the range's kAssign send (0 = telemetry off);
-    /// closed into a dist.range span at commit.
-    std::int64_t assign_ns = 0;
-    // Units streamed for the in-flight range, staged until its kRangeDone
-    // commits them; discarded wholesale when the worker is lost (exactly
-    // one map used, selected by task kind).
-    std::map<std::size_t, mc::McResult> staged_mc;
-    std::map<std::size_t, sta::StageCharacterization> staged_lanes;
-  };
-
-  void admit_worker();
-  void assign_if_possible(WorkerState& w);
-  /// Handles one readable worker; returns false when the worker is gone
-  /// (its range, if any, re-queued).
-  bool service_worker(WorkerState& w);
-  /// Stages one streamed unit (validates range membership and duplicates;
-  /// throws on any violation — the caller requeues the range).
-  void handle_unit(WorkerState& w, const Frame& f);
-  /// Commits the in-flight range on a valid kRangeDone (echo + count must
-  /// match; throws otherwise).
-  void handle_range_done(WorkerState& w, const Frame& f);
-  void requeue(WorkerState& w, const std::string& why);
-  /// Folds every pending committed MC unit that extends the contiguous
-  /// prefix into the running accumulator.
-  void advance_mc_fold();
-  std::size_t done_units() const noexcept {
-    return desc_.task_kind == TaskKind::kSstaGrid
-               ? lanes_done_
-               : folded_prefix_ + mc_pending_.size();
-  }
-
   RunDescriptor desc_;
-  CoordinatorOptions opt_;
-  FrameAuth auth_;
-  Listener listener_;
-  std::size_t n_units_ = 0;
-  std::deque<Range> pending_;
-  std::vector<WorkerState> workers_;
-  // Bounded-memory ascending fold state.  Monte-Carlo: units [0,
-  // folded_prefix_) live merged inside mc_acc_; committed units beyond the
-  // prefix wait in mc_pending_ until the gap fills.  Grid: lanes_ is the
-  // preallocated output, lane_got_ guards against double placement.
-  mc::McResult mc_acc_;
-  std::size_t folded_prefix_ = 0;
-  std::map<std::size_t, mc::McResult> mc_pending_;
-  std::vector<sta::StageCharacterization> lanes_;
-  std::vector<std::uint8_t> lane_got_;
-  std::size_t lanes_done_ = 0;
+  Service svc_;
+  std::uint64_t rid_ = 0;
   RunMetrics metrics_;
-  std::size_t staged_now_ = 0;  ///< uncommitted staged units, all workers
 };
 
 }  // namespace statpipe::dist

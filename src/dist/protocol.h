@@ -8,24 +8,49 @@
 //   kSstaGrid    unit = one sweep-config lane of an sta::SstaBatch grid;
 //                unit payload = one sta::StageCharacterization
 //
-// Every message is a frame (wire v3):
+// Every message is a frame (wire v4):
 //
-//   { u32 magic, u16 version, u16 type, u32 flags, u64 payload_size }
+//   { u32 magic, u16 version, u16 type, u32 flags,
+//     u64 session_id, u64 request_id, u64 payload_size }
 //   payload...  [ 32-byte HMAC-SHA256 trailer when kFrameFlagAuthenticated ]
 //
 // (all little-endian, payload layouts in dist/serialize.h and
-// docs/WIRE_FORMAT.md).  The exchange:
+// docs/WIRE_FORMAT.md).  session_id names the connection's service-granted
+// session (0 before kWelcome), request_id names one descriptor submission
+// within it (0 for frames not scoped to a request).  The service binds
+// each connection to the session id its kWelcome granted and rejects
+// frames carrying any other — which is what makes a captured
+// authenticated frame worthless on another connection (replay defense;
+// HMAC alone cannot distinguish connections under one shared key).
 //
-//   worker -> coordinator   kHello      { u16 proto_version, u64 threads }
-//   coordinator -> worker   kSetup      { RunDescriptor }
-//   coordinator -> worker   kAssign     { u64 unit_begin, u64 unit_end }
-//   worker -> coordinator   kResult     { u64 unit_index, unit payload }
+// Worker exchange (worker is RESIDENT: it serves any number of
+// descriptors over one connection until kShutdown):
+//
+//   worker -> service       kHello      { u16 proto_version, u64 threads }
+//   service -> worker       kWelcome    { u64 session_id }
+//   service -> worker       kSetup      { RunDescriptor }      (per request,
+//                                       before that request's first kAssign)
+//   service -> worker       kAssign     { u64 unit_begin, u64 unit_end }
+//   worker -> service       kResult     { u64 unit_index, unit payload }
 //                                       (one frame PER UNIT, streamed
 //                                       ascending as units complete)
-//   worker -> coordinator   kRangeDone  { u64 unit_begin, u64 unit_end,
+//   worker -> service       kRangeDone  { u64 unit_begin, u64 unit_end,
 //                                         u64 count }  (commit marker)
-//   worker -> coordinator   kError      { string message }
-//   coordinator -> worker   kShutdown   { }
+//   worker -> service       kError      { string message }
+//   service -> worker       kRelease    { }  (request done; drop its runner)
+//   service -> worker       kShutdown   { }
+//
+// Client exchange (a client session submits descriptors and collects
+// results; many client sessions multiplex over one fleet):
+//
+//   client -> service       kClientHello { u16 proto_version }
+//   service -> client       kWelcome     { u64 session_id }
+//   client -> service       kSubmit      { u32 priority, RunDescriptor }
+//                                        (request_id chosen by the client,
+//                                        unique within its session)
+//   service -> client       kRequestDone { u16 task_kind, u8 cache_hit,
+//                                          u64 queue_wait_ns, result blob }
+//   service -> client       kError       { string message }
 //
 // Streaming commit semantics: per-unit kResult frames are STAGED by the
 // coordinator and only committed when the range's kRangeDone arrives with
@@ -59,13 +84,19 @@ enum class MsgType : std::uint16_t {
   kHello = 1,
   kSetup = 2,
   kAssign = 3,
-  kResult = 4,     ///< v3: ONE unit per frame, streamed as units complete
+  kResult = 4,       ///< v3: ONE unit per frame, streamed as units complete
   kError = 5,
   kShutdown = 6,
-  kRangeDone = 7,  ///< v3: commits the streamed units of one range
+  kRangeDone = 7,    ///< v3: commits the streamed units of one range
+  kClientHello = 8,  ///< v4: client session opener
+  kWelcome = 9,      ///< v4: service grants the connection its session id
+  kSubmit = 10,      ///< v4: client submits one descriptor as a request
+  kRequestDone = 11, ///< v4: service delivers one request's result blob
+  kRelease = 12,     ///< v4: service tells a worker to drop a request's
+                     ///< runner (request complete or failed)
 };
 
-/// Frame-header flag bits (u32 `flags` field, v3).  Unknown bits are
+/// Frame-header flag bits (u32 `flags` field, v3+).  Unknown bits are
 /// rejected — a future flag must bump the version, never ride silently.
 inline constexpr std::uint32_t kFrameFlagAuthenticated = 1u << 0;
 inline constexpr std::uint32_t kFrameFlagsKnown = kFrameFlagAuthenticated;

@@ -1,0 +1,97 @@
+#include "dist/scheduler.h"
+
+#include <stdexcept>
+
+namespace statpipe::dist {
+
+void Scheduler::add_request(std::uint64_t rid, std::uint64_t session,
+                            std::uint32_t priority) {
+  if (requests_.count(rid) != 0)
+    throw std::logic_error("dist: scheduler request id reused");
+  auto [sit, fresh] = sessions_.try_emplace(session);
+  if (fresh) sit->second.order = next_order_;
+  RequestQueue q;
+  q.session = session;
+  q.priority = priority;
+  q.order = next_order_++;
+  requests_.emplace(rid, std::move(q));
+}
+
+void Scheduler::remove_request(std::uint64_t rid) {
+  auto it = requests_.find(rid);
+  if (it == requests_.end()) return;
+  pending_ranges_ -= it->second.ranges.size();
+  requests_.erase(it);
+}
+
+void Scheduler::enqueue(const SchedTask& t) {
+  requests_.at(t.rid).ranges.push_back(t);
+  ++pending_ranges_;
+}
+
+void Scheduler::requeue_front(const SchedTask& t) {
+  requests_.at(t.rid).ranges.push_front(t);
+  ++pending_ranges_;
+}
+
+std::optional<SchedTask> Scheduler::next() {
+  RequestQueue* best = nullptr;
+  const SessionShare* best_share = nullptr;
+  for (auto& [rid, q] : requests_) {
+    if (q.ranges.empty()) continue;
+    const SessionShare& share = sessions_.at(q.session);
+    if (best == nullptr) {
+      best = &q;
+      best_share = &share;
+      continue;
+    }
+    // Rule 1: higher priority class strictly first.
+    if (q.priority != best->priority) {
+      if (q.priority > best->priority) {
+        best = &q;
+        best_share = &share;
+      }
+      continue;
+    }
+    // Rule 2: smaller session deficit first; first-seen session on ties.
+    if (share.assigned_units != best_share->assigned_units) {
+      if (share.assigned_units < best_share->assigned_units) {
+        best = &q;
+        best_share = &share;
+      }
+      continue;
+    }
+    if (q.session != best->session) {
+      if (share.order < best_share->order) {
+        best = &q;
+        best_share = &share;
+      }
+      continue;
+    }
+    // Rule 3: FIFO within the session.
+    if (q.order < best->order) {
+      best = &q;
+      best_share = &share;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  SchedTask t = best->ranges.front();
+  best->ranges.pop_front();
+  --pending_ranges_;
+  sessions_.at(best->session).assigned_units += t.end - t.begin;
+  return t;
+}
+
+std::uint64_t Scheduler::session_units(std::uint64_t session) const {
+  auto it = sessions_.find(session);
+  return it == sessions_.end() ? 0 : it->second.assigned_units;
+}
+
+std::vector<std::uint64_t> Scheduler::sessions() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, share] : sessions_) out.push_back(id);
+  return out;
+}
+
+}  // namespace statpipe::dist

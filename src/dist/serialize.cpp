@@ -117,6 +117,13 @@ std::vector<double> ByteReader::f64_vec() {
   return v;
 }
 
+std::vector<std::uint8_t> ByteReader::rest() {
+  std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                data_.end());
+  pos_ = data_.size();
+  return out;
+}
+
 void ByteReader::expect_done() const {
   if (!done())
     throw std::runtime_error("dist: " + std::to_string(remaining()) +

@@ -41,9 +41,12 @@ namespace statpipe::dist {
 /// Monte-Carlo-only descriptor; v2 added the task-kind discriminator and
 /// the SSTA grid payload; v3 (PR 7) added the frame-header flags field,
 /// the optional HMAC-SHA256 frame trailer, and streaming per-unit
-/// kResult frames with the kRangeDone commit marker.
+/// kResult frames with the kRangeDone commit marker; v4 (service wire)
+/// added the session_id/request_id header fields plus the client/service
+/// message types (kClientHello..kRelease) so one resident fleet serves
+/// many descriptors from many concurrent sessions.
 inline constexpr std::uint32_t kWireMagic = 0x31445053;
-inline constexpr std::uint16_t kWireVersion = 3;
+inline constexpr std::uint16_t kWireVersion = 4;
 
 /// Append-only little-endian byte sink.
 class ByteWriter {
@@ -81,6 +84,9 @@ class ByteReader {
   double f64();
   std::string str();
   std::vector<double> f64_vec();
+  /// Every remaining byte, consumed to the end — for trailing unprefixed
+  /// blob fields (e.g. the result blob inside a kRequestDone payload).
+  std::vector<std::uint8_t> rest();
 
   std::size_t remaining() const noexcept { return data_.size() - pos_; }
   bool done() const noexcept { return pos_ == data_.size(); }

@@ -50,8 +50,12 @@ obs::Counter& c_deadline_trips() {
   return c;
 }
 
-/// v3 frame header: u32 magic, u16 version, u16 type, u32 flags, u64 size.
-constexpr std::size_t kHeaderSize = 20;
+/// v4 frame header: u32 magic, u16 version, u16 type, u32 flags,
+/// u64 session_id, u64 request_id, u64 size.  The first 8 bytes (magic,
+/// version, type) are read and validated alone so a shorter-headered v3
+/// peer is rejected with the version error, never a stuck read.
+constexpr std::size_t kHeaderSize = 36;
+constexpr std::size_t kHeaderPrefixSize = 8;
 
 [[noreturn]] void throw_errno(const std::string& what) {
   throw std::runtime_error("dist: " + what + ": " + std::strerror(errno));
@@ -235,7 +239,9 @@ Socket connect_to(const std::string& host, std::uint16_t port, int retry_ms) {
 
 std::vector<std::uint8_t> encode_frame(MsgType type,
                                        const std::vector<std::uint8_t>& payload,
-                                       const FrameAuth& auth) {
+                                       const FrameAuth& auth,
+                                       std::uint64_t session_id,
+                                       std::uint64_t request_id) {
   if (payload.size() > kMaxFramePayload)
     throw std::runtime_error("dist: frame payload too large (" +
                              std::to_string(payload.size()) + " bytes)");
@@ -244,12 +250,15 @@ std::vector<std::uint8_t> encode_frame(MsgType type,
   w.u16(kWireVersion);
   w.u16(static_cast<std::uint16_t>(type));
   w.u32(auth.enabled ? kFrameFlagAuthenticated : 0u);
+  w.u64(session_id);
+  w.u64(request_id);
   w.u64(payload.size());
   std::vector<std::uint8_t> buf = w.take();
   buf.insert(buf.end(), payload.begin(), payload.end());
   if (auth.enabled) {
-    // MAC over header + payload: length, type and flags are all covered,
-    // so truncating, retyping or de-authenticating a frame breaks the MAC.
+    // MAC over header + payload: length, type, flags and the session /
+    // request ids are all covered, so truncating, retyping, re-scoping or
+    // de-authenticating a frame breaks the MAC.
     const Digest tag =
         auth.mac(std::span<const std::uint8_t>(buf.data(), buf.size()));
     buf.insert(buf.end(), tag.begin(), tag.end());
@@ -258,9 +267,10 @@ std::vector<std::uint8_t> encode_frame(MsgType type,
 }
 
 void send_frame(Socket& s, MsgType type,
-                const std::vector<std::uint8_t>& payload,
-                const FrameAuth& auth) {
-  const std::vector<std::uint8_t> buf = encode_frame(type, payload, auth);
+                const std::vector<std::uint8_t>& payload, const FrameAuth& auth,
+                std::uint64_t session_id, std::uint64_t request_id) {
+  const std::vector<std::uint8_t> buf =
+      encode_frame(type, payload, auth, session_id, request_id);
   s.send_all(buf.data(), buf.size());
   c_tx_frames().add();
   c_tx_bytes().add(buf.size());
@@ -268,16 +278,30 @@ void send_frame(Socket& s, MsgType type,
 
 std::optional<Frame> recv_frame(Socket& s, const FrameAuth& auth) {
   std::uint8_t header[kHeaderSize];
-  if (!s.recv_all(header, sizeof header)) return std::nullopt;
+  // Two-stage header read: validate magic + version on the 8-byte prefix
+  // every version shares before asking for the rest, so a peer speaking a
+  // shorter (v3) header gets the version error below instead of leaving
+  // this side blocked on bytes that will never come.
+  if (!s.recv_all(header, kHeaderPrefixSize)) return std::nullopt;
+  {
+    ByteReader pre(
+        std::span<const std::uint8_t>(header, kHeaderPrefixSize));
+    const std::uint32_t magic = pre.u32();
+    if (magic != kWireMagic)
+      throw std::runtime_error("dist: bad frame magic (not a statpipe peer)");
+    const std::uint16_t version = pre.u16();
+    if (version != kWireVersion)
+      throw std::runtime_error("dist: peer speaks wire version " +
+                               std::to_string(version) + ", this build " +
+                               std::to_string(kWireVersion));
+  }
+  if (!s.recv_all(header + kHeaderPrefixSize, kHeaderSize - kHeaderPrefixSize))
+    throw std::runtime_error("dist: peer closed mid-frame (" +
+                             std::to_string(kHeaderPrefixSize) + "/" +
+                             std::to_string(kHeaderSize) + " bytes)");
   ByteReader r(std::span<const std::uint8_t>(header, sizeof header));
-  const std::uint32_t magic = r.u32();
-  if (magic != kWireMagic)
-    throw std::runtime_error("dist: bad frame magic (not a statpipe peer)");
-  const std::uint16_t version = r.u16();
-  if (version != kWireVersion)
-    throw std::runtime_error("dist: peer speaks wire version " +
-                             std::to_string(version) + ", this build " +
-                             std::to_string(kWireVersion));
+  r.u32();  // magic, validated above
+  r.u16();  // version, validated above
   Frame f;
   f.type = static_cast<MsgType>(r.u16());
   const std::uint32_t flags = r.u32();
@@ -305,6 +329,8 @@ std::optional<Frame> recv_frame(Socket& s, const FrameAuth& auth) {
         "dist: peer sent an authenticated frame but no wire key is "
         "configured (set STATPIPE_WIRE_KEY / --key)");
   }
+  f.session_id = r.u64();
+  f.request_id = r.u64();
   const std::uint64_t size = r.u64();
   if (size > kMaxFramePayload)
     throw std::runtime_error("dist: oversize frame payload (" +

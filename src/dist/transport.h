@@ -138,21 +138,30 @@ Socket connect_to(const std::string& host, std::uint16_t port,
 
 struct Frame {
   MsgType type{};
+  std::uint64_t session_id = 0;  ///< v4: connection's granted session (0
+                                 ///< before kWelcome)
+  std::uint64_t request_id = 0;  ///< v4: request the frame is scoped to (0
+                                 ///< when not request-scoped)
   std::vector<std::uint8_t> payload;
 };
 
 /// Serialized frame bytes (header + payload + HMAC trailer when auth is
 /// enabled) without sending — what send_frame writes, exposed so the
-/// saboteur tool and the mutation fuzz can corrupt real frames.
+/// saboteur tool and the mutation fuzz can corrupt real frames.  The MAC
+/// covers the whole v4 header — session and request ids included — so a
+/// spliced or re-scoped authenticated frame fails verification.
 std::vector<std::uint8_t> encode_frame(MsgType type,
                                        const std::vector<std::uint8_t>& payload,
-                                       const FrameAuth& auth = {});
+                                       const FrameAuth& auth = {},
+                                       std::uint64_t session_id = 0,
+                                       std::uint64_t request_id = 0);
 
 /// Sends one framed message (header + payload + optional HMAC trailer in
 /// a single buffer, one write path — a frame is never interleaved).
 void send_frame(Socket& s, MsgType type,
                 const std::vector<std::uint8_t>& payload,
-                const FrameAuth& auth = {});
+                const FrameAuth& auth = {}, std::uint64_t session_id = 0,
+                std::uint64_t request_id = 0);
 
 /// Receives one frame; std::nullopt on clean peer close before a header
 /// byte.  Throws std::runtime_error on bad magic, unsupported version,
@@ -160,7 +169,10 @@ void send_frame(Socket& s, MsgType type,
 /// authentication failure: a tampered MAC, an unauthenticated frame while
 /// `auth` holds a key, or an authenticated frame while it does not.  The
 /// MAC is verified (constant-time) BEFORE the payload is handed to any
-/// parser.
+/// parser.  The version check happens after only the first 8 header bytes
+/// (magic, version, type) arrived, so a v3 peer — whose header is 16
+/// bytes shorter — gets the clear version error instead of wedging a
+/// 36-byte read.
 std::optional<Frame> recv_frame(Socket& s, const FrameAuth& auth = {});
 
 }  // namespace statpipe::dist

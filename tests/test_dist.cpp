@@ -415,6 +415,8 @@ TEST(DistEndToEnd, WorkerFailureReassignmentStaysBitwiseIdentical) {
     hello.u16(sp::dist::kWireVersion);
     hello.u64(1);
     sp::dist::send_frame(sock, sp::dist::MsgType::kHello, hello.bytes());
+    auto welcome = sp::dist::recv_frame(sock);
+    ASSERT_TRUE(welcome && welcome->type == sp::dist::MsgType::kWelcome);
     auto setup = sp::dist::recv_frame(sock);
     ASSERT_TRUE(setup && setup->type == sp::dist::MsgType::kSetup);
     auto assign = sp::dist::recv_frame(sock);
@@ -683,6 +685,8 @@ TEST(DistEndToEnd, SstaGridWorkerFailureReassignmentStaysBitwise) {
     hello.u16(sp::dist::kWireVersion);
     hello.u64(1);
     sp::dist::send_frame(sock, sp::dist::MsgType::kHello, hello.bytes());
+    auto welcome = sp::dist::recv_frame(sock);
+    ASSERT_TRUE(welcome && welcome->type == sp::dist::MsgType::kWelcome);
     auto setup = sp::dist::recv_frame(sock);
     ASSERT_TRUE(setup && setup->type == sp::dist::MsgType::kSetup);
     auto assign = sp::dist::recv_frame(sock);
@@ -744,6 +748,8 @@ TEST(DistEndToEnd, DistributedSweepWithWorkerFailureMatchesLocalBitwise) {
       hello.u16(sp::dist::kWireVersion);
       hello.u64(1);
       sp::dist::send_frame(sock, sp::dist::MsgType::kHello, hello.bytes());
+      auto welcome = sp::dist::recv_frame(sock);
+      EXPECT_TRUE(welcome && welcome->type == sp::dist::MsgType::kWelcome);
       auto setup = sp::dist::recv_frame(sock);
       EXPECT_TRUE(setup && setup->type == sp::dist::MsgType::kSetup);
       auto assign = sp::dist::recv_frame(sock);
@@ -1130,8 +1136,17 @@ void faulty_worker(std::uint16_t port, sp::dist::testing::FaultPlan plan) {
       hello.u64(1);
       sp::dist::send_frame(sock, sp::dist::MsgType::kHello, hello.bytes());
     }
+    const auto welcome = sp::dist::recv_frame(sock);
+    if (!welcome || welcome->type != sp::dist::MsgType::kWelcome) return;
+    std::uint64_t session = 0;
+    {
+      ByteReader r(welcome->payload);
+      session = r.u64();
+      r.expect_done();
+    }
     const auto setup = sp::dist::recv_frame(sock);
     if (!setup || setup->type != sp::dist::MsgType::kSetup) return;
+    const std::uint64_t rid = setup->request_id;
     sp::dist::RunDescriptor desc;
     {
       ByteReader r(setup->payload);
@@ -1152,14 +1167,15 @@ void faulty_worker(std::uint16_t port, sp::dist::testing::FaultPlan plan) {
                out.u64(unit);
                out.append(payload);
                sp::dist::send_frame(sock, sp::dist::MsgType::kResult,
-                                    out.bytes());
+                                    out.bytes(), {}, session, rid);
                emitted += 1;
              });
       ByteWriter done;
       done.u64(begin);
       done.u64(end);
       done.u64(emitted);
-      sp::dist::send_frame(sock, sp::dist::MsgType::kRangeDone, done.bytes());
+      sp::dist::send_frame(sock, sp::dist::MsgType::kRangeDone, done.bytes(),
+                           {}, session, rid);
     }
   } catch (const std::exception&) {
     // Budget exhaustion, or the coordinator dropping us after the cut:

@@ -32,9 +32,25 @@
 // one-command localhost cluster.  Without --spawn, start workers yourself
 // against the printed port.  Wire format: docs/WIRE_FORMAT.md; bitwise
 // contract: docs/DETERMINISM.md.
+//
+// SERVICE MODE (wire v4): --serve hosts a persistent multi-tenant service
+// instead of running one task — resident workers (--spawn N forks them in
+// --serve reconnect mode), many concurrent client sessions, fair-share
+// scheduling and a content-addressed result cache.  --serve-requests N
+// exits after N requests completed (CI's bounded service leg); without it
+// the service runs until killed.  --connect HOST:PORT turns this binary
+// into a CLIENT of such a service: the same --task/--workload flags
+// describe the run, but it is submitted over the wire and the result
+// (with cache/queue accounting) comes back on this session.
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -59,11 +75,13 @@ void print_dist_metrics(const sp::dist::RunMetrics& m, std::size_t sessions) {
   std::printf(
       "dist metrics%s: %zu unit(s) in %zu range(s), %zu assign(s) "
       "(%zu retried), %zu commit(s), %zu forfeit(s) (%zu unit(s) "
-      "discarded), peak staged %zu, %zu worker(s), wall %.1f ms\n",
+      "discarded), peak staged %zu, %zu worker(s), queue wait %.1f ms, "
+      "cache %zu hit(s) / %zu miss(es), wall %.1f ms\n",
       sessions > 1 ? (" (" + std::to_string(sessions) + " sessions)").c_str()
                    : "",
       m.units, m.ranges, m.assigns, m.retries, m.commits, m.forfeits,
-      m.units_discarded, m.peak_staged_units, m.workers_admitted, m.wall_ms);
+      m.units_discarded, m.peak_staged_units, m.workers_admitted,
+      m.queue_wait_ms, m.cache_hits, m.cache_misses, m.wall_ms);
 }
 
 void accumulate(sp::dist::RunMetrics& acc, const sp::dist::RunMetrics& m) {
@@ -76,6 +94,9 @@ void accumulate(sp::dist::RunMetrics& acc, const sp::dist::RunMetrics& m) {
   acc.units_discarded += m.units_discarded;
   acc.peak_staged_units = std::max(acc.peak_staged_units, m.peak_staged_units);
   acc.workers_admitted += m.workers_admitted;
+  acc.queue_wait_ms += m.queue_wait_ms;
+  acc.cache_hits += m.cache_hits;
+  acc.cache_misses += m.cache_misses;
   acc.wall_ms += m.wall_ms;
 }
 
@@ -89,6 +110,14 @@ void accumulate(sp::dist::RunMetrics& acc, const sp::dist::RunMetrics& m) {
       "          [--units-per-range N] [--max-attempts N] [--timeout-ms N]\n"
       "          [--spawn N] [--worker-bin PATH] [--key K] [--check-local]\n"
       "          [--metrics PATH] [--quiet]\n"
+      "       %s --serve [--serve-requests N] [--spawn N] [dist flags]\n"
+      "       %s --connect HOST:PORT [--priority N] [task flags]\n"
+      "\n"
+      "--serve hosts a persistent multi-tenant service (wire v4): resident\n"
+      "workers, concurrent client sessions, fair-share scheduling, result\n"
+      "cache.  --serve-requests N exits once N requests completed (0 =\n"
+      "run until killed).  --connect submits this invocation's task to a\n"
+      "running service instead of self-hosting a coordinator.\n"
       "\n"
       "--metrics PATH enables runtime telemetry (src/obs) and dumps the\n"
       "JSON metrics snapshot to PATH on success; STATPIPE_TRACE=PATH\n"
@@ -99,7 +128,7 @@ void accumulate(sp::dist::RunMetrics& acc, const sp::dist::RunMetrics& m) {
       "              (--samples required; NAMES may list several stages)\n"
       "  ssta-sweep  distributed area-delay sweep; units are SSTA grid\n"
       "              lanes (--points targets; NAMES must be one circuit)\n",
-      argv0);
+      argv0, argv0, argv0);
   std::exit(EXIT_FAILURE);
 }
 
@@ -202,6 +231,176 @@ int run_ssta_sweep(const sp::dist::RunDescriptor& desc, std::size_t points,
   return EXIT_SUCCESS;
 }
 
+// --serve: host the persistent multi-tenant service.  The dist flags
+// (--port, --key, --units-per-range, ...) configure the service; --spawn N
+// forks N RESIDENT workers (statpipe-worker --serve) that outlive any
+// number of client submissions.  Exits after --serve-requests N completed
+// requests (0 = run until killed), winding the fleet down first.  Exit
+// code reflects whether any request FAILED — individual request failures
+// are reported to their clients and do not stop the service.
+int run_serve(const sp::dist::ClusterOptions& cl, std::size_t serve_requests) {
+  sp::dist::ServiceOptions so;
+  so.bind_host = cl.coordinator.bind_host;
+  so.port = cl.coordinator.port;
+  so.units_per_range = cl.coordinator.units_per_range;
+  so.max_attempts = cl.coordinator.max_attempts;
+  so.idle_timeout_ms = cl.coordinator.idle_timeout_ms;
+  so.read_deadline_ms = cl.coordinator.read_deadline_ms;
+  so.auth_key = cl.coordinator.auth_key;
+  so.cache_max_bytes = cl.cache_max_bytes;
+  so.verbose = cl.coordinator.verbose;
+
+  sp::dist::Service svc(so);
+  std::printf("statpipe-run: serving on port %u\n",
+              static_cast<unsigned>(svc.port()));
+  std::fflush(stdout);
+
+  std::vector<pid_t> kids;
+  try {
+    for (std::size_t i = 0; i < cl.spawn_workers; ++i)
+      kids.push_back(sp::dist::spawn_worker_process(
+          cl.worker_bin, svc.port(), !so.verbose, so.auth_key,
+          /*serve=*/true));
+    svc.run([&] {
+      return serve_requests != 0 &&
+             svc.requests_completed() >= serve_requests;
+    });
+  } catch (...) {
+    for (const pid_t kid : kids) ::kill(kid, SIGKILL);
+    int status = 0;
+    for (const pid_t kid : kids) ::waitpid(kid, &status, 0);
+    throw;
+  }
+
+  // Fleet wind-down: kShutdown ends resident workers (--serve exits on it,
+  // not on disconnect), then reap with a grace period — draining the
+  // backlog throughout so a worker mid-reconnect is dismissed, not hung.
+  svc.shutdown_workers();
+  for (const pid_t kid : kids) {
+    bool reaped = false;
+    for (int waited_ms = 0; waited_ms < 5000; waited_ms += 20) {
+      int status = 0;
+      if (::waitpid(kid, &status, WNOHANG) == kid) {
+        reaped = true;
+        break;
+      }
+      svc.drain_backlog();
+      ::usleep(20 * 1000);
+    }
+    if (!reaped) {
+      ::kill(kid, SIGKILL);
+      int status = 0;
+      ::waitpid(kid, &status, 0);
+    }
+  }
+
+  const sp::dist::ServiceStats st = svc.stats();
+  std::printf(
+      "service stats: %zu request(s) submitted, %zu completed (%zu "
+      "failed), %zu session(s), %zu worker(s), cache %llu hit(s) / %llu "
+      "miss(es) / %llu eviction(s)\n",
+      st.requests_submitted, st.requests_completed, st.requests_failed,
+      st.sessions_opened, st.workers_admitted,
+      static_cast<unsigned long long>(st.cache_hits),
+      static_cast<unsigned long long>(st.cache_misses),
+      static_cast<unsigned long long>(st.cache_evictions));
+  for (const auto& [sid, units] : st.session_units)
+    std::printf("  session %llu: %llu unit(s) assigned\n",
+                static_cast<unsigned long long>(sid),
+                static_cast<unsigned long long>(units));
+  return st.requests_failed == 0 ? EXIT_SUCCESS : EXIT_FAILURE;
+}
+
+// --connect: be a CLIENT of a running service.  The same task flags
+// describe the run; it is submitted over the wire on this client's
+// session and the per-request accounting (cache hit, queue wait) comes
+// back with the result.
+int run_connect_mc(sp::dist::RunDescriptor& desc, const std::string& host,
+                   std::uint16_t port, const std::string& key,
+                   std::uint32_t priority, bool check_local) {
+  sp::dist::finalize_descriptor(desc);
+  std::printf("statpipe-run: mc via service at %s:%u, %s, %llu samples, "
+              "seed %llu\n",
+              host.c_str(), static_cast<unsigned>(port),
+              desc.workload.c_str(),
+              static_cast<unsigned long long>(desc.n_samples),
+              static_cast<unsigned long long>(desc.seed));
+  sp::dist::ServiceClient client(host, port, key);
+  const std::uint64_t id = client.submit(desc, priority);
+  const sp::dist::TaskResult result = client.wait(id);
+  const auto& info = client.info(id);
+
+  const sp::stats::Gaussian g = result.mc.tp_estimate();
+  std::printf("T_P estimate: mu %.4f ps, sigma %.4f ps over %zu samples\n",
+              g.mean, g.sigma, result.mc.tp_samples.size());
+  std::printf("service request %llu (session %llu): cache %s, queue wait "
+              "%.1f ms\n",
+              static_cast<unsigned long long>(id),
+              static_cast<unsigned long long>(client.session()),
+              info.cache_hit ? "hit" : "miss", info.queue_wait_ms);
+
+  if (check_local) {
+    const sp::dist::TaskResult local = sp::dist::run_local_task(desc);
+    if (!sp::dist::bitwise_equal(result, local)) {
+      std::printf("FAIL: service result diverges from the single-process "
+                  "run\n");
+      return EXIT_FAILURE;
+    }
+    std::printf("service result is bitwise-identical to the "
+                "single-process run\n");
+  }
+  return EXIT_SUCCESS;
+}
+
+int run_connect_sweep(const sp::dist::RunDescriptor& desc, std::size_t points,
+                      const std::string& host, std::uint16_t port,
+                      const std::string& key, bool check_local) {
+  const auto names = sp::dist::split_workload_names(desc.workload);
+  if (names.size() != 1) {
+    std::fprintf(stderr,
+                 "statpipe-run: --task ssta-sweep needs exactly one "
+                 "circuit in --workload, got '%s'\n",
+                 desc.workload.c_str());
+    return EXIT_FAILURE;
+  }
+  const sp::device::AlphaPowerModel model{sp::process::Technology{}};
+  const sp::process::VariationSpec spec = sp::dist::descriptor_spec(desc);
+
+  auto client = std::make_shared<sp::dist::ServiceClient>(host, port, key);
+  sp::opt::SweepOptions sw;
+  sw.points = points;
+  sw.sizer.output_load = desc.output_load;
+  sw.grid = sp::dist::grid_characterizer(client);
+
+  std::printf("statpipe-run: ssta-sweep via service at %s:%u, %s, %zu "
+              "sweep points\n",
+              host.c_str(), static_cast<unsigned>(port),
+              desc.workload.c_str(), points);
+  sp::netlist::Netlist nl = sp::netlist::iscas_like(names.front());
+  const auto dist_sweep = sp::opt::area_delay_sweep(nl, model, spec, sw);
+  std::printf("area-delay curve: %zu feasible points, fastest D_stat "
+              "%.4f ps\n",
+              dist_sweep.curve.points().size(), dist_sweep.min_stat_delay);
+  for (const auto& p : dist_sweep.curve.points())
+    std::printf("  delay %.4f ps  area %.2f\n", p.delay, p.area);
+
+  if (check_local) {
+    sp::opt::SweepOptions local_sw = sw;
+    local_sw.grid = {};  // the single-process SstaBatch reference
+    sp::netlist::Netlist nl2 = sp::netlist::iscas_like(names.front());
+    const auto local_sweep =
+        sp::opt::area_delay_sweep(nl2, model, spec, local_sw);
+    if (!sp::opt::bitwise_equal(dist_sweep, local_sweep)) {
+      std::printf("FAIL: service sweep diverges from the single-process "
+                  "SstaBatch run\n");
+      return EXIT_FAILURE;
+    }
+    std::printf("service sweep is bitwise-identical to the "
+                "single-process SstaBatch run\n");
+  }
+  return EXIT_SUCCESS;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -221,6 +420,10 @@ int main(int argc, char** argv) {
   std::size_t points = 8;
   bool check_local = false;
   std::string metrics_path;
+  bool serve = false;
+  std::size_t serve_requests = 0;
+  std::string connect_to;  // HOST:PORT (or bare PORT -> 127.0.0.1)
+  std::uint32_t priority = 0;
   desc.seed = 90210;
   desc.samples_per_shard = 256;
   if (const char* env_key = std::getenv("STATPIPE_WIRE_KEY"))
@@ -257,17 +460,33 @@ int main(int argc, char** argv) {
       else if (arg == "--metrics") metrics_path = next();
       else if (arg == "--check-local") check_local = true;
       else if (arg == "--quiet") cl.coordinator.verbose = false;
+      else if (arg == "--serve") serve = true;
+      else if (arg == "--serve-requests") {
+        serve = true;
+        serve_requests = std::stoull(next());
+      }
+      else if (arg == "--connect") connect_to = next();
+      else if (arg == "--priority") {
+        priority = static_cast<std::uint32_t>(std::stoul(next()));
+      }
       else usage(argv[0]);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "statpipe-run: bad argument: %s\n", e.what());
     usage(argv[0]);
   }
-  if (desc.workload.empty()) usage(argv[0]);
-  if (task == "mc" && desc.n_samples == 0) usage(argv[0]);
-  if (task == "ssta-sweep" && points < 2) {
-    std::fprintf(stderr, "statpipe-run: --points must be >= 2\n");
+  if (serve && !connect_to.empty()) {
+    std::fprintf(stderr, "statpipe-run: --serve and --connect are "
+                         "mutually exclusive\n");
     return EXIT_FAILURE;
+  }
+  if (!serve) {
+    if (desc.workload.empty()) usage(argv[0]);
+    if (task == "mc" && desc.n_samples == 0) usage(argv[0]);
+    if (task == "ssta-sweep" && points < 2) {
+      std::fprintf(stderr, "statpipe-run: --points must be >= 2\n");
+      return EXIT_FAILURE;
+    }
   }
 
   // --metrics implies telemetry: counters/spans only accumulate while
@@ -277,7 +496,33 @@ int main(int argc, char** argv) {
 
   try {
     int rc = EXIT_FAILURE;
-    if (task == "mc") {
+    if (serve) {
+      rc = run_serve(cl, serve_requests);
+    } else if (!connect_to.empty()) {
+      // HOST:PORT, or a bare PORT against localhost.
+      std::string host = "127.0.0.1";
+      std::string port_str = connect_to;
+      const std::size_t colon = connect_to.rfind(':');
+      if (colon != std::string::npos) {
+        host = connect_to.substr(0, colon);
+        port_str = connect_to.substr(colon + 1);
+      }
+      const std::uint16_t port = parse_port(port_str);
+      if (port == 0)
+        throw std::invalid_argument("--connect needs a nonzero port");
+      const std::string& key = cl.coordinator.auth_key;
+      if (task == "mc") {
+        rc = run_connect_mc(desc, host, port, key, priority, check_local);
+      } else if (task == "ssta-sweep") {
+        rc = run_connect_sweep(desc, points, host, port, key, check_local);
+      } else {
+        std::fprintf(stderr,
+                     "statpipe-run: unknown task '%s' (this build knows "
+                     "mc, ssta-sweep)\n",
+                     task.c_str());
+        return EXIT_FAILURE;
+      }
+    } else if (task == "mc") {
       rc = run_mc(desc, cl, check_local);
     } else if (task == "ssta-sweep") {
       rc = run_ssta_sweep(desc, points, cl, check_local);

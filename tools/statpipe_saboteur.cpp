@@ -73,12 +73,14 @@ using sp::dist::Socket;
 struct Session {
   Socket sock;
   RunDescriptor desc;
+  std::uint64_t session = 0;  ///< v4 session id granted by kWelcome
+  std::uint64_t rid = 0;      ///< request id the setup/assign are scoped to
   std::uint64_t begin = 0;
   std::uint64_t end = 0;
 };
 
 /// Plays an honest worker up to (and including) receiving an assignment:
-/// connect, hello, setup, assign.  Everything after is the attack.
+/// connect, hello, welcome, setup, assign.  Everything after is the attack.
 Session handshake(const std::string& host, std::uint16_t port,
                   const FrameAuth& auth) {
   Session s;
@@ -88,9 +90,17 @@ Session handshake(const std::string& host, std::uint16_t port,
   hello.u64(1);
   sp::dist::send_frame(s.sock, MsgType::kHello, hello.bytes(), auth);
   s.sock.set_recv_timeout_ms(30000);
+  std::optional<Frame> welcome = sp::dist::recv_frame(s.sock, auth);
+  if (!welcome || welcome->type != MsgType::kWelcome)
+    throw std::runtime_error("saboteur: no welcome from coordinator");
+  {
+    sp::dist::ByteReader r(welcome->payload);
+    s.session = r.u64();
+  }
   std::optional<Frame> setup = sp::dist::recv_frame(s.sock, auth);
   if (!setup || setup->type != MsgType::kSetup)
     throw std::runtime_error("saboteur: no setup from coordinator");
+  s.rid = setup->request_id;
   {
     sp::dist::ByteReader r(setup->payload);
     s.desc = sp::dist::read_run_descriptor(r);
@@ -127,7 +137,8 @@ std::vector<std::uint8_t> result_frame(const Session& s, std::uint64_t unit,
   sp::dist::ByteWriter w;
   w.u64(unit);
   w.append(body);
-  return sp::dist::encode_frame(MsgType::kResult, w.bytes(), auth);
+  return sp::dist::encode_frame(MsgType::kResult, w.bytes(), auth, s.session,
+                                s.rid);
 }
 
 /// Waits for the coordinator to drop us; EOF and a reset are both fine.
@@ -187,7 +198,7 @@ int run_mode(const std::string& mode, const std::string& host,
     std::fprintf(stderr, "[saboteur] sent truncated frame and closed\n");
     return EXIT_SUCCESS;
   } else if (mode == "midframe") {
-    // Cut inside the 20-byte header itself.
+    // Cut inside the 36-byte header itself.
     const std::vector<std::uint8_t> frame =
         result_frame(s, s.begin, real_units(s)[0], auth);
     s.sock.send_all(frame.data(), 7);
@@ -200,6 +211,8 @@ int run_mode(const std::string& mode, const std::string& host,
     w.u16(sp::dist::kWireVersion);
     w.u16(static_cast<std::uint16_t>(MsgType::kResult));
     w.u32(auth.enabled ? sp::dist::kFrameFlagAuthenticated : 0u);
+    w.u64(s.session);
+    w.u64(s.rid);
     w.u64(sp::dist::kMaxFramePayload + 1);
     s.sock.send_all(w.bytes().data(), w.bytes().size());
     std::fprintf(stderr, "[saboteur] sent oversize frame header\n");
@@ -237,8 +250,8 @@ int run_mode(const std::string& mode, const std::string& host,
     done.u64(s.begin);
     done.u64(s.end);
     done.u64(s.end - s.begin);
-    const std::vector<std::uint8_t> done_frame =
-        sp::dist::encode_frame(MsgType::kRangeDone, done.bytes(), auth);
+    const std::vector<std::uint8_t> done_frame = sp::dist::encode_frame(
+        MsgType::kRangeDone, done.bytes(), auth, s.session, s.rid);
     stream.insert(stream.end(), done_frame.begin(), done_frame.end());
     s.sock.send_all(stream.data(), stream.size());  // the honest pass
     s.sock.send_all(stream.data(), stream.size());  // the replay

@@ -8,7 +8,13 @@
 // kind this build does not know is rejected with a clear task-kind error.
 //
 //   statpipe-worker --port 4815 [--host 127.0.0.1] [--retry-ms 5000]
-//                   [--key PASSPHRASE] [--quiet]
+//                   [--key PASSPHRASE] [--quiet] [--serve]
+//
+// --serve keeps the daemon resident: when a session ends cleanly
+// (kShutdown or service disconnect) the worker dials back in and serves
+// again, so one fleet outlives any number of service restarts and client
+// submissions.  Without it the worker exits after one session (the
+// classic one-run fleet run_cluster spawns and reaps).
 //
 // Wire authentication: --key (or the STATPIPE_WIRE_KEY environment
 // variable; the flag wins) enables the HMAC-SHA256 frame trailer and must
@@ -32,7 +38,7 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --port P [--host H] [--retry-ms N] [--key K]\n"
-               "          [--quiet]\n"
+               "          [--quiet] [--serve]\n"
                "serves all registered task kinds (mc, ssta-grid) announced\n"
                "by the coordinator's setup frame; --key (or the\n"
                "STATPIPE_WIRE_KEY env var) enables frame authentication\n",
@@ -45,6 +51,7 @@ namespace {
 int main(int argc, char** argv) {
   statpipe::dist::WorkerOptions opt;
   opt.verbose = true;
+  bool serve = false;
   if (const char* env_key = std::getenv("STATPIPE_WIRE_KEY"))
     opt.auth_key = env_key;
   try {
@@ -67,6 +74,8 @@ int main(int argc, char** argv) {
         opt.auth_key = next();
       } else if (arg == "--quiet") {
         opt.verbose = false;
+      } else if (arg == "--serve") {
+        serve = true;
       } else {
         usage(argv[0]);
       }
@@ -78,8 +87,17 @@ int main(int argc, char** argv) {
   if (opt.port == 0) usage(argv[0]);
 
   try {
-    statpipe::dist::run_worker(opt,
-                               statpipe::dist::default_workload_factory());
+    // --serve: reconnect after a session ends by DISCONNECT — the service
+    // (or its successor after a restart) finds the same fleet dialing
+    // back in.  An explicit kShutdown is the fleet wind-down order and
+    // always exits; transport errors exit 1 — a daemon supervisor owns
+    // crash-restart policy, not this loop.
+    bool shutdown_received = false;
+    do {
+      statpipe::dist::run_worker(opt,
+                                 statpipe::dist::default_workload_factory(),
+                                 &shutdown_received);
+    } while (serve && !shutdown_received);
     return EXIT_SUCCESS;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "statpipe-worker: %s\n", e.what());

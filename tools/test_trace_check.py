@@ -194,6 +194,51 @@ class TraceCheckTest(unittest.TestCase):
         r = self.run_check(t, "--require-counter", "x")
         self.assertEqual(r.returncode, 2)  # argparse usage error
 
+    # ----------------------------------------------- counter minimums
+
+    def test_counter_minimum_met_passes(self):
+        m = self.write("m.json", metrics(
+            counters={"dist.service.cache.hits": 3, "dist.commits": 4}))
+        t = self.trace("ok.json", [])
+        r = self.run_check(t, "--metrics", m,
+                           "--require-counter-min",
+                           "dist.service.cache.hits=1",
+                           "--require-counter-min", "dist.commits=4")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_counter_below_minimum_fails(self):
+        m = self.write("m.json", metrics(
+            counters={"dist.service.cache.hits": 0}))
+        t = self.trace("ok.json", [])
+        r = self.run_check(t, "--metrics", m,
+                           "--require-counter-min",
+                           "dist.service.cache.hits=1")
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("below the required minimum", r.stdout)
+
+    def test_counter_minimum_on_absent_counter_fails(self):
+        m = self.write("m.json", metrics(counters={"mc.samples": 1}))
+        t = self.trace("ok.json", [])
+        r = self.run_check(t, "--metrics", m,
+                           "--require-counter-min",
+                           "dist.service.cache.hits=1")
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("dist.service.cache.hits", r.stdout)
+        self.assertIn("absent", r.stdout)
+
+    def test_counter_minimum_bad_spec_is_a_usage_error(self):
+        m = self.write("m.json", metrics())
+        t = self.trace("ok.json", [])
+        for spec in ("no-equals", "name=", "=3", "name=-1", "name=abc"):
+            r = self.run_check(t, "--metrics", m,
+                               "--require-counter-min", spec)
+            self.assertEqual(r.returncode, 2, spec)
+
+    def test_counter_minimum_without_metrics_is_an_error(self):
+        t = self.trace("ok.json", [])
+        r = self.run_check(t, "--require-counter-min", "x=1")
+        self.assertEqual(r.returncode, 2)
+
     # ------------------------------------------------------ end-to-end
 
     def test_real_export_from_statpipe(self):

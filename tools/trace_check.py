@@ -23,7 +23,10 @@ With --metrics the tool also validates a metrics snapshot produced by
 `statpipe-run --metrics <path>` / obs::write_metrics_json:
 
   * schema is "statpipe-metrics-v1" with "counters" and "spans" maps;
-  * --require-counter NAME (repeatable): NAME is present in "counters".
+  * --require-counter NAME (repeatable): NAME is present in "counters";
+  * --require-counter-min NAME=MIN (repeatable): NAME is present AND its
+    value is >= MIN — how CI asserts a run actually exercised a path
+    (e.g. the service leg demands dist.service.cache.hits=1).
 
 Exit status: 0 when every check passes, 1 otherwise (each violation is
 printed).  Used by the CI dist-smoke leg; unit-tested by
@@ -32,7 +35,8 @@ tools/test_trace_check.py.
 Usage:
   trace_check.py TRACE.json [TRACE.json ...]
                  [--require-span NAME]...
-                 [--metrics METRICS.json [--require-counter NAME]...]
+                 [--metrics METRICS.json [--require-counter NAME]...
+                  [--require-counter-min NAME=MIN]...]
 """
 import argparse
 import json
@@ -123,7 +127,18 @@ def check_trace(path, errors, span_names):
           f"{len(last_end)} thread(s)")
 
 
-def check_metrics(path, errors, required_counters):
+def parse_counter_min(spec):
+    """'NAME=MIN' -> (NAME, int MIN >= 0); raises ValueError on junk."""
+    name, sep, minimum = spec.partition("=")
+    if not sep or not name:
+        raise ValueError(f"expected NAME=MIN, got {spec!r}")
+    value = int(minimum)  # ValueError on non-integers, as intended
+    if value < 0:
+        raise ValueError(f"MIN must be >= 0, got {spec!r}")
+    return name, value
+
+
+def check_metrics(path, errors, required_counters, counter_minimums):
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
@@ -149,6 +164,13 @@ def check_metrics(path, errors, required_counters):
     for name in required_counters:
         if name not in counters:
             fail(errors, path, f"required counter '{name}' is absent")
+    for name, minimum in counter_minimums:
+        if name not in counters:
+            fail(errors, path, f"required counter '{name}' is absent "
+                 f"(must be >= {minimum})")
+        elif isinstance(counters[name], int) and counters[name] < minimum:
+            fail(errors, path, f"counter '{name}' is {counters[name]}, "
+                 f"below the required minimum {minimum}")
     print(f"{path}: {len(counters)} counter(s), {len(spans)} span stat(s)")
 
 
@@ -165,9 +187,18 @@ def main(argv=None):
     ap.add_argument("--require-counter", action="append", default=[],
                     metavar="NAME", help="counter that must be present in "
                     "--metrics (repeatable)")
+    ap.add_argument("--require-counter-min", action="append", default=[],
+                    metavar="NAME=MIN", help="counter that must be present "
+                    "in --metrics with value >= MIN (repeatable)")
     args = ap.parse_args(argv)
-    if args.require_counter and not args.metrics:
-        ap.error("--require-counter needs --metrics")
+    if (args.require_counter or args.require_counter_min) \
+            and not args.metrics:
+        ap.error("--require-counter/--require-counter-min need --metrics")
+    try:
+        counter_minimums = [parse_counter_min(s)
+                            for s in args.require_counter_min]
+    except ValueError as e:
+        ap.error(f"--require-counter-min: {e}")
 
     errors = []
     span_names = set()
@@ -178,7 +209,8 @@ def main(argv=None):
             errors.append(
                 f"required span '{name}' appears in none of the traces")
     if args.metrics:
-        check_metrics(args.metrics, errors, args.require_counter)
+        check_metrics(args.metrics, errors, args.require_counter,
+                      counter_minimums)
 
     for msg in errors:
         print(f"FAIL: {msg}")
